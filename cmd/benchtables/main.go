@@ -1,0 +1,102 @@
+// Command benchtables regenerates every table of the paper's evaluation
+// (Section 6, Tables 1-8) plus this repository's ablation studies, on
+// the synthetic datasets.
+//
+// Usage:
+//
+//	benchtables                  # all eight tables at the default scale
+//	benchtables -table 4         # just Table 4 (Wikidata)
+//	benchtables -max-scale 1000000   # climb the full 1K..1M ladder
+//	benchtables -ablation        # the ablation tables instead
+//
+// Absolute numbers depend on the host; the shapes (who wins, what grows,
+// which placement starves the cluster) are the reproduction targets and
+// are recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	table := fs.Int("table", 0, "table number to regenerate (1-8); 0 means all")
+	maxScale := fs.Int("max-scale", experiments.DefaultMaxScale(), "largest record count on the 1K/10K/100K/1M ladder")
+	seed := fs.Int64("seed", 0, "dataset seed (0 = default)")
+	workers := fs.Int("workers", 0, "map-phase parallelism (0 = all CPUs)")
+	ablation := fs.Bool("ablation", false, "run the ablation tables instead of the paper tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Config{
+		Scales:  experiments.ScalesUpTo(*maxScale),
+		Seed:    *seed,
+		Workers: *workers,
+	}
+
+	if *ablation {
+		tabs, err := experiments.Ablations(cfg)
+		if err != nil {
+			return err
+		}
+		for _, t := range tabs {
+			fmt.Fprintln(stdout, t.Render())
+		}
+		return nil
+	}
+
+	if *table == 0 {
+		tabs, err := experiments.AllTables(cfg)
+		if err != nil {
+			return err
+		}
+		for _, t := range tabs {
+			fmt.Fprintln(stdout, t.Render())
+		}
+		return nil
+	}
+
+	var (
+		t   experiments.Table
+		err error
+	)
+	switch *table {
+	case 1:
+		t, err = experiments.Table1(cfg)
+	case 2:
+		t, err = experiments.DatasetTable("github", cfg)
+	case 3:
+		t, err = experiments.DatasetTable("twitter", cfg)
+	case 4:
+		t, err = experiments.DatasetTable("wikidata", cfg)
+	case 5:
+		t, err = experiments.DatasetTable("nytimes", cfg)
+	case 6:
+		t, err = experiments.Table6(cfg)
+	case 7:
+		t, err = experiments.Table7(cfg)
+	case 8:
+		t, err = experiments.Table8(cfg)
+	default:
+		return fmt.Errorf("no table %d (the paper has Tables 1-8)", *table)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, t.Render())
+	return nil
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	err := run(args, &out, &errBuf)
+	return out.String(), err
+}
+
+func TestSingleTable(t *testing.T) {
+	out, err := runCmd(t, "-table", "1", "-max-scale", "200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table 1") {
+		t.Errorf("output:\n%s", out)
+	}
+	for _, name := range []string{"github", "twitter", "wikidata", "nytimes"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table 1 missing %s", name)
+		}
+	}
+}
+
+func TestDatasetTableNumbers(t *testing.T) {
+	for _, n := range []string{"2", "3", "4", "5"} {
+		out, err := runCmd(t, "-table", n, "-max-scale", "100")
+		if err != nil {
+			t.Fatalf("table %s: %v", n, err)
+		}
+		if !strings.Contains(out, "Table "+n) {
+			t.Errorf("table %s output:\n%s", n, out)
+		}
+		if !strings.Contains(out, "fused size") {
+			t.Errorf("table %s lacks fused size column", n)
+		}
+	}
+}
+
+func TestClusterTables(t *testing.T) {
+	out, err := runCmd(t, "-table", "7", "-max-scale", "100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "all-on-one-node") || !strings.Contains(out, "round-robin") {
+		t.Errorf("Table 7 output:\n%s", out)
+	}
+	out, err = runCmd(t, "-table", "8", "-max-scale", "100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "partition 4") || !strings.Contains(out, "average") {
+		t.Errorf("Table 8 output:\n%s", out)
+	}
+}
+
+func TestBadTable(t *testing.T) {
+	if _, err := runCmd(t, "-table", "9"); err == nil {
+		t.Error("table 9 accepted")
+	}
+}
+
+func TestAllTablesSmall(t *testing.T) {
+	out, err := runCmd(t, "-max-scale", "100", "-workers", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 8; i++ {
+		if !strings.Contains(out, "Table "+string(rune('0'+i))) {
+			t.Errorf("missing Table %d", i)
+		}
+	}
+}
+
+func TestAblationFlag(t *testing.T) {
+	out, err := runCmd(t, "-ablation", "-max-scale", "100", "-workers", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Ablation: fused schema", "Spark-style coercion", "combiner", "streaming", "tree reduction", "positional extension", "key abstraction", "replication factor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Command datagen generates the synthetic datasets standing in for the
+// paper's four JSON crawls (GitHub, Twitter, Wikidata, NYTimes), as
+// NDJSON on stdout or into a file.
+//
+// Usage:
+//
+//	datagen -dataset twitter -n 100000 [-seed 7] [-o twitter.ndjson]
+//	datagen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	name := fs.String("dataset", "", "dataset to generate: "+strings.Join(dataset.Names(), ", "))
+	fromSchema := fs.String("from-schema", "", "generate witnesses of a schema file (type syntax) instead of a named dataset")
+	n := fs.Int("n", 1000, "number of records")
+	seed := fs.Int64("seed", 20170321, "generator seed (same seed + n prefix = same records)")
+	out := fs.String("o", "", "output file (default stdout)")
+	list := fs.Bool("list", false, "list available datasets and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, dn := range dataset.Names() {
+			fmt.Fprintln(stdout, dn)
+		}
+		return nil
+	}
+	if (*name == "") == (*fromSchema == "") {
+		return fmt.Errorf("need exactly one of -dataset or -from-schema (use -list for datasets)")
+	}
+	if *n <= 0 {
+		return fmt.Errorf("-n must be positive, got %d", *n)
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if *fromSchema != "" {
+		raw, err := os.ReadFile(*fromSchema)
+		if err != nil {
+			return err
+		}
+		t, err := types.Parse(strings.TrimSpace(string(raw)))
+		if err != nil {
+			return fmt.Errorf("%s: %w", *fromSchema, err)
+		}
+		r := rand.New(rand.NewSource(*seed))
+		var written int64
+		var buf []byte
+		for i := 0; i < *n; i++ {
+			v, ok := types.Witness(t, r)
+			if !ok {
+				return fmt.Errorf("the schema admits no values")
+			}
+			buf = value.AppendJSON(buf[:0], v)
+			buf = append(buf, '\n')
+			m, err := w.Write(buf)
+			written += int64(m)
+			if err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(stderr, "wrote %d witnesses (%d bytes) of %s\n", *n, written, *fromSchema)
+		return nil
+	}
+	g, err := dataset.New(*name)
+	if err != nil {
+		return err
+	}
+	written, err := dataset.WriteNDJSON(w, g, *n, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote %d records (%d bytes) of %s\n", *n, written, *name)
+	return nil
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/jsontext"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+func runCmd(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	err := run(args, &out, &errBuf)
+	return out.String(), errBuf.String(), err
+}
+
+func TestList(t *testing.T) {
+	out, _, err := runCmd(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"github", "twitter", "wikidata", "nytimes", "mixed"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("list output missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestGenerateToStdout(t *testing.T) {
+	out, errOut, err := runCmd(t, "-dataset", "twitter", "-n", "10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := jsontext.CountLines([]byte(out)); n != 10 {
+		t.Errorf("generated %d lines, want 10", n)
+	}
+	if _, err := jsontext.ParseAll([]byte(out)); err != nil {
+		t.Errorf("output is not valid NDJSON: %v", err)
+	}
+	if !strings.Contains(errOut, "wrote 10 records") {
+		t.Errorf("status line = %q", errOut)
+	}
+}
+
+func TestGenerateToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.ndjson")
+	_, _, err := runCmd(t, "-dataset", "github", "-n", "5", "-o", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := jsontext.CountLines(data); n != 5 {
+		t.Errorf("file has %d lines, want 5", n)
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	a, _, err := runCmd(t, "-dataset", "wikidata", "-n", "5", "-seed", "99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := runCmd(t, "-dataset", "wikidata", "-n", "5", "-seed", "99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same seed produced different output")
+	}
+	c, _, err := runCmd(t, "-dataset", "wikidata", "-n", "5", "-seed", "100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seed produced identical output")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, _, err := runCmd(t); err == nil {
+		t.Error("missing -dataset accepted")
+	}
+	if _, _, err := runCmd(t, "-dataset", "bogus", "-n", "1"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, _, err := runCmd(t, "-dataset", "github", "-n", "0"); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, _, err := runCmd(t, "-dataset", "github", "-n", "1", "-o", "/no/such/dir/x"); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}
+
+func TestFromSchema(t *testing.T) {
+	dir := t.TempDir()
+	schemaPath := filepath.Join(dir, "s.type")
+	os.WriteFile(schemaPath, []byte("{id: Num, tags: [Str*], name: Str?}"), 0o600)
+	out, _, err := runCmd(t, "-from-schema", schemaPath, "-n", "20", "-seed", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := jsontext.ParseAll([]byte(out))
+	if err != nil {
+		t.Fatalf("witnesses not valid JSON: %v", err)
+	}
+	if len(vs) != 20 {
+		t.Fatalf("got %d witnesses", len(vs))
+	}
+	// Every witness conforms to the schema.
+	schema := types.MustParse("{id: Num, tags: [Str*], name: Str?}")
+	for _, v := range vs {
+		if !types.Member(v, schema) {
+			t.Fatalf("witness %s does not conform", value.JSON(v))
+		}
+	}
+	// Errors.
+	if _, _, err := runCmd(t, "-from-schema", schemaPath, "-dataset", "github"); err == nil {
+		t.Error("both -dataset and -from-schema accepted")
+	}
+	empty := filepath.Join(dir, "empty.type")
+	os.WriteFile(empty, []byte("ε"), 0o600)
+	if _, _, err := runCmd(t, "-from-schema", empty, "-n", "1"); err == nil {
+		t.Error("uninhabited schema accepted")
+	}
+	if _, _, err := runCmd(t, "-from-schema", "/no/such.type", "-n", "1"); err == nil {
+		t.Error("missing schema file accepted")
+	}
+}

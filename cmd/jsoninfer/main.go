@@ -1,0 +1,209 @@
+// Command jsoninfer infers a schema from JSON data.
+//
+// Usage:
+//
+//	jsoninfer [flags] [file ...]
+//
+// With no files, jsoninfer reads from standard input. Inputs hold one or
+// more whitespace-separated JSON values (NDJSON works). Multiple files
+// are treated as partitions: inferred independently and fused, which by
+// associativity equals inferring the concatenation.
+//
+// Flags:
+//
+//	-format   output format: type (default), indent, jsonschema, codec
+//	-stream   constant-memory streaming mode (single worker, no distinct
+//	          type statistics)
+//	-workers  map-phase parallelism (default: number of CPUs)
+//	-stats    print dataset statistics to stderr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	jsi "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "jsoninfer:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("jsoninfer", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	format := fs.String("format", "type", "output format: type, indent, jsonschema, codec")
+	stream := fs.Bool("stream", false, "constant-memory streaming mode")
+	workers := fs.Int("workers", 0, "map-phase parallelism (0 = all CPUs)")
+	showStats := fs.Bool("stats", false, "print dataset statistics to stderr")
+	profileFlag := fs.Bool("profile", false, "print a statistics-annotated schema instead of a plain one")
+	positional := fs.Bool("positional", false, "preserve fixed-length arrays positionally (tuple types)")
+	expand := fs.String("expand", "", "expand a path expression (e.g. $.user.*) against the inferred schema")
+	sample := fs.Int64("sample", -1, "emit an example value conforming to the schema, generated with this seed")
+	abstract := fs.Int("abstract", 0, "abstract dictionary-like records with at least this many keys into {*: T} (0 = off)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := jsi.Options{Workers: *workers, PreserveTupleArrays: *positional}
+
+	if *profileFlag {
+		var p *jsi.Profile
+		var perr error
+		if fs.NArg() == 0 {
+			p, perr = jsi.ProfileReader(stdin, opts)
+		} else {
+			p = nil
+			for _, path := range fs.Args() {
+				f, oerr := os.Open(path)
+				if oerr != nil {
+					return oerr
+				}
+				fp, ferr := jsi.ProfileReader(f, opts)
+				f.Close()
+				if ferr != nil {
+					return fmt.Errorf("%s: %w", path, ferr)
+				}
+				if p == nil {
+					p = fp
+				} else {
+					p.Merge(fp)
+				}
+			}
+		}
+		if perr != nil {
+			return perr
+		}
+		if p == nil {
+			return fmt.Errorf("no input")
+		}
+		fmt.Fprint(stdout, p.String())
+		return nil
+	}
+	var (
+		schema *jsi.Schema
+		stats  jsi.Stats
+		err    error
+	)
+	switch {
+	case fs.NArg() == 0 && *stream:
+		schema, stats, err = jsi.InferReader(stdin, opts)
+	case fs.NArg() == 0:
+		data, rerr := io.ReadAll(stdin)
+		if rerr != nil {
+			return rerr
+		}
+		schema, stats, err = jsi.InferNDJSON(data, opts)
+	case *stream:
+		schema = jsi.EmptySchema()
+		for _, path := range fs.Args() {
+			f, oerr := os.Open(path)
+			if oerr != nil {
+				return oerr
+			}
+			s, st, serr := jsi.InferReader(f, opts)
+			f.Close()
+			if serr != nil {
+				return fmt.Errorf("%s: %w", path, serr)
+			}
+			schema = schema.Fuse(s)
+			stats.Records += st.Records
+			stats.Bytes += st.Bytes
+		}
+	default:
+		// Files are processed with the bounded-memory chunked pipeline
+		// and fused, so arbitrarily large inputs work.
+		schema = jsi.EmptySchema()
+		for _, path := range fs.Args() {
+			s, st, ferr := jsi.InferFile(path, opts)
+			if ferr != nil {
+				return ferr
+			}
+			schema = schema.Fuse(s)
+			if st.Records > 0 {
+				total := stats.Records + st.Records
+				stats.AvgTypeSize = (stats.AvgTypeSize*float64(stats.Records) +
+					st.AvgTypeSize*float64(st.Records)) / float64(total)
+			}
+			stats.Records += st.Records
+			stats.Bytes += st.Bytes
+			if st.MaxTypeSize > stats.MaxTypeSize {
+				stats.MaxTypeSize = st.MaxTypeSize
+			}
+			if stats.MinTypeSize == 0 || (st.Records > 0 && st.MinTypeSize < stats.MinTypeSize) {
+				stats.MinTypeSize = st.MinTypeSize
+			}
+			if st.DistinctTypes > stats.DistinctTypes {
+				stats.DistinctTypes = st.DistinctTypes
+			}
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	if *abstract > 0 {
+		schema = schema.AbstractKeys(*abstract)
+	}
+
+	if *showStats {
+		fmt.Fprintf(stderr, "records=%d bytes=%d distinct-types=%d type-sizes=%d..%d avg=%.1f schema-size=%d\n",
+			stats.Records, stats.Bytes, stats.DistinctTypes,
+			stats.MinTypeSize, stats.MaxTypeSize, stats.AvgTypeSize, schema.Size())
+	}
+
+	if *sample >= 0 {
+		out, ok := schema.Sample(*sample)
+		if !ok {
+			return fmt.Errorf("the schema admits no values")
+		}
+		fmt.Fprintln(stdout, string(out))
+		return nil
+	}
+
+	if *expand != "" {
+		matches, err := schema.ExpandPath(*expand)
+		if err != nil {
+			return err
+		}
+		if len(matches) == 0 {
+			fmt.Fprintf(stdout, "no conforming value can contain %s\n", *expand)
+			return nil
+		}
+		for _, m := range matches {
+			miss := ""
+			if m.CanMiss {
+				miss = "  (may be absent)"
+			}
+			fmt.Fprintf(stdout, "%s : %s%s\n", m.Path, m.Type, miss)
+		}
+		return nil
+	}
+
+	switch *format {
+	case "type":
+		fmt.Fprintln(stdout, schema.String())
+	case "indent":
+		fmt.Fprintln(stdout, schema.Indent())
+	case "jsonschema":
+		out, err := schema.JSONSchema()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, string(out))
+	case "codec":
+		out, err := schema.MarshalJSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, string(out))
+	default:
+		return fmt.Errorf("unknown format %q (want type, indent, jsonschema, or codec)", *format)
+	}
+	return nil
+}

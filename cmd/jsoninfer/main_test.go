@@ -1,0 +1,243 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args []string, stdin string) (string, string, error) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	err := run(args, strings.NewReader(stdin), &out, &errBuf)
+	return out.String(), errBuf.String(), err
+}
+
+func TestStdinTypeFormat(t *testing.T) {
+	out, _, err := runCmd(t, nil, `{"a":1}`+"\n"+`{"a":"s","b":true}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "{a: Num + Str, b: Bool?}" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestStreamMode(t *testing.T) {
+	out, _, err := runCmd(t, []string{"-stream"}, `{"a":1}`+"\n"+`{"b":2}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "{a: Num?, b: Num?}" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestFormats(t *testing.T) {
+	for format, want := range map[string]string{
+		"indent":     "a: Num",
+		"jsonschema": `"type": "object"`,
+		"codec":      `"k":"record"`,
+	} {
+		out, _, err := runCmd(t, []string{"-format", format}, `{"a":1}`)
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("format %s output %q missing %q", format, out, want)
+		}
+	}
+}
+
+func TestUnknownFormat(t *testing.T) {
+	if _, _, err := runCmd(t, []string{"-format", "xml"}, `1`); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestStatsFlag(t *testing.T) {
+	_, errOut, err := runCmd(t, []string{"-stats"}, `{"a":1}`+"\n"+`{"a":2}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut, "records=2") {
+		t.Errorf("stats output = %q", errOut)
+	}
+}
+
+func TestFilesAsPartitions(t *testing.T) {
+	dir := t.TempDir()
+	f1 := filepath.Join(dir, "a.ndjson")
+	f2 := filepath.Join(dir, "b.ndjson")
+	os.WriteFile(f1, []byte(`{"x":1}`+"\n"), 0o600)
+	os.WriteFile(f2, []byte(`{"y":"s"}`+"\n"), 0o600)
+	out, _, err := runCmd(t, []string{f1, f2}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "{x: Num?, y: Str?}" {
+		t.Errorf("output = %q", out)
+	}
+	// Streaming over files gives the same schema.
+	outStream, _, err := runCmd(t, []string{"-stream", f1, f2}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outStream != out {
+		t.Errorf("stream output %q != %q", outStream, out)
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	if _, _, err := runCmd(t, []string{"/nonexistent/x.ndjson"}, ""); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, _, err := runCmd(t, []string{"-stream", "/nonexistent/x.ndjson"}, ""); err == nil {
+		t.Error("missing file accepted in stream mode")
+	}
+}
+
+func TestMalformedInput(t *testing.T) {
+	if _, _, err := runCmd(t, nil, `{"a":`); err == nil {
+		t.Error("malformed input accepted")
+	}
+}
+
+func TestProfileFlag(t *testing.T) {
+	out, _, err := runCmd(t, []string{"-profile"}, `{"a":1}`+"\n"+`{"a":9,"b":"x"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"profile of 2 values", `"b"? ⟨50%⟩`, "1..9"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProfileFlagOverFiles(t *testing.T) {
+	dir := t.TempDir()
+	f1 := filepath.Join(dir, "a.ndjson")
+	f2 := filepath.Join(dir, "b.ndjson")
+	os.WriteFile(f1, []byte(`{"x":1}`+"\n"), 0o600)
+	os.WriteFile(f2, []byte(`{"x":2}`+"\n"), 0o600)
+	out, _, err := runCmd(t, []string{"-profile", f1, f2}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "profile of 2 values") {
+		t.Errorf("output = %q", out)
+	}
+	if _, _, err := runCmd(t, []string{"-profile", "/no/such/file"}, ""); err == nil {
+		t.Error("missing profile file accepted")
+	}
+}
+
+func TestPositionalFlag(t *testing.T) {
+	in := `{"p":[1,2]}` + "\n" + `{"p":[3,4]}`
+	out, _, err := runCmd(t, []string{"-positional"}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "{p: [Num, Num]}" {
+		t.Errorf("positional output = %q", out)
+	}
+	out, _, err = runCmd(t, nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "{p: [Num*]}" {
+		t.Errorf("default output = %q", out)
+	}
+}
+
+func TestExpandFlag(t *testing.T) {
+	in := `{"user":{"id":1,"name":"a"},"tags":[{"k":"x"}]}`
+	out, _, err := runCmd(t, []string{"-expand", "$.user.*"}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "$.user.id : Num") || !strings.Contains(out, "$.user.name : Str") {
+		t.Errorf("expand output = %q", out)
+	}
+	out, _, err = runCmd(t, []string{"-expand", "$.bogus"}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no conforming value") {
+		t.Errorf("dead-path output = %q", out)
+	}
+	if _, _, err := runCmd(t, []string{"-expand", "not-a-path"}, in); err == nil {
+		t.Error("bad expand path accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if _, _, err := runCmd(t, []string{"-definitely-not-a-flag"}, ""); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestSampleFlag(t *testing.T) {
+	in := `{"a":1,"b":"x"}` + "\n" + `{"a":2}`
+	out, _, err := runCmd(t, []string{"-sample", "3"}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"a":`) {
+		t.Errorf("sample output = %q", out)
+	}
+	// Same seed, same sample.
+	out2, _, err := runCmd(t, []string{"-sample", "3"}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != out2 {
+		t.Error("sample not deterministic")
+	}
+}
+
+func TestAbstractFlag(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 5; i++ {
+		sb.WriteString(`{"dict":{`)
+		for k := 0; k < 6; k++ {
+			if k > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, `"P%d%d":{"v":%d}`, i, k, k)
+		}
+		sb.WriteString("}}\n")
+	}
+	out, _, err := runCmd(t, []string{"-abstract", "8"}, sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "{*: {v: Num}}") {
+		t.Errorf("abstracted output = %q", out)
+	}
+	out, _, err = runCmd(t, nil, sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "{*:") {
+		t.Errorf("default output should not abstract: %q", out)
+	}
+}
+
+func TestStatsAverageAcrossFiles(t *testing.T) {
+	dir := t.TempDir()
+	f1 := filepath.Join(dir, "a.ndjson")
+	os.WriteFile(f1, []byte(`{"a":1}`+"\n"+`{"a":2,"b":3}`+"\n"), 0o600)
+	_, errOut, err := runCmd(t, []string{"-stats", f1}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sizes 3 and 5 -> avg 4.0
+	if !strings.Contains(errOut, "avg=4.0") {
+		t.Errorf("stats = %q", errOut)
+	}
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCmd(t *testing.T, args ...string) (string, int, error) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code, err := run(args, &out, &errBuf)
+	return out.String(), code, err
+}
+
+func TestCleanScriptAgainstData(t *testing.T) {
+	dir := t.TempDir()
+	data := write(t, dir, "d.ndjson", `{"id":1,"text":"a"}`+"\n"+`{"id":2,"text":"b"}`+"\n")
+	script := write(t, dir, "q.pig", `
+docs = LOAD d;
+out = FOREACH docs GENERATE $.id AS id;
+STORE out;
+`)
+	out, code, err := runCmd(t, "-data", data, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 || !strings.Contains(out, "ok") {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+}
+
+func TestTypoCaughtAgainstSchemaFile(t *testing.T) {
+	dir := t.TempDir()
+	schema := write(t, dir, "s.type", "{id: Num, text: Str}")
+	script := write(t, dir, "q.pig", `
+docs = LOAD d;
+out = FOREACH docs GENERATE $.idd AS id;
+`)
+	out, code, err := runCmd(t, "-schema", schema, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 || !strings.Contains(out, "dead path") {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+}
+
+func TestRelationsFlag(t *testing.T) {
+	dir := t.TempDir()
+	schema := write(t, dir, "s.type", "{id: Num}")
+	script := write(t, dir, "q.pig", "docs = LOAD d;\nout = FOREACH docs GENERATE $.id AS key;\n")
+	out, code, err := runCmd(t, "-schema", schema, "-relations", script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+	if !strings.Contains(out, "out : {key: Num}") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	script := write(t, dir, "q.pig", "docs = LOAD d;")
+	if _, code, err := runCmd(t, script); err == nil || code != 2 {
+		t.Error("missing -data/-schema accepted")
+	}
+	data := write(t, dir, "d.ndjson", `{"a":1}`)
+	schema := write(t, dir, "s.type", "{a: Num}")
+	if _, code, err := runCmd(t, "-data", data, "-schema", schema, script); err == nil || code != 2 {
+		t.Error("both -data and -schema accepted")
+	}
+	if _, _, err := runCmd(t, "-data", "/no/such", script); err == nil {
+		t.Error("missing data file accepted")
+	}
+	if _, _, err := runCmd(t, "-schema", "/no/such", script); err == nil {
+		t.Error("missing schema file accepted")
+	}
+	if _, _, err := runCmd(t, "-data", data, "/no/such.pig"); err == nil {
+		t.Error("missing script accepted")
+	}
+	bad := write(t, dir, "bad.type", "{a: Bogus}")
+	if _, _, err := runCmd(t, "-schema", bad, script); err == nil {
+		t.Error("bad schema file accepted")
+	}
+	badData := write(t, dir, "bad.ndjson", `{"a":`)
+	if _, _, err := runCmd(t, "-data", badData, script); err == nil {
+		t.Error("bad dataset accepted")
+	}
+}

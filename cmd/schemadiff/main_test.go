@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCmd(t *testing.T, args ...string) (string, int, error) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code, err := run(args, &out, &errBuf)
+	return out.String(), code, err
+}
+
+func TestIdenticalDatasets(t *testing.T) {
+	a := write(t, "a.ndjson", `{"x":1}`+"\n")
+	b := write(t, "b.ndjson", `{"x":2}`+"\n")
+	out, code, err := runCmd(t, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 || !strings.Contains(out, "no differences") {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+}
+
+func TestDatasetsDiffer(t *testing.T) {
+	a := write(t, "a.ndjson", `{"x":1}`+"\n")
+	b := write(t, "b.ndjson", `{"x":"now a string","y":true}`+"\n")
+	out, code, err := runCmd(t, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("code = %d, want 1", code)
+	}
+	if !strings.Contains(out, "type-changed") || !strings.Contains(out, "./y") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestSchemaFiles(t *testing.T) {
+	a := write(t, "a.type", "{a: Num, b: Str}")
+	b := write(t, "b.type", "{a: Num, b: Str?}")
+	out, code, err := runCmd(t, "-schemas", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 || !strings.Contains(out, "made-optional") {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, code, err := runCmd(t, "only-one-arg"); err == nil || code != 2 {
+		t.Error("single argument accepted")
+	}
+	if _, _, err := runCmd(t, "/no/such/a", "/no/such/b"); err == nil {
+		t.Error("missing files accepted")
+	}
+	bad := write(t, "bad.type", "{a: Bogus}")
+	good := write(t, "good.type", "{a: Num}")
+	if _, _, err := runCmd(t, "-schemas", bad, good); err == nil {
+		t.Error("bad schema file accepted")
+	}
+	badData := write(t, "bad.ndjson", `{"x":`)
+	goodData := write(t, "good.ndjson", `{"x":1}`)
+	if _, _, err := runCmd(t, badData, goodData); err == nil {
+		t.Error("malformed dataset accepted")
+	}
+}

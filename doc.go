@@ -1,0 +1,31 @@
+// Package jsoninference infers succinct, precise schemas from massive
+// JSON datasets. It is a from-scratch Go implementation of the approach
+// of Baazizi, Ben Lahmar, Colazzo, Ghelli and Sartiani, "Schema Inference
+// for Massive JSON Datasets" (EDBT 2017).
+//
+// The pipeline has two phases. A Map phase infers one structurally
+// isomorphic type per JSON value. A Reduce phase folds those types with a
+// commutative, associative fusion operator that collapses everything the
+// values share: matching record fields merge recursively (fields missing
+// on one side become optional), arrays of any element mix become
+// repeated types over a union of the element types, and distinct kinds
+// meet in union types. The result is a schema that is complete — every
+// path through any input value is a path through the schema — yet small
+// enough to read.
+//
+// # Quick start
+//
+//	schema, stats, err := jsoninference.InferNDJSON(data, jsoninference.Options{})
+//	if err != nil { ... }
+//	fmt.Println(schema)            // {id: Num, tags: [Str*], name: Str?}
+//	fmt.Println(stats.Records)     // how many values were typed
+//
+// Because fusion is associative and commutative, schemas compose:
+// Fuse(a, b) is the schema of the concatenated datasets, which enables
+// incremental maintenance — infer once, then fuse in the types of new
+// records as they arrive.
+//
+// Schemas render in the paper's type syntax (String), parse back
+// (ParseSchema), export to JSON Schema draft-04 (JSONSchema), and check
+// values for conformance (Contains).
+package jsoninference

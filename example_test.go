@@ -1,0 +1,90 @@
+package jsoninference_test
+
+import (
+	"fmt"
+	"log"
+
+	jsi "repro"
+)
+
+// The schema of a small heterogeneous collection: union types where
+// kinds mix, optional fields where keys come and go, repeated types for
+// arrays.
+func ExampleInferNDJSON() {
+	data := []byte(`{"id": 1, "tags": ["a", "b"]}
+{"id": "x1", "tags": [7], "draft": true}
+`)
+	schema, stats, err := jsi.InferNDJSON(data, jsi.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(schema)
+	fmt.Println(stats.Records, "records,", stats.DistinctTypes, "distinct types")
+	// Output:
+	// {draft: Bool?, id: Num + Str, tags: [(Num + Str)*]}
+	// 2 records, 2 distinct types
+}
+
+// Fusing two schemas gives the schema of the concatenated collections —
+// the incremental-maintenance property of the paper's Section 1.
+func ExampleSchema_Fuse() {
+	yesterday, _, err := jsi.InferNDJSON([]byte(`{"id": 1}`), jsi.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	today, _, err := jsi.InferNDJSON([]byte(`{"id": 2, "flag": true}`), jsi.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(yesterday.Fuse(today))
+	// Output:
+	// {flag: Bool?, id: Num}
+}
+
+// Conformance checking is the semantic membership V ∈ ⟦T⟧ of the
+// paper's Section 4.
+func ExampleSchema_Contains() {
+	schema, err := jsi.ParseSchema("{id: Num, name: Str?}")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, _ := schema.Contains([]byte(`{"id": 7}`))
+	fmt.Println(ok)
+	ok, _ = schema.Contains([]byte(`{"id": "seven"}`))
+	fmt.Println(ok)
+	// Output:
+	// true
+	// false
+}
+
+// Wildcard expansion resolves a path against the schema at compile
+// time: the query-optimization motivation of the paper's Section 1.
+func ExampleSchema_ExpandPath() {
+	schema, err := jsi.ParseSchema("{user: {id: Num, email: Str?}, tags: [Str*]}")
+	if err != nil {
+		log.Fatal(err)
+	}
+	matches, err := schema.ExpandPath("$.user.*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range matches {
+		fmt.Printf("%s : %s (may miss: %v)\n", m.Path, m.Type, m.CanMiss)
+	}
+	// Output:
+	// $.user.email : Str (may miss: true)
+	// $.user.id : Num (may miss: false)
+}
+
+// Key abstraction rewrites dictionary-like records (identifiers as
+// keys) into {*: T} map types.
+func ExampleSchema_AbstractKeys() {
+	schema, err := jsi.ParseSchema(
+		"{P10: {v: Num}, P11: {v: Num}, P12: {v: Num}, P13: {v: Num}}")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(schema.AbstractKeys(4))
+	// Output:
+	// {*: {v: Num}}
+}

@@ -1,0 +1,60 @@
+// Quickstart: infer a schema from a small heterogeneous JSON collection
+// and inspect it in every supported rendering.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	jsi "repro"
+)
+
+// A miniature version of the situations the paper motivates: records
+// from the same source that agree on most structure but not all of it —
+// optional fields, Num/Str mixing, nullable fields, mixed-content
+// arrays.
+const data = `{"id": 1, "name": "amsterdam", "pop": 821752, "tags": ["canal", "bike"]}
+{"id": 2, "name": "venice", "pop": "261905", "tags": ["canal", {"wikidata": "Q641"}]}
+{"id": 3, "name": "lima", "pop": 8852000, "tags": [], "mayor": null}
+{"id": "4b", "name": "tokyo", "pop": 13929286, "tags": ["metro"], "mayor": {"name": "k. yuriko", "since": 2016}}
+`
+
+func main() {
+	schema, stats, err := jsi.InferNDJSON([]byte(data), jsi.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== inferred schema (paper syntax) ==")
+	fmt.Println(schema)
+	fmt.Println()
+	fmt.Println("== indented ==")
+	fmt.Println(schema.Indent())
+	fmt.Println()
+	fmt.Printf("records: %d, distinct per-record types: %d, schema size: %d nodes (record types averaged %.1f)\n",
+		stats.Records, stats.DistinctTypes, schema.Size(), stats.AvgTypeSize)
+	fmt.Println()
+
+	// Every input record conforms to the inferred schema — the paper's
+	// completeness guarantee (Theorem 5.2).
+	ok, err := schema.Contains([]byte(`{"id": 9, "name": "x", "pop": 1, "tags": ["t"]}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("conforming record accepted: %v\n", ok)
+	ok, err = schema.Contains([]byte(`{"name": "missing mandatory id and pop"}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("non-conforming record accepted: %v\n", ok)
+	fmt.Println()
+
+	fmt.Println("== JSON Schema (draft-04) export ==")
+	doc, err := schema.JSONSchema()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(doc))
+}

@@ -1,0 +1,66 @@
+// Streaming: maintain a schema incrementally over a live feed, the
+// incremental-evolution scenario of Sections 1 and 7 of the paper. A
+// Twitter-style stream arrives in batches; each batch's schema is fused
+// into the running schema — never re-inferring the past — and the result
+// provably equals a from-scratch batch inference (associativity).
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+
+	jsi "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	gen, err := dataset.New("twitter")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const batches = 8
+	const perBatch = 120
+	stream := dataset.NDJSON(gen, batches*perBatch, 2017)
+
+	// Cut the stream into arrival batches (line-aligned).
+	var cuts []int
+	count := 0
+	for i, b := range stream {
+		if b == '\n' {
+			count++
+			if count%perBatch == 0 {
+				cuts = append(cuts, i+1)
+			}
+		}
+	}
+
+	running := jsi.EmptySchema()
+	start := 0
+	fmt.Println("batch  records  schema-size  schema-growth")
+	prevSize := 0
+	for i, cut := range cuts {
+		batch := stream[start:cut]
+		start = cut
+		schema, stats, err := jsi.InferNDJSON(batch, jsi.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The O(schema) incremental step: fuse the new batch's schema in.
+		running = running.Fuse(schema)
+		growth := running.Size() - prevSize
+		prevSize = running.Size()
+		fmt.Printf("%5d  %7d  %11d  %+d\n", i+1, stats.Records, running.Size(), growth)
+	}
+
+	// Cross-check: the incrementally maintained schema equals batch
+	// inference over the whole stream.
+	batchSchema, _, err := jsi.InferNDJSON(stream, jsi.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nincremental == batch inference: %v\n", running.Equal(batchSchema))
+	fmt.Println("\nfinal schema:")
+	fmt.Println(running.Indent())
+}

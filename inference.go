@@ -1,0 +1,255 @@
+package jsoninference
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/fusion"
+	"repro/internal/infer"
+	"repro/internal/jsontext"
+	"repro/internal/mapreduce"
+	"repro/internal/stats"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// Options tune the inference pipeline.
+type Options struct {
+	// Workers bounds the parallelism of the in-memory pipeline; zero
+	// means one worker per CPU.
+	Workers int
+	// MaxDepth bounds value nesting (protection against depth bombs);
+	// zero means the parser default (512).
+	MaxDepth int
+	// PreserveTupleArrays enables the positional array extension
+	// (Section 7 of the paper): arrays that always have the same small
+	// length keep one type per position instead of collapsing to [T*].
+	PreserveTupleArrays bool
+	// MaxTupleLen bounds the preserved tuple length (default 4); only
+	// meaningful with PreserveTupleArrays.
+	MaxTupleLen int
+	// ChunkBytes is the chunk size of InferFile's streaming partitioner;
+	// zero means 4 MiB.
+	ChunkBytes int
+}
+
+// fusionOptions translates the Options into a fusion policy.
+func (o Options) fusionOptions() fusion.Options {
+	return fusion.Options{PreserveTuples: o.PreserveTupleArrays, MaxTupleLen: o.MaxTupleLen}
+}
+
+// Stats summarizes an inference run — the same measurements the paper
+// reports per dataset in Tables 2-5.
+type Stats struct {
+	// Records is the number of JSON values typed.
+	Records int64
+	// Bytes is the number of input bytes consumed.
+	Bytes int64
+	// DistinctTypes is the number of distinct types the Map phase
+	// produced.
+	DistinctTypes int
+	// MinTypeSize, MaxTypeSize and AvgTypeSize describe the sizes of the
+	// per-value types; compare with Schema.Size to judge succinctness.
+	MinTypeSize, MaxTypeSize int
+	AvgTypeSize              float64
+}
+
+// InferValue infers the schema of a single Go value of the shapes
+// encoding/json produces (nil, bool, float64, string, map[string]any,
+// []any, plus other Go numeric types).
+func InferValue(v any) (*Schema, error) {
+	cv, err := value.FromGo(v)
+	if err != nil {
+		return nil, fmt.Errorf("jsoninference: %w", err)
+	}
+	return newSchema(fusion.Simplify(infer.Infer(cv))), nil
+}
+
+// InferJSON infers the schema of exactly one JSON value.
+func InferJSON(data []byte) (*Schema, error) {
+	v, err := jsontext.ParseBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("jsoninference: %w", err)
+	}
+	return newSchema(fusion.Simplify(infer.Infer(v))), nil
+}
+
+// InferNDJSON infers the schema of a collection of whitespace-separated
+// JSON values (one per line or concatenated), running the Map phase in
+// parallel and fusing the results.
+func InferNDJSON(data []byte, opts Options) (*Schema, Stats, error) {
+	res, err := experiments.RunPipelineOverNDJSON(data, opts.experimentsConfig())
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("jsoninference: %w", err)
+	}
+	return newSchema(res.Fused), pipelineStats(res), nil
+}
+
+// InferReader infers the schema of a stream of JSON values with constant
+// memory: values are typed and fused one at a time, never materialized
+// as a whole. Use this for inputs too large to hold in memory; use
+// InferNDJSON when the bytes are available for parallel processing.
+func InferReader(r io.Reader, opts Options) (*Schema, Stats, error) {
+	dec := infer.NewDecoder(r, jsontext.Options{MaxDepth: opts.MaxDepth})
+	fz := opts.fusionOptions()
+	acc := types.Type(types.Empty)
+	var st Stats
+	for {
+		t, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("jsoninference: record %d: %w", st.Records+1, err)
+		}
+		size := t.Size()
+		if st.Records == 0 || size < st.MinTypeSize {
+			st.MinTypeSize = size
+		}
+		if size > st.MaxTypeSize {
+			st.MaxTypeSize = size
+		}
+		st.AvgTypeSize += float64(size)
+		st.Records++
+		acc = fz.Fuse(acc, fz.Simplify(t))
+	}
+	if st.Records > 0 {
+		st.AvgTypeSize /= float64(st.Records)
+	}
+	st.Bytes = dec.Offset()
+	// Streaming keeps constant memory, so it cannot count distinct
+	// types; DistinctTypes stays zero here.
+	return newSchema(acc), st, nil
+}
+
+// InferFile infers the schema of one NDJSON file with bounded memory:
+// the file streams through line-aligned chunks (a few MB each) that are
+// inferred and fused by parallel workers while the file is still being
+// read. Use this for files too large for InferNDJSON's in-memory
+// partitioning; the resulting schema is identical (associativity +
+// commutativity), which the tests verify.
+func InferFile(path string, opts Options) (*Schema, Stats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("jsoninference: %w", err)
+	}
+	defer f.Close()
+
+	type chunkOut struct {
+		sum   *stats.Summary
+		fused types.Type
+	}
+	fz := opts.fusionOptions()
+	src := make(chan []byte)
+	var readErr error
+	go func() {
+		defer close(src)
+		readErr = jsontext.ChunkLines(f, opts.ChunkBytes, func(chunk []byte) error {
+			src <- chunk
+			return nil
+		})
+	}()
+	mapFn := func(_ context.Context, chunk []byte) (chunkOut, error) {
+		ts, err := infer.InferAll(chunk)
+		if err != nil {
+			return chunkOut{}, err
+		}
+		sum := &stats.Summary{}
+		acc := types.Type(types.Empty)
+		for _, t := range ts {
+			sum.Add(t)
+			acc = fz.Fuse(acc, fz.Simplify(t))
+		}
+		return chunkOut{sum: sum, fused: acc}, nil
+	}
+	combine := func(a, b chunkOut) chunkOut {
+		if a.sum == nil {
+			return b
+		}
+		if b.sum == nil {
+			return a
+		}
+		a.sum.Merge(b.sum)
+		return chunkOut{sum: a.sum, fused: fz.Fuse(a.fused, b.fused)}
+	}
+	out, _, err := mapreduce.Run(context.Background(), src, mapFn, combine, chunkOut{}, mapreduce.Config{Workers: opts.Workers})
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("jsoninference: %s: %w", path, err)
+	}
+	if readErr != nil {
+		return nil, Stats{}, fmt.Errorf("jsoninference: reading %s: %w", path, readErr)
+	}
+	st := Stats{}
+	schema := EmptySchema()
+	if out.sum != nil {
+		st = Stats{
+			Records:       out.sum.Count(),
+			DistinctTypes: out.sum.Distinct(),
+			MinTypeSize:   out.sum.MinSize(),
+			MaxTypeSize:   out.sum.MaxSize(),
+			AvgTypeSize:   out.sum.AvgSize(),
+		}
+		schema = newSchema(out.fused)
+	}
+	if info, err := f.Stat(); err == nil {
+		st.Bytes = info.Size()
+	}
+	return schema, st, nil
+}
+
+// InferFiles infers one schema across several NDJSON files, treating
+// each file as a partition: files are processed independently and their
+// schemas fused, the strategy of Section 6.2's partitioning experiment.
+func InferFiles(paths []string, opts Options) (*Schema, Stats, error) {
+	acc := EmptySchema()
+	var total Stats
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("jsoninference: %w", err)
+		}
+		schema, st, err := InferNDJSON(data, opts)
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("jsoninference: %s: %w", path, err)
+		}
+		acc = acc.Fuse(schema)
+		total = mergeStats(total, st)
+	}
+	return acc, total, nil
+}
+
+func pipelineStats(res experiments.PipelineResult) Stats {
+	return Stats{
+		Records:       res.Summary.Count(),
+		Bytes:         res.Bytes,
+		DistinctTypes: res.Summary.Distinct(),
+		MinTypeSize:   res.Summary.MinSize(),
+		MaxTypeSize:   res.Summary.MaxSize(),
+		AvgTypeSize:   res.Summary.AvgSize(),
+	}
+}
+
+func mergeStats(a, b Stats) Stats {
+	out := a
+	if a.Records == 0 || (b.Records > 0 && b.MinTypeSize < a.MinTypeSize) {
+		out.MinTypeSize = b.MinTypeSize
+	}
+	if b.MaxTypeSize > a.MaxTypeSize {
+		out.MaxTypeSize = b.MaxTypeSize
+	}
+	if a.Records+b.Records > 0 {
+		out.AvgTypeSize = (a.AvgTypeSize*float64(a.Records) + b.AvgTypeSize*float64(b.Records)) /
+			float64(a.Records+b.Records)
+	}
+	out.Records = a.Records + b.Records
+	out.Bytes = a.Bytes + b.Bytes
+	// Distinct counts cannot be merged without the underlying sets; keep
+	// the per-file maximum as a lower bound.
+	if b.DistinctTypes > out.DistinctTypes {
+		out.DistinctTypes = b.DistinctTypes
+	}
+	return out
+}

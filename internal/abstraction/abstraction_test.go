@@ -1,0 +1,219 @@
+package abstraction
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/fusion"
+	"repro/internal/infer"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// dictRecord builds a record type with n identical-shaped fields, the
+// ids-as-keys pattern.
+func dictRecord(n int) types.Type {
+	fields := make([]types.Field, n)
+	for i := range fields {
+		fields[i] = types.Field{
+			Key:      fmt.Sprintf("P%d", i),
+			Type:     types.MustParse("{language: Str, v: Num}"),
+			Optional: i%2 == 0,
+		}
+	}
+	return types.MustRecord(fields...)
+}
+
+func TestAbstractDictionaryRecord(t *testing.T) {
+	in := dictRecord(30)
+	got := Abstract(in, Options{})
+	want := types.MustParse("{*: {language: Str, v: Num}}")
+	if !types.Equal(got, want) {
+		t.Fatalf("Abstract = %s, want %s", got, want)
+	}
+	if got.Size() >= in.Size()/5 {
+		t.Errorf("abstraction barely shrank the type: %d -> %d", in.Size(), got.Size())
+	}
+}
+
+func TestAbstractLeavesSmallRecordsAlone(t *testing.T) {
+	in := dictRecord(5)
+	if got := Abstract(in, Options{}); !types.Equal(got, in) {
+		t.Errorf("5-field record abstracted: %s", got)
+	}
+	// A lower threshold abstracts it.
+	if got := Abstract(in, Options{MinKeys: 3}); !strings.HasPrefix(got.String(), "{*:") {
+		t.Errorf("MinKeys 3 did not abstract: %s", got)
+	}
+}
+
+func TestAbstractLeavesHeterogeneousRecordsAlone(t *testing.T) {
+	// 20 fields with genuinely different shapes — mixed kinds and
+	// structurally unlike records: fusing them grows well past the
+	// average field size, so the field names are information worth
+	// keeping.
+	shapes := []string{
+		"Num", "Str", "Bool", "Null", "[Num*]", "[Str, Str]",
+		"{x: Num, y: Num}", "{name: Str}", "[{deep: {deeper: Str}}*]", "Num + Str",
+	}
+	fields := make([]types.Field, 20)
+	for i := range fields {
+		fields[i] = types.Field{
+			Key:  fmt.Sprintf("f%02d", i),
+			Type: types.MustParse(shapes[i%len(shapes)]),
+		}
+	}
+	in := types.MustRecord(fields...)
+	if got := Abstract(in, Options{}); !types.Equal(got, in) {
+		t.Errorf("heterogeneous record was abstracted: %s", got)
+	}
+}
+
+func TestAbstractRecursesEverywhere(t *testing.T) {
+	in := types.MustParse(fmt.Sprintf("{claims: %s, id: Str} + [%s*]",
+		dictRecord(20), dictRecord(20)))
+	got := Abstract(in, Options{})
+	if !strings.Contains(got.String(), "{*:") {
+		t.Fatalf("nothing abstracted in %s", got)
+	}
+	if strings.Count(got.String(), "{*:") != 2 {
+		t.Errorf("want both nested dictionaries abstracted: %s", got)
+	}
+}
+
+func TestAbstractIsSoundWidening(t *testing.T) {
+	// t <: Abstract(t): checked with the sound subtype relation.
+	f := func(seed uint64) bool {
+		r := newRng(seed)
+		acc := types.Type(types.Empty)
+		for i := 0; i < 3; i++ {
+			acc = fusion.Fuse(acc, fusion.Simplify(infer.Infer(randomWideValue(r))))
+		}
+		abstracted := Abstract(acc, Options{MinKeys: 4})
+		if !types.Subtype(acc, abstracted) {
+			t.Logf("t = %s\nabstract = %s", acc, abstracted)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAbstractPreservesMembership(t *testing.T) {
+	// Values of the concrete schema stay members of the abstracted one.
+	g, _ := dataset.New("wikidata")
+	vs := dataset.Values(g, 120, 5)
+	acc := types.Type(types.Empty)
+	for _, v := range vs {
+		acc = fusion.Fuse(acc, fusion.Simplify(infer.Infer(v)))
+	}
+	abstracted := Abstract(acc, Options{})
+	for _, v := range vs {
+		if !types.Member(v, abstracted) {
+			t.Fatalf("record rejected by abstracted schema: %s", value.JSON(v)[:80])
+		}
+	}
+	if !types.IsNormal(abstracted) {
+		t.Error("abstracted schema is not normal")
+	}
+}
+
+func TestAbstractFixesWikidata(t *testing.T) {
+	// The Table 4 pathology and its repair: the concrete fused type is
+	// huge and grows; the abstracted one is small and stable.
+	fusedAt := func(n int) (concrete, abstracted types.Type) {
+		g, _ := dataset.New("wikidata")
+		acc := types.Type(types.Empty)
+		for _, v := range dataset.Values(g, n, 13) {
+			acc = fusion.Fuse(acc, fusion.Simplify(infer.Infer(v)))
+		}
+		return acc, Abstract(acc, Options{})
+	}
+	c200, a200 := fusedAt(200)
+	c400, a400 := fusedAt(400)
+	if c400.Size() <= c200.Size() {
+		t.Fatalf("expected concrete wikidata schema to grow: %d -> %d", c200.Size(), c400.Size())
+	}
+	if a200.Size() > c200.Size()/4 {
+		t.Errorf("abstraction saved too little: %d -> %d", c200.Size(), a200.Size())
+	}
+	// The abstracted schema is (nearly) scale-stable: it may tick up as
+	// rare datatypes appear, but must not track the key space.
+	growthConcrete := c400.Size() - c200.Size()
+	growthAbstract := a400.Size() - a200.Size()
+	if growthAbstract*10 > growthConcrete {
+		t.Errorf("abstracted schema still grows with the key space: %+d vs %+d", growthAbstract, growthConcrete)
+	}
+}
+
+func TestAbstractedSchemaKeepsFusing(t *testing.T) {
+	// Incremental maintenance survives abstraction: fusing new records
+	// into an abstracted schema refines the map's element type instead
+	// of re-growing keys.
+	g, _ := dataset.New("wikidata")
+	vs := dataset.Values(g, 300, 17)
+	acc := types.Type(types.Empty)
+	for _, v := range vs[:150] {
+		acc = fusion.Fuse(acc, fusion.Simplify(infer.Infer(v)))
+	}
+	abstracted := Abstract(acc, Options{})
+	sizeBefore := abstracted.Size()
+	for _, v := range vs[150:] {
+		abstracted = fusion.Fuse(abstracted, fusion.Simplify(infer.Infer(v)))
+	}
+	if grown := abstracted.Size() - sizeBefore; grown > sizeBefore/2 {
+		t.Errorf("abstracted schema re-grew under fusion: %d -> %d", sizeBefore, abstracted.Size())
+	}
+	// And the full record set still conforms.
+	for _, v := range vs {
+		if !types.Member(v, abstracted) {
+			t.Fatal("record rejected after incremental fusion into abstracted schema")
+		}
+	}
+}
+
+// --- helpers ---
+
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng { return &rng{s: seed | 1} }
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// randomWideValue generates records with many keys so abstraction has
+// something to chew on.
+func randomWideValue(r *rng) value.Value {
+	n := 2 + r.intn(8)
+	fields := make([]value.Field, 0, n)
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("K%d", r.intn(40))
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		var v value.Value
+		switch r.intn(3) {
+		case 0:
+			v = value.Num(float64(r.intn(50)))
+		case 1:
+			v = value.Obj("language", value.Str("en"), "value", value.Str("x"))
+		default:
+			v = value.Arr(value.Num(1), value.Str("s"))
+		}
+		fields = append(fields, value.Field{Key: k, Value: v})
+	}
+	return value.MustRecord(fields...)
+}

@@ -1,0 +1,206 @@
+// Package baseline implements the comparison point Section 6.1 of the
+// paper uses to motivate union types: Spark SQL-style schema inference
+// with type coercion. For the array [12, "high", {"state": "ok"}] Spark
+// "uses type coercion yielding an array of type String only", whereas
+// the paper's language types it as [(Num + Str + {state: Str})*].
+//
+// The baseline inferencer produces types in the same AST so sizes and
+// precision can be compared directly. Its merge rules mirror Spark's:
+//
+//   - null merges into any type (nullability is implicit, so the Null
+//     information is dropped);
+//   - conflicting basic types coerce to Str;
+//   - records merge field-wise, but optionality is NOT tracked: a field
+//     missing on one side keeps its type with no marker (Spark marks
+//     everything nullable);
+//   - arrays merge element types with coercion, so mixed-content arrays
+//     collapse to [Str*];
+//   - any record/array kind conflict coerces to Str.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// Infer produces the coercion-based type of a single value.
+func Infer(v value.Value) types.Type {
+	switch vv := v.(type) {
+	case value.Null:
+		return types.Null // dropped on first merge with anything else
+	case value.Bool:
+		return types.Bool
+	case value.Num:
+		return types.Num
+	case value.Str:
+		return types.Str
+	case *value.Record:
+		vf := vv.Fields()
+		fields := make([]types.Field, len(vf))
+		for i, f := range vf {
+			fields[i] = types.Field{Key: f.Key, Type: Infer(f.Value)}
+		}
+		return types.MustRecord(fields...)
+	case value.Array:
+		// Arrays have a single element type from the start: elements
+		// merge with coercion.
+		elem := types.Type(types.Empty)
+		for _, e := range vv {
+			elem = Merge(elem, Infer(e))
+		}
+		return types.MustRepeated(elem)
+	default:
+		panic(fmt.Sprintf("baseline: unknown value %T", v))
+	}
+}
+
+// Merge combines two baseline types with Spark-style coercion. It is
+// commutative and associative (coercion to Str is a join in a flat
+// lattice), which the tests verify.
+func Merge(a, b types.Type) types.Type {
+	// ε is the identity (empty array element slot).
+	if _, ok := a.(types.EmptyType); ok {
+		return b
+	}
+	if _, ok := b.(types.EmptyType); ok {
+		return a
+	}
+	// Nullability is implicit: null merges away.
+	if types.Equal(a, types.Null) {
+		return b
+	}
+	if types.Equal(b, types.Null) {
+		return a
+	}
+	ka, _ := types.KindOf(a)
+	kb, _ := types.KindOf(b)
+	if ka != kb {
+		return types.Str // cross-kind conflicts coerce to string
+	}
+	switch ka {
+	case types.KindNull, types.KindBool, types.KindNum, types.KindStr:
+		if types.Equal(a, b) {
+			return a
+		}
+		return types.Str
+	case types.KindRecord:
+		ra, rb := a.(*types.Record), b.(*types.Record)
+		fa, fb := ra.Fields(), rb.Fields()
+		out := make([]types.Field, 0, len(fa)+len(fb))
+		i, j := 0, 0
+		for i < len(fa) && j < len(fb) {
+			switch {
+			case fa[i].Key == fb[j].Key:
+				out = append(out, types.Field{Key: fa[i].Key, Type: Merge(fa[i].Type, fb[j].Type)})
+				i++
+				j++
+			case fa[i].Key < fb[j].Key:
+				out = append(out, fa[i]) // no optional marker: information lost
+				i++
+			default:
+				out = append(out, fb[j])
+				j++
+			}
+		}
+		out = append(out, fa[i:]...)
+		out = append(out, fb[j:]...)
+		return types.MustRecord(out...)
+	default: // array kind; baseline only ever builds Repeated arrays
+		ea := a.(*types.Repeated).Elem()
+		eb := b.(*types.Repeated).Elem()
+		return types.MustRepeated(Merge(ea, eb))
+	}
+}
+
+// InferAll folds Merge over the baseline types of all values.
+func InferAll(vs []value.Value) types.Type {
+	acc := types.Type(types.Empty)
+	for _, v := range vs {
+		acc = Merge(acc, Infer(v))
+	}
+	return acc
+}
+
+// Report quantifies what coercion lost relative to the paper's fusion,
+// comparing the two schemas of the same dataset.
+type Report struct {
+	// FusionSize and BaselineSize are the two schema sizes.
+	FusionSize, BaselineSize int
+	// OptionalFields counts fields the fusion schema knows are optional;
+	// the baseline cannot distinguish optional from mandatory at all.
+	OptionalFields int
+	// UnionNodes counts union types in the fusion schema — distinctions
+	// (Num+Str, Null+record, ...) that coercion collapses.
+	UnionNodes int
+	// CoercedLeaves counts positions where the baseline says Str but the
+	// fusion schema holds something more precise than a plain Str.
+	CoercedLeaves int
+	// DroppedNullability counts positions where fusion records an
+	// explicit Null alternative the baseline silently dropped.
+	DroppedNullability int
+}
+
+// Compare computes the precision report for a fused schema against the
+// baseline schema of the same data. The walk aligns the two schemas
+// structurally (records by key, arrays by element).
+func Compare(fused, base types.Type) Report {
+	rep := Report{FusionSize: fused.Size(), BaselineSize: base.Size()}
+	compareWalk(fused, base, &rep)
+	countFusionInfo(fused, &rep)
+	return rep
+}
+
+// compareWalk tallies coercion losses for structurally aligned
+// positions.
+func compareWalk(fused, base types.Type, rep *Report) {
+	for _, alt := range types.Addends(fused) {
+		if types.Equal(alt, types.Null) && !types.Equal(base, types.Null) {
+			rep.DroppedNullability++
+		}
+	}
+	if types.Equal(base, types.Str) && !types.Equal(fused, types.Str) {
+		rep.CoercedLeaves++
+		return
+	}
+	switch bt := base.(type) {
+	case *types.Record:
+		// Find the record alternative of the fused type, if any.
+		for _, alt := range types.Addends(fused) {
+			ft, ok := alt.(*types.Record)
+			if !ok {
+				continue
+			}
+			for _, bf := range bt.Fields() {
+				if ff, ok := ft.Get(bf.Key); ok {
+					compareWalk(ff.Type, bf.Type, rep)
+				}
+			}
+		}
+	case *types.Repeated:
+		for _, alt := range types.Addends(fused) {
+			if fr, ok := alt.(*types.Repeated); ok {
+				compareWalk(fr.Elem(), bt.Elem(), rep)
+			}
+		}
+	}
+}
+
+// countFusionInfo tallies the information-bearing constructs of the
+// fused schema.
+func countFusionInfo(fused types.Type, rep *Report) {
+	types.Walk(fused, func(t types.Type) bool {
+		switch tt := t.(type) {
+		case *types.Union:
+			rep.UnionNodes++
+		case *types.Record:
+			for _, f := range tt.Fields() {
+				if f.Optional {
+					rep.OptionalFields++
+				}
+			}
+		}
+		return true
+	})
+}

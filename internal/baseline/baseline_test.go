@@ -1,0 +1,180 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/fusion"
+	"repro/internal/infer"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+func TestInferScalars(t *testing.T) {
+	cases := []struct {
+		v    value.Value
+		want types.Type
+	}{
+		{value.Null{}, types.Null},
+		{value.Bool(true), types.Bool},
+		{value.Num(1), types.Num},
+		{value.Str("s"), types.Str},
+	}
+	for _, c := range cases {
+		if got := Infer(c.v); !types.Equal(got, c.want) {
+			t.Errorf("Infer(%s) = %s, want %s", value.JSON(c.v), got, c.want)
+		}
+	}
+}
+
+func TestSection61SparkArrayExample(t *testing.T) {
+	// The paper's motivating comparison: for a mixed array, Spark's type
+	// coercion yields an array of String only, while fusion keeps the
+	// union [(Num + Str + {l: Str})*].
+	arr := value.Arr(value.Num(12), value.Str("high"), value.Obj("l", value.Str("ok")))
+	got := Infer(arr)
+	if !types.Equal(got, types.MustParse("[Str*]")) {
+		t.Errorf("baseline = %s, want [Str*]", got)
+	}
+	ours := fusion.Simplify(infer.Infer(arr))
+	want := types.MustParse("[(Num + Str + {l: Str})*]")
+	if !types.Equal(ours, want) {
+		t.Errorf("fusion = %s, want %s", ours, want)
+	}
+}
+
+func TestMergeCoercionRules(t *testing.T) {
+	cases := []struct {
+		a, b, want string
+	}{
+		{"Num", "Num", "Num"},
+		{"Num", "Str", "Str"},
+		{"Bool", "Num", "Str"},
+		{"Null", "Num", "Num"}, // nullability dropped
+		{"Null", "Null", "Null"},
+		{"{a: Num}", "Str", "Str"}, // kind conflict -> Str
+		{"{a: Num}", "[Num*]", "Str"},
+		{"{a: Num}", "{b: Str}", "{a: Num, b: Str}"}, // no optionality
+		{"{a: Num}", "{a: Str}", "{a: Str}"},
+		{"[Num*]", "[Str*]", "[Str*]"},
+		{"[Num*]", "[Num*]", "[Num*]"},
+		{"ε", "Num", "Num"},
+	}
+	for _, c := range cases {
+		got := Merge(types.MustParse(c.a), types.MustParse(c.b))
+		if !types.Equal(got, types.MustParse(c.want)) {
+			t.Errorf("Merge(%s, %s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestInferNestedArrays(t *testing.T) {
+	v := value.Arr(value.Arr(value.Num(1)), value.Arr(value.Str("x")))
+	if got := Infer(v); !types.Equal(got, types.MustParse("[[Str*]*]")) {
+		t.Errorf("nested = %s", got)
+	}
+	if got := Infer(value.Array{}); !types.Equal(got, types.MustParse("[ε*]")) {
+		t.Errorf("empty array = %s", got)
+	}
+}
+
+func TestMergeCommutativeAssociative(t *testing.T) {
+	gen, _ := dataset.New("mixed")
+	vs := dataset.Values(gen, 60, 5)
+	f := func(i, j, k uint8) bool {
+		a := Infer(vs[int(i)%len(vs)])
+		b := Infer(vs[int(j)%len(vs)])
+		c := Infer(vs[int(k)%len(vs)])
+		if !types.Equal(Merge(a, b), Merge(b, a)) {
+			return false
+		}
+		return types.Equal(Merge(Merge(a, b), c), Merge(a, Merge(b, c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBaselineLosesOptionality(t *testing.T) {
+	vs := []value.Value{
+		value.Obj("always", value.Num(1)),
+		value.Obj("always", value.Num(2), "sometimes", value.Str("x")),
+	}
+	base := InferAll(vs)
+	// The baseline schema cannot say that "sometimes" is optional.
+	if strings.Contains(base.String(), "?") {
+		t.Errorf("baseline tracked optionality: %s", base)
+	}
+	fused := fusion.FuseAll([]types.Type{
+		fusion.Simplify(infer.Infer(vs[0])),
+		fusion.Simplify(infer.Infer(vs[1])),
+	})
+	if !strings.Contains(fused.String(), "sometimes: Str?") {
+		t.Errorf("fusion lost optionality: %s", fused)
+	}
+}
+
+func TestCompareReport(t *testing.T) {
+	vs := []value.Value{
+		value.Obj("n", value.Num(1), "mixed", value.Num(1), "nullable", value.Str("a")),
+		value.Obj("n", value.Num(2), "mixed", value.Str("two"), "nullable", value.Null{}, "opt", value.Bool(true)),
+	}
+	var fused types.Type = types.Empty
+	for _, v := range vs {
+		fused = fusion.Fuse(fused, fusion.Simplify(infer.Infer(v)))
+	}
+	base := InferAll(vs)
+	rep := Compare(fused, base)
+	if rep.OptionalFields != 1 {
+		t.Errorf("OptionalFields = %d, want 1", rep.OptionalFields)
+	}
+	if rep.UnionNodes < 2 {
+		t.Errorf("UnionNodes = %d, want >= 2 (mixed, nullable)", rep.UnionNodes)
+	}
+	if rep.CoercedLeaves < 1 {
+		t.Errorf("CoercedLeaves = %d, want >= 1 (mixed Num+Str vs Str)", rep.CoercedLeaves)
+	}
+	if rep.DroppedNullability < 1 {
+		t.Errorf("DroppedNullability = %d, want >= 1", rep.DroppedNullability)
+	}
+	if rep.FusionSize != fused.Size() || rep.BaselineSize != base.Size() {
+		t.Error("sizes not recorded")
+	}
+}
+
+func TestBaselineSoundOnSources(t *testing.T) {
+	// Baseline schemas are NOT sound in the membership sense (coerced
+	// leaves reject the original values); document this with a concrete
+	// case: the mixed array's Num element is not a member of [Str*].
+	arr := value.Arr(value.Num(12), value.Str("high"))
+	base := Infer(arr)
+	if types.Member(arr, base) {
+		t.Errorf("expected coerced schema %s to reject %s (coercion is lossy)", base, value.JSON(arr))
+	}
+	// Our fusion schema is sound by Theorem 5.2.
+	ours := fusion.Simplify(infer.Infer(arr))
+	if !types.Member(arr, ours) {
+		t.Errorf("fusion schema %s rejected its own value", ours)
+	}
+}
+
+func TestCompareOnNYTimes(t *testing.T) {
+	g, _ := dataset.New("nytimes")
+	vs := dataset.Values(g, 150, 7)
+	var fused types.Type = types.Empty
+	for _, v := range vs {
+		fused = fusion.Fuse(fused, fusion.Simplify(infer.Infer(v)))
+	}
+	base := InferAll(vs)
+	rep := Compare(fused, base)
+	// NYTimes mixes Num and Str on the same fields and has many optional
+	// fields; the baseline must show losses on both axes.
+	if rep.CoercedLeaves == 0 {
+		t.Error("no coerced leaves found on NYTimes")
+	}
+	if rep.OptionalFields == 0 {
+		t.Error("no optional fields found on NYTimes")
+	}
+}

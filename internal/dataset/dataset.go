@@ -1,0 +1,201 @@
+// Package dataset provides deterministic synthetic generators standing in
+// for the four real datasets of the paper's evaluation (Section 6.1):
+// GitHub pull-request metadata, the Twitter stream, Wikidata entities,
+// and NYTimes article metadata. Each generator reproduces the structural
+// properties the paper describes and credits for its results:
+//
+//   - GitHub: homogeneous records, nesting <= 4, no arrays, variation
+//     only in lower levels (optional/nullable fields);
+//   - Twitter: five top-level shapes sharing common parts, arrays of
+//     records, nesting <= 3, ~3% delete records mixed into tweets;
+//   - Wikidata: fixed logical schema but user/property identifiers
+//     encoded as record keys (the "poor design" that defeats key-based
+//     fusion), nesting <= 6;
+//   - NYTimes: fixed first level with varying lower levels (headline
+//     sub-fields, Num/Str mixing on the same field, mixed-content
+//     arrays), nesting <= 7, long text fields.
+//
+// Generators are deterministic functions of (seed, index) streams: the
+// first k records of an n-record dataset equal the k-record dataset, so
+// the 1K/10K/100K/1M sub-datasets of Table 1 are prefixes of each other,
+// just as the paper's sub-datasets are subsets of the originals.
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"repro/internal/value"
+)
+
+// Generator produces the records of one synthetic dataset.
+type Generator interface {
+	// Name is the registry key ("github", "twitter", ...).
+	Name() string
+	// Generate returns the next record, drawing randomness from r.
+	// Records must be generated in sequence from a fresh source to get
+	// the documented determinism.
+	Generate(r *rand.Rand) value.Value
+}
+
+// registry of built-in generators, in the paper's presentation order.
+var builders = map[string]func() Generator{
+	"github":   func() Generator { return newGitHub() },
+	"twitter":  func() Generator { return newTwitter() },
+	"wikidata": func() Generator { return newWikidata() },
+	"nytimes":  func() Generator { return newNYTimes() },
+	"mixed":    func() Generator { return newMixed() },
+}
+
+// paperOrder lists the four paper datasets in evaluation order; "mixed"
+// is this repo's extra stress generator.
+var paperOrder = []string{"github", "twitter", "wikidata", "nytimes"}
+
+// New returns a fresh generator by name.
+func New(name string) (Generator, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("dataset: unknown dataset %q (have %v)", name, Names())
+	}
+	return b(), nil
+}
+
+// Names lists the available generator names, paper datasets first.
+func Names() []string {
+	out := append([]string(nil), paperOrder...)
+	var extra []string
+	for name := range builders {
+		found := false
+		for _, p := range paperOrder {
+			if p == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}
+
+// PaperNames lists the four datasets of the paper's evaluation.
+func PaperNames() []string { return append([]string(nil), paperOrder...) }
+
+// Values generates the first n records of the dataset with the given
+// seed.
+func Values(g Generator, n int, seed int64) []value.Value {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]value.Value, n)
+	for i := range out {
+		out[i] = g.Generate(r)
+	}
+	return out
+}
+
+// WriteNDJSON writes n records as newline-delimited JSON and returns the
+// number of bytes written.
+func WriteNDJSON(w io.Writer, g Generator, n int, seed int64) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	r := rand.New(rand.NewSource(seed))
+	var total int64
+	buf := make([]byte, 0, 16<<10)
+	for i := 0; i < n; i++ {
+		buf = value.AppendJSON(buf[:0], g.Generate(r))
+		buf = append(buf, '\n')
+		m, err := bw.Write(buf)
+		total += int64(m)
+		if err != nil {
+			return total, fmt.Errorf("dataset: writing record %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return total, fmt.Errorf("dataset: flushing output: %w", err)
+	}
+	return total, nil
+}
+
+// NDJSON renders the first n records as an in-memory NDJSON buffer.
+func NDJSON(g Generator, n int, seed int64) []byte {
+	r := rand.New(rand.NewSource(seed))
+	var buf []byte
+	for i := 0; i < n; i++ {
+		buf = value.AppendJSON(buf, g.Generate(r))
+		buf = append(buf, '\n')
+	}
+	return buf
+}
+
+// --- shared helpers used by the concrete generators ---
+
+// pick returns true with probability p.
+func pick(r *rand.Rand, p float64) bool { return r.Float64() < p }
+
+// oneOf picks a uniform element of choices.
+func oneOf(r *rand.Rand, choices []string) string { return choices[r.Intn(len(choices))] }
+
+var wordList = []string{
+	"data", "schema", "type", "record", "array", "union", "fusion", "spark",
+	"massive", "json", "query", "index", "store", "value", "field", "merge",
+	"reduce", "map", "cluster", "node", "shard", "stream", "batch", "graph",
+	"model", "paris", "york", "tokyo", "berlin", "lima", "cairo", "delhi",
+}
+
+// words builds a space-separated pseudo-sentence of n words.
+func words(r *rand.Rand, n int) string {
+	if n <= 0 {
+		return ""
+	}
+	buf := make([]byte, 0, n*7)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, wordList[r.Intn(len(wordList))]...)
+	}
+	return string(buf)
+}
+
+// hexID builds an n-character lowercase hex identifier.
+func hexID(r *rand.Rand, n int) string {
+	const digits = "0123456789abcdef"
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = digits[r.Intn(16)]
+	}
+	return string(buf)
+}
+
+// dateStr builds a plausible ISO-ish timestamp string.
+func dateStr(r *rand.Rand) string {
+	return fmt.Sprintf("201%d-%02d-%02dT%02d:%02d:%02dZ",
+		r.Intn(7), 1+r.Intn(12), 1+r.Intn(28), r.Intn(24), r.Intn(60), r.Intn(60))
+}
+
+// f marks a field literal in generator code.
+func f(key string, v value.Value) value.Field { return value.Field{Key: key, Value: v} }
+
+// obj builds a record from fields, panicking on duplicate keys (generator
+// bugs should fail loudly in tests).
+func obj(fields ...value.Field) *value.Record { return value.MustRecord(fields...) }
+
+// nullOr returns v with probability 1-pNull and null otherwise.
+func nullOr(r *rand.Rand, pNull float64, v value.Value) value.Value {
+	if pick(r, pNull) {
+		return value.Null{}
+	}
+	return v
+}
+
+// nullIf returns null when cond holds and v otherwise; used to correlate
+// the nullability of several fields through one shared draw.
+func nullIf(cond bool, v value.Value) value.Value {
+	if cond {
+		return value.Null{}
+	}
+	return v
+}

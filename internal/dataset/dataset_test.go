@@ -1,0 +1,389 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/fusion"
+	"repro/internal/infer"
+	"repro/internal/jsontext"
+	"repro/internal/stats"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+func TestNewKnownAndUnknown(t *testing.T) {
+	for _, name := range Names() {
+		g, err := New(name)
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		if g.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, g.Name())
+		}
+	}
+	if _, err := New("bogus"); err == nil {
+		t.Error("New(bogus) should fail")
+	}
+}
+
+func TestNamesOrder(t *testing.T) {
+	names := Names()
+	want := []string{"github", "twitter", "wikidata", "nytimes", "mixed"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+	if len(PaperNames()) != 4 {
+		t.Fatalf("PaperNames = %v", PaperNames())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		g1, _ := New(name)
+		g2, _ := New(name)
+		b1 := NDJSON(g1, 50, 42)
+		b2 := NDJSON(g2, 50, 42)
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("%s: same seed produced different bytes", name)
+		}
+		g3, _ := New(name)
+		b3 := NDJSON(g3, 50, 43)
+		if bytes.Equal(b1, b3) {
+			t.Errorf("%s: different seeds produced identical bytes", name)
+		}
+	}
+}
+
+func TestPrefixProperty(t *testing.T) {
+	// The 1K dataset must be a prefix of the 10K dataset (the paper's
+	// sub-datasets are subsets of the originals).
+	for _, name := range Names() {
+		g1, _ := New(name)
+		g2, _ := New(name)
+		small := NDJSON(g1, 20, 7)
+		big := NDJSON(g2, 60, 7)
+		if !bytes.HasPrefix(big, small) {
+			t.Errorf("%s: smaller dataset is not a prefix of the larger one", name)
+		}
+	}
+}
+
+func TestGeneratedJSONIsValid(t *testing.T) {
+	for _, name := range Names() {
+		g, _ := New(name)
+		data := NDJSON(g, 200, 1)
+		vs, err := jsontext.ParseAll(data)
+		if err != nil {
+			t.Errorf("%s: generated NDJSON does not parse: %v", name, err)
+			continue
+		}
+		if len(vs) != 200 {
+			t.Errorf("%s: parsed %d values, want 200", name, len(vs))
+		}
+	}
+}
+
+func TestValuesMatchesNDJSON(t *testing.T) {
+	for _, name := range Names() {
+		g1, _ := New(name)
+		g2, _ := New(name)
+		vs := Values(g1, 30, 5)
+		parsed, err := jsontext.ParseAll(NDJSON(g2, 30, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vs {
+			if !value.Equal(vs[i], parsed[i]) {
+				t.Errorf("%s record %d: Values and NDJSON disagree", name, i)
+				break
+			}
+		}
+	}
+}
+
+func TestWriteNDJSONCountsBytes(t *testing.T) {
+	g, _ := New("twitter")
+	var buf bytes.Buffer
+	n, err := WriteNDJSON(&buf, g, 25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	if lines := jsontext.CountLines(buf.Bytes()); lines != 25 {
+		t.Errorf("wrote %d lines, want 25", lines)
+	}
+}
+
+func TestGitHubStructuralProperties(t *testing.T) {
+	g, _ := New("github")
+	vs := Values(g, 300, 11)
+	for i, v := range vs {
+		rec, ok := v.(*value.Record)
+		if !ok {
+			t.Fatalf("record %d is not a JSON object", i)
+		}
+		// Same top-level schema for all records (paper: homogeneous).
+		for _, key := range []string{"id", "url", "state", "title", "user", "head", "base", "_links"} {
+			if !rec.Has(key) {
+				t.Fatalf("record %d lacks top-level key %q", i, key)
+			}
+		}
+		// No arrays anywhere (paper: "Arrays are not used at all").
+		var findArray func(value.Value) bool
+		findArray = func(v value.Value) bool {
+			switch vv := v.(type) {
+			case value.Array:
+				return true
+			case *value.Record:
+				for _, f := range vv.Fields() {
+					if findArray(f.Value) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		if findArray(v) {
+			t.Fatalf("record %d contains an array", i)
+		}
+		// Nesting depth never greater than four (record levels).
+		if d := recordDepth(v); d > 4 {
+			t.Fatalf("record %d has record depth %d > 4", i, d)
+		}
+	}
+}
+
+// recordDepth counts nesting levels of records only, the way the paper
+// reports dataset nesting (arrays are transparent).
+func recordDepth(v value.Value) int {
+	switch vv := v.(type) {
+	case *value.Record:
+		max := 0
+		for _, f := range vv.Fields() {
+			if d := recordDepth(f.Value); d > max {
+				max = d
+			}
+		}
+		return 1 + max
+	case value.Array:
+		max := 0
+		for _, e := range vv {
+			if d := recordDepth(e); d > max {
+				max = d
+			}
+		}
+		return max
+	default:
+		return 0
+	}
+}
+
+func TestTwitterStructuralProperties(t *testing.T) {
+	g, _ := New("twitter")
+	vs := Values(g, 2000, 13)
+	shapes := map[string]int{}
+	deletes := 0
+	hasArrayOfRecords := false
+	for _, v := range vs {
+		rec := v.(*value.Record)
+		switch {
+		case rec.Has("delete"):
+			shapes["delete"]++
+			deletes++
+		case rec.Has("scrub_geo"):
+			shapes["scrub_geo"]++
+		case rec.Has("limit"):
+			shapes["limit"]++
+		case rec.Has("status_withheld"):
+			shapes["status_withheld"]++
+		default:
+			shapes["tweet"]++
+			ents := rec.Get("entities").(*value.Record)
+			if hts, ok := ents.Get("hashtags").(value.Array); ok && len(hts) > 0 {
+				if _, ok := hts[0].(*value.Record); ok {
+					hasArrayOfRecords = true
+				}
+			}
+		}
+	}
+	// Five different top-level schemas (paper).
+	if len(shapes) != 5 {
+		t.Errorf("top-level shapes = %v, want 5 kinds", shapes)
+	}
+	// Deletes are a tiny fraction (~3%).
+	frac := float64(deletes) / float64(len(vs))
+	if frac < 0.01 || frac > 0.08 {
+		t.Errorf("delete fraction = %.3f, want around 0.03", frac)
+	}
+	if !hasArrayOfRecords {
+		t.Error("no arrays of records found (hashtag entities)")
+	}
+}
+
+func TestWikidataStructuralProperties(t *testing.T) {
+	g, _ := New("wikidata")
+	vs := Values(g, 300, 17)
+	keyVariety := map[string]bool{}
+	for i, v := range vs {
+		rec := v.(*value.Record)
+		claims, ok := rec.Get("claims").(*value.Record)
+		if !ok {
+			t.Fatalf("record %d has no claims object", i)
+		}
+		// Ids-as-keys: claim keys are property identifiers.
+		for _, k := range claims.Keys() {
+			if !strings.HasPrefix(k, "P") {
+				t.Fatalf("claim key %q is not a property id", k)
+			}
+			keyVariety[k] = true
+		}
+		if d := recordDepth(v); d > 6 {
+			t.Fatalf("record %d has record depth %d > 6", i, d)
+		}
+	}
+	// Many distinct property keys across records: the fusion-defeating
+	// pattern. 300 records should surface well over 30 distinct ids.
+	if len(keyVariety) < 30 {
+		t.Errorf("only %d distinct property keys", len(keyVariety))
+	}
+}
+
+func TestNYTimesStructuralProperties(t *testing.T) {
+	g, _ := New("nytimes")
+	vs := Values(g, 800, 19)
+	pageKinds := map[value.Kind]bool{}
+	headlineShapes := map[string]bool{}
+	bylineKinds := map[value.Kind]bool{}
+	for i, v := range vs {
+		rec := v.(*value.Record)
+		// Fixed first level.
+		for _, key := range []string{"web_url", "snippet", "lead_paragraph", "headline", "keywords", "pub_date", "byline", "_id", "word_count"} {
+			if !rec.Has(key) {
+				t.Fatalf("record %d lacks first-level key %q", i, key)
+			}
+		}
+		pageKinds[rec.Get("print_page").Kind()] = true
+		hl := rec.Get("headline").(*value.Record)
+		headlineShapes[strings.Join(hl.Keys(), ",")] = true
+		bylineKinds[rec.Get("byline").Kind()] = true
+	}
+	// The Num+Str mixing the paper describes.
+	if !pageKinds[value.KindNum] || !pageKinds[value.KindStr] {
+		t.Errorf("print_page kinds = %v, want both Num and Str", pageKinds)
+	}
+	// Varying headline sub-fields.
+	if len(headlineShapes) < 3 {
+		t.Errorf("headline shapes = %v, want >= 3 variants", headlineShapes)
+	}
+	// Byline varies across Null, Str and Record.
+	if len(bylineKinds) < 3 {
+		t.Errorf("byline kinds = %v, want 3", bylineKinds)
+	}
+}
+
+func TestRelativeRecordSizes(t *testing.T) {
+	// Byte-size ordering mirrors the paper's Table 1 per-record sizes:
+	// NYTimes and GitHub records are large, Twitter records are small.
+	size := map[string]int{}
+	for _, name := range PaperNames() {
+		g, _ := New(name)
+		size[name] = len(NDJSON(g, 200, 23)) / 200
+	}
+	if !(size["nytimes"] > size["wikidata"] && size["github"] > size["wikidata"] && size["wikidata"] > size["twitter"]/1) {
+		// twitter records are the smallest of the four on average
+		t.Errorf("per-record sizes = %v, want nytimes,github > wikidata > twitter-ish ordering", size)
+	}
+	if size["twitter"] > size["github"] {
+		t.Errorf("twitter records (%d B) should be smaller than github (%d B)", size["twitter"], size["github"])
+	}
+}
+
+func TestFusedShapesPerDataset(t *testing.T) {
+	// The qualitative Table 2-5 behaviour at small scale.
+	fuse := func(name string, n int) (distinct int, avg float64, fused types.Type) {
+		g, _ := New(name)
+		var sum stats.Summary
+		acc := types.Type(types.Empty)
+		for _, v := range Values(g, n, 29) {
+			tt := infer.Infer(v)
+			sum.Add(tt)
+			acc = fusion.Fuse(acc, fusion.Simplify(tt))
+		}
+		return sum.Distinct(), sum.AvgSize(), acc
+	}
+
+	// GitHub: succinct fusion, ratio fused/avg below ~1.4.
+	distinct, avg, fused := fuse("github", 400)
+	if ratio := float64(fused.Size()) / avg; ratio > 1.5 {
+		t.Errorf("github fused/avg = %.2f, want <= ~1.4", ratio)
+	}
+	if distinct < 5 {
+		t.Errorf("github distinct types = %d, implausibly few", distinct)
+	}
+
+	// Twitter: ratio below ~4.
+	_, avg, fused = fuse("twitter", 400)
+	if ratio := float64(fused.Size()) / avg; ratio > 4.5 {
+		t.Errorf("twitter fused/avg = %.2f, want <= ~4", ratio)
+	}
+
+	// Wikidata: fused type much bigger than the average input (ids as
+	// keys defeat fusion).
+	_, avg, fused = fuse("wikidata", 400)
+	if ratio := float64(fused.Size()) / avg; ratio < 3 {
+		t.Errorf("wikidata fused/avg = %.2f, want large (>3)", ratio)
+	}
+
+	// NYTimes: fused type far below the max input type.
+	g, _ := New("nytimes")
+	var sum stats.Summary
+	acc := types.Type(types.Empty)
+	for _, v := range Values(g, 400, 29) {
+		tt := infer.Infer(v)
+		sum.Add(tt)
+		acc = fusion.Fuse(acc, fusion.Simplify(tt))
+	}
+	if acc.Size() >= sum.MaxSize() {
+		t.Errorf("nytimes fused size %d should be below max inferred size %d", acc.Size(), sum.MaxSize())
+	}
+}
+
+func TestDistinctTypesGrowWithScale(t *testing.T) {
+	for _, name := range []string{"github", "twitter", "wikidata", "nytimes"} {
+		count := func(n int) int {
+			g, _ := New(name)
+			var sum stats.Summary
+			for _, v := range Values(g, n, 31) {
+				sum.Add(infer.Infer(v))
+			}
+			return sum.Distinct()
+		}
+		small, big := count(100), count(1000)
+		if big <= small {
+			t.Errorf("%s: distinct types did not grow with scale (%d -> %d)", name, small, big)
+		}
+	}
+}
+
+func TestWikidataDistinctNearCount(t *testing.T) {
+	// Nearly every Wikidata record has its own type (paper: 999 distinct
+	// types in 1K records).
+	g, _ := New("wikidata")
+	var sum stats.Summary
+	for _, v := range Values(g, 500, 37) {
+		sum.Add(infer.Infer(v))
+	}
+	if frac := float64(sum.Distinct()) / 500; frac < 0.9 {
+		t.Errorf("wikidata distinct fraction = %.2f, want >= 0.9", frac)
+	}
+}

@@ -1,0 +1,168 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/value"
+)
+
+// gitHub generates pull-request metadata records in the style of the
+// paper's GitHub dataset: one million objects "sharing the same top-level
+// schema and only varying in their lower-level schema", records only
+// (no arrays), nesting depth never greater than four.
+//
+// Lower-level variation comes from nullable fields (Null vs Str) and
+// optional sub-records with a spread of probabilities, so the number of
+// distinct inferred types grows with the number of records while the
+// fused type stays essentially fixed — the Table 2 shape.
+type gitHub struct{}
+
+func newGitHub() Generator { return gitHub{} }
+
+// Name returns "github".
+func (gitHub) Name() string { return "github" }
+
+// Generate produces one pull-request record. Nullable fields are
+// correlated the way real pull requests are — closed_at and merged_at
+// follow the state, the head and base repositories of one pull request
+// have the same metadata completeness — so the number of distinct
+// type combinations stays moderate at small scales and keeps growing as
+// rare combinations surface, the Table 2 trend.
+func (gitHub) Generate(r *rand.Rand) value.Value {
+	num := r.Intn(9000)
+	closed := pick(r, 0.5)
+	merged := closed && pick(r, 0.6)
+	state := "open"
+	if closed {
+		state = "closed"
+	}
+	closedAt := value.Value(value.Null{})
+	if closed {
+		closedAt = value.Str(dateStr(r))
+	}
+	mergedAt := value.Value(value.Null{})
+	if merged {
+		mergedAt = value.Str(dateStr(r))
+	}
+	// One completeness level drives the nullable repo metadata of both
+	// branches (same underlying repository for most pull requests).
+	repoQ := r.Float64()
+	fields := []value.Field{
+		f("id", value.Num(float64(100000+r.Intn(10000000)))),
+		f("url", value.Str(fmt.Sprintf("https://api.github.example/repos/%s/%s/pulls/%d", words(r, 1), words(r, 1), num))),
+		f("html_url", value.Str(fmt.Sprintf("https://github.example/%s/%s/pull/%d", words(r, 1), words(r, 1), num))),
+		f("diff_url", value.Str(fmt.Sprintf("https://github.example/%s/%s/pull/%d.diff", words(r, 1), words(r, 1), num))),
+		f("number", value.Num(float64(num))),
+		f("state", value.Str(state)),
+		f("locked", value.Bool(pick(r, 0.02))),
+		f("title", value.Str(words(r, 4+r.Intn(8)))),
+		f("body", nullOr(r, 0.08, value.Str(words(r, 20+r.Intn(60))))),
+		f("created_at", value.Str(dateStr(r))),
+		f("updated_at", value.Str(dateStr(r))),
+		f("closed_at", closedAt),
+		f("merged_at", mergedAt),
+		f("merge_commit_sha", nullOr(r, 0.05, value.Str(hexID(r, 40)))),
+		f("user", ghUser(r)),
+		f("assignee", ghAssignee(r)),
+		f("milestone", ghMilestone(r)),
+		f("head", ghBranch(r, repoQ)),
+		f("base", ghBranch(r, repoQ)),
+		f("_links", obj(
+			f("self", obj(f("href", value.Str(fmt.Sprintf("https://api.github.example/pulls/%d", num))))),
+			f("html", obj(f("href", value.Str(fmt.Sprintf("https://github.example/pull/%d", num))))),
+			f("comments", obj(f("href", value.Str(fmt.Sprintf("https://api.github.example/pulls/%d/comments", num))))),
+		)),
+	}
+	if pick(r, 0.003) {
+		fields = append(fields, f("active_lock_reason", value.Str(oneOf(r, []string{"too heated", "resolved", "spam"}))))
+	}
+	if pick(r, 0.0008) {
+		fields = append(fields, f("auto_merge", obj(
+			f("merge_method", value.Str("squash")),
+			f("commit_title", value.Str(words(r, 5))),
+		)))
+	}
+	return obj(fields...)
+}
+
+// ghUser builds a user sub-record (depth 2).
+func ghUser(r *rand.Rand) value.Value {
+	login := words(r, 1) + hexID(r, 4)
+	return obj(
+		f("login", value.Str(login)),
+		f("id", value.Num(float64(1000+r.Intn(4000000)))),
+		f("avatar_url", value.Str("https://avatars.github.example/u/"+hexID(r, 8))),
+		f("gravatar_id", value.Str("")),
+		f("url", value.Str("https://api.github.example/users/"+login)),
+		f("type", value.Str(oneOf(r, []string{"User", "Organization"}))),
+		f("site_admin", value.Bool(pick(r, 0.01))),
+	)
+}
+
+// ghAssignee is null for most pull requests.
+func ghAssignee(r *rand.Rand) value.Value {
+	if pick(r, 0.06) {
+		return ghUser(r)
+	}
+	return value.Null{}
+}
+
+// ghMilestone is present on a small fraction of pull requests; when
+// present, its due_on field is itself nullable, giving second-order
+// variation.
+func ghMilestone(r *rand.Rand) value.Value {
+	if !pick(r, 0.03) {
+		return value.Null{}
+	}
+	return obj(
+		f("id", value.Num(float64(r.Intn(100000)))),
+		f("number", value.Num(float64(r.Intn(200)))),
+		f("title", value.Str(words(r, 2))),
+		f("description", nullOr(r, 0.3, value.Str(words(r, 8)))),
+		f("state", value.Str(oneOf(r, []string{"open", "closed"}))),
+		f("due_on", nullOr(r, 0.5, value.Str(dateStr(r)))),
+		f("created_at", value.Str(dateStr(r))),
+	)
+}
+
+// ghBranch builds the head/base sub-record: branch -> repo -> owner is
+// the deepest chain (depth 4 from the top-level record).
+func ghBranch(r *rand.Rand, repoQ float64) value.Value {
+	return obj(
+		f("label", value.Str(words(r, 1)+":"+words(r, 1))),
+		f("ref", value.Str(words(r, 1))),
+		f("sha", value.Str(hexID(r, 40))),
+		f("user", ghUser(r)),
+		f("repo", ghRepo(r, repoQ)),
+	)
+}
+
+// ghRepo builds a repository record; a small fraction are null (deleted
+// forks), and several of its fields are nullable with distinct rates.
+func ghRepo(r *rand.Rand, repoQ float64) value.Value {
+	if pick(r, 0.01) {
+		return value.Null{} // deleted fork
+	}
+	name := words(r, 1) + "-" + words(r, 1)
+	return obj(
+		f("id", value.Num(float64(r.Intn(9000000)))),
+		f("name", value.Str(name)),
+		f("full_name", value.Str(words(r, 1)+"/"+name)),
+		f("owner", ghUser(r)),
+		f("private", value.Bool(pick(r, 0.1))),
+		f("description", nullIf(repoQ < 0.12, value.Str(words(r, 6+r.Intn(10))))),
+		f("fork", value.Bool(pick(r, 0.4))),
+		f("homepage", nullIf(repoQ < 0.30, value.Str("https://"+words(r, 1)+".example"))),
+		f("language", nullIf(repoQ < 0.08, value.Str(oneOf(r, []string{"Go", "Scala", "Rust", "Python", "C"})))),
+		f("mirror_url", nullOr(r, 0.998, value.Str("git://mirror.example/"+name))),
+		f("size", value.Num(float64(r.Intn(500000)))),
+		f("stargazers_count", value.Num(float64(r.Intn(80000)))),
+		f("watchers_count", value.Num(float64(r.Intn(80000)))),
+		f("forks_count", value.Num(float64(r.Intn(20000)))),
+		f("open_issues_count", value.Num(float64(r.Intn(2000)))),
+		f("default_branch", value.Str(oneOf(r, []string{"master", "main", "develop"}))),
+		f("created_at", value.Str(dateStr(r))),
+		f("pushed_at", nullOr(r, 0.02, value.Str(dateStr(r)))),
+	)
+}

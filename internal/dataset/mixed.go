@@ -1,0 +1,60 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"repro/internal/value"
+)
+
+// mixed is a stress generator that is not in the paper: it mixes all six
+// value kinds at the top level and nests aggressively, to exercise every
+// branch of the fusion operator (basic/record/array kind collisions,
+// mixed-content arrays, empty arrays and records). Used by integration
+// tests and the ablation benches.
+type mixed struct{}
+
+func newMixed() Generator { return mixed{} }
+
+// Name returns "mixed".
+func (mixed) Name() string { return "mixed" }
+
+// Generate produces a top-level value of any kind.
+func (mixed) Generate(r *rand.Rand) value.Value {
+	return mixedValue(r, 3)
+}
+
+func mixedValue(r *rand.Rand, depth int) value.Value {
+	max := 8
+	if depth <= 0 {
+		max = 5
+	}
+	switch r.Intn(max) {
+	case 0:
+		return value.Null{}
+	case 1:
+		return value.Bool(pick(r, 0.5))
+	case 2:
+		return value.Num(float64(r.Intn(1000)) / 8)
+	case 3, 4:
+		return value.Str(words(r, r.Intn(5)))
+	case 5:
+		keys := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+		var fields []value.Field
+		seen := map[string]bool{}
+		for i, n := 0, r.Intn(5); i < n; i++ {
+			k := keys[r.Intn(len(keys))]
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			fields = append(fields, f(k, mixedValue(r, depth-1)))
+		}
+		return obj(fields...)
+	default:
+		out := value.Array{}
+		for i, n := 0, r.Intn(5); i < n; i++ {
+			out = append(out, mixedValue(r, depth-1))
+		}
+		return out
+	}
+}

@@ -1,0 +1,199 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/value"
+)
+
+// nyTimes generates article metadata records in the style of the paper's
+// NYTimes dataset: "the fields in the first level are fixed while the
+// lower level fields may vary", long text content (headline, lead
+// paragraph, snippet), deep nesting (up to 7 levels), and the dataset's
+// signature irregularities — headline sub-fields that differ between
+// records, and the same field carrying Num in some records and Str in
+// others. Because variation is confined below a fixed first level,
+// fusion compacts this dataset best of the four (Table 5).
+type nyTimes struct{}
+
+func newNYTimes() Generator { return nyTimes{} }
+
+// Name returns "nytimes".
+func (nyTimes) Name() string { return "nytimes" }
+
+// Generate produces one article record. A per-record "legacy API era"
+// flag drives the Num-vs-Str representation of the numeric fields and
+// the legacy markers, matching how the real dataset mixes records from
+// two API generations (fields are consistent within a record).
+func (nyTimes) Generate(r *rand.Rand) value.Value {
+	legacy := pick(r, 0.3)
+	return obj(
+		f("web_url", value.Str("https://www.nytimes.example/"+dateStr(r)[:10]+"/"+words(r, 1)+"/"+hexID(r, 8)+".html")),
+		f("snippet", value.Str(words(r, 25+r.Intn(20)))),
+		f("lead_paragraph", value.Str(words(r, 60+r.Intn(120)))),
+		f("abstract", value.Str(words(r, 15+r.Intn(25)))),
+		f("print_page", numOrStr(legacy, r.Intn(40)+1)), // Num in some records, Str in others
+		f("blog", nyBlog(legacy)),
+		f("source", value.Str(oneOf(r, []string{"The New York Times", "AP", "Reuters", "International Herald Tribune"}))),
+		f("multimedia", nyMultimedia(r, legacy)),
+		f("headline", nyHeadline(r)),
+		f("keywords", nyKeywords(r, legacy)),
+		f("pub_date", value.Str(dateStr(r))),
+		f("document_type", value.Str(oneOf(r, []string{"article", "blogpost", "multimedia"}))),
+		f("news_desk", nullOr(r, 0.2, value.Str(oneOf(r, []string{"Foreign", "Sports", "Culture", "Business", "Metro"})))),
+		f("section_name", nullOr(r, 0.25, value.Str(oneOf(r, []string{"World", "Sports", "Arts", "Business Day", "N.Y. / Region"})))),
+		f("subsection_name", nullOr(r, 0.6, value.Str(oneOf(r, []string{"Politics", "Europe", "Asia Pacific", "Pro Football"})))),
+		f("byline", nyByline(r)),
+		f("type_of_material", value.Str(oneOf(r, []string{"News", "Blog", "Review", "Op-Ed", "Obituary"}))),
+		f("_id", value.Str(hexID(r, 24))),
+		f("word_count", numOrStr(legacy, 150+r.Intn(2000))), // the Num+Str pattern again
+		f("uri", value.Str("nyt://article/"+hexID(r, 16))),
+	)
+}
+
+// numOrStr renders n as a Str in legacy-era records and as a Num in
+// current ones — the "use of Num and Str types for the same field" the
+// paper observed in this dataset.
+func numOrStr(legacy bool, n int) value.Value {
+	if legacy {
+		return value.Str(fmt.Sprintf("%d", n))
+	}
+	return value.Num(float64(n))
+}
+
+// nyBlog is an empty record for most articles and an empty array for
+// legacy ones: the same field with record kind and array kind.
+func nyBlog(legacy bool) value.Value {
+	if legacy {
+		return value.Array{}
+	}
+	return value.MustRecord()
+}
+
+// nyHeadline picks one of the paper's observed sub-field combinations:
+// {main, content_kicker, kicker} in some records, {main, print_headline}
+// in others, plus intermediate shapes.
+func nyHeadline(r *rand.Rand) value.Value {
+	main := value.Str(words(r, 5+r.Intn(7)))
+	switch r.Intn(4) {
+	case 0:
+		return obj(f("main", main), f("print_headline", value.Str(words(r, 5))))
+	case 1:
+		return obj(
+			f("main", main),
+			f("kicker", value.Str(words(r, 2))),
+			f("content_kicker", value.Str(words(r, 3))),
+		)
+	case 2:
+		return obj(f("main", main), f("kicker", value.Str(words(r, 2))))
+	default:
+		return obj(f("main", main))
+	}
+}
+
+// nyMultimedia is a mixed-content array: most elements are asset
+// records, but legacy records contribute bare URL strings, exercising
+// the union-typed array bodies of Section 2.
+func nyMultimedia(r *rand.Rand, legacy bool) value.Value {
+	out := value.Array{}
+	withCaption := pick(r, 0.3)
+	for i, n := 0, []int{0, 1, 1, 3}[r.Intn(4)]; i < n; i++ {
+		if legacy && pick(r, 0.2) {
+			out = append(out, value.Str("https://static.nytimes.example/"+hexID(r, 10)+".jpg"))
+			continue
+		}
+		fields := []value.Field{
+			f("url", value.Str("images/"+dateStr(r)[:10]+"/"+hexID(r, 6)+".jpg")),
+			f("format", value.Str(oneOf(r, []string{"Standard Thumbnail", "thumbLarge", "articleInline"}))),
+			f("height", value.Num(float64(75+r.Intn(500)))),
+			f("width", value.Num(float64(75+r.Intn(600)))),
+			f("type", value.Str("image")),
+			f("subtype", value.Str(oneOf(r, []string{"photo", "thumbnail", "xlarge"}))),
+		}
+		if withCaption {
+			fields = append(fields, f("caption", value.Str(words(r, 10))))
+		}
+		if legacy && pick(r, 0.5) {
+			fields = append(fields, f("legacy", obj(
+				f("xlarge", value.Str("images/legacy/"+hexID(r, 6)+".jpg")),
+				f("xlargewidth", value.Num(float64(600))),
+				f("xlargeheight", value.Num(float64(400))),
+			)))
+		}
+		out = append(out, obj(fields...))
+	}
+	return out
+}
+
+// nyKeywords is an array of {rank, name, value} records whose rank field
+// mixes Num and Str across records and whose length varies widely.
+func nyKeywords(r *rand.Rand, legacy bool) value.Value {
+	out := value.Array{}
+	for i, n := 0, r.Intn(7); i < n; i++ {
+		fields := []value.Field{
+			f("rank", numOrStr(legacy, i+1)),
+			f("name", value.Str(oneOf(r, []string{"subject", "glocations", "persons", "organizations"}))),
+			f("value", value.Str(words(r, 1+r.Intn(3)))),
+		}
+		if legacy {
+			fields = append(fields, f("is_major", value.Str(oneOf(r, []string{"Y", "N"}))))
+		}
+		out = append(out, obj(fields...))
+	}
+	return out
+}
+
+// nyByline is the deepest structure: Null for wire stories, a bare Str
+// in legacy records, or a record with a person list whose members can
+// nest affiliation records several levels down.
+func nyByline(r *rand.Rand) value.Value {
+	switch x := r.Float64(); {
+	case x < 0.15:
+		return value.Null{}
+	case x < 0.25:
+		return value.Str("By " + words(r, 2))
+	default:
+		people := value.Array{}
+		withMiddle := pick(r, 0.4)
+		withAffiliation := pick(r, 0.15)
+		for i, n := 0, 1+r.Intn(3); i < n; i++ {
+			people = append(people, nyPerson(r, withMiddle, withAffiliation))
+		}
+		fields := []value.Field{
+			f("original", value.Str("By "+words(r, 2))),
+			f("person", people),
+		}
+		if pick(r, 0.1) {
+			fields = append(fields, f("organization", value.Str(oneOf(r, []string{"THE ASSOCIATED PRESS", "REUTERS"}))))
+		}
+		return obj(fields...)
+	}
+}
+
+// nyPerson builds one byline person; the optional affiliation chain
+// provides the deepest nesting in the dataset.
+func nyPerson(r *rand.Rand, withMiddle, withAffiliation bool) value.Value {
+	fields := []value.Field{
+		f("firstname", value.Str(words(r, 1))),
+		f("lastname", value.Str(words(r, 1))),
+		f("rank", value.Num(float64(1+r.Intn(3)))),
+		f("role", value.Str("reported")),
+	}
+	if withMiddle {
+		fields = append(fields, f("middlename", value.Str(words(r, 1))))
+	}
+	if withAffiliation {
+		fields = append(fields, f("affiliation", obj(
+			f("name", value.Str(words(r, 2))),
+			f("parent", obj(
+				f("name", value.Str(words(r, 2))),
+				f("division", obj(
+					f("code", value.Str(hexID(r, 4))),
+					f("label", value.Str(words(r, 1))),
+				)),
+			)),
+		)))
+	}
+	return obj(fields...)
+}

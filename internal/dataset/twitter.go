@@ -1,0 +1,256 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/value"
+)
+
+// twitter generates records in the style of the paper's Twitter stream
+// dataset: a majority of tweet entities plus "a tiny fraction" of delete
+// records, "five different top-level schemas sharing common parts",
+// arrays of records, and a maximum nesting level of 3 for the common
+// shapes. Arrays of entity records with varying lengths make the number
+// of distinct tuple types grow quickly, which the fusion phase collapses
+// into repeated types — the behaviour Table 3 measures.
+type twitter struct{}
+
+func newTwitter() Generator { return twitter{} }
+
+// Name returns "twitter".
+func (twitter) Name() string { return "twitter" }
+
+// Generate produces one stream record: tweet (~93.5%), delete (~3%),
+// retweet-of-status wrapper, scrub_geo, limit, or status withheld notice.
+func (twitter) Generate(r *rand.Rand) value.Value {
+	switch x := r.Float64(); {
+	case x < 0.03:
+		return twDelete(r)
+	case x < 0.05:
+		return twScrubGeo(r)
+	case x < 0.06:
+		return twLimit(r)
+	case x < 0.065:
+		return twWithheld(r)
+	default:
+		return twTweet(r, true)
+	}
+}
+
+// twTweet builds a tweet entity; allowNested controls whether this tweet
+// may embed a retweeted_status (the embedded one may not, bounding the
+// nesting depth like the real API does).
+func twTweet(r *rand.Rand, allowNested bool) value.Value {
+	id := 100000000000 + r.Int63n(900000000000)
+	// The three in_reply_to fields are null together or present together,
+	// as in the real API.
+	reply := pick(r, 0.3)
+	fields := []value.Field{
+		f("created_at", value.Str(dateStr(r))),
+		f("id", value.Num(float64(id))),
+		f("id_str", value.Str(fmt.Sprintf("%d", id))),
+		f("text", value.Str(words(r, 5+r.Intn(15)))),
+		f("source", value.Str("<a href=\"https://client.example\">"+words(r, 2)+"</a>")),
+		f("truncated", value.Bool(pick(r, 0.1))),
+		f("in_reply_to_status_id", nullIf(!reply, value.Num(float64(r.Int63n(1e12))))),
+		f("in_reply_to_user_id", nullIf(!reply, value.Num(float64(r.Int63n(1e9))))),
+		f("in_reply_to_screen_name", nullIf(!reply, value.Str(words(r, 1)))),
+		f("user", twUser(r)),
+		f("geo", value.Null{}),
+		f("coordinates", twCoordinates(r)),
+		f("place", twPlace(r)),
+		f("contributors", value.Null{}),
+		f("retweet_count", value.Num(float64(r.Intn(10000)))),
+		f("favorite_count", value.Num(float64(r.Intn(5000)))),
+		f("entities", twEntities(r, allowNested)),
+		f("favorited", value.Bool(false)),
+		f("retweeted", value.Bool(false)),
+		f("filter_level", value.Str("low")),
+		f("lang", value.Str(oneOf(r, []string{"en", "fr", "es", "de", "ja", "und"}))),
+		f("timestamp_ms", value.Str(fmt.Sprintf("%d", 1400000000000+r.Int63n(100000000000)))),
+	}
+	if allowNested && pick(r, 0.25) {
+		fields = append(fields, f("retweeted_status", twTweet(r, false)))
+	}
+	if pick(r, 0.08) {
+		fields = append(fields, f("extended_tweet", obj(
+			f("full_text", value.Str(words(r, 30+r.Intn(20)))),
+			f("display_text_range", value.Arr(value.Num(0), value.Num(float64(140+r.Intn(140))))),
+		)))
+	}
+	if pick(r, 0.04) {
+		fields = append(fields, f("possibly_sensitive", value.Bool(pick(r, 0.5))))
+	}
+	return obj(fields...)
+}
+
+// twUser builds the user sub-record carried by every tweet.
+func twUser(r *rand.Rand) value.Value {
+	id := r.Int63n(1e9)
+	// One profile-completeness level drives the nullable profile fields.
+	profile := r.Float64()
+	return obj(
+		f("id", value.Num(float64(id))),
+		f("id_str", value.Str(fmt.Sprintf("%d", id))),
+		f("name", value.Str(words(r, 2))),
+		f("screen_name", value.Str(words(r, 1)+hexID(r, 3))),
+		f("location", nullIf(profile < 0.40, value.Str(words(r, 2)))),
+		f("url", nullIf(profile < 0.60, value.Str("https://"+words(r, 1)+".example"))),
+		f("description", nullIf(profile < 0.30, value.Str(words(r, 8)))),
+		f("protected", value.Bool(pick(r, 0.05))),
+		f("verified", value.Bool(pick(r, 0.02))),
+		f("followers_count", value.Num(float64(r.Intn(1000000)))),
+		f("friends_count", value.Num(float64(r.Intn(5000)))),
+		f("statuses_count", value.Num(float64(r.Intn(200000)))),
+		f("created_at", value.Str(dateStr(r))),
+		f("geo_enabled", value.Bool(pick(r, 0.3))),
+		f("lang", nullIf(profile < 0.20, value.Str(oneOf(r, []string{"en", "fr", "es"})))),
+	)
+}
+
+// twCoordinates is null for most tweets; when present it is a record
+// holding an array of numbers.
+func twCoordinates(r *rand.Rand) value.Value {
+	if !pick(r, 0.02) {
+		return value.Null{}
+	}
+	return obj(
+		f("type", value.Str("Point")),
+		f("coordinates", value.Arr(
+			value.Num(float64(r.Intn(360)-180)+r.Float64()),
+			value.Num(float64(r.Intn(180)-90)+r.Float64()),
+		)),
+	)
+}
+
+// twPlace is null for most tweets.
+func twPlace(r *rand.Rand) value.Value {
+	if !pick(r, 0.03) {
+		return value.Null{}
+	}
+	return obj(
+		f("id", value.Str(hexID(r, 16))),
+		f("place_type", value.Str(oneOf(r, []string{"city", "admin", "country"}))),
+		f("name", value.Str(words(r, 1))),
+		f("full_name", value.Str(words(r, 2))),
+		f("country_code", value.Str(oneOf(r, []string{"US", "FR", "JP", "BR"}))),
+		f("country", value.Str(words(r, 1))),
+	)
+}
+
+// twEntities builds the entities record: arrays of records with varying
+// lengths (including empty), the main source of tuple-type variety.
+func twEntities(r *rand.Rand, rich bool) value.Value {
+	maxTags, maxURLs, maxMentions := 4, 3, 3
+	if !rich {
+		// Embedded (retweeted) tweets carry trimmed entities so nesting
+		// does not square the number of distinct types.
+		maxTags, maxURLs, maxMentions = 2, 1, 2
+	}
+	hashtags := value.Array{}
+	for i, n := 0, r.Intn(maxTags); i < n; i++ {
+		hashtags = append(hashtags, obj(
+			f("text", value.Str(words(r, 1))),
+			f("indices", value.Arr(value.Num(float64(r.Intn(100))), value.Num(float64(r.Intn(140))))),
+		))
+	}
+	urls := value.Array{}
+	for i, n := 0, r.Intn(maxURLs); i < n; i++ {
+		urls = append(urls, obj(
+			f("url", value.Str("https://t.example/"+hexID(r, 8))),
+			f("expanded_url", value.Str("https://"+words(r, 1)+".example/"+hexID(r, 6))),
+			f("display_url", value.Str(words(r, 1)+".example")),
+			f("indices", value.Arr(value.Num(float64(r.Intn(100))), value.Num(float64(r.Intn(140))))),
+		))
+	}
+	mentions := value.Array{}
+	for i, n := 0, r.Intn(maxMentions); i < n; i++ {
+		mid := r.Int63n(1e9)
+		mentions = append(mentions, obj(
+			f("screen_name", value.Str(words(r, 1))),
+			f("name", value.Str(words(r, 2))),
+			f("id", value.Num(float64(mid))),
+			f("id_str", value.Str(fmt.Sprintf("%d", mid))),
+			f("indices", value.Arr(value.Num(float64(r.Intn(100))), value.Num(float64(r.Intn(140))))),
+		))
+	}
+	fields := []value.Field{
+		f("hashtags", hashtags),
+		f("urls", urls),
+		f("user_mentions", mentions),
+		f("symbols", value.Array{}),
+	}
+	if rich && pick(r, 0.06) {
+		media := value.Array{}
+		for i, n := 0, 1+r.Intn(2); i < n; i++ {
+			media = append(media, obj(
+				f("id", value.Num(float64(r.Int63n(1e12)))),
+				f("media_url", value.Str("https://pbs.example/media/"+hexID(r, 10))),
+				f("type", value.Str("photo")),
+				f("w", value.Num(float64(340+r.Intn(800)))),
+				f("h", value.Num(float64(226+r.Intn(500)))),
+			))
+		}
+		fields = append(fields, f("media", media))
+	}
+	return obj(fields...)
+}
+
+// twDelete builds the "status deletion notice" record, the smallest
+// top-level shape in the stream (the paper's Table 3 min size).
+func twDelete(r *rand.Rand) value.Value {
+	id := r.Int63n(1e12)
+	uid := r.Int63n(1e9)
+	return obj(
+		f("delete", obj(
+			f("status", obj(
+				f("id", value.Num(float64(id))),
+				f("id_str", value.Str(fmt.Sprintf("%d", id))),
+				f("user_id", value.Num(float64(uid))),
+				f("user_id_str", value.Str(fmt.Sprintf("%d", uid))),
+			)),
+			f("timestamp_ms", value.Str(fmt.Sprintf("%d", 1400000000000+r.Int63n(1e11)))),
+		)),
+	)
+}
+
+// twScrubGeo builds the geo-scrubbing notice shape.
+func twScrubGeo(r *rand.Rand) value.Value {
+	uid := r.Int63n(1e9)
+	sid := r.Int63n(1e12)
+	return obj(
+		f("scrub_geo", obj(
+			f("user_id", value.Num(float64(uid))),
+			f("user_id_str", value.Str(fmt.Sprintf("%d", uid))),
+			f("up_to_status_id", value.Num(float64(sid))),
+			f("up_to_status_id_str", value.Str(fmt.Sprintf("%d", sid))),
+		)),
+	)
+}
+
+// twLimit builds the rate-limit notice shape.
+func twLimit(r *rand.Rand) value.Value {
+	return obj(
+		f("limit", obj(
+			f("track", value.Num(float64(r.Intn(100000)))),
+			f("timestamp_ms", value.Str(fmt.Sprintf("%d", 1400000000000+r.Int63n(1e11)))),
+		)),
+	)
+}
+
+// twWithheld builds the status-withheld notice shape; the country list
+// length varies, exercising tuple fusion at the top level.
+func twWithheld(r *rand.Rand) value.Value {
+	countries := value.Array{}
+	for i, n := 0, 1+r.Intn(3); i < n; i++ {
+		countries = append(countries, value.Str(oneOf(r, []string{"DE", "FR", "TR", "IN"})))
+	}
+	return obj(
+		f("status_withheld", obj(
+			f("id", value.Num(float64(r.Int63n(1e12)))),
+			f("user_id", value.Num(float64(r.Int63n(1e9)))),
+			f("withheld_in_countries", countries),
+		)),
+	)
+}

@@ -1,0 +1,227 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/value"
+)
+
+// wikidata generates entity records in the style of the paper's Wikidata
+// snapshot: facts that follow a fixed logical schema but "suffer from a
+// poor design" — language codes, property identifiers and site names are
+// encoded directly as record keys instead of as values of an id field.
+// Key-directed fusion cannot collapse what never shares keys, so the
+// fused type keeps growing with the number of records, which is exactly
+// the degraded behaviour Table 4 reports. Nesting reaches 6 record
+// levels (entity -> claims -> claim -> mainsnak -> datavalue -> value).
+type wikidata struct {
+	langs []string
+	props []string
+	sites []string
+	// zipf samplers are bound to the record stream's rand so generation
+	// stays a pure function of (seed, index); they are rebuilt whenever
+	// a different rand is supplied.
+	boundTo *rand.Rand
+	langZ   *rand.Zipf
+	propZ   *rand.Zipf
+	siteZ   *rand.Zipf
+}
+
+func newWikidata() Generator {
+	w := &wikidata{}
+	// Plausible language codes: two-letter combinations.
+	for i := 0; i < 180; i++ {
+		w.langs = append(w.langs, fmt.Sprintf("%c%c", 'a'+(i*7)%26, 'a'+(i*13+3)%26))
+	}
+	// Property identifiers P1..P3000.
+	for i := 1; i <= 3000; i++ {
+		w.props = append(w.props, fmt.Sprintf("P%d", i))
+	}
+	// Site keys such as "aawiki".
+	for i := 0; i < 60; i++ {
+		w.sites = append(w.sites, fmt.Sprintf("%c%cwiki", 'a'+(i*5)%26, 'a'+(i*11+7)%26))
+	}
+	return w
+}
+
+// Name returns "wikidata".
+func (*wikidata) Name() string { return "wikidata" }
+
+// Generate produces one entity record.
+func (w *wikidata) Generate(r *rand.Rand) value.Value {
+	if w.boundTo != r {
+		w.boundTo = r
+		w.langZ = rand.NewZipf(r, 1.4, 1, uint64(len(w.langs)-1))
+		w.propZ = rand.NewZipf(r, 1.3, 1, uint64(len(w.props)-1))
+		w.siteZ = rand.NewZipf(r, 1.5, 1, uint64(len(w.sites)-1))
+	}
+	id := fmt.Sprintf("Q%d", 1+r.Intn(20000000))
+	return obj(
+		f("id", value.Str(id)),
+		f("type", value.Str("item")),
+		f("labels", w.langMap(r, 1+r.Intn(10), func() value.Value { return w.langValue(r) })),
+		f("descriptions", w.langMap(r, r.Intn(6), func() value.Value { return w.langValue(r) })),
+		f("aliases", w.langMap(r, r.Intn(3), func() value.Value { return w.aliasList(r) })),
+		f("claims", w.claims(r, id)),
+		f("sitelinks", w.sitelinks(r)),
+		f("lastrevid", value.Num(float64(r.Intn(400000000)))),
+		f("modified", value.Str(dateStr(r))),
+	)
+}
+
+// langMap builds a record whose KEYS are language codes — the
+// ids-as-keys anti-pattern the paper calls out.
+func (w *wikidata) langMap(r *rand.Rand, n int, mk func() value.Value) value.Value {
+	fields := make([]value.Field, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		lang := w.langs[w.langZ.Uint64()]
+		if seen[lang] {
+			continue
+		}
+		seen[lang] = true
+		fields = append(fields, f(lang, mk()))
+	}
+	return obj(fields...)
+}
+
+// langValue is the {language, value} leaf of labels and descriptions.
+func (w *wikidata) langValue(r *rand.Rand) value.Value {
+	return obj(
+		f("language", value.Str(w.langs[r.Intn(len(w.langs))])),
+		f("value", value.Str(words(r, 1+r.Intn(4)))),
+	)
+}
+
+// aliasList is an array of {language, value} records.
+func (w *wikidata) aliasList(r *rand.Rand) value.Value {
+	out := value.Array{}
+	for i, n := 0, 1+r.Intn(3); i < n; i++ {
+		out = append(out, w.langValue(r))
+	}
+	return out
+}
+
+// claims builds the claims record: property ids as keys, each holding an
+// array of statement records.
+func (w *wikidata) claims(r *rand.Rand, entity string) value.Value {
+	n := 1 + r.Intn(8)
+	fields := make([]value.Field, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		prop := w.props[w.propZ.Uint64()]
+		if seen[prop] {
+			continue
+		}
+		seen[prop] = true
+		stmts := value.Array{}
+		for j, m := 0, 1+r.Intn(2); j < m; j++ {
+			stmts = append(stmts, w.statement(r, entity, prop))
+		}
+		fields = append(fields, f(prop, stmts))
+	}
+	return obj(fields...)
+}
+
+// statement builds one claim statement; qualifiers appear on a fraction
+// of statements and nest another property-keyed record.
+func (w *wikidata) statement(r *rand.Rand, entity, prop string) value.Value {
+	fields := []value.Field{
+		f("mainsnak", w.snak(r, prop)),
+		f("type", value.Str("statement")),
+		f("id", value.Str(entity+"$"+hexID(r, 12))),
+		f("rank", value.Str(oneOf(r, []string{"normal", "normal", "normal", "preferred", "deprecated"}))),
+	}
+	if pick(r, 0.15) {
+		// Qualifier snaks always carry flat string datavalues so the
+		// total record nesting stays within the dataset's 6 levels.
+		qprop := w.props[w.propZ.Uint64()]
+		fields = append(fields, f("qualifiers", obj(
+			f(qprop, value.Arr(obj(
+				f("snaktype", value.Str("value")),
+				f("property", value.Str(qprop)),
+				f("datavalue", obj(
+					f("value", value.Str(words(r, 2))),
+					f("type", value.Str("string")),
+				)),
+			))),
+		)))
+	}
+	return obj(fields...)
+}
+
+// snak builds a property-value node. The datavalue's shape depends on a
+// per-property datatype (stable across records, like the real data), and
+// "novalue" snaks omit datavalue entirely — a lower-level optional field.
+func (w *wikidata) snak(r *rand.Rand, prop string) value.Value {
+	fields := []value.Field{
+		f("snaktype", value.Str("value")),
+		f("property", value.Str(prop)),
+	}
+	if pick(r, 0.03) {
+		fields[0] = f("snaktype", value.Str("novalue"))
+		return obj(fields...)
+	}
+	// Stable per-property datatype: hash the property name.
+	h := 0
+	for _, c := range prop {
+		h = h*31 + int(c)
+	}
+	var dv value.Value
+	switch h % 4 {
+	case 0:
+		dv = obj(f("value", value.Str(words(r, 2))), f("type", value.Str("string")))
+	case 1:
+		dv = obj(
+			f("value", obj(
+				f("entity-type", value.Str("item")),
+				f("numeric-id", value.Num(float64(1+r.Intn(1000000)))),
+			)),
+			f("type", value.Str("wikibase-entityid")),
+		)
+	case 2:
+		dv = obj(
+			f("value", obj(
+				f("time", value.Str("+"+dateStr(r))),
+				f("timezone", value.Num(0)),
+				f("precision", value.Num(float64(9+r.Intn(3)))),
+			)),
+			f("type", value.Str("time")),
+		)
+	default:
+		dv = obj(
+			f("value", obj(
+				f("amount", value.Str(fmt.Sprintf("+%d", r.Intn(100000)))),
+				f("unit", value.Str("1")),
+			)),
+			f("type", value.Str("quantity")),
+		)
+	}
+	fields = append(fields, f("datavalue", dv))
+	return obj(fields...)
+}
+
+// sitelinks builds the sitelinks record: wiki names as keys.
+func (w *wikidata) sitelinks(r *rand.Rand) value.Value {
+	n := r.Intn(5)
+	fields := make([]value.Field, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		site := w.sites[w.siteZ.Uint64()]
+		if seen[site] {
+			continue
+		}
+		seen[site] = true
+		badges := value.Array{}
+		if pick(r, 0.05) {
+			badges = append(badges, value.Str("Q17437796"))
+		}
+		fields = append(fields, f(site, obj(
+			f("site", value.Str(site)),
+			f("title", value.Str(words(r, 1+r.Intn(3)))),
+			f("badges", badges),
+		)))
+	}
+	return obj(fields...)
+}

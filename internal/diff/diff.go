@@ -1,0 +1,219 @@
+// Package diff computes structural differences between two inferred
+// schemas. This is the change-tracking application sketched in the
+// paper's related work discussion of Scherzinger et al. [21]: with full
+// schemas on both sides, attribute removals, additions, kind changes and
+// optionality changes all become visible, not just base-type mismatches.
+package diff
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Kind classifies one difference.
+type Kind int
+
+// Difference kinds.
+const (
+	// Added: the path exists only in the new schema.
+	Added Kind = iota
+	// Removed: the path exists only in the old schema.
+	Removed
+	// TypeChanged: both schemas have the path with different types.
+	TypeChanged
+	// MadeOptional: the field is mandatory in the old schema, optional
+	// in the new one.
+	MadeOptional
+	// MadeMandatory: the reverse.
+	MadeMandatory
+)
+
+// String names the difference kind.
+func (k Kind) String() string {
+	switch k {
+	case Added:
+		return "added"
+	case Removed:
+		return "removed"
+	case TypeChanged:
+		return "type-changed"
+	case MadeOptional:
+		return "made-optional"
+	case MadeMandatory:
+		return "made-mandatory"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Entry is one reported difference.
+type Entry struct {
+	// Path is the slash-separated field path from the root; array
+	// element positions appear as "[]".
+	Path string
+	Kind Kind
+	// Old and New are the rendered types on each side, when applicable.
+	Old, New string
+}
+
+// String renders the entry as a one-line report.
+func (e Entry) String() string {
+	switch e.Kind {
+	case Added:
+		return fmt.Sprintf("+ %-14s %s : %s", e.Kind, e.Path, e.New)
+	case Removed:
+		return fmt.Sprintf("- %-14s %s : %s", e.Kind, e.Path, e.Old)
+	default:
+		return fmt.Sprintf("~ %-14s %s : %s -> %s", e.Kind, e.Path, e.Old, e.New)
+	}
+}
+
+// Compare reports the differences between two schemas, sorted by path.
+// Records compare field-wise; array types compare on their element
+// types; everything else compares structurally.
+func Compare(old, new types.Type) []Entry {
+	var out []Entry
+	walk(".", old, new, &out)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Path != out[j].Path {
+			return out[i].Path < out[j].Path
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+func walk(path string, old, new types.Type, out *[]Entry) {
+	if types.Equal(old, new) {
+		return
+	}
+	or, oldIsRec := recordAlt(old)
+	nr, newIsRec := recordAlt(new)
+	oldMap, oldIsMap := mapAlt(old)
+	newMap, newIsMap := mapAlt(new)
+	oldArr, oldIsArr := arrayElem(old)
+	newArr, newIsArr := arrayElem(new)
+
+	switch {
+	case oldIsMap && newIsMap:
+		walk(join(path, "*"), oldMap, newMap, out)
+	case oldIsRec && newIsRec:
+		walkRecords(path, or, nr, out)
+		// Also report non-record alternative changes (e.g. Str + {..}
+		// becoming just {..}).
+		oldRest, newRest := stripKind(old, types.KindRecord), stripKind(new, types.KindRecord)
+		if !types.Equal(oldRest, newRest) {
+			*out = append(*out, Entry{Path: path, Kind: TypeChanged, Old: old.String(), New: new.String()})
+		}
+	case oldIsArr && newIsArr:
+		walk(join(path, "[]"), oldArr, newArr, out)
+	default:
+		*out = append(*out, Entry{Path: path, Kind: TypeChanged, Old: old.String(), New: new.String()})
+	}
+}
+
+func walkRecords(path string, old, new *types.Record, out *[]Entry) {
+	of, nf := old.Fields(), new.Fields()
+	i, j := 0, 0
+	for i < len(of) && j < len(nf) {
+		switch {
+		case of[i].Key == nf[j].Key:
+			p := join(path, of[i].Key)
+			if of[i].Optional != nf[j].Optional {
+				kind := MadeOptional
+				if of[i].Optional {
+					kind = MadeMandatory
+				}
+				*out = append(*out, Entry{Path: p, Kind: kind, Old: of[i].Type.String(), New: nf[j].Type.String()})
+			}
+			walk(p, of[i].Type, nf[j].Type, out)
+			i++
+			j++
+		case of[i].Key < nf[j].Key:
+			*out = append(*out, Entry{Path: join(path, of[i].Key), Kind: Removed, Old: of[i].Type.String()})
+			i++
+		default:
+			*out = append(*out, Entry{Path: join(path, nf[j].Key), Kind: Added, New: nf[j].Type.String()})
+			j++
+		}
+	}
+	for ; i < len(of); i++ {
+		*out = append(*out, Entry{Path: join(path, of[i].Key), Kind: Removed, Old: of[i].Type.String()})
+	}
+	for ; j < len(nf); j++ {
+		*out = append(*out, Entry{Path: join(path, nf[j].Key), Kind: Added, New: nf[j].Type.String()})
+	}
+}
+
+// mapAlt extracts the abstracted-record alternative, if any.
+func mapAlt(t types.Type) (types.Type, bool) {
+	for _, a := range types.Addends(t) {
+		if m, ok := a.(*types.Map); ok {
+			return m.Elem(), true
+		}
+	}
+	return nil, false
+}
+
+// recordAlt extracts the record alternative of a possibly-union type.
+func recordAlt(t types.Type) (*types.Record, bool) {
+	for _, a := range types.Addends(t) {
+		if r, ok := a.(*types.Record); ok {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// arrayElem extracts the element type of the array alternative, if any.
+// Tuples contribute the union of their element types.
+func arrayElem(t types.Type) (types.Type, bool) {
+	for _, a := range types.Addends(t) {
+		switch at := a.(type) {
+		case *types.Repeated:
+			return at.Elem(), true
+		case *types.Tuple:
+			u, err := types.NewUnion(at.Elems()...)
+			if err == nil {
+				return u, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// stripKind removes the alternatives of the given kind from a type.
+func stripKind(t types.Type, k types.Kind) types.Type {
+	var keep []types.Type
+	for _, a := range types.Addends(t) {
+		if ak, ok := types.KindOf(a); ok && ak == k {
+			continue
+		}
+		keep = append(keep, a)
+	}
+	return types.MustUnion(keep...)
+}
+
+func join(path, key string) string {
+	if path == "." {
+		return "./" + key
+	}
+	return path + "/" + key
+}
+
+// Render formats the entries as a multi-line report; "no differences"
+// when empty.
+func Render(entries []Entry) string {
+	if len(entries) == 0 {
+		return "no differences\n"
+	}
+	var sb strings.Builder
+	for _, e := range entries {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

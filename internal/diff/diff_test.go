@@ -1,0 +1,128 @@
+package diff
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func compare(t *testing.T, old, new string) []Entry {
+	t.Helper()
+	return Compare(types.MustParse(old), types.MustParse(new))
+}
+
+func TestNoDifferences(t *testing.T) {
+	if got := compare(t, "{a: Num, b: Str?}", "{a: Num, b: Str?}"); len(got) != 0 {
+		t.Errorf("diff of identical schemas = %v", got)
+	}
+	if Render(nil) != "no differences\n" {
+		t.Errorf("Render(nil) = %q", Render(nil))
+	}
+}
+
+func TestAddedRemoved(t *testing.T) {
+	got := compare(t, "{a: Num}", "{a: Num, b: Str}")
+	if len(got) != 1 || got[0].Kind != Added || got[0].Path != "./b" || got[0].New != "Str" {
+		t.Errorf("diff = %v", got)
+	}
+	got = compare(t, "{a: Num, b: Str}", "{b: Str}")
+	if len(got) != 1 || got[0].Kind != Removed || got[0].Path != "./a" {
+		t.Errorf("diff = %v", got)
+	}
+}
+
+func TestTypeChanged(t *testing.T) {
+	got := compare(t, "{a: Num}", "{a: Str}")
+	if len(got) != 1 || got[0].Kind != TypeChanged || got[0].Old != "Num" || got[0].New != "Str" {
+		t.Errorf("diff = %v", got)
+	}
+}
+
+func TestOptionalityChanges(t *testing.T) {
+	got := compare(t, "{a: Num}", "{a: Num?}")
+	if len(got) != 1 || got[0].Kind != MadeOptional {
+		t.Errorf("diff = %v", got)
+	}
+	got = compare(t, "{a: Num?}", "{a: Num}")
+	if len(got) != 1 || got[0].Kind != MadeMandatory {
+		t.Errorf("diff = %v", got)
+	}
+}
+
+func TestNestedPaths(t *testing.T) {
+	got := compare(t, "{a: {b: {c: Num}}}", "{a: {b: {c: Str, d: Bool}}}")
+	if len(got) != 2 {
+		t.Fatalf("diff = %v", got)
+	}
+	paths := map[string]Kind{}
+	for _, e := range got {
+		paths[e.Path] = e.Kind
+	}
+	if paths["./a/b/c"] != TypeChanged || paths["./a/b/d"] != Added {
+		t.Errorf("diff = %v", got)
+	}
+}
+
+func TestArrayElementPaths(t *testing.T) {
+	got := compare(t, "{tags: [Str*]}", "{tags: [(Num + Str)*]}")
+	if len(got) != 1 || got[0].Path != "./tags/[]" || got[0].Kind != TypeChanged {
+		t.Errorf("diff = %v", got)
+	}
+	// Tuples compare via their element union.
+	got = compare(t, "{xs: [Num, Num]}", "{xs: [Num*]}")
+	if len(got) != 0 {
+		t.Errorf("tuple vs repeated of same element type = %v", got)
+	}
+}
+
+func TestUnionRecordAlternative(t *testing.T) {
+	// The record part diffs field-wise even inside a union; losing the
+	// Str alternative is reported at the union's own path.
+	got := compare(t, "{a: Str + {x: Num}}", "{a: {x: Num, y: Bool}}")
+	paths := map[string]Kind{}
+	for _, e := range got {
+		paths[e.Path] = e.Kind
+	}
+	if paths["./a/y"] != Added {
+		t.Errorf("missing added nested field: %v", got)
+	}
+	if paths["./a"] != TypeChanged {
+		t.Errorf("missing union change report: %v", got)
+	}
+}
+
+func TestKindCrossDifference(t *testing.T) {
+	got := compare(t, "{a: Num}", "[Num*]")
+	if len(got) != 1 || got[0].Kind != TypeChanged || got[0].Path != "." {
+		t.Errorf("diff = %v", got)
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	entries := compare(t, "{a: Num, b: Str}", "{a: Str, c: Bool?}")
+	out := Render(entries)
+	for _, want := range []string{"~ type-changed", "- removed", "+ added", "./a", "./b", "./c"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEntriesSortedByPath(t *testing.T) {
+	got := compare(t, "{z: Num, a: Num}", "{z: Str, a: Str}")
+	if len(got) != 2 || got[0].Path != "./a" || got[1].Path != "./z" {
+		t.Errorf("entries not sorted: %v", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := Added; k <= MadeMandatory; k++ {
+		if s := k.String(); strings.HasPrefix(s, "Kind(") {
+			t.Errorf("Kind(%d) has no name", k)
+		}
+	}
+	if !strings.Contains(Kind(42).String(), "42") {
+		t.Error("unknown kind should show its code")
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the table as aligned ASCII with the paper's caption.
+func (t Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table %d: %s\n", t.Number, t.Caption)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// AllTables regenerates every table of the evaluation in order.
+func AllTables(cfg Config) ([]Table, error) {
+	var out []Table
+	t1, err := Table1(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, t1)
+	for _, name := range []string{"github", "twitter", "wikidata", "nytimes"} {
+		t, err := DatasetTable(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	t6, err := Table6(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t7, err := Table7(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t8, err := Table8(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, t6, t7, t8), nil
+}

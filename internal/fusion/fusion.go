@@ -1,0 +1,288 @@
+// Package fusion implements the second phase of the paper's approach
+// (Section 5.2): the binary type-fusion operator of Figures 5 and 6 and
+// its n-ary folds. Fuse computes a compact supertype of its two inputs
+// by collapsing structure they share:
+//
+//   - identical basic types collapse, different kinds meet in a union;
+//   - record types merge field-wise: matching keys fuse recursively and
+//     keep the smaller cardinality (? < 1), unmatched keys become
+//     optional (rules R1 and R2 of Section 2);
+//   - array types are first simplified — collapse replaces a positional
+//     tuple type by the fusion of its element types — and then fused
+//     element-wise into a repeated type [T*].
+//
+// Fuse is correct (Theorem 5.2: both inputs are subtypes of the result),
+// commutative (Theorem 5.4) and associative (Theorem 5.5) on normal
+// types, which is what lets the reduce phase apply it in any order and in
+// parallel. The package's property tests check all three theorems.
+//
+// The package-level functions implement the paper's algorithm exactly;
+// Options provides the positional-array extension sketched in the
+// paper's conclusion (see options.go).
+package fusion
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Fuse merges two types of arbitrary shape, the function Fuse(T1, T2) of
+// Figure 6 (line 1). Union addends of matching kind are fused pairwise
+// with LFuse (the paper's KMatch set), addends whose kind appears on only
+// one side are copied unchanged (KUnmatch), and the results are rebuilt
+// into a union with ⊕.
+//
+// Inputs are expected to be normal types (each kind at most once per
+// union, the invariant all our algorithms maintain); if a non-normal
+// union slips in, same-kind addends are folded together first, which
+// keeps Fuse total and still yields a supertype.
+func Fuse(t1, t2 types.Type) types.Type { return policy{}.fuse(t1, t2) }
+
+// LFuse fuses two non-union types of the same kind (Figure 6, lines 2-7).
+// Calling it with types of different kinds is a programming error.
+func LFuse(t1, t2 types.Type) types.Type { return policy{}.lfuse(t1, t2) }
+
+// Collapse implements lines 8-9 of Figure 6: the simplification that
+// prepares a positional array type for fusion by over-approximating all
+// element types with their fusion. The empty tuple collapses to ε, so
+// the simplified form of [] is [ε*], which denotes exactly the empty
+// array (footnote 1 of the paper).
+func Collapse(t *types.Tuple) types.Type { return policy{}.collapse(t) }
+
+// Simplify rewrites every tuple array type inside t into its simplified
+// repeated form [collapse(...)​*]. Phase one of the paper infers tuple
+// types; fusing a type with itself would simplify it too, but Simplify
+// does it directly and is what the pipeline applies when a partition
+// contains a single value.
+func Simplify(t types.Type) types.Type { return policy{}.simplify(t) }
+
+// FuseAll folds Fuse over ts from the left, returning ε for an empty
+// slice. By Theorems 5.4 and 5.5 any other fold shape yields the same
+// result; the map-reduce engine exploits exactly this freedom.
+func FuseAll(ts []types.Type) types.Type {
+	acc := types.Type(types.Empty)
+	for _, t := range ts {
+		acc = Fuse(acc, t)
+	}
+	return acc
+}
+
+// FuseAllTree folds Fuse over ts as a balanced binary tree, the shape a
+// parallel reduction produces. It returns ε for an empty slice. Beyond
+// parallelism, the tree shape is also asymptotically cheaper on
+// fusion-hostile data (see the reduce-shape ablation): a sequential fold
+// fuses every small type into one ever-growing accumulator.
+func FuseAllTree(ts []types.Type) types.Type {
+	switch len(ts) {
+	case 0:
+		return types.Empty
+	case 1:
+		return ts[0]
+	default:
+		mid := len(ts) / 2
+		return Fuse(FuseAllTree(ts[:mid]), FuseAllTree(ts[mid:]))
+	}
+}
+
+// fuse implements Fuse under a policy.
+func (p policy) fuse(t1, t2 types.Type) types.Type {
+	g1 := p.groupByKind(t1)
+	g2 := p.groupByKind(t2)
+	out := make([]types.Type, 0, 6)
+	for k := 0; k < 6; k++ {
+		a, b := g1[k], g2[k]
+		switch {
+		case a != nil && b != nil:
+			out = append(out, p.lfuse(a, b))
+		case a != nil:
+			out = append(out, a)
+		case b != nil:
+			out = append(out, b)
+		}
+	}
+	return types.MustUnion(out...)
+}
+
+// groupByKind buckets the non-union addends of t by kind, folding
+// same-kind addends with lfuse so each bucket holds at most one type.
+func (p policy) groupByKind(t types.Type) [6]types.Type {
+	var g [6]types.Type
+	for _, u := range types.Addends(t) {
+		k, ok := types.KindOf(u)
+		if !ok {
+			// Addends never returns unions or ε for canonical types.
+			panic(fmt.Sprintf("fusion: non-canonical union addend %T", u))
+		}
+		if g[k] == nil {
+			g[k] = u
+		} else {
+			g[k] = p.lfuse(g[k], u)
+		}
+	}
+	return g
+}
+
+// lfuse implements LFuse under a policy.
+func (p policy) lfuse(t1, t2 types.Type) types.Type {
+	k1, ok1 := types.KindOf(t1)
+	k2, ok2 := types.KindOf(t2)
+	if !ok1 || !ok2 || k1 != k2 {
+		panic(fmt.Sprintf("fusion: LFuse on kinds %v and %v", t1, t2))
+	}
+	switch k1 {
+	case types.KindNull, types.KindBool, types.KindNum, types.KindStr:
+		// Line 2: two basic types of the same kind are the same type.
+		return t1
+	case types.KindRecord:
+		return p.fuseRecordKind(t1, t2)
+	default: // types.KindArray
+		return p.fuseArrays(t1, t2)
+	}
+}
+
+// fuseRecordKind dispatches the record kind: two plain records use the
+// paper's field-wise rule; once either side is an abstracted map type
+// {*: T} (the key-abstraction extension), the result stays a map, with
+// the record side's field contents folded into the element type.
+func (p policy) fuseRecordKind(t1, t2 types.Type) types.Type {
+	r1, ok1 := t1.(*types.Record)
+	r2, ok2 := t2.(*types.Record)
+	if ok1 && ok2 {
+		return p.fuseRecords(r1, r2)
+	}
+	elem := types.Type(types.Empty)
+	for _, t := range []types.Type{t1, t2} {
+		switch tt := t.(type) {
+		case *types.Map:
+			elem = p.fuse(elem, tt.Elem())
+		case *types.Record:
+			for _, f := range tt.Fields() {
+				elem = p.fuse(elem, f.Type)
+			}
+		}
+	}
+	return types.MustMap(elem)
+}
+
+// fuseRecords implements line 3 of Figure 6: FMatch fields fuse
+// recursively keeping the minimum cardinality (? < 1, so a field is
+// mandatory only when mandatory on both sides); FUnmatch fields become
+// optional.
+func (p policy) fuseRecords(r1, r2 *types.Record) types.Type {
+	f1, f2 := r1.Fields(), r2.Fields()
+	out := make([]types.Field, 0, len(f1)+len(f2))
+	i, j := 0, 0
+	for i < len(f1) && j < len(f2) {
+		switch {
+		case f1[i].Key == f2[j].Key:
+			out = append(out, types.Field{
+				Key:      f1[i].Key,
+				Type:     p.fuse(f1[i].Type, f2[j].Type),
+				Optional: f1[i].Optional || f2[j].Optional,
+			})
+			i++
+			j++
+		case f1[i].Key < f2[j].Key:
+			out = append(out, types.Field{Key: f1[i].Key, Type: f1[i].Type, Optional: true})
+			i++
+		default:
+			out = append(out, types.Field{Key: f2[j].Key, Type: f2[j].Type, Optional: true})
+			j++
+		}
+	}
+	for ; i < len(f1); i++ {
+		out = append(out, types.Field{Key: f1[i].Key, Type: f1[i].Type, Optional: true})
+	}
+	for ; j < len(f2); j++ {
+		out = append(out, types.Field{Key: f2[j].Key, Type: f2[j].Type, Optional: true})
+	}
+	// Keys are unique within each input, so the merge cannot collide.
+	return types.MustRecord(out...)
+}
+
+// fuseArrays implements lines 4-7 of Figure 6, plus the positional
+// extension: two equal-length tuples within the policy's cutoff fuse
+// element-wise and stay positional; every other combination simplifies
+// to a repeated type over the fused body types.
+func (p policy) fuseArrays(t1, t2 types.Type) types.Type {
+	a1, ok1 := t1.(*types.Tuple)
+	a2, ok2 := t2.(*types.Tuple)
+	if ok1 && ok2 && a1.Len() == a2.Len() && p.keepTuple(a1.Len()) {
+		elems := make([]types.Type, a1.Len())
+		for i := range elems {
+			elems[i] = p.fuse(a1.Elems()[i], a2.Elems()[i])
+		}
+		return types.MustTuple(elems...)
+	}
+	return types.MustRepeated(p.fuse(p.body(t1), p.body(t2)))
+}
+
+// body returns the content type an array-kind type contributes to
+// simplified fusion: the element type of a repeated type, or collapse of
+// a tuple.
+func (p policy) body(t types.Type) types.Type {
+	switch tt := t.(type) {
+	case *types.Repeated:
+		return tt.Elem()
+	case *types.Tuple:
+		return p.collapse(tt)
+	default:
+		panic(fmt.Sprintf("fusion: array body of %T", t))
+	}
+}
+
+// collapse implements lines 8-9 of Figure 6 under a policy.
+func (p policy) collapse(t *types.Tuple) types.Type {
+	acc := types.Type(types.Empty)
+	elems := t.Elems()
+	// Right fold, as in collapse(ArrT(T, AT)) = Fuse(T, collapse(AT)).
+	for i := len(elems) - 1; i >= 0; i-- {
+		acc = p.fuse(elems[i], acc)
+	}
+	return acc
+}
+
+// simplify rewrites array types into the policy's canonical form.
+func (p policy) simplify(t types.Type) types.Type {
+	switch tt := t.(type) {
+	case types.Basic, types.EmptyType:
+		return t
+	case *types.Record:
+		fs := tt.Fields()
+		out := make([]types.Field, len(fs))
+		for i, f := range fs {
+			out[i] = types.Field{Key: f.Key, Type: p.simplify(f.Type), Optional: f.Optional}
+		}
+		return types.MustRecord(out...)
+	case *types.Tuple:
+		simplified := make([]types.Type, tt.Len())
+		for i, e := range tt.Elems() {
+			simplified[i] = p.simplify(e)
+		}
+		if p.keepTuple(tt.Len()) {
+			return types.MustTuple(simplified...)
+		}
+		return types.MustRepeated(p.collapse(types.MustTuple(simplified...)))
+	case *types.Map:
+		return types.MustMap(p.simplify(tt.Elem()))
+	case *types.Repeated:
+		return types.MustRepeated(p.simplify(tt.Elem()))
+	case *types.Union:
+		alts := tt.Alts()
+		out := make([]types.Type, len(alts))
+		for i, a := range alts {
+			out[i] = p.simplify(a)
+		}
+		// Simplification can merge two array-kind alternatives (a tuple
+		// and a repeated type) into the same kind slot; refuse through
+		// fuse to restore normality.
+		acc := types.Type(types.Empty)
+		for _, a := range out {
+			acc = p.fuse(acc, a)
+		}
+		return acc
+	default:
+		panic(fmt.Sprintf("fusion: unknown type %T", t))
+	}
+}

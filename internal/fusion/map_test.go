@@ -1,0 +1,95 @@
+package fusion
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func TestFuseMapWithMap(t *testing.T) {
+	got := Fuse(tp(t, "{*: Num}"), tp(t, "{*: Str}"))
+	if !types.Equal(got, tp(t, "{*: Num + Str}")) {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestFuseMapAbsorbsRecord(t *testing.T) {
+	cases := []struct {
+		t1, t2, want string
+	}{
+		{"{*: Num}", "{P1: Num, P2: Num}", "{*: Num}"},
+		{"{*: Num}", "{P1: Str}", "{*: Num + Str}"},
+		{"{P9: Bool}", "{*: Num}", "{*: Bool + Num}"},
+		{"{*: Num}", "{}", "{*: Num}"},
+		{"{*: {a: Num}}", "{k: {a: Str, b: Bool}}", "{*: {a: Num + Str, b: Bool?}}"},
+		// Maps inside unions fuse kind-wise like records do.
+		{"Str + {*: Num}", "{k: Bool} + Null", "Null + Str + {*: Bool + Num}"},
+	}
+	for _, c := range cases {
+		got := Fuse(tp(t, c.t1), tp(t, c.t2))
+		if !types.Equal(got, tp(t, c.want)) {
+			t.Errorf("Fuse(%s, %s) = %s, want %s", c.t1, c.t2, got, c.want)
+		}
+	}
+}
+
+func TestFuseMapCommutativeAssociative(t *testing.T) {
+	// Mix maps, records and scalars; the monoid laws must survive the
+	// extension.
+	pool := []types.Type{
+		tp(t, "{*: Num}"),
+		tp(t, "{*: {language: Str}}"),
+		tp(t, "{P1: Num, P2: Str}"),
+		tp(t, "{a: Bool}"),
+		tp(t, "Str"),
+		tp(t, "[{*: Num}*]"),
+		tp(t, "{x: {*: Str}}"),
+		tp(t, "ε"),
+	}
+	f := func(i, j, k uint8) bool {
+		t1 := pool[int(i)%len(pool)]
+		t2 := pool[int(j)%len(pool)]
+		t3 := pool[int(k)%len(pool)]
+		if !types.Equal(Fuse(t1, t2), Fuse(t2, t1)) {
+			return false
+		}
+		return types.Equal(Fuse(Fuse(t1, t2), t3), Fuse(t1, Fuse(t2, t3)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFuseMapCorrectness(t *testing.T) {
+	// Theorem 5.2 extends: both inputs are subtypes of the fusion.
+	pairs := [][2]string{
+		{"{*: Num}", "{P1: Str, P2: Bool}"},
+		{"{*: {a: Num}}", "{*: {b: Str}}"},
+		{"{k: Num} + Str", "{*: Bool}"},
+	}
+	for _, p := range pairs {
+		t1, t2 := tp(t, p[0]), tp(t, p[1])
+		fused := Fuse(t1, t2)
+		if !types.Subtype(t1, fused) || !types.Subtype(t2, fused) {
+			t.Errorf("Fuse(%s, %s) = %s is not a supertype of both", t1, t2, fused)
+		}
+		if !types.IsNormal(fused) {
+			t.Errorf("fused type not normal: %s", fused)
+		}
+	}
+}
+
+func TestSimplifyRecursesIntoMaps(t *testing.T) {
+	got := Simplify(tp(t, "{*: [Num, Str]}"))
+	if !types.Equal(got, tp(t, "{*: [(Num + Str)*]}")) {
+		t.Errorf("Simplify = %s", got)
+	}
+}
+
+func TestFuseMapIdempotent(t *testing.T) {
+	m := tp(t, "{*: Num + {language: Str}}")
+	if got := Fuse(m, m); !types.Equal(got, m) {
+		t.Errorf("Fuse(m, m) = %s", got)
+	}
+}

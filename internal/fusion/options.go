@@ -1,0 +1,80 @@
+package fusion
+
+import (
+	"repro/internal/types"
+)
+
+// Options select a fusion policy. The zero value is the paper's exact
+// algorithm (Figures 5-6). PreserveTuples implements the extension the
+// paper's conclusion proposes — "we want to improve the precision of the
+// inference process for arrays" (Section 7): positional array types of
+// the SAME length fuse element-wise instead of being simplified away,
+// so fixed-shape arrays like [lon, lat] coordinate pairs keep their
+// per-position types. Arrays of different lengths (or fusions with an
+// already-simplified [T*]) still fall back to the paper's
+// simplification, so the operator remains total.
+//
+// The positional policy keeps the algebra intact: fusion under any
+// Options value is still commutative and associative (the element-wise
+// fuse is commutative/associative per position, and the length-mismatch
+// fallback commutes with it because collapse distributes over
+// element-wise fusion). The property tests in options_test.go check
+// this the same way the core tests check Theorems 5.4 and 5.5.
+type Options struct {
+	// PreserveTuples keeps equal-length positional array types
+	// positional.
+	PreserveTuples bool
+	// MaxTupleLen bounds how long a preserved tuple may be; longer
+	// tuples are simplified even when lengths match (they are almost
+	// certainly collections, not fixed shapes). Zero means
+	// DefaultMaxTupleLen. Ignored unless PreserveTuples is set.
+	MaxTupleLen int
+}
+
+// DefaultMaxTupleLen is the tuple-length cutoff used when
+// Options.MaxTupleLen is zero: long arrays are collections, short ones
+// may be fixed shapes (pairs, triples, index spans).
+const DefaultMaxTupleLen = 4
+
+func (o Options) maxTupleLen() int {
+	if !o.PreserveTuples {
+		return 0
+	}
+	if o.MaxTupleLen <= 0 {
+		return DefaultMaxTupleLen
+	}
+	return o.MaxTupleLen
+}
+
+// Fuse merges two types under this policy; with the zero Options it is
+// exactly the package-level Fuse.
+func (o Options) Fuse(t1, t2 types.Type) types.Type {
+	return policy{maxTuple: o.maxTupleLen()}.fuse(t1, t2)
+}
+
+// FuseAll folds Fuse over ts from the left (ε for an empty slice).
+func (o Options) FuseAll(ts []types.Type) types.Type {
+	acc := types.Type(types.Empty)
+	p := policy{maxTuple: o.maxTupleLen()}
+	for _, t := range ts {
+		acc = p.fuse(acc, t)
+	}
+	return acc
+}
+
+// Simplify rewrites array types into the policy's canonical form:
+// tuples longer than the cutoff (all tuples, for the zero Options)
+// become repeated types; preserved tuples keep their positions with
+// each element simplified recursively.
+func (o Options) Simplify(t types.Type) types.Type {
+	return policy{maxTuple: o.maxTupleLen()}.simplify(t)
+}
+
+// policy is the internal representation of Options: maxTuple == 0 means
+// the paper's always-simplify behaviour.
+type policy struct {
+	maxTuple int
+}
+
+// keepTuple reports whether a tuple of length n stays positional.
+func (p policy) keepTuple(n int) bool { return n > 0 && n <= p.maxTuple }

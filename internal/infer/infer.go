@@ -1,0 +1,222 @@
+// Package infer implements the first phase of the paper's approach
+// (Section 5.1): the type-inference rules of Figure 4, which map every
+// JSON value to a type isomorphic to it. The inferred types use no union
+// types, no optional fields and no repetition types; those are introduced
+// only by the fusion phase (internal/fusion).
+//
+// Two entry points are provided: Infer types an already-parsed
+// value.Value, and a streaming decoder (Decoder) infers types directly
+// from the token stream of internal/jsontext without materializing
+// values, which is how the map phase processes large files.
+package infer
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/jsontext"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// Infer implements the judgment ⊢ V ▷ T of Figure 4. The result is
+// isomorphic to the value: records map to record types with all fields
+// mandatory, arrays map to positional tuple types. Key uniqueness is
+// guaranteed by the value.Record invariant, mirroring the l ∉ Keys(RT)
+// premise of the record rule.
+//
+// By Lemma 5.1 the result is sound: V ∈ ⟦Infer(V)⟧, which
+// TestLemma51Soundness verifies on random values.
+func Infer(v value.Value) types.Type {
+	switch vv := v.(type) {
+	case value.Null:
+		return types.Null
+	case value.Bool:
+		return types.Bool
+	case value.Num:
+		return types.Num
+	case value.Str:
+		return types.Str
+	case *value.Record:
+		vf := vv.Fields()
+		fields := make([]types.Field, len(vf))
+		for i, f := range vf {
+			fields[i] = types.Field{Key: f.Key, Type: Infer(f.Value)}
+		}
+		// Keys are unique and sorted in the record value, so this
+		// cannot fail.
+		return types.MustRecord(fields...)
+	case value.Array:
+		elems := make([]types.Type, len(vv))
+		for i, e := range vv {
+			elems[i] = Infer(e)
+		}
+		return types.MustTuple(elems...)
+	default:
+		panic(fmt.Sprintf("infer: unknown value %T", v))
+	}
+}
+
+// Decoder infers one type per top-level JSON value read from an input
+// stream, without building intermediate value trees.
+type Decoder struct {
+	lex  *jsontext.Lexer
+	opts jsontext.Options
+}
+
+// NewDecoder returns a streaming type decoder for r.
+func NewDecoder(r io.Reader, opts jsontext.Options) *Decoder {
+	return &Decoder{lex: jsontext.NewLexer(r), opts: opts}
+}
+
+// Next infers the type of the next top-level value in the stream. It
+// returns io.EOF at the end of the input.
+func (d *Decoder) Next() (types.Type, error) {
+	tok, err := d.lex.Next()
+	if err != nil {
+		return nil, err
+	}
+	if tok.Kind == jsontext.TokEOF {
+		return nil, io.EOF
+	}
+	return d.inferValue(tok, 0)
+}
+
+// Offset returns the number of input bytes consumed so far.
+func (d *Decoder) Offset() int64 { return d.lex.Offset() }
+
+func (d *Decoder) maxDepth() int {
+	if d.opts.MaxDepth <= 0 {
+		return jsontext.DefaultMaxDepth
+	}
+	return d.opts.MaxDepth
+}
+
+func (d *Decoder) syntaxErr(off int64, format string, args ...any) error {
+	return &jsontext.SyntaxError{Offset: off, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (d *Decoder) inferValue(tok jsontext.Token, depth int) (types.Type, error) {
+	if depth > d.maxDepth() {
+		return nil, d.syntaxErr(tok.Offset, "nesting deeper than %d", d.maxDepth())
+	}
+	switch tok.Kind {
+	case jsontext.TokNull:
+		return types.Null, nil
+	case jsontext.TokTrue, jsontext.TokFalse:
+		return types.Bool, nil
+	case jsontext.TokNum:
+		return types.Num, nil
+	case jsontext.TokStr:
+		return types.Str, nil
+	case jsontext.TokBeginObject:
+		return d.inferObject(depth)
+	case jsontext.TokBeginArray:
+		return d.inferArray(depth)
+	default:
+		return nil, d.syntaxErr(tok.Offset, "unexpected %s", tok.Kind)
+	}
+}
+
+func (d *Decoder) inferObject(depth int) (types.Type, error) {
+	var fields []types.Field
+	seen := make(map[string]bool)
+	first := true
+	for {
+		tok, err := d.lex.Next()
+		if err != nil {
+			return nil, err
+		}
+		if first && tok.Kind == jsontext.TokEndObject {
+			return types.MustRecord(), nil
+		}
+		if !first {
+			switch tok.Kind {
+			case jsontext.TokEndObject:
+				return types.NewRecord(fields...)
+			case jsontext.TokComma:
+				tok, err = d.lex.Next()
+				if err != nil {
+					return nil, err
+				}
+			default:
+				return nil, d.syntaxErr(tok.Offset, "expected ',' or '}' in object, got %s", tok.Kind)
+			}
+		}
+		first = false
+		if tok.Kind != jsontext.TokStr {
+			return nil, d.syntaxErr(tok.Offset, "expected object key string, got %s", tok.Kind)
+		}
+		key := tok.Str
+		if seen[key] {
+			return nil, d.syntaxErr(tok.Offset, "duplicate object key %q", key)
+		}
+		seen[key] = true
+		colon, err := d.lex.Next()
+		if err != nil {
+			return nil, err
+		}
+		if colon.Kind != jsontext.TokColon {
+			return nil, d.syntaxErr(colon.Offset, "expected ':' after key, got %s", colon.Kind)
+		}
+		vt, err := d.lex.Next()
+		if err != nil {
+			return nil, err
+		}
+		ft, err := d.inferValue(vt, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, types.Field{Key: key, Type: ft})
+	}
+}
+
+func (d *Decoder) inferArray(depth int) (types.Type, error) {
+	var elems []types.Type
+	first := true
+	for {
+		tok, err := d.lex.Next()
+		if err != nil {
+			return nil, err
+		}
+		if first && tok.Kind == jsontext.TokEndArray {
+			return types.EmptyTuple, nil
+		}
+		if !first {
+			switch tok.Kind {
+			case jsontext.TokEndArray:
+				return types.NewTuple(elems...)
+			case jsontext.TokComma:
+				tok, err = d.lex.Next()
+				if err != nil {
+					return nil, err
+				}
+			default:
+				return nil, d.syntaxErr(tok.Offset, "expected ',' or ']' in array, got %s", tok.Kind)
+			}
+		}
+		first = false
+		et, err := d.inferValue(tok, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, et)
+	}
+}
+
+// InferAll infers one type per top-level JSON value in data.
+func InferAll(data []byte) ([]types.Type, error) {
+	var ts []types.Type
+	d := NewDecoder(bytes.NewReader(data), jsontext.Options{})
+	for {
+		t, err := d.Next()
+		if err == io.EOF {
+			return ts, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		ts = append(ts, t)
+	}
+}

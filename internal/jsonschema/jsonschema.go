@@ -1,0 +1,138 @@
+// Package jsonschema exports the inferred types of internal/types to
+// JSON Schema (draft-04 core vocabulary). The paper positions its type
+// language as "a core part of the JSON Schema language studied in [20]"
+// (Pezoa et al., WWW 2016); this exporter makes that relationship
+// concrete and lets downstream tools consume inferred schemas.
+//
+// The mapping:
+//
+//	Null / Bool / Num / Str    {"type": "null" / "boolean" / "number" / "string"}
+//	{a: T, b: U?}              {"type": "object", "properties": ..., "required": ["a"],
+//	                            "additionalProperties": false}
+//	[T1, ..., Tn]              {"type": "array", "items": [S1, ..., Sn],
+//	                            "minItems": n, "maxItems": n, "additionalItems": false}
+//	[T*]                       {"type": "array", "items": S}
+//	[ε*]                       {"type": "array", "maxItems": 0}
+//	{*: T}                     {"type": "object", "additionalProperties": S}
+//	T1 + ... + Tn              {"anyOf": [S1, ..., Sn]}
+//	ε                          {"not": {}}
+//
+// additionalProperties is false because inferred record types are
+// complete: every key that occurs anywhere in the dataset is present
+// (Section 1's "global description" property).
+package jsonschema
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Export converts a type to a JSON Schema document tree (the shapes
+// encoding/json produces: map[string]any, []any, ...).
+func Export(t types.Type) (map[string]any, error) {
+	if t == nil {
+		return nil, fmt.Errorf("jsonschema: nil type")
+	}
+	return export(t)
+}
+
+// Marshal renders the JSON Schema for t, including the draft-04 $schema
+// marker, as indented JSON.
+func Marshal(t types.Type) ([]byte, error) {
+	doc, err := Export(t)
+	if err != nil {
+		return nil, err
+	}
+	doc["$schema"] = "http://json-schema.org/draft-04/schema#"
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+func export(t types.Type) (map[string]any, error) {
+	switch tt := t.(type) {
+	case types.Basic:
+		switch tt {
+		case types.Null:
+			return map[string]any{"type": "null"}, nil
+		case types.Bool:
+			return map[string]any{"type": "boolean"}, nil
+		case types.Num:
+			return map[string]any{"type": "number"}, nil
+		case types.Str:
+			return map[string]any{"type": "string"}, nil
+		}
+		return nil, fmt.Errorf("jsonschema: unknown basic type %v", tt)
+	case types.EmptyType:
+		return map[string]any{"not": map[string]any{}}, nil
+	case *types.Record:
+		props := map[string]any{}
+		var required []any
+		for _, f := range tt.Fields() {
+			s, err := export(f.Type)
+			if err != nil {
+				return nil, fmt.Errorf("field %q: %w", f.Key, err)
+			}
+			props[f.Key] = s
+			if !f.Optional {
+				required = append(required, f.Key)
+			}
+		}
+		doc := map[string]any{
+			"type":                 "object",
+			"properties":           props,
+			"additionalProperties": false,
+		}
+		if len(required) > 0 {
+			doc["required"] = required
+		}
+		return doc, nil
+	case *types.Tuple:
+		items := make([]any, tt.Len())
+		for i, e := range tt.Elems() {
+			s, err := export(e)
+			if err != nil {
+				return nil, fmt.Errorf("tuple element %d: %w", i, err)
+			}
+			items[i] = s
+		}
+		n := float64(tt.Len())
+		doc := map[string]any{
+			"type":     "array",
+			"minItems": n,
+			"maxItems": n,
+		}
+		if len(items) > 0 {
+			doc["items"] = items
+			doc["additionalItems"] = false
+		}
+		return doc, nil
+	case *types.Map:
+		elem, err := export(tt.Elem())
+		if err != nil {
+			return nil, fmt.Errorf("map element: %w", err)
+		}
+		return map[string]any{"type": "object", "additionalProperties": elem}, nil
+	case *types.Repeated:
+		if _, isEmpty := tt.Elem().(types.EmptyType); isEmpty {
+			return map[string]any{"type": "array", "maxItems": float64(0)}, nil
+		}
+		s, err := export(tt.Elem())
+		if err != nil {
+			return nil, fmt.Errorf("array element: %w", err)
+		}
+		return map[string]any{"type": "array", "items": s}, nil
+	case *types.Union:
+		alts := make([]any, tt.Len())
+		for i, a := range tt.Alts() {
+			s, err := export(a)
+			if err != nil {
+				return nil, fmt.Errorf("union alternative %d: %w", i, err)
+			}
+			alts[i] = s
+		}
+		return map[string]any{"anyOf": alts}, nil
+	default:
+		return nil, fmt.Errorf("jsonschema: unknown type %T", t)
+	}
+}

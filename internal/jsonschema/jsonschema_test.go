@@ -1,0 +1,348 @@
+package jsonschema
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fusion"
+	"repro/internal/infer"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+func TestExportBasics(t *testing.T) {
+	cases := []struct {
+		t    types.Type
+		want string // substring of marshaled schema
+	}{
+		{types.Null, `"type": "null"`},
+		{types.Bool, `"type": "boolean"`},
+		{types.Num, `"type": "number"`},
+		{types.Str, `"type": "string"`},
+		{types.Empty, `"not": {}`},
+	}
+	for _, c := range cases {
+		data, err := Marshal(c.t)
+		if err != nil {
+			t.Fatalf("Marshal(%s): %v", c.t, err)
+		}
+		if !strings.Contains(string(data), c.want) {
+			t.Errorf("Marshal(%s) = %s, missing %q", c.t, data, c.want)
+		}
+	}
+}
+
+func TestMarshalIsValidJSONWithSchemaMarker(t *testing.T) {
+	data, err := Marshal(types.MustParse("{a: Num, b: (Str + Null)?}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if doc["$schema"] != "http://json-schema.org/draft-04/schema#" {
+		t.Errorf("$schema = %v", doc["$schema"])
+	}
+}
+
+func TestExportRecord(t *testing.T) {
+	doc, err := Export(types.MustParse("{a: Num, b: Str?}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc["type"] != "object" {
+		t.Errorf("type = %v", doc["type"])
+	}
+	props := doc["properties"].(map[string]any)
+	if len(props) != 2 {
+		t.Errorf("properties = %v", props)
+	}
+	req := doc["required"].([]any)
+	if len(req) != 1 || req[0] != "a" {
+		t.Errorf("required = %v", req)
+	}
+	if doc["additionalProperties"] != false {
+		t.Error("additionalProperties should be false")
+	}
+}
+
+func TestExportAllOptionalRecordHasNoRequired(t *testing.T) {
+	doc, err := Export(types.MustParse("{a: Num?, b: Str?}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc["required"]; ok {
+		t.Error("required should be absent when every field is optional")
+	}
+}
+
+func TestExportArrays(t *testing.T) {
+	// Tuple.
+	doc, err := Export(types.MustParse("[Num, Str]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc["minItems"] != 2.0 || doc["maxItems"] != 2.0 {
+		t.Errorf("tuple bounds = %v..%v", doc["minItems"], doc["maxItems"])
+	}
+	if items := doc["items"].([]any); len(items) != 2 {
+		t.Errorf("items = %v", items)
+	}
+	// Repeated.
+	doc, err = Export(types.MustParse("[Num*]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, isList := doc["items"].([]any); isList {
+		t.Error("repeated type should have a single items schema")
+	}
+	// Empty array type.
+	doc, err = Export(types.MustParse("[ε*]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc["maxItems"] != 0.0 {
+		t.Errorf("[ε*] maxItems = %v", doc["maxItems"])
+	}
+	// Empty tuple [] also admits only the empty array.
+	doc, err = Export(types.MustParse("[]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc["maxItems"] != 0.0 {
+		t.Errorf("[] maxItems = %v", doc["maxItems"])
+	}
+}
+
+func TestExportUnion(t *testing.T) {
+	doc, err := Export(types.MustParse("Num + Str"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alts := doc["anyOf"].([]any); len(alts) != 2 {
+		t.Errorf("anyOf = %v", alts)
+	}
+}
+
+func TestExportNil(t *testing.T) {
+	if _, err := Export(nil); err == nil {
+		t.Error("Export(nil) should fail")
+	}
+}
+
+// validate is a miniature draft-04 validator for exactly the vocabulary
+// Export emits. It lets the property test below check that the exported
+// schema accepts the same values as types.Member.
+func validate(doc map[string]any, v value.Value) bool {
+	if anyOf, ok := doc["anyOf"].([]any); ok {
+		for _, alt := range anyOf {
+			if validate(alt.(map[string]any), v) {
+				return true
+			}
+		}
+		return false
+	}
+	if _, ok := doc["not"]; ok {
+		return false // Export only emits "not": {}
+	}
+	switch doc["type"] {
+	case "null":
+		return v.Kind() == value.KindNull
+	case "boolean":
+		return v.Kind() == value.KindBool
+	case "number":
+		return v.Kind() == value.KindNum
+	case "string":
+		return v.Kind() == value.KindStr
+	case "object":
+		rec, ok := v.(*value.Record)
+		if !ok {
+			return false
+		}
+		props, _ := doc["properties"].(map[string]any)
+		addl, addlIsSchema := doc["additionalProperties"].(map[string]any)
+		for _, f := range rec.Fields() {
+			sub, ok := props[f.Key].(map[string]any)
+			if !ok {
+				if addlIsSchema {
+					if !validate(addl, f.Value) {
+						return false
+					}
+					continue
+				}
+				return false // additionalProperties: false
+			}
+			if !validate(sub, f.Value) {
+				return false
+			}
+		}
+		if req, ok := doc["required"].([]any); ok {
+			for _, k := range req {
+				if !rec.Has(k.(string)) {
+					return false
+				}
+			}
+		}
+		return true
+	case "array":
+		arr, ok := v.(value.Array)
+		if !ok {
+			return false
+		}
+		if min, ok := doc["minItems"].(float64); ok && float64(len(arr)) < min {
+			return false
+		}
+		if max, ok := doc["maxItems"].(float64); ok && float64(len(arr)) > max {
+			return false
+		}
+		switch items := doc["items"].(type) {
+		case []any:
+			for i, e := range arr {
+				if i >= len(items) {
+					return false // additionalItems: false
+				}
+				if !validate(items[i].(map[string]any), e) {
+					return false
+				}
+			}
+			return true
+		case map[string]any:
+			for _, e := range arr {
+				if !validate(items, e) {
+					return false
+				}
+			}
+			return true
+		default:
+			return true // no items constraint (empty arrays only)
+		}
+	default:
+		return false
+	}
+}
+
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func randomValue(r *rng, depth int) value.Value {
+	max := 6
+	if depth <= 0 {
+		max = 4
+	}
+	switch r.intn(max) {
+	case 0:
+		return value.Null{}
+	case 1:
+		return value.Bool(r.intn(2) == 0)
+	case 2:
+		return value.Num(float64(r.intn(40)))
+	case 3:
+		return value.Str(strings.Repeat("v", r.intn(3)))
+	case 4:
+		var fs []value.Field
+		seen := map[string]bool{}
+		for i := 0; i < r.intn(4); i++ {
+			k := string(rune('a' + r.intn(5)))
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			fs = append(fs, value.Field{Key: k, Value: randomValue(r, depth-1)})
+		}
+		return value.MustRecord(fs...)
+	default:
+		var elems value.Array
+		for i := 0; i < r.intn(4); i++ {
+			elems = append(elems, randomValue(r, depth-1))
+		}
+		if elems == nil {
+			elems = value.Array{}
+		}
+		return elems
+	}
+}
+
+func TestPropertyExportAgreesWithMember(t *testing.T) {
+	// For fused types T and random values v: v ∈ ⟦T⟧ iff the exported
+	// JSON Schema validates v.
+	f := func(seed uint64) bool {
+		r := &rng{s: seed | 1}
+		t1 := infer.Infer(randomValue(r, 3))
+		t2 := infer.Infer(randomValue(r, 3))
+		fused := fusion.Fuse(t1, t2)
+		doc, err := Export(fused)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 6; i++ {
+			v := randomValue(r, 3)
+			if types.Member(v, fused) != validate(doc, v) {
+				t.Logf("type %s value %s member=%v", fused, value.JSON(v), types.Member(v, fused))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyExportValidatesSourceValues(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := &rng{s: seed | 1}
+		v1 := randomValue(r, 3)
+		v2 := randomValue(r, 3)
+		fused := fusion.Fuse(infer.Infer(v1), infer.Infer(v2))
+		doc, err := Export(fused)
+		if err != nil {
+			return false
+		}
+		return validate(doc, v1) && validate(doc, v2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExportMapType(t *testing.T) {
+	doc, err := Export(types.MustParse("{*: {v: Num}}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc["type"] != "object" {
+		t.Errorf("type = %v", doc["type"])
+	}
+	addl, ok := doc["additionalProperties"].(map[string]any)
+	if !ok {
+		t.Fatalf("additionalProperties = %v", doc["additionalProperties"])
+	}
+	if addl["type"] != "object" {
+		t.Errorf("element schema = %v", addl)
+	}
+	// The mini validator agrees with Member on the map type.
+	m := types.MustParse("{*: Num}")
+	mdoc, err := Export(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yes := value.Obj("anything", value.Num(1), "other", value.Num(2))
+	no := value.Obj("bad", value.Str("s"))
+	if !validate(mdoc, yes) || validate(mdoc, no) {
+		t.Errorf("validator disagrees on map type: yes=%v no=%v", validate(mdoc, yes), validate(mdoc, no))
+	}
+	if types.Member(yes, m) != validate(mdoc, yes) || types.Member(no, m) != validate(mdoc, no) {
+		t.Error("validator and Member disagree")
+	}
+}

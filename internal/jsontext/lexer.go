@@ -1,0 +1,424 @@
+// Package jsontext implements a streaming JSON lexer and parser for the
+// inference pipeline: it turns byte streams into the value model of
+// internal/value, and exposes the raw token stream so that type inference
+// can run directly over tokens without materializing values (the role
+// Json4s plays in the paper's Scala implementation).
+//
+// The grammar implemented is RFC 8259 JSON. Duplicate object keys are
+// rejected by the parser (well-formedness per Section 4 of the paper);
+// the lexer itself is key-agnostic.
+package jsontext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// TokenKind identifies a lexical token.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokNull
+	TokTrue
+	TokFalse
+	TokNum
+	TokStr
+	TokBeginObject // {
+	TokEndObject   // }
+	TokBeginArray  // [
+	TokEndArray    // ]
+	TokComma       // ,
+	TokColon       // :
+)
+
+// String names the token kind for error messages.
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokNull:
+		return "null"
+	case TokTrue:
+		return "true"
+	case TokFalse:
+		return "false"
+	case TokNum:
+		return "number"
+	case TokStr:
+		return "string"
+	case TokBeginObject:
+		return "'{'"
+	case TokEndObject:
+		return "'}'"
+	case TokBeginArray:
+		return "'['"
+	case TokEndArray:
+		return "']'"
+	case TokComma:
+		return "','"
+	case TokColon:
+		return "':'"
+	default:
+		return fmt.Sprintf("TokenKind(%d)", int(k))
+	}
+}
+
+// Token is a lexical token. Str carries the decoded string for TokStr and
+// Num the parsed value for TokNum. Offset is the byte offset of the
+// token's first byte in the input.
+type Token struct {
+	Kind   TokenKind
+	Str    string
+	Num    float64
+	Offset int64
+}
+
+// SyntaxError reports malformed JSON with the byte offset of the problem.
+type SyntaxError struct {
+	Offset int64
+	Msg    string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("jsontext: syntax error at offset %d: %s", e.Offset, e.Msg)
+}
+
+// Lexer reads JSON tokens from an io.Reader.
+type Lexer struct {
+	r      *bufio.Reader
+	offset int64
+	// strBuf is reused across string tokens to avoid per-token
+	// allocations when strings contain escapes.
+	strBuf []byte
+}
+
+// NewLexer returns a lexer reading from r.
+func NewLexer(r io.Reader) *Lexer {
+	return &Lexer{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Offset returns the number of bytes consumed so far.
+func (l *Lexer) Offset() int64 { return l.offset }
+
+func (l *Lexer) errorf(off int64, format string, args ...any) error {
+	return &SyntaxError{Offset: off, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) readByte() (byte, error) {
+	b, err := l.r.ReadByte()
+	if err == nil {
+		l.offset++
+	}
+	return b, err
+}
+
+func (l *Lexer) unreadByte() {
+	// ReadByte was the last operation, so UnreadByte cannot fail.
+	_ = l.r.UnreadByte()
+	l.offset--
+}
+
+// skipSpace consumes insignificant whitespace and reports io.EOF at the
+// end of input.
+func (l *Lexer) skipSpace() error {
+	for {
+		b, err := l.readByte()
+		if err != nil {
+			return err
+		}
+		switch b {
+		case ' ', '\t', '\n', '\r':
+		default:
+			l.unreadByte()
+			return nil
+		}
+	}
+}
+
+// Next returns the next token. At the end of the input it returns a token
+// with Kind TokEOF and a nil error; any other error is either an
+// unexpected io error or a *SyntaxError.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpace(); err != nil {
+		if err == io.EOF {
+			return Token{Kind: TokEOF, Offset: l.offset}, nil
+		}
+		return Token{}, err
+	}
+	start := l.offset
+	b, err := l.readByte()
+	if err != nil {
+		return Token{}, err
+	}
+	switch b {
+	case '{':
+		return Token{Kind: TokBeginObject, Offset: start}, nil
+	case '}':
+		return Token{Kind: TokEndObject, Offset: start}, nil
+	case '[':
+		return Token{Kind: TokBeginArray, Offset: start}, nil
+	case ']':
+		return Token{Kind: TokEndArray, Offset: start}, nil
+	case ',':
+		return Token{Kind: TokComma, Offset: start}, nil
+	case ':':
+		return Token{Kind: TokColon, Offset: start}, nil
+	case '"':
+		s, err := l.scanString(start)
+		if err != nil {
+			return Token{}, err
+		}
+		return Token{Kind: TokStr, Str: s, Offset: start}, nil
+	case 't':
+		if err := l.expectWord(start, "rue"); err != nil {
+			return Token{}, err
+		}
+		return Token{Kind: TokTrue, Offset: start}, nil
+	case 'f':
+		if err := l.expectWord(start, "alse"); err != nil {
+			return Token{}, err
+		}
+		return Token{Kind: TokFalse, Offset: start}, nil
+	case 'n':
+		if err := l.expectWord(start, "ull"); err != nil {
+			return Token{}, err
+		}
+		return Token{Kind: TokNull, Offset: start}, nil
+	default:
+		if b == '-' || (b >= '0' && b <= '9') {
+			n, err := l.scanNumber(start, b)
+			if err != nil {
+				return Token{}, err
+			}
+			return Token{Kind: TokNum, Num: n, Offset: start}, nil
+		}
+		return Token{}, l.errorf(start, "unexpected character %q", string(rune(b)))
+	}
+}
+
+// expectWord consumes the remainder of a keyword (true/false/null).
+func (l *Lexer) expectWord(start int64, rest string) error {
+	for i := 0; i < len(rest); i++ {
+		b, err := l.readByte()
+		if err != nil || b != rest[i] {
+			return l.errorf(start, "invalid literal")
+		}
+	}
+	return nil
+}
+
+// scanString reads the body of a string; the opening quote has been
+// consumed. It decodes escapes including \uXXXX surrogate pairs.
+func (l *Lexer) scanString(start int64) (string, error) {
+	buf := l.strBuf[:0]
+	for {
+		b, err := l.readByte()
+		if err != nil {
+			return "", l.errorf(start, "unterminated string")
+		}
+		switch {
+		case b == '"':
+			if !utf8.Valid(buf) {
+				// RFC 8259 strings are UTF-8; like encoding/json we
+				// replace invalid sequences with U+FFFD instead of
+				// propagating raw bytes.
+				clean := make([]byte, 0, len(buf)+utf8.UTFMax)
+				for _, r := range string(buf) {
+					clean = utf8.AppendRune(clean, r)
+				}
+				buf = clean
+			}
+			l.strBuf = buf
+			return string(buf), nil
+		case b == '\\':
+			esc, err := l.readByte()
+			if err != nil {
+				return "", l.errorf(start, "unterminated escape")
+			}
+			switch esc {
+			case '"':
+				buf = append(buf, '"')
+			case '\\':
+				buf = append(buf, '\\')
+			case '/':
+				buf = append(buf, '/')
+			case 'b':
+				buf = append(buf, '\b')
+			case 'f':
+				buf = append(buf, '\f')
+			case 'n':
+				buf = append(buf, '\n')
+			case 'r':
+				buf = append(buf, '\r')
+			case 't':
+				buf = append(buf, '\t')
+			case 'u':
+				r, err := l.scanHex4(start)
+				if err != nil {
+					return "", err
+				}
+				if utf16.IsSurrogate(r) {
+					r2, ok, err := l.maybeLowSurrogate(start)
+					if err != nil {
+						return "", err
+					}
+					if ok {
+						r = utf16.DecodeRune(r, r2)
+					} else {
+						r = utf8.RuneError
+					}
+				}
+				buf = utf8.AppendRune(buf, r)
+			default:
+				return "", l.errorf(l.offset-1, "invalid escape character %q", string(rune(esc)))
+			}
+		case b < 0x20:
+			return "", l.errorf(l.offset-1, "control character %#x in string", b)
+		default:
+			buf = append(buf, b)
+		}
+	}
+}
+
+// scanHex4 reads four hex digits of a \u escape.
+func (l *Lexer) scanHex4(start int64) (rune, error) {
+	var r rune
+	for i := 0; i < 4; i++ {
+		b, err := l.readByte()
+		if err != nil {
+			return 0, l.errorf(start, "short \\u escape")
+		}
+		var d rune
+		switch {
+		case b >= '0' && b <= '9':
+			d = rune(b - '0')
+		case b >= 'a' && b <= 'f':
+			d = rune(b-'a') + 10
+		case b >= 'A' && b <= 'F':
+			d = rune(b-'A') + 10
+		default:
+			return 0, l.errorf(l.offset-1, "invalid hex digit %q in \\u escape", string(rune(b)))
+		}
+		r = r<<4 | d
+	}
+	return r, nil
+}
+
+// maybeLowSurrogate tries to read a \uXXXX low surrogate following a high
+// surrogate. It reports whether it consumed one.
+func (l *Lexer) maybeLowSurrogate(start int64) (rune, bool, error) {
+	b1, err := l.readByte()
+	if err != nil {
+		return 0, false, nil
+	}
+	if b1 != '\\' {
+		l.unreadByte()
+		return 0, false, nil
+	}
+	b2, err := l.readByte()
+	if err != nil {
+		return 0, false, l.errorf(start, "unterminated escape")
+	}
+	if b2 != 'u' {
+		// Not a \u escape: un-consume is impossible for two bytes with
+		// bufio, so treat as an error; encoding/json behaves the same
+		// way for a lone high surrogate followed by another escape.
+		return 0, false, l.errorf(l.offset-2, "expected low surrogate escape")
+	}
+	r, err := l.scanHex4(start)
+	if err != nil {
+		return 0, false, err
+	}
+	return r, true, nil
+}
+
+// scanNumber reads a JSON number whose first byte is first, validating
+// the RFC 8259 grammar.
+func (l *Lexer) scanNumber(start int64, first byte) (float64, error) {
+	var raw []byte
+	raw = append(raw, first)
+	readDigits := func(minOne bool) error {
+		n := 0
+		for {
+			b, err := l.readByte()
+			if err != nil {
+				break
+			}
+			if b < '0' || b > '9' {
+				l.unreadByte()
+				break
+			}
+			raw = append(raw, b)
+			n++
+		}
+		if minOne && n == 0 {
+			return l.errorf(start, "malformed number")
+		}
+		return nil
+	}
+	b := first
+	if b == '-' {
+		var err error
+		b, err = l.readByte()
+		if err != nil || b < '0' || b > '9' {
+			return 0, l.errorf(start, "malformed number")
+		}
+		raw = append(raw, b)
+	}
+	// Integer part: a leading zero cannot be followed by more digits.
+	if b != '0' {
+		if err := readDigits(false); err != nil {
+			return 0, err
+		}
+	} else {
+		if nb, err := l.readByte(); err == nil {
+			if nb >= '0' && nb <= '9' {
+				return 0, l.errorf(start, "leading zero in number")
+			}
+			l.unreadByte()
+		}
+	}
+	// Fraction.
+	if nb, err := l.readByte(); err == nil {
+		if nb == '.' {
+			raw = append(raw, nb)
+			if err := readDigits(true); err != nil {
+				return 0, err
+			}
+		} else {
+			l.unreadByte()
+		}
+	}
+	// Exponent.
+	if nb, err := l.readByte(); err == nil {
+		if nb == 'e' || nb == 'E' {
+			raw = append(raw, nb)
+			sb, err := l.readByte()
+			if err != nil {
+				return 0, l.errorf(start, "malformed exponent")
+			}
+			if sb == '+' || sb == '-' {
+				raw = append(raw, sb)
+			} else {
+				l.unreadByte()
+			}
+			if err := readDigits(true); err != nil {
+				return 0, err
+			}
+		} else {
+			l.unreadByte()
+		}
+	}
+	f, err := strconv.ParseFloat(string(raw), 64)
+	if err != nil {
+		return 0, l.errorf(start, "malformed number %q", raw)
+	}
+	return f, nil
+}

@@ -1,0 +1,181 @@
+package jsontext
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/value"
+)
+
+// DefaultMaxDepth bounds nesting to protect against depth bombs; it is
+// far above anything in the paper's datasets (max nesting 7).
+const DefaultMaxDepth = 512
+
+// Options configure parsing.
+type Options struct {
+	// MaxDepth bounds the nesting depth of parsed values; zero means
+	// DefaultMaxDepth.
+	MaxDepth int
+}
+
+func (o Options) maxDepth() int {
+	if o.MaxDepth <= 0 {
+		return DefaultMaxDepth
+	}
+	return o.MaxDepth
+}
+
+// Parser builds value.Value trees from a token stream.
+type Parser struct {
+	lex  *Lexer
+	opts Options
+}
+
+// NewParser returns a parser reading one or more whitespace-separated
+// JSON values from r.
+func NewParser(r io.Reader, opts Options) *Parser {
+	return &Parser{lex: NewLexer(r), opts: opts}
+}
+
+// ParseBytes parses a single JSON value from data, requiring that
+// nothing but whitespace follows it.
+func ParseBytes(data []byte) (value.Value, error) {
+	p := NewParser(bytes.NewReader(data), Options{})
+	v, err := p.Next()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.Next(); err != io.EOF {
+		return nil, &SyntaxError{Offset: p.lex.Offset(), Msg: "trailing data after JSON value"}
+	}
+	return v, nil
+}
+
+// Next parses the next top-level value from the stream. It returns
+// io.EOF when the input is exhausted. This accepts both NDJSON
+// (newline-delimited) and whitespace-concatenated JSON values.
+func (p *Parser) Next() (value.Value, error) {
+	tok, err := p.lex.Next()
+	if err != nil {
+		return nil, err
+	}
+	if tok.Kind == TokEOF {
+		return nil, io.EOF
+	}
+	return p.parseValue(tok, 0)
+}
+
+// Offset returns the number of input bytes consumed so far.
+func (p *Parser) Offset() int64 { return p.lex.Offset() }
+
+func (p *Parser) parseValue(tok Token, depth int) (value.Value, error) {
+	if depth > p.opts.maxDepth() {
+		return nil, &SyntaxError{Offset: tok.Offset, Msg: fmt.Sprintf("nesting deeper than %d", p.opts.maxDepth())}
+	}
+	switch tok.Kind {
+	case TokNull:
+		return value.Null{}, nil
+	case TokTrue:
+		return value.Bool(true), nil
+	case TokFalse:
+		return value.Bool(false), nil
+	case TokNum:
+		return value.Num(tok.Num), nil
+	case TokStr:
+		return value.Str(tok.Str), nil
+	case TokBeginObject:
+		return p.parseObject(depth)
+	case TokBeginArray:
+		return p.parseArray(depth)
+	default:
+		return nil, &SyntaxError{Offset: tok.Offset, Msg: fmt.Sprintf("unexpected %s", tok.Kind)}
+	}
+}
+
+func (p *Parser) parseObject(depth int) (value.Value, error) {
+	var fields []value.Field
+	seen := make(map[string]bool)
+	first := true
+	for {
+		tok, err := p.lex.Next()
+		if err != nil {
+			return nil, err
+		}
+		if first && tok.Kind == TokEndObject {
+			return value.MustRecord(), nil
+		}
+		if !first {
+			switch tok.Kind {
+			case TokEndObject:
+				return value.NewRecord(fields...)
+			case TokComma:
+				tok, err = p.lex.Next()
+				if err != nil {
+					return nil, err
+				}
+			default:
+				return nil, &SyntaxError{Offset: tok.Offset, Msg: fmt.Sprintf("expected ',' or '}' in object, got %s", tok.Kind)}
+			}
+		}
+		first = false
+		if tok.Kind != TokStr {
+			return nil, &SyntaxError{Offset: tok.Offset, Msg: fmt.Sprintf("expected object key string, got %s", tok.Kind)}
+		}
+		key := tok.Str
+		if seen[key] {
+			// Well-formedness per Section 4: keys must be unique.
+			return nil, &SyntaxError{Offset: tok.Offset, Msg: fmt.Sprintf("duplicate object key %q", key)}
+		}
+		seen[key] = true
+		colon, err := p.lex.Next()
+		if err != nil {
+			return nil, err
+		}
+		if colon.Kind != TokColon {
+			return nil, &SyntaxError{Offset: colon.Offset, Msg: fmt.Sprintf("expected ':' after key, got %s", colon.Kind)}
+		}
+		vt, err := p.lex.Next()
+		if err != nil {
+			return nil, err
+		}
+		v, err := p.parseValue(vt, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, value.Field{Key: key, Value: v})
+	}
+}
+
+func (p *Parser) parseArray(depth int) (value.Value, error) {
+	var elems value.Array
+	first := true
+	for {
+		tok, err := p.lex.Next()
+		if err != nil {
+			return nil, err
+		}
+		if first && tok.Kind == TokEndArray {
+			return value.Array{}, nil
+		}
+		if !first {
+			switch tok.Kind {
+			case TokEndArray:
+				return elems, nil
+			case TokComma:
+				tok, err = p.lex.Next()
+				if err != nil {
+					return nil, err
+				}
+			default:
+				return nil, &SyntaxError{Offset: tok.Offset, Msg: fmt.Sprintf("expected ',' or ']' in array, got %s", tok.Kind)}
+			}
+		}
+		first = false
+		v, err := p.parseValue(tok, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, v)
+	}
+}

@@ -1,0 +1,132 @@
+package jsontext
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+
+	"repro/internal/value"
+)
+
+// ScanValues parses every top-level JSON value in r and calls fn for
+// each. It stops and returns the first error from parsing or from fn.
+func ScanValues(r io.Reader, opts Options, fn func(value.Value) error) error {
+	p := NewParser(r, opts)
+	for {
+		v, err := p.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(v); err != nil {
+			return err
+		}
+	}
+}
+
+// ParseAll parses every top-level JSON value in data.
+func ParseAll(data []byte) ([]value.Value, error) {
+	var vs []value.Value
+	err := ScanValues(bytes.NewReader(data), Options{}, func(v value.Value) error {
+		vs = append(vs, v)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return vs, nil
+}
+
+// SplitLines splits an NDJSON byte buffer into n chunks of roughly equal
+// byte size, cutting only at line boundaries so each chunk holds whole
+// JSON values. Fewer than n chunks are returned when the data has fewer
+// lines. This is the partitioning step of the map phase: chunks can be
+// parsed independently and in parallel.
+func SplitLines(data []byte, n int) [][]byte {
+	if n <= 1 || len(data) == 0 {
+		if len(data) == 0 {
+			return nil
+		}
+		return [][]byte{data}
+	}
+	var chunks [][]byte
+	target := len(data)/n + 1
+	start := 0
+	for start < len(data) && len(chunks) < n-1 {
+		end := start + target
+		if end >= len(data) {
+			break
+		}
+		// Advance to the next newline so values stay intact.
+		nl := bytes.IndexByte(data[end:], '\n')
+		if nl < 0 {
+			break
+		}
+		end += nl + 1
+		chunks = append(chunks, data[start:end])
+		start = end
+	}
+	if start < len(data) {
+		chunks = append(chunks, data[start:])
+	}
+	return chunks
+}
+
+// ChunkLines reads NDJSON from r and calls emit with line-aligned chunks
+// of roughly chunkBytes bytes (the final chunk may be smaller, and a
+// single line longer than chunkBytes becomes its own chunk). Each chunk
+// is a fresh allocation that emit may retain. This is the streaming
+// partitioner for inputs too large to hold in memory: chunks flow to
+// parallel workers while the file is still being read.
+func ChunkLines(r io.Reader, chunkBytes int, emit func([]byte) error) error {
+	if chunkBytes <= 0 {
+		chunkBytes = 4 << 20
+	}
+	br := bufio.NewReaderSize(r, 256<<10)
+	buf := make([]byte, 0, chunkBytes+4096)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		chunk := make([]byte, len(buf))
+		copy(chunk, buf)
+		buf = buf[:0]
+		return emit(chunk)
+	}
+	for {
+		line, err := br.ReadBytes('\n')
+		buf = append(buf, line...)
+		if len(buf) >= chunkBytes {
+			if ferr := flush(); ferr != nil {
+				return ferr
+			}
+		}
+		if err == io.EOF {
+			return flush()
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// CountLines reports the number of non-empty lines in an NDJSON buffer,
+// i.e. the number of records without parsing them.
+func CountLines(data []byte) int {
+	n := 0
+	for len(data) > 0 {
+		i := bytes.IndexByte(data, '\n')
+		var line []byte
+		if i < 0 {
+			line, data = data, nil
+		} else {
+			line, data = data[:i], data[i+1:]
+		}
+		if len(bytes.TrimSpace(line)) > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,211 @@
+// Package mapreduce is a small, generic map-reduce engine that plays the
+// role Spark plays in the paper: it distributes a Map transformation
+// (per-partition type inference) over workers and folds the outputs with
+// an associative Reduce (type fusion).
+//
+// The engine offers two reduction disciplines:
+//
+//   - unordered (the default): every worker folds the outputs of its own
+//     tasks into a local accumulator as they complete, and the local
+//     accumulators are folded at the end. Outputs meet in arrival order,
+//     so the combiner must be associative AND commutative — exactly the
+//     properties Theorems 5.4 and 5.5 establish for type fusion. This is
+//     the "combiner" optimization of classic map-reduce.
+//
+//   - ordered: outputs are collected with their input sequence numbers
+//     and folded left-to-right in input order. Only associativity is
+//     required, and the result is bit-for-bit reproducible regardless of
+//     scheduling. Used by tests to cross-check the unordered path.
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config tunes a run.
+type Config struct {
+	// Workers is the number of concurrent map workers; zero means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Ordered selects the ordered reduction discipline documented in the
+	// package comment.
+	Ordered bool
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+// Stats reports where a run spent its effort.
+type Stats struct {
+	// Tasks is the number of input items mapped.
+	Tasks int
+	// MapTime is the total time spent inside mapFn summed over workers
+	// (it exceeds Wall on multi-worker runs).
+	MapTime time.Duration
+	// ReduceTime is the time spent in the final fold of worker
+	// accumulators (ordered mode: the whole fold).
+	ReduceTime time.Duration
+	// Wall is the end-to-end elapsed time of the run.
+	Wall time.Duration
+}
+
+// Run maps every item received from src and reduces the outputs with
+// combine, starting from zero. It stops at the first error: a mapFn
+// error, a mapFn panic (converted to an error), or ctx cancellation.
+//
+// combine must be associative; in the default unordered mode it must
+// also be commutative. zero must be the identity of combine.
+func Run[I, M any](ctx context.Context, src <-chan I, mapFn func(context.Context, I) (M, error), combine func(M, M) M, zero M, cfg Config) (M, Stats, error) {
+	start := time.Now()
+	nw := cfg.workers()
+
+	type seqItem struct {
+		seq  int
+		item I
+	}
+	type seqOut struct {
+		seq int
+		out M
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	items := make(chan seqItem)
+	// Feed items with sequence numbers; stop early on cancellation.
+	go func() {
+		defer close(items)
+		seq := 0
+		for it := range src {
+			select {
+			case items <- seqItem{seq: seq, item: it}:
+				seq++
+			case <-runCtx.Done():
+				// Drain src so a blocked producer can finish.
+				for range src {
+				}
+				return
+			}
+		}
+	}()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		mapTime  time.Duration
+		tasks    int
+		ordered  []seqOut // ordered mode: all outputs
+		locals   = make([]M, nw)
+		started  = make([]bool, nw)
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for it := range items {
+				out, dur, err := runTask(runCtx, mapFn, it.item)
+				mu.Lock()
+				mapTime += dur
+				tasks++
+				mu.Unlock()
+				if err != nil {
+					fail(fmt.Errorf("mapreduce: task %d: %w", it.seq, err))
+					return
+				}
+				if cfg.Ordered {
+					mu.Lock()
+					ordered = append(ordered, seqOut{seq: it.seq, out: out})
+					mu.Unlock()
+				} else {
+					if started[w] {
+						locals[w] = combine(locals[w], out)
+					} else {
+						locals[w] = out
+						started[w] = true
+					}
+				}
+				select {
+				case <-runCtx.Done():
+					return
+				default:
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = ctx.Err()
+	}
+	st := Stats{Tasks: tasks, MapTime: mapTime}
+	if firstErr != nil {
+		st.Wall = time.Since(start)
+		return zero, st, firstErr
+	}
+
+	reduceStart := time.Now()
+	acc := zero
+	if cfg.Ordered {
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i].seq < ordered[j].seq })
+		for _, o := range ordered {
+			acc = combine(acc, o.out)
+		}
+	} else {
+		for w := 0; w < nw; w++ {
+			if started[w] {
+				acc = combine(acc, locals[w])
+			}
+		}
+	}
+	st.ReduceTime = time.Since(reduceStart)
+	st.Wall = time.Since(start)
+	return acc, st, nil
+}
+
+// runTask invokes mapFn with panic recovery and timing.
+func runTask[I, M any](ctx context.Context, mapFn func(context.Context, I) (M, error), item I) (out M, dur time.Duration, err error) {
+	start := time.Now()
+	defer func() {
+		dur = time.Since(start)
+		if r := recover(); r != nil {
+			err = fmt.Errorf("map function panicked: %v", r)
+		}
+	}()
+	out, err = mapFn(ctx, item)
+	return out, 0, err // dur is set by the deferred closure
+}
+
+// RunSlice is Run over an in-memory slice of items.
+func RunSlice[I, M any](ctx context.Context, items []I, mapFn func(context.Context, I) (M, error), combine func(M, M) M, zero M, cfg Config) (M, Stats, error) {
+	src := make(chan I)
+	go func() {
+		defer close(src)
+		for _, it := range items {
+			select {
+			case src <- it:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return Run(ctx, src, mapFn, combine, zero, cfg)
+}

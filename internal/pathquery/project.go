@@ -1,0 +1,117 @@
+package pathquery
+
+import (
+	"repro/internal/value"
+)
+
+// Mask is a projection tree built from the set of paths a query needs:
+// applied to a value, it keeps exactly the fragments those paths can
+// select and drops everything else. This is the schema-based projection
+// optimization the paper cites ([9]): "load in main memory only those
+// fragments of the input dataset that are actually needed".
+type Mask struct {
+	// all marks a subtree that is needed in full.
+	all bool
+	// fields holds the needed record fields; nil key set with elem ==
+	// nil and !all means nothing below this point is needed.
+	fields map[string]*Mask
+	// elem holds the mask for array elements, when any are needed.
+	elem *Mask
+}
+
+// NewMask builds a projection mask covering all the given paths.
+func NewMask(paths ...Path) *Mask {
+	root := &Mask{}
+	for _, p := range paths {
+		root.add(p.steps)
+	}
+	return root
+}
+
+func (m *Mask) add(steps []Step) {
+	if m.all {
+		return
+	}
+	if len(steps) == 0 {
+		// The whole subtree is selected.
+		m.all = true
+		m.fields = nil
+		m.elem = nil
+		return
+	}
+	switch steps[0].Kind {
+	case StepField:
+		if m.fields == nil {
+			m.fields = make(map[string]*Mask)
+		}
+		child := m.fields[steps[0].Key]
+		if child == nil {
+			child = &Mask{}
+			m.fields[steps[0].Key] = child
+		}
+		child.add(steps[1:])
+	case StepAnyField:
+		// .* needs every field; approximate with the full subtree under
+		// a wildcard field mask.
+		if m.fields == nil {
+			m.fields = make(map[string]*Mask)
+		}
+		child := m.fields["*"]
+		if child == nil {
+			child = &Mask{}
+			m.fields["*"] = child
+		}
+		child.add(steps[1:])
+	case StepElem:
+		if m.elem == nil {
+			m.elem = &Mask{}
+		}
+		m.elem.add(steps[1:])
+	}
+}
+
+// Apply projects v through the mask: record fields not covered are
+// dropped, array elements are projected element-wise, and subtrees
+// marked as fully needed are returned as-is. Positions the mask covers
+// but the value lacks are simply absent (the schema tells the caller
+// whether that is possible via Match.CanMiss).
+func (m *Mask) Apply(v value.Value) value.Value {
+	if m == nil || m.all {
+		return v
+	}
+	switch vv := v.(type) {
+	case *value.Record:
+		var fields []value.Field
+		for _, f := range vv.Fields() {
+			child := m.fields[f.Key]
+			if child == nil {
+				child = m.fields["*"]
+			}
+			if child == nil {
+				continue
+			}
+			fields = append(fields, value.Field{Key: f.Key, Value: child.Apply(f.Value)})
+		}
+		return value.MustRecord(fields...)
+	case value.Array:
+		if m.elem == nil {
+			return value.Array{}
+		}
+		out := make(value.Array, len(vv))
+		for i, e := range vv {
+			out[i] = m.elem.Apply(e)
+		}
+		return out
+	default:
+		// Scalars at a position the query traverses further have
+		// nothing to project; keep them (they are cheap) so the result
+		// stays informative.
+		return v
+	}
+}
+
+// Nodes reports the number of value nodes Apply would keep, used to
+// quantify projection savings without materializing the projection.
+func (m *Mask) Nodes(v value.Value) int {
+	return value.Nodes(m.Apply(v))
+}

@@ -1,0 +1,161 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// The codec serializes profiles so that statistics travel with schemas:
+// a profile written by one process (or partition) loads in another and
+// keeps merging — the same operational story as the schema repository.
+
+type wireProfile struct {
+	Count int64     `json:"count"`
+	Root  *wireNode `json:"root,omitempty"`
+}
+
+type wireNode struct {
+	Total int64                 `json:"total"`
+	Kinds map[string]*wireKinds `json:"kinds,omitempty"`
+}
+
+type wireKinds struct {
+	Count     int64                 `json:"count"`
+	Fields    map[string]*wireField `json:"fields,omitempty"`
+	Elem      *wireNode             `json:"elem,omitempty"`
+	MinLen    int                   `json:"minLen,omitempty"`
+	MaxLen    int                   `json:"maxLen,omitempty"`
+	TotalLen  int64                 `json:"totalLen,omitempty"`
+	MinNum    float64               `json:"minNum,omitempty"`
+	MaxNum    float64               `json:"maxNum,omitempty"`
+	SumNum    float64               `json:"sumNum,omitempty"`
+	MinStr    int                   `json:"minStr,omitempty"`
+	MaxStr    int                   `json:"maxStr,omitempty"`
+	TotalStr  int64                 `json:"totalStr,omitempty"`
+	TrueCount int64                 `json:"trueCount,omitempty"`
+}
+
+type wireField struct {
+	Count int64     `json:"count"`
+	Node  *wireNode `json:"node"`
+}
+
+var kindNames = map[types.Kind]string{
+	types.KindNull:   "null",
+	types.KindBool:   "bool",
+	types.KindNum:    "num",
+	types.KindStr:    "str",
+	types.KindRecord: "record",
+	types.KindArray:  "array",
+}
+
+var kindByName = func() map[string]types.Kind {
+	m := make(map[string]types.Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// MarshalJSON encodes the profile.
+func (p *Profile) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireProfile{Count: p.Count, Root: nodeToWire(p.Root)})
+}
+
+// UnmarshalJSON decodes a profile previously encoded with MarshalJSON
+// into p, replacing its contents.
+func (p *Profile) UnmarshalJSON(data []byte) error {
+	var w wireProfile
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("profile: decoding: %w", err)
+	}
+	root, err := nodeFromWire(w.Root)
+	if err != nil {
+		return err
+	}
+	p.Count = w.Count
+	p.Root = root
+	return nil
+}
+
+func nodeToWire(n *Node) *wireNode {
+	if n == nil {
+		return nil
+	}
+	w := &wireNode{Total: n.Total}
+	if len(n.Kinds) > 0 {
+		w.Kinds = make(map[string]*wireKinds, len(n.Kinds))
+		for kind, ks := range n.Kinds {
+			wk := &wireKinds{
+				Count:     ks.Count,
+				Elem:      nodeToWire(ks.Elem),
+				MinLen:    ks.MinLen,
+				MaxLen:    ks.MaxLen,
+				TotalLen:  ks.TotalLen,
+				MinNum:    ks.MinNum,
+				MaxNum:    ks.MaxNum,
+				SumNum:    ks.SumNum,
+				MinStr:    ks.MinStrLen,
+				MaxStr:    ks.MaxStrLen,
+				TotalStr:  ks.TotalStrLen,
+				TrueCount: ks.TrueCount,
+			}
+			if len(ks.Fields) > 0 {
+				wk.Fields = make(map[string]*wireField, len(ks.Fields))
+				for key, fs := range ks.Fields {
+					wk.Fields[key] = &wireField{Count: fs.Count, Node: nodeToWire(fs.Node)}
+				}
+			}
+			w.Kinds[kindNames[kind]] = wk
+		}
+	}
+	return w
+}
+
+func nodeFromWire(w *wireNode) (*Node, error) {
+	if w == nil {
+		return nil, nil
+	}
+	n := &Node{Total: w.Total}
+	if len(w.Kinds) > 0 {
+		n.Kinds = make(map[types.Kind]*KindStats, len(w.Kinds))
+		for name, wk := range w.Kinds {
+			kind, ok := kindByName[name]
+			if !ok {
+				return nil, fmt.Errorf("profile: unknown kind %q", name)
+			}
+			elem, err := nodeFromWire(wk.Elem)
+			if err != nil {
+				return nil, err
+			}
+			ks := &KindStats{
+				Count:       wk.Count,
+				Elem:        elem,
+				MinLen:      wk.MinLen,
+				MaxLen:      wk.MaxLen,
+				TotalLen:    wk.TotalLen,
+				MinNum:      wk.MinNum,
+				MaxNum:      wk.MaxNum,
+				SumNum:      wk.SumNum,
+				MinStrLen:   wk.MinStr,
+				MaxStrLen:   wk.MaxStr,
+				TotalStrLen: wk.TotalStr,
+				TrueCount:   wk.TrueCount,
+			}
+			if len(wk.Fields) > 0 {
+				ks.Fields = make(map[string]*FieldStats, len(wk.Fields))
+				for key, wf := range wk.Fields {
+					node, err := nodeFromWire(wf.Node)
+					if err != nil {
+						return nil, err
+					}
+					ks.Fields[key] = &FieldStats{Count: wf.Count, Node: node}
+				}
+			}
+			n.Kinds[kind] = ks
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,287 @@
+// Package profile implements the first extension the paper's conclusion
+// calls for: "we plan to enrich schemas with statistical ... information
+// about the input data" (Section 7).
+//
+// A Profile mirrors the shape of an inferred schema but carries
+// occurrence statistics at every position: how often each kind was
+// observed, how often each record field was present, numeric ranges,
+// string lengths, boolean frequencies. Profiles form a commutative
+// monoid under Merge — the same algebraic shape as type fusion — so they
+// are built in the Map phase and combined in the Reduce phase in any
+// order, and maintained incrementally like schemas.
+//
+// A Profile determines a type: Type() dereifies the statistics into the
+// same schema the fusion pipeline infers (arrays in simplified form),
+// which the tests verify — a strong cross-check between two independent
+// implementations of the paper's semantics.
+package profile
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// Profile is the statistics-enriched schema of a collection: the root
+// Node plus the number of values described. The zero value is an empty
+// profile ready to use.
+type Profile struct {
+	// Count is the number of top-level values profiled.
+	Count int64
+	// Root describes those values; nil when Count is zero.
+	Root *Node
+}
+
+// Node carries the statistics of one value position. Each kind observed
+// at the position has its own statistics, mirroring how fusion keeps one
+// union alternative per kind.
+type Node struct {
+	// Total is the number of values observed at this position.
+	Total int64
+	// Kinds maps each observed kind to its statistics.
+	Kinds map[types.Kind]*KindStats
+}
+
+// KindStats describes the values of one kind at one position.
+type KindStats struct {
+	// Count is the number of values of this kind observed.
+	Count int64
+
+	// Record-kind statistics: per-field presence and content.
+	Fields map[string]*FieldStats
+
+	// Array-kind statistics: element statistics pooled over positions
+	// (the paper's simplified-array view), plus length aggregates.
+	Elem           *Node
+	MinLen, MaxLen int
+	TotalLen       int64
+
+	// Num-kind aggregates.
+	MinNum, MaxNum, SumNum float64
+
+	// Str-kind aggregates.
+	MinStrLen, MaxStrLen int
+	TotalStrLen          int64
+
+	// Bool-kind aggregate.
+	TrueCount int64
+}
+
+// FieldStats describes one record field.
+type FieldStats struct {
+	// Count is the number of records carrying the field.
+	Count int64
+	// Node describes the field's contents.
+	Node *Node
+}
+
+// Add profiles one more value into p.
+func (p *Profile) Add(v value.Value) {
+	if p.Root == nil {
+		p.Root = &Node{}
+	}
+	p.Count++
+	p.Root.add(v)
+}
+
+func (n *Node) add(v value.Value) {
+	n.Total++
+	kind := types.Kind(v.Kind())
+	if n.Kinds == nil {
+		n.Kinds = make(map[types.Kind]*KindStats)
+	}
+	ks := n.Kinds[kind]
+	if ks == nil {
+		ks = &KindStats{}
+		n.Kinds[kind] = ks
+	}
+	first := ks.Count == 0
+	ks.Count++
+	switch vv := v.(type) {
+	case value.Null:
+	case value.Bool:
+		if vv {
+			ks.TrueCount++
+		}
+	case value.Num:
+		f := float64(vv)
+		if first || f < ks.MinNum {
+			ks.MinNum = f
+		}
+		if first || f > ks.MaxNum {
+			ks.MaxNum = f
+		}
+		ks.SumNum += f
+	case value.Str:
+		l := len(vv)
+		if first || l < ks.MinStrLen {
+			ks.MinStrLen = l
+		}
+		if l > ks.MaxStrLen {
+			ks.MaxStrLen = l
+		}
+		ks.TotalStrLen += int64(l)
+	case *value.Record:
+		if ks.Fields == nil {
+			ks.Fields = make(map[string]*FieldStats)
+		}
+		for _, f := range vv.Fields() {
+			fs := ks.Fields[f.Key]
+			if fs == nil {
+				fs = &FieldStats{Node: &Node{}}
+				ks.Fields[f.Key] = fs
+			}
+			fs.Count++
+			fs.Node.add(f.Value)
+		}
+	case value.Array:
+		if ks.Elem == nil {
+			ks.Elem = &Node{}
+		}
+		l := len(vv)
+		if first || l < ks.MinLen {
+			ks.MinLen = l
+		}
+		if l > ks.MaxLen {
+			ks.MaxLen = l
+		}
+		ks.TotalLen += int64(l)
+		for _, e := range vv {
+			ks.Elem.add(e)
+		}
+	default:
+		panic(fmt.Sprintf("profile: unknown value %T", v))
+	}
+}
+
+// Merge folds other into p. Merge is commutative and associative (all
+// aggregates are sums, mins and maxes), so profiles reduce in any order,
+// like the types themselves.
+func (p *Profile) Merge(other *Profile) {
+	if other == nil || other.Count == 0 {
+		return
+	}
+	p.Count += other.Count
+	if p.Root == nil {
+		p.Root = &Node{}
+	}
+	p.Root.merge(other.Root)
+}
+
+func (n *Node) merge(o *Node) {
+	if o == nil {
+		return
+	}
+	n.Total += o.Total
+	if o.Kinds == nil {
+		return
+	}
+	if n.Kinds == nil {
+		n.Kinds = make(map[types.Kind]*KindStats)
+	}
+	for kind, oks := range o.Kinds {
+		ks := n.Kinds[kind]
+		if ks == nil {
+			ks = &KindStats{}
+			n.Kinds[kind] = ks
+		}
+		ks.merge(kind, oks)
+	}
+}
+
+func (ks *KindStats) merge(kind types.Kind, o *KindStats) {
+	first := ks.Count == 0
+	ks.Count += o.Count
+	switch kind {
+	case types.KindBool:
+		ks.TrueCount += o.TrueCount
+	case types.KindNum:
+		if first || o.MinNum < ks.MinNum {
+			ks.MinNum = o.MinNum
+		}
+		if first || o.MaxNum > ks.MaxNum {
+			ks.MaxNum = o.MaxNum
+		}
+		ks.SumNum += o.SumNum
+	case types.KindStr:
+		if first || o.MinStrLen < ks.MinStrLen {
+			ks.MinStrLen = o.MinStrLen
+		}
+		if o.MaxStrLen > ks.MaxStrLen {
+			ks.MaxStrLen = o.MaxStrLen
+		}
+		ks.TotalStrLen += o.TotalStrLen
+	case types.KindRecord:
+		if o.Fields != nil {
+			if ks.Fields == nil {
+				ks.Fields = make(map[string]*FieldStats)
+			}
+			for key, ofs := range o.Fields {
+				fs := ks.Fields[key]
+				if fs == nil {
+					fs = &FieldStats{Node: &Node{}}
+					ks.Fields[key] = fs
+				}
+				fs.Count += ofs.Count
+				fs.Node.merge(ofs.Node)
+			}
+		}
+	case types.KindArray:
+		if first || o.MinLen < ks.MinLen {
+			ks.MinLen = o.MinLen
+		}
+		if o.MaxLen > ks.MaxLen {
+			ks.MaxLen = o.MaxLen
+		}
+		ks.TotalLen += o.TotalLen
+		if o.Elem != nil {
+			if ks.Elem == nil {
+				ks.Elem = &Node{}
+			}
+			ks.Elem.merge(o.Elem)
+		}
+	}
+}
+
+// Type dereifies the profile into the schema it implies: one union
+// alternative per observed kind, record fields optional exactly when
+// absent from some record, arrays in the simplified repeated form. The
+// result matches the fusion pipeline's schema (with Simplify applied per
+// value), which TestTypeMatchesFusionPipeline verifies.
+func (p *Profile) Type() types.Type {
+	if p.Root == nil {
+		return types.Empty
+	}
+	return p.Root.typ()
+}
+
+func (n *Node) typ() types.Type {
+	if n == nil || n.Total == 0 {
+		return types.Empty
+	}
+	var alts []types.Type
+	for kind := types.KindNull; kind <= types.KindArray; kind++ {
+		ks, ok := n.Kinds[kind]
+		if !ok || ks.Count == 0 {
+			continue
+		}
+		switch kind {
+		case types.KindNull, types.KindBool, types.KindNum, types.KindStr:
+			alts = append(alts, types.Basic(kind))
+		case types.KindRecord:
+			fields := make([]types.Field, 0, len(ks.Fields))
+			for key, fs := range ks.Fields {
+				fields = append(fields, types.Field{
+					Key:      key,
+					Type:     fs.Node.typ(),
+					Optional: fs.Count < ks.Count,
+				})
+			}
+			alts = append(alts, types.MustRecord(fields...))
+		case types.KindArray:
+			alts = append(alts, types.MustRepeated(ks.Elem.typ()))
+		}
+	}
+	return types.MustUnion(alts...)
+}

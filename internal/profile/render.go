@@ -1,0 +1,117 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// Render prints the profile as an annotated, indented schema: each
+// position shows its type plus occurrence percentages and value
+// aggregates, e.g.
+//
+//	{
+//	  id: Num            — 100%, range 1..9120
+//	  name: Str?         — 63%, len 2..40
+//	  tags: [Str*]       — 100%, 0..5 items
+//	}
+func (p *Profile) Render() string {
+	if p.Root == nil {
+		return "ε (empty profile)\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "profile of %d values\n", p.Count)
+	renderNode(&sb, p.Root, 0, "")
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+func pad(sb *strings.Builder, level int) {
+	for i := 0; i < level; i++ {
+		sb.WriteString("  ")
+	}
+}
+
+// renderNode writes the node's union of kinds.
+func renderNode(sb *strings.Builder, n *Node, level int, suffix string) {
+	kinds := make([]types.Kind, 0, len(n.Kinds))
+	for k := range n.Kinds {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for i, kind := range kinds {
+		if i > 0 {
+			sb.WriteString(" + ")
+		}
+		renderKind(sb, kind, n.Kinds[kind], n.Total, level)
+	}
+	sb.WriteString(suffix)
+}
+
+func renderKind(sb *strings.Builder, kind types.Kind, ks *KindStats, total int64, level int) {
+	share := ""
+	if len(ksShare(ks, total)) > 0 {
+		share = ksShare(ks, total)
+	}
+	switch kind {
+	case types.KindNull:
+		sb.WriteString("Null" + share)
+	case types.KindBool:
+		fmt.Fprintf(sb, "Bool%s ⟨%.0f%% true⟩", share, 100*float64(ks.TrueCount)/float64(ks.Count))
+	case types.KindNum:
+		fmt.Fprintf(sb, "Num%s ⟨%s..%s, mean %s⟩", share,
+			trimFloat(ks.MinNum), trimFloat(ks.MaxNum), trimFloat(ks.SumNum/float64(ks.Count)))
+	case types.KindStr:
+		fmt.Fprintf(sb, "Str%s ⟨len %d..%d⟩", share, ks.MinStrLen, ks.MaxStrLen)
+	case types.KindRecord:
+		if len(ks.Fields) == 0 {
+			sb.WriteString("{}" + share)
+			return
+		}
+		sb.WriteString("{" + share + "\n")
+		keys := make([]string, 0, len(ks.Fields))
+		for k := range ks.Fields {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			fs := ks.Fields[key]
+			pad(sb, level+1)
+			sb.Write(value.AppendQuoted(nil, key))
+			opt := ""
+			if fs.Count < ks.Count {
+				opt = fmt.Sprintf("? ⟨%.0f%%⟩", 100*float64(fs.Count)/float64(ks.Count))
+			}
+			sb.WriteString(opt + ": ")
+			renderNode(sb, fs.Node, level+1, "")
+			sb.WriteByte('\n')
+		}
+		pad(sb, level)
+		sb.WriteString("}")
+	case types.KindArray:
+		fmt.Fprintf(sb, "[%s ⟨%d..%d items⟩ ", share, ks.MinLen, ks.MaxLen)
+		if ks.Elem != nil && ks.Elem.Total > 0 {
+			renderNode(sb, ks.Elem, level, "")
+		} else {
+			sb.WriteString("ε")
+		}
+		sb.WriteString("*]")
+	}
+}
+
+// ksShare renders the kind's share of the position when mixed.
+func ksShare(ks *KindStats, total int64) string {
+	if total <= 0 || ks.Count == total {
+		return ""
+	}
+	return fmt.Sprintf(" ⟨%.0f%%⟩", 100*float64(ks.Count)/float64(total))
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%.2f", f)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

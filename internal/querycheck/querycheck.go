@@ -1,0 +1,402 @@
+// Package querycheck statically type-checks dataflow queries against an
+// inferred schema — the application the paper inherits from its
+// companion work [12]: "our inferred schemas can be used to make type
+// checking of Pig Latin scripts much stronger", and the Section 1 claim
+// that without schemas "the correctness of complex queries and programs
+// cannot be statically checked".
+//
+// The language is a Pig-Latin-like core, one statement per line:
+//
+//	docs   = LOAD input;
+//	recent = FILTER docs BY $.retweet_count > 100 AND $.user.verified == true;
+//	out    = FOREACH recent GENERATE $.id AS id, $.user.screen_name AS author;
+//	STORE out;
+//
+// The checker resolves every path against the schema of the statement's
+// input relation (errors for paths no conforming value can contain),
+// checks comparison kinds ($.a > 3 needs a Num, == "x" needs a Str),
+// warns when a used path may be absent (optional fields, union
+// branches), and synthesizes the output schema of every FOREACH, so
+// downstream statements are checked against exactly the fields upstream
+// ones produce.
+package querycheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pathquery"
+	"repro/internal/types"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+// Severities.
+const (
+	// Warning: the query can run but may silently miss data.
+	Warning Severity = iota
+	// Error: the query is statically wrong against the schema.
+	Error
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diagnostic is one finding of the checker.
+type Diagnostic struct {
+	Line     int
+	Severity Severity
+	Message  string
+}
+
+// String renders "line N: severity: message".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("line %d: %s: %s", d.Line, d.Severity, d.Message)
+}
+
+// Result is the outcome of checking a script.
+type Result struct {
+	// Diagnostics in line order, errors and warnings mixed.
+	Diagnostics []Diagnostic
+	// Relations maps each defined relation name to its inferred schema.
+	Relations map[string]types.Type
+}
+
+// Err reports whether any diagnostic is an Error.
+func (r Result) Err() bool {
+	for _, d := range r.Diagnostics {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Render formats the diagnostics, one per line ("ok" when clean).
+func (r Result) Render() string {
+	if len(r.Diagnostics) == 0 {
+		return "ok\n"
+	}
+	var sb strings.Builder
+	for _, d := range r.Diagnostics {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Check type-checks the script against the schema bound to the LOAD
+// statement's input. Parse errors are reported as Error diagnostics on
+// their line; checking continues on later lines where possible.
+func Check(script string, input types.Type) Result {
+	c := &checker{
+		res:   Result{Relations: map[string]types.Type{}},
+		env:   map[string]types.Type{},
+		input: input,
+	}
+	for i, raw := range strings.Split(script, "\n") {
+		line := strings.TrimSpace(raw)
+		line = strings.TrimSuffix(line, ";")
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		c.line = i + 1
+		c.statement(line)
+	}
+	// Expose the final environment.
+	for name, t := range c.env {
+		c.res.Relations[name] = t
+	}
+	return c.res
+}
+
+type checker struct {
+	res   Result
+	env   map[string]types.Type
+	input types.Type
+	line  int
+}
+
+func (c *checker) errorf(format string, args ...any) {
+	c.res.Diagnostics = append(c.res.Diagnostics, Diagnostic{Line: c.line, Severity: Error, Message: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) warnf(format string, args ...any) {
+	c.res.Diagnostics = append(c.res.Diagnostics, Diagnostic{Line: c.line, Severity: Warning, Message: fmt.Sprintf(format, args...)})
+}
+
+// statement dispatches one parsed line.
+func (c *checker) statement(line string) {
+	if rest, ok := cutKeyword(line, "STORE"); ok {
+		name := strings.TrimSpace(rest)
+		if _, bound := c.env[name]; !bound {
+			c.errorf("STORE of undefined relation %q", name)
+		}
+		return
+	}
+	name, rhs, found := strings.Cut(line, "=")
+	if !found {
+		c.errorf("cannot parse statement %q (want NAME = ... or STORE NAME)", line)
+		return
+	}
+	name = strings.TrimSpace(name)
+	if name == "" || strings.ContainsAny(name, " \t") {
+		c.errorf("bad relation name %q", name)
+		return
+	}
+	rhs = strings.TrimSpace(rhs)
+	switch {
+	case hasKeyword(rhs, "LOAD"):
+		c.load(name, rhs)
+	case hasKeyword(rhs, "FILTER"):
+		c.filter(name, rhs)
+	case hasKeyword(rhs, "FOREACH"):
+		c.foreach(name, rhs)
+	default:
+		c.errorf("unknown operation in %q (want LOAD, FILTER, or FOREACH)", rhs)
+	}
+}
+
+// load binds the input schema: `x = LOAD anything`.
+func (c *checker) load(name, rhs string) {
+	if c.input == nil {
+		c.errorf("no input schema bound for LOAD")
+		return
+	}
+	c.env[name] = c.input
+}
+
+// filter checks `x = FILTER y BY predicate`.
+func (c *checker) filter(name, rhs string) {
+	rest, _ := cutKeyword(rhs, "FILTER")
+	srcName, pred, found := cutKeywordIn(rest, "BY")
+	if !found {
+		c.errorf("FILTER without BY in %q", rhs)
+		return
+	}
+	src, ok := c.relation(srcName)
+	if !ok {
+		return
+	}
+	for _, clause := range splitTop(pred, " AND ") {
+		c.clause(src, strings.TrimSpace(clause))
+	}
+	// Filtering cannot add structure: the output schema is the input's.
+	c.env[name] = src
+}
+
+// foreach checks `x = FOREACH y GENERATE $.path AS alias, ...` and
+// synthesizes the output record type.
+func (c *checker) foreach(name, rhs string) {
+	rest, _ := cutKeyword(rhs, "FOREACH")
+	srcName, gens, found := cutKeywordIn(rest, "GENERATE")
+	if !found {
+		c.errorf("FOREACH without GENERATE in %q", rhs)
+		return
+	}
+	src, ok := c.relation(srcName)
+	if !ok {
+		return
+	}
+	var fields []types.Field
+	seen := map[string]bool{}
+	for _, item := range splitTop(gens, ",") {
+		item = strings.TrimSpace(item)
+		pathSrc, alias, hasAlias := cutKeywordIn(item, "AS")
+		if !hasAlias {
+			c.errorf("GENERATE item %q needs an AS alias", item)
+			continue
+		}
+		alias = strings.TrimSpace(alias)
+		if seen[alias] {
+			c.errorf("duplicate output field %q", alias)
+			continue
+		}
+		t, canMiss, ok := c.pathType(src, strings.TrimSpace(pathSrc))
+		if !ok {
+			continue
+		}
+		seen[alias] = true
+		fields = append(fields, types.Field{Key: alias, Type: t, Optional: canMiss})
+	}
+	rec, err := types.NewRecord(fields...)
+	if err != nil {
+		c.errorf("building output schema: %v", err)
+		return
+	}
+	c.env[name] = rec
+}
+
+// clause checks one predicate clause: `$.path OP literal` or a bare
+// path (existence test).
+func (c *checker) clause(src types.Type, clause string) {
+	for _, op := range []string{"==", "!=", ">=", "<=", ">", "<"} {
+		lhs, rhs, found := strings.Cut(clause, op)
+		if !found {
+			continue
+		}
+		t, canMiss, ok := c.pathType(src, strings.TrimSpace(lhs))
+		if !ok {
+			return
+		}
+		litKind, litText := literalKind(strings.TrimSpace(rhs))
+		if litKind < 0 {
+			c.errorf("cannot parse literal %q", strings.TrimSpace(rhs))
+			return
+		}
+		if op != "==" && op != "!=" && litKind != types.KindNum {
+			c.errorf("ordering comparison %q needs a numeric literal, got %s", op, litText)
+			return
+		}
+		if !kindPossible(t, litKind) {
+			c.errorf("path %s has type %s; comparison with %s can never be true",
+				strings.TrimSpace(lhs), t, litText)
+			return
+		}
+		if canMiss {
+			c.warnf("path %s may be absent; records without it are silently dropped", strings.TrimSpace(lhs))
+		}
+		if alts := types.Addends(t); len(alts) > 1 {
+			c.warnf("path %s has union type %s; non-%s values never match %q",
+				strings.TrimSpace(lhs), t, types.Kind(litKind), clause)
+		}
+		return
+	}
+	// Bare path: existence test.
+	if _, _, ok := c.pathType(src, clause); ok {
+		return
+	}
+}
+
+// pathType resolves a path expression against a schema, reporting an
+// error when it is malformed or provably dead. Multiple matches (from a
+// wildcard) merge into a union.
+func (c *checker) pathType(src types.Type, pathSrc string) (types.Type, bool, bool) {
+	p, err := pathquery.Parse(pathSrc)
+	if err != nil {
+		c.errorf("%v", err)
+		return nil, false, false
+	}
+	ms := pathquery.Expand(src, p)
+	if len(ms) == 0 {
+		c.errorf("no conforming value can contain %s (dead path)", pathSrc)
+		return nil, false, false
+	}
+	canMiss := false
+	ts := make([]types.Type, len(ms))
+	for i, m := range ms {
+		ts[i] = m.Type
+		canMiss = canMiss || m.CanMiss
+	}
+	u, err := types.NewUnion(ts...)
+	if err != nil {
+		c.errorf("merging path types: %v", err)
+		return nil, false, false
+	}
+	return u, canMiss, true
+}
+
+// relation looks up a bound relation name.
+func (c *checker) relation(raw string) (types.Type, bool) {
+	name := strings.TrimSpace(raw)
+	t, ok := c.env[name]
+	if !ok {
+		c.errorf("undefined relation %q", name)
+	}
+	return t, ok
+}
+
+// --- small parsing helpers ---
+
+// cutKeyword strips a leading keyword (case-sensitive, word-aligned).
+func cutKeyword(s, kw string) (string, bool) {
+	if strings.HasPrefix(s, kw) && (len(s) == len(kw) || s[len(kw)] == ' ' || s[len(kw)] == '\t') {
+		return s[len(kw):], true
+	}
+	return s, false
+}
+
+func hasKeyword(s, kw string) bool {
+	_, ok := cutKeyword(s, kw)
+	return ok
+}
+
+// cutKeywordIn splits s around the first occurrence of " KW ".
+func cutKeywordIn(s, kw string) (string, string, bool) {
+	idx := strings.Index(s, " "+kw+" ")
+	if idx < 0 {
+		return s, "", false
+	}
+	return s[:idx], s[idx+len(kw)+2:], true
+}
+
+// splitTop splits on sep at the top level (no string literals with
+// embedded separators are supported in this core language).
+func splitTop(s, sep string) []string {
+	return strings.Split(s, sep)
+}
+
+// literalKind classifies a literal: true/false -> Bool, null -> Null,
+// quoted -> Str, numeric -> Num; -1 when unparseable.
+func literalKind(lit string) (types.Kind, string) {
+	switch {
+	case lit == "true" || lit == "false":
+		return types.KindBool, lit
+	case lit == "null":
+		return types.KindNull, lit
+	case len(lit) >= 2 && lit[0] == '"' && lit[len(lit)-1] == '"':
+		return types.KindStr, lit
+	case len(lit) >= 2 && lit[0] == '\'' && lit[len(lit)-1] == '\'':
+		return types.KindStr, lit
+	default:
+		if isNumber(lit) {
+			return types.KindNum, lit
+		}
+		return -1, lit
+	}
+}
+
+func isNumber(s string) bool {
+	if s == "" {
+		return false
+	}
+	seenDigit := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] >= '0' && s[i] <= '9':
+			seenDigit = true
+		case s[i] == '-' || s[i] == '+' || s[i] == '.' || s[i] == 'e' || s[i] == 'E':
+		default:
+			return false
+		}
+	}
+	return seenDigit
+}
+
+// kindPossible reports whether some alternative of t has the kind.
+func kindPossible(t types.Type, k types.Kind) bool {
+	for _, a := range types.Addends(t) {
+		if ak, ok := types.KindOf(a); ok && ak == k {
+			return true
+		}
+	}
+	return false
+}
+
+// RelationNames lists the defined relations in sorted order, for
+// reports.
+func (r Result) RelationNames() []string {
+	names := make([]string, 0, len(r.Relations))
+	for name := range r.Relations {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,238 @@
+package querycheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fusion"
+	"repro/internal/infer"
+	"repro/internal/types"
+)
+
+// testSchema is a hand-built schema in the shape of a tweet stream.
+func testSchema() types.Type {
+	return types.MustParse(`{
+		id: Num,
+		text: Str,
+		retweet_count: Num,
+		lang: Str?,
+		user: {screen_name: Str, verified: Bool, followers: Num},
+		entities: {hashtags: [{text: Str}*]},
+		coordinates: (Null + {lat: Num, lon: Num})?
+	}`)
+}
+
+func check(t *testing.T, script string) Result {
+	t.Helper()
+	return Check(script, testSchema())
+}
+
+func TestCleanScript(t *testing.T) {
+	res := check(t, `
+docs = LOAD tweets;
+big = FILTER docs BY $.retweet_count > 100 AND $.user.verified == true;
+out = FOREACH big GENERATE $.id AS id, $.user.screen_name AS author;
+STORE out;
+`)
+	if len(res.Diagnostics) != 0 {
+		t.Fatalf("diagnostics = %v", res.Diagnostics)
+	}
+	out := res.Relations["out"]
+	want := types.MustParse("{author: Str, id: Num}")
+	if !types.Equal(out, want) {
+		t.Errorf("output schema = %s, want %s", out, want)
+	}
+	if res.Err() {
+		t.Error("Err() on clean script")
+	}
+	if res.Render() != "ok\n" {
+		t.Errorf("Render = %q", res.Render())
+	}
+}
+
+func TestDeadPathIsError(t *testing.T) {
+	res := check(t, `
+docs = LOAD tweets;
+bad = FILTER docs BY $.retweet_cnt > 100;
+`)
+	if !res.Err() {
+		t.Fatal("typo'd path not reported")
+	}
+	if !strings.Contains(res.Render(), "dead path") {
+		t.Errorf("diagnostics = %s", res.Render())
+	}
+	if !strings.Contains(res.Render(), "line 3") {
+		t.Errorf("wrong line: %s", res.Render())
+	}
+}
+
+func TestKindMismatchIsError(t *testing.T) {
+	res := check(t, `
+docs = LOAD tweets;
+bad = FILTER docs BY $.text > 10;
+worse = FILTER docs BY $.retweet_count == "many";
+`)
+	out := res.Render()
+	if !strings.Contains(out, "can never be true") {
+		t.Errorf("missing impossibility diagnostics:\n%s", out)
+	}
+	if strings.Count(out, "error") != 2 {
+		t.Errorf("want 2 errors:\n%s", out)
+	}
+}
+
+func TestOrderingNeedsNumericLiteral(t *testing.T) {
+	res := check(t, `
+docs = LOAD tweets;
+bad = FILTER docs BY $.retweet_count > "100";
+`)
+	if !strings.Contains(res.Render(), "needs a numeric literal") {
+		t.Errorf("diagnostics = %s", res.Render())
+	}
+}
+
+func TestOptionalPathWarns(t *testing.T) {
+	res := check(t, `
+docs = LOAD tweets;
+fr = FILTER docs BY $.lang == "fr";
+`)
+	if res.Err() {
+		t.Fatalf("optional path should warn, not error: %s", res.Render())
+	}
+	if !strings.Contains(res.Render(), "may be absent") {
+		t.Errorf("diagnostics = %s", res.Render())
+	}
+}
+
+func TestUnionComparisonWarns(t *testing.T) {
+	res := check(t, `
+docs = LOAD tweets;
+here = FILTER docs BY $.coordinates == null;
+`)
+	if res.Err() {
+		t.Fatalf("union comparison should warn: %s", res.Render())
+	}
+	if !strings.Contains(res.Render(), "union type") {
+		t.Errorf("diagnostics = %s", res.Render())
+	}
+}
+
+func TestUndefinedRelation(t *testing.T) {
+	res := check(t, `
+out = FOREACH nothing GENERATE $.id AS id;
+STORE missing;
+`)
+	out := res.Render()
+	if !strings.Contains(out, `undefined relation "nothing"`) ||
+		!strings.Contains(out, `undefined relation "missing"`) {
+		t.Errorf("diagnostics = %s", out)
+	}
+}
+
+func TestForeachSchemaFlowsDownstream(t *testing.T) {
+	// The synthesized FOREACH schema is what later statements see:
+	// referring to a dropped field is a dead path.
+	res := check(t, `
+docs = LOAD tweets;
+slim = FOREACH docs GENERATE $.id AS id;
+bad = FILTER slim BY $.text == "x";
+`)
+	if !res.Err() || !strings.Contains(res.Render(), "dead path") {
+		t.Errorf("dropped field not caught downstream: %s", res.Render())
+	}
+}
+
+func TestForeachOptionalFieldsPropagate(t *testing.T) {
+	res := check(t, `
+docs = LOAD tweets;
+out = FOREACH docs GENERATE $.lang AS language, $.entities.hashtags[*].text AS tag;
+`)
+	out := res.Relations["out"].(*types.Record)
+	lang, _ := out.Get("language")
+	if !lang.Optional {
+		t.Error("optional source field should make the output field optional")
+	}
+	tag, _ := out.Get("tag")
+	if !tag.Optional || !types.Equal(tag.Type, types.Str) {
+		t.Errorf("tag field = %+v", tag)
+	}
+}
+
+func TestDuplicateAlias(t *testing.T) {
+	res := check(t, `
+docs = LOAD tweets;
+out = FOREACH docs GENERATE $.id AS x, $.text AS x;
+`)
+	if !strings.Contains(res.Render(), "duplicate output field") {
+		t.Errorf("diagnostics = %s", res.Render())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, script := range []string{
+		"docs = LOAD tweets\nbad statement here",
+		"docs = LOAD tweets\nx = FILTER docs",
+		"docs = LOAD tweets\nx = FOREACH docs",
+		"docs = LOAD tweets\nx = FROBNICATE docs",
+		"docs = LOAD tweets\nx = FOREACH docs GENERATE $.id",
+		"docs = LOAD tweets\nx = FILTER docs BY $.retweet_count > banana",
+		" = LOAD tweets",
+	} {
+		if res := Check(script, testSchema()); !res.Err() {
+			t.Errorf("script %q produced no error: %s", script, res.Render())
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	res := check(t, `
+-- load the stream
+docs = LOAD tweets;
+
+-- nothing else
+STORE docs;
+`)
+	if len(res.Diagnostics) != 0 {
+		t.Errorf("diagnostics = %v", res.Diagnostics)
+	}
+}
+
+func TestAgainstInferredSchema(t *testing.T) {
+	// End to end: infer the twitter schema, then check a realistic
+	// script against it, catching a typo a runtime would silently eat.
+	g, _ := dataset.New("twitter")
+	acc := types.Type(types.Empty)
+	for _, v := range dataset.Values(g, 300, 3) {
+		acc = fusion.Fuse(acc, fusion.Simplify(infer.Infer(v)))
+	}
+	res := Check(`
+stream = LOAD twitter;
+tweets = FILTER stream BY $.text == "x";
+out = FOREACH tweets GENERATE $.id AS id, $.user.screen_name AS author, $.entities.hashtag[*].text AS tag;
+STORE out;
+`, acc)
+	if !res.Err() {
+		t.Fatalf("typo'd entities.hashtag not caught: %s", res.Render())
+	}
+	if !strings.Contains(res.Render(), "$.entities.hashtag[*].text") {
+		t.Errorf("diagnostics = %s", res.Render())
+	}
+	// The correct script passes with at most warnings.
+	res = Check(`
+stream = LOAD twitter;
+out = FOREACH stream GENERATE $.id AS id, $.entities.hashtags[*].text AS tag;
+STORE out;
+`, acc)
+	if res.Err() {
+		t.Errorf("correct script rejected: %s", res.Render())
+	}
+}
+
+func TestRelationNames(t *testing.T) {
+	res := check(t, "docs = LOAD tweets;\nz = FILTER docs BY $.id > 0;\na = FILTER docs BY $.id > 1;")
+	names := res.RelationNames()
+	if len(names) != 3 || names[0] != "a" || names[1] != "docs" || names[2] != "z" {
+		t.Errorf("RelationNames = %v", names)
+	}
+}

@@ -1,0 +1,198 @@
+package schemarepo
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fusion"
+	"repro/internal/infer"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+func TestEmptyRepo(t *testing.T) {
+	r := New()
+	if !types.Equal(r.Schema(), types.Empty) {
+		t.Errorf("empty repo schema = %s", r.Schema())
+	}
+	if r.Count() != 0 || len(r.Partitions()) != 0 {
+		t.Error("empty repo not empty")
+	}
+	if _, ok := r.PartitionSchema("nope"); ok {
+		t.Error("missing partition reported present")
+	}
+}
+
+func TestAppendMatchesBatchFusion(t *testing.T) {
+	// Incremental fuse-on-insert must equal batch inference — the
+	// associativity corollary the paper highlights.
+	g, _ := dataset.New("twitter")
+	vs := dataset.Values(g, 120, 3)
+	r := New()
+	batch := types.Type(types.Empty)
+	for _, v := range vs {
+		r.Append("main", v)
+		batch = fusion.Fuse(batch, fusion.Simplify(infer.Infer(v)))
+	}
+	if !types.Equal(r.Schema(), batch) {
+		t.Errorf("incremental %s != batch %s", r.Schema(), batch)
+	}
+	if r.Count() != 120 {
+		t.Errorf("Count = %d", r.Count())
+	}
+}
+
+func TestMultiplePartitionsFuse(t *testing.T) {
+	r := New()
+	r.Append("p1", value.Obj("a", value.Num(1)))
+	r.Append("p2", value.Obj("b", value.Str("x")))
+	want := types.MustParse("{a: Num?, b: Str?}")
+	if !types.Equal(r.Schema(), want) {
+		t.Errorf("Schema = %s, want %s", r.Schema(), want)
+	}
+	if got := r.Partitions(); len(got) != 2 || got[0] != "p1" || got[1] != "p2" {
+		t.Errorf("Partitions = %v", got)
+	}
+	p1, ok := r.PartitionSchema("p1")
+	if !ok || !types.Equal(p1, types.MustParse("{a: Num}")) {
+		t.Errorf("p1 schema = %s", p1)
+	}
+}
+
+func TestReplacePartitionOnlyAffectsIt(t *testing.T) {
+	r := New()
+	r.Append("stable", value.Obj("a", value.Num(1)))
+	r.Append("dirty", value.Obj("b", value.Str("old")))
+	r.ReplacePartition("dirty", []value.Value{
+		value.Obj("c", value.Bool(true)),
+		value.Obj("c", value.Bool(false), "d", value.Null{}),
+	})
+	want := types.MustParse("{a: Num?, c: Bool?, d: Null?}")
+	if !types.Equal(r.Schema(), want) {
+		t.Errorf("Schema = %s, want %s", r.Schema(), want)
+	}
+	if r.Count() != 3 {
+		t.Errorf("Count = %d, want 3", r.Count())
+	}
+}
+
+func TestDropPartition(t *testing.T) {
+	r := New()
+	r.Append("keep", value.Obj("a", value.Num(1)))
+	r.Append("drop", value.Obj("b", value.Num(1)))
+	r.DropPartition("drop")
+	r.DropPartition("never-existed") // no-op
+	want := types.MustParse("{a: Num}")
+	if !types.Equal(r.Schema(), want) {
+		t.Errorf("Schema = %s, want %s", r.Schema(), want)
+	}
+}
+
+func TestSetPartitionSimplifies(t *testing.T) {
+	r := New()
+	r.SetPartition("p", types.MustParse("[Num, Str]"), 1)
+	got, _ := r.PartitionSchema("p")
+	if !types.Equal(got, types.MustParse("[(Num + Str)*]")) {
+		t.Errorf("stored schema = %s, want simplified", got)
+	}
+}
+
+func TestSchemaCachingInvalidation(t *testing.T) {
+	r := New()
+	r.Append("p", value.Obj("a", value.Num(1)))
+	first := r.Schema()
+	if again := r.Schema(); !types.Equal(first, again) {
+		t.Error("cached schema differs")
+	}
+	r.Append("p", value.Obj("b", value.Num(2)))
+	updated := r.Schema()
+	if types.Equal(first, updated) {
+		t.Error("schema not invalidated after append")
+	}
+	if !types.Equal(updated, types.MustParse("{a: Num?, b: Num?}")) {
+		t.Errorf("updated schema = %s", updated)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	r := New()
+	g, _ := dataset.New("nytimes")
+	for i, v := range dataset.Values(g, 40, 9) {
+		r.Append(fmt.Sprintf("part%d", i%3), v)
+	}
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !types.Equal(r.Schema(), back.Schema()) {
+		t.Errorf("loaded schema %s != saved %s", back.Schema(), r.Schema())
+	}
+	if r.Count() != back.Count() {
+		t.Errorf("loaded count %d != saved %d", back.Count(), r.Count())
+	}
+	if len(back.Partitions()) != 3 {
+		t.Errorf("loaded partitions = %v", back.Partitions())
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("Load accepted garbage")
+	}
+	if _, err := Load(strings.NewReader(`{"partitions":[{"name":"p","schema":{"k":"bogus"}}]}`)); err == nil {
+		t.Error("Load accepted a bad schema")
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(w)))
+			g, _ := dataset.New("mixed")
+			for i := 0; i < 50; i++ {
+				r.Append(fmt.Sprintf("p%d", w%2), g.Generate(rnd))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Count() != 400 {
+		t.Errorf("Count = %d, want 400", r.Count())
+	}
+	// The fused schema must describe a subsequent re-fusion of both
+	// partition schemas (sanity, not bit-equality, since value sets are
+	// random per goroutine schedule... but counts are fixed).
+	if types.Equal(r.Schema(), types.Empty) {
+		t.Error("schema is ε after 400 appends")
+	}
+}
+
+func TestIncrementalEqualsPartitionedRefusion(t *testing.T) {
+	// Fusing per-partition schemas equals fusing everything at once:
+	// the Table 8 strategy's correctness argument.
+	g, _ := dataset.New("github")
+	vs := dataset.Values(g, 90, 21)
+	parts := New()
+	for i, v := range vs {
+		parts.Append(fmt.Sprintf("part%d", i/30), v)
+	}
+	single := New()
+	for _, v := range vs {
+		single.Append("all", v)
+	}
+	if !types.Equal(parts.Schema(), single.Schema()) {
+		t.Errorf("partitioned %s != single %s", parts.Schema(), single.Schema())
+	}
+}

@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Count() != 0 || s.Distinct() != 0 || s.MinSize() != 0 || s.MaxSize() != 0 || s.AvgSize() != 0 {
+		t.Errorf("zero Summary not zero: %s", s.String())
+	}
+}
+
+func TestSummaryAdd(t *testing.T) {
+	var s Summary
+	s.Add(types.MustParse("{a: Num}"))         // size 3
+	s.Add(types.MustParse("{a: Num}"))         // duplicate
+	s.Add(types.MustParse("{a: Num, b: Str}")) // size 5
+	s.Add(types.Num)                           // size 1
+	if s.Count() != 4 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	if s.Distinct() != 3 {
+		t.Errorf("Distinct = %d", s.Distinct())
+	}
+	if s.MinSize() != 1 || s.MaxSize() != 5 {
+		t.Errorf("Min/Max = %d/%d", s.MinSize(), s.MaxSize())
+	}
+	if got := s.AvgSize(); got != (3+3+5+1)/4.0 {
+		t.Errorf("AvgSize = %v", got)
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	var a, b, whole Summary
+	ts := []types.Type{
+		types.MustParse("{a: Num}"),
+		types.MustParse("{b: Str}"),
+		types.MustParse("{a: Num}"),
+		types.Num,
+		types.MustParse("[Num, Str]"),
+	}
+	for i, tt := range ts {
+		whole.Add(tt)
+		if i%2 == 0 {
+			a.Add(tt)
+		} else {
+			b.Add(tt)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Distinct() != whole.Distinct() ||
+		a.MinSize() != whole.MinSize() || a.MaxSize() != whole.MaxSize() || a.AvgSize() != whole.AvgSize() {
+		t.Errorf("merged %s != whole %s", a.String(), whole.String())
+	}
+}
+
+func TestSummaryMergeEmpty(t *testing.T) {
+	var a Summary
+	a.Add(types.Num)
+	a.Merge(nil)
+	a.Merge(&Summary{})
+	if a.Count() != 1 {
+		t.Errorf("Count = %d after merging empties", a.Count())
+	}
+	var b Summary
+	b.Merge(&a)
+	if b.Count() != 1 || b.MinSize() != 1 {
+		t.Errorf("empty.Merge(a) = %s", b.String())
+	}
+}
+
+func TestTopTypes(t *testing.T) {
+	var s Summary
+	for i := 0; i < 5; i++ {
+		s.Add(types.Num)
+	}
+	for i := 0; i < 3; i++ {
+		s.Add(types.Str)
+	}
+	s.Add(types.Bool)
+	top := s.TopTypes(2)
+	if len(top) != 2 || top[0].Type != "Num" || top[0].Count != 5 || top[1].Type != "Str" {
+		t.Errorf("TopTypes = %+v", top)
+	}
+	all := s.TopTypes(100)
+	if len(all) != 3 {
+		t.Errorf("TopTypes(100) has %d entries", len(all))
+	}
+}
+
+func TestTopTypesDeterministicTieBreak(t *testing.T) {
+	var s Summary
+	s.Add(types.Str)
+	s.Add(types.Num)
+	top := s.TopTypes(2)
+	if top[0].Type != "Num" || top[1].Type != "Str" {
+		t.Errorf("tie break not lexicographic: %+v", top)
+	}
+}
+
+func TestPropertyMergeOrderIrrelevant(t *testing.T) {
+	mk := func(seed uint64) *Summary {
+		var s Summary
+		r := seed | 1
+		for i := 0; i < int(seed%7); i++ {
+			r ^= r << 13
+			r ^= r >> 7
+			r ^= r << 17
+			switch r % 4 {
+			case 0:
+				s.Add(types.Num)
+			case 1:
+				s.Add(types.Str)
+			case 2:
+				s.Add(types.MustParse("{a: Num}"))
+			default:
+				s.Add(types.MustParse("[Str*]"))
+			}
+		}
+		return &s
+	}
+	f := func(s1, s2, s3 uint64) bool {
+		// (a+b)+c == a+(b+c), built from scratch both times since Merge
+		// mutates the receiver.
+		left1, left2, left3 := mk(s1), mk(s2), mk(s3)
+		left1.Merge(left2)
+		left1.Merge(left3)
+		right2, right3 := mk(s2), mk(s3)
+		right2.Merge(right3)
+		right1 := mk(s1)
+		right1.Merge(right2)
+		return left1.String() == right1.String() && left1.Distinct() == right1.Distinct()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistinctSizeSum(t *testing.T) {
+	var s Summary
+	s.Add(types.MustParse("{a: Num}"))         // size 3, first seen
+	s.Add(types.MustParse("{a: Num}"))         // duplicate: not re-counted
+	s.Add(types.MustParse("{a: Num, b: Str}")) // size 5
+	if got := s.DistinctSizeSum(); got != 8 {
+		t.Errorf("DistinctSizeSum = %d, want 8", got)
+	}
+	var other Summary
+	other.Add(types.MustParse("{a: Num}")) // duplicate across summaries
+	other.Add(types.Num)                   // size 1, new
+	s.Merge(&other)
+	if got := s.DistinctSizeSum(); got != 9 {
+		t.Errorf("after merge DistinctSizeSum = %d, want 9", got)
+	}
+}

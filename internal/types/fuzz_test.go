@@ -1,0 +1,72 @@
+package types
+
+import (
+	"testing"
+)
+
+// FuzzParseTypeSyntax throws arbitrary strings at the type-expression
+// parser: it must never panic, and anything it accepts must round-trip
+// through the printer.
+func FuzzParseTypeSyntax(f *testing.F) {
+	seeds := []string{
+		"Null", "Bool", "Num", "Str", "ε", "Empty",
+		"{}", "[]", "[ε*]",
+		"{a: Num, b: Str?}",
+		"{b: (Num + Str)?}",
+		"[Num, Str]", "[(Num + {E: Str})*]",
+		"Num + Str + {x: Bool}",
+		`{"quoted key": [Bool*]}`,
+		"((Num))", "{a: {b: {c: [Null]}}}",
+		"{a: Num, a: Str}", "[*]", "Num +", "{a:}", "(",
+		`{"A": Num}`, "{x-y: Num?}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tt, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := tt.String()
+		back, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q as %q, which does not re-parse: %v", src, rendered, err)
+		}
+		if !Equal(tt, back) {
+			t.Fatalf("round trip changed %q: %q vs %q", src, rendered, back.String())
+		}
+		if tt.Size() < 1 {
+			t.Fatalf("parsed type %q has size %d", rendered, tt.Size())
+		}
+	})
+}
+
+// FuzzCodecRoundTrip checks the JSON codec on arbitrary documents: no
+// panics, and decoded types re-encode losslessly.
+func FuzzCodecRoundTrip(f *testing.F) {
+	for _, s := range []string{
+		`{"k":"num"}`,
+		`{"k":"record","fields":[{"key":"a","type":{"k":"str"},"opt":true}]}`,
+		`{"k":"union","alts":[{"k":"num"},{"k":"str"}]}`,
+		`{"k":"rep","elem":{"k":"empty"}}`,
+		`{"k":"tuple","elems":[]}`,
+		`{"k":"bogus"}`, `{}`, `[]`, `null`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tt, err := UnmarshalJSON(data)
+		if err != nil {
+			return
+		}
+		enc, err := MarshalJSON(tt)
+		if err != nil {
+			t.Fatalf("decoded %q but cannot re-encode: %v", data, err)
+		}
+		back, err := UnmarshalJSON(enc)
+		if err != nil || !Equal(tt, back) {
+			t.Fatalf("codec round trip failed for %q -> %q: %v", data, enc, err)
+		}
+	})
+}

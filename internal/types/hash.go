@@ -1,0 +1,68 @@
+package types
+
+import "fmt"
+
+// Hash returns a 64-bit structural hash of the type, consistent with
+// Equal: equal types hash equally. The map phase counts distinct types
+// per partition (Tables 2-5); hashing directly over the structure avoids
+// rendering every type to a string first, which dominates the cost on
+// datasets where most types repeat.
+func Hash(t Type) uint64 {
+	return hashType(fnvOffset, t)
+}
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func hashByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime
+}
+
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = hashByte(h, s[i])
+	}
+	// Terminate so "ab"+"c" and "a"+"bc" differ.
+	return hashByte(h, 0xff)
+}
+
+func hashType(h uint64, t Type) uint64 {
+	switch tt := t.(type) {
+	case EmptyType:
+		return hashByte(h, 0x01)
+	case Basic:
+		return hashByte(hashByte(h, 0x02), byte(tt))
+	case *Record:
+		h = hashByte(h, 0x03)
+		for _, f := range tt.fields {
+			h = hashString(h, f.Key)
+			if f.Optional {
+				h = hashByte(h, 0x10)
+			} else {
+				h = hashByte(h, 0x11)
+			}
+			h = hashType(h, f.Type)
+		}
+		return hashByte(h, 0x04)
+	case *Map:
+		return hashType(hashByte(h, 0x05), tt.elem)
+	case *Tuple:
+		h = hashByte(h, 0x06)
+		for _, e := range tt.elems {
+			h = hashType(h, e)
+		}
+		return hashByte(h, 0x07)
+	case *Repeated:
+		return hashType(hashByte(h, 0x08), tt.elem)
+	case *Union:
+		h = hashByte(h, 0x09)
+		for _, a := range tt.alts {
+			h = hashType(h, a)
+		}
+		return hashByte(h, 0x0a)
+	default:
+		panic(fmt.Sprintf("types: unknown type %T", t))
+	}
+}

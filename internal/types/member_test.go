@@ -1,0 +1,312 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func TestMemberBasics(t *testing.T) {
+	cases := []struct {
+		v    value.Value
+		t    Type
+		want bool
+	}{
+		{value.Null{}, Null, true},
+		{value.Null{}, Bool, false},
+		{value.Bool(true), Bool, true},
+		{value.Num(1), Num, true},
+		{value.Str("x"), Str, true},
+		{value.Str("x"), Num, false},
+		{value.Num(1), Empty, false},
+		{value.Null{}, Empty, false},
+		{value.Num(1), uni(Num, Str), true},
+		{value.Bool(true), uni(Num, Str), false},
+	}
+	for _, c := range cases {
+		if got := Member(c.v, c.t); got != c.want {
+			t.Errorf("Member(%s, %s) = %v, want %v", value.JSON(c.v), c.t, got, c.want)
+		}
+	}
+}
+
+func TestMemberRecords(t *testing.T) {
+	rt := rec(fld("a", Num), opt("b", Str))
+	cases := []struct {
+		v    value.Value
+		want bool
+	}{
+		{value.Obj("a", value.Num(1)), true},                      // optional absent
+		{value.Obj("a", value.Num(1), "b", value.Str("x")), true}, // optional present
+		{value.Obj("b", value.Str("x")), false},                   // mandatory absent
+		{value.Obj("a", value.Str("no")), false},                  // wrong field type
+		{value.Obj("a", value.Num(1), "c", value.Num(2)), false},  // unknown key
+		{value.Obj("a", value.Num(1), "b", value.Num(2)), false},  // optional wrong type
+		{value.MustRecord(), false},                               // mandatory absent
+		{value.Num(3), false},                                     // not a record
+	}
+	for _, c := range cases {
+		if got := Member(c.v, rt); got != c.want {
+			t.Errorf("Member(%s, %s) = %v, want %v", value.JSON(c.v), rt, got, c.want)
+		}
+	}
+	if !Member(value.MustRecord(), rec()) {
+		t.Error("{} should belong to {}")
+	}
+	if !Member(value.MustRecord(), rec(opt("a", Num))) {
+		t.Error("{} should belong to {a: Num?}")
+	}
+}
+
+func TestMemberArrays(t *testing.T) {
+	cases := []struct {
+		v    value.Value
+		t    Type
+		want bool
+	}{
+		{value.Arr(), tup(), true},
+		{value.Arr(value.Num(1)), tup(), false},
+		{value.Arr(value.Num(1), value.Str("x")), tup(Num, Str), true},
+		{value.Arr(value.Str("x"), value.Num(1)), tup(Num, Str), false}, // order matters
+		{value.Arr(value.Num(1)), tup(Num, Str), false},                 // length matters
+		{value.Arr(), rep(Num), true},                                   // [] in every [T*]
+		{value.Arr(), rep(Empty), true},                                 // [] in [ε*]
+		{value.Arr(value.Num(1)), rep(Empty), false},
+		{value.Arr(value.Num(1), value.Num(2), value.Num(3)), rep(Num), true},
+		{value.Arr(value.Num(1), value.Str("x")), rep(Num), false},
+		{value.Arr(value.Num(1), value.Str("x")), rep(uni(Num, Str)), true},
+		{value.Num(1), rep(Num), false},
+		{value.Num(1), tup(Num), false},
+	}
+	for _, c := range cases {
+		if got := Member(c.v, c.t); got != c.want {
+			t.Errorf("Member(%s, %s) = %v, want %v", value.JSON(c.v), c.t, got, c.want)
+		}
+	}
+}
+
+func TestMemberNested(t *testing.T) {
+	// The paper's Section 2 example: {A: (Null+Str)?, B: Num+Bool, C: Str?}.
+	tt := MustParse("{A: (Null + Str)?, B: Num + Bool, C: Str?}")
+	yes := []value.Value{
+		value.Obj("A", value.Str("s"), "B", value.Num(1)),
+		value.Obj("A", value.Null{}, "B", value.Bool(true), "C", value.Str("c")),
+		value.Obj("B", value.Num(0)),
+	}
+	no := []value.Value{
+		value.Obj("A", value.Str("s")),                  // B missing
+		value.Obj("A", value.Num(8), "B", value.Num(1)), // A wrong
+		value.Obj("B", value.Str("not num or bool")),
+		value.Obj("B", value.Num(1), "D", value.Num(2)), // unknown key
+	}
+	for _, v := range yes {
+		if !Member(v, tt) {
+			t.Errorf("%s should belong to %s", value.JSON(v), tt)
+		}
+	}
+	for _, v := range no {
+		if Member(v, tt) {
+			t.Errorf("%s should NOT belong to %s", value.JSON(v), tt)
+		}
+	}
+}
+
+func TestSubtypeBasics(t *testing.T) {
+	cases := []struct {
+		t, u Type
+		want bool
+	}{
+		{Num, Num, true},
+		{Num, Str, false},
+		{Empty, Num, true},
+		{Empty, Empty, true},
+		{Num, Empty, false},
+		{Num, uni(Num, Str), true},
+		{Bool, uni(Num, Str), false},
+		{uni(Num, Str), uni(Num, Str, Bool), true},
+		{uni(Num, Str, Bool), uni(Num, Str), false},
+		{uni(Num, Str), Num, false},
+	}
+	for _, c := range cases {
+		if got := Subtype(c.t, c.u); got != c.want {
+			t.Errorf("Subtype(%s, %s) = %v, want %v", c.t, c.u, got, c.want)
+		}
+	}
+}
+
+func TestSubtypeRecords(t *testing.T) {
+	cases := []struct {
+		t, u string
+		want bool
+	}{
+		{"{a: Num}", "{a: Num}", true},
+		{"{a: Num}", "{a: Num + Str}", true},
+		{"{a: Num}", "{a: Num?}", true},         // mandatory <= optional
+		{"{a: Num?}", "{a: Num}", false},        // optional not <= mandatory
+		{"{a: Num}", "{a: Num, b: Str?}", true}, // extra optional ok
+		{"{a: Num}", "{a: Num, b: Str}", false}, // extra mandatory not ok
+		{"{a: Num, b: Str}", "{a: Num}", false}, // left-only key not allowed
+		{"{a: Num?}", "{a: Num?, b: Bool?}", true},
+		{"{}", "{a: Num?}", true},
+		{"{}", "{a: Num}", false},
+		{"{a: {b: Num}}", "{a: {b: Num + Null}}", true},
+		{"{a: {b: Num}}", "{a: {b: Str}}", false},
+	}
+	for _, c := range cases {
+		tt, uu := MustParse(c.t), MustParse(c.u)
+		if got := Subtype(tt, uu); got != c.want {
+			t.Errorf("Subtype(%s, %s) = %v, want %v", c.t, c.u, got, c.want)
+		}
+	}
+}
+
+func TestSubtypeArrays(t *testing.T) {
+	cases := []struct {
+		t, u string
+		want bool
+	}{
+		{"[Num, Str]", "[Num, Str]", true},
+		{"[Num, Str]", "[Num + Bool, Str]", true},
+		{"[Num]", "[Num, Num]", false},
+		{"[Num, Num]", "[Num*]", true},
+		{"[Num, Str]", "[Num*]", false},
+		{"[Num, Str]", "[(Num + Str)*]", true},
+		{"[]", "[Num*]", true},
+		{"[]", "[ε*]", true},
+		{"[ε*]", "[]", true},
+		{"[Num*]", "[]", false},
+		{"[Num*]", "[Num*]", true},
+		{"[Num*]", "[(Num + Str)*]", true},
+		{"[(Num + Str)*]", "[Num*]", false},
+		{"[Num*]", "[Num, Num]", false}, // repeated admits other lengths
+		{"[Num]", "{a: Num}", false},
+	}
+	for _, c := range cases {
+		tt, uu := MustParse(c.t), MustParse(c.u)
+		if got := Subtype(tt, uu); got != c.want {
+			t.Errorf("Subtype(%s, %s) = %v, want %v", c.t, c.u, got, c.want)
+		}
+	}
+}
+
+// randomMemberValue generates a value that belongs to t, for the
+// soundness property below. Returns nil when t is ε (no member exists).
+func randomMemberValue(r *typeRand, t Type) value.Value {
+	switch tt := t.(type) {
+	case EmptyType:
+		return nil
+	case Basic:
+		switch tt {
+		case Null:
+			return value.Null{}
+		case Bool:
+			return value.Bool(r.intn(2) == 0)
+		case Num:
+			return value.Num(float64(r.intn(100)))
+		default:
+			return value.Str("s")
+		}
+	case *Record:
+		var fs []value.Field
+		for _, f := range tt.Fields() {
+			if f.Optional && r.intn(2) == 0 {
+				continue
+			}
+			v := randomMemberValue(r, f.Type)
+			if v == nil {
+				if f.Optional {
+					continue
+				}
+				return nil // mandatory ε field: type is uninhabited
+			}
+			fs = append(fs, value.Field{Key: f.Key, Value: v})
+		}
+		return value.MustRecord(fs...)
+	case *Tuple:
+		elems := make(value.Array, tt.Len())
+		for i, e := range tt.Elems() {
+			v := randomMemberValue(r, e)
+			if v == nil {
+				return nil
+			}
+			elems[i] = v
+		}
+		return elems
+	case *Repeated:
+		n := r.intn(3)
+		elems := make(value.Array, 0, n)
+		for i := 0; i < n; i++ {
+			v := randomMemberValue(r, tt.Elem())
+			if v == nil {
+				break // ε element: only the empty array inhabits
+			}
+			elems = append(elems, v)
+		}
+		return elems
+	case *Union:
+		alts := tt.Alts()
+		start := r.intn(len(alts))
+		for i := 0; i < len(alts); i++ {
+			if v := randomMemberValue(r, alts[(start+i)%len(alts)]); v != nil {
+				return v
+			}
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+func TestPropertyGeneratedValuesAreMembers(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := &typeRand{s: seed | 1}
+		tt := randomType(r, 3)
+		v := randomMemberValue(r, tt)
+		if v == nil {
+			return true // uninhabited type
+		}
+		return Member(v, tt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySubtypeImpliesMembership(t *testing.T) {
+	// Soundness of the syntactic subtype check: if Subtype(t, u) then
+	// every (generated) member of t is a member of u.
+	f := func(seed uint64) bool {
+		r := &typeRand{s: seed | 1}
+		tt := randomType(r, 3)
+		uu := randomType(r, 3)
+		if !Subtype(tt, uu) {
+			return true // nothing to check
+		}
+		for i := 0; i < 5; i++ {
+			v := randomMemberValue(r, tt)
+			if v == nil {
+				continue
+			}
+			if !Member(v, uu) {
+				t.Logf("t=%s u=%s v=%s", tt, uu, value.JSON(v))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubtypeReflexiveOnRandomTypes(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := &typeRand{s: seed | 1}
+		tt := randomType(r, 4)
+		return Subtype(tt, tt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,387 @@
+package types
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// Parse parses a type expression in the concrete syntax produced by
+// String (and Indent): basic type names, ε (also accepted as "Empty"),
+// record types {k: T, k2: T2?}, tuple array types [T1, T2], simplified
+// array types [T*], unions T + U, and parenthesized types. Keys may be
+// bare identifiers or double-quoted JSON strings.
+//
+// Parse(t.String()) is the identity on canonical types, which the tests
+// verify by round-tripping randomly generated types.
+func Parse(src string) (Type, error) {
+	p := &typeParser{src: src}
+	p.skipSpace()
+	t, err := p.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, p.errorf("unexpected trailing input")
+	}
+	return t, nil
+}
+
+// MustParse is Parse that panics on error; for tests and literals.
+func MustParse(src string) Type {
+	t, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type typeParser struct {
+	src string
+	pos int
+}
+
+func (p *typeParser) errorf(format string, args ...any) error {
+	return fmt.Errorf("types: parse error at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *typeParser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *typeParser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *typeParser) expect(c byte) error {
+	if p.peek() != c {
+		return p.errorf("expected %q", string(c))
+	}
+	p.pos++
+	return nil
+}
+
+// parseUnion parses term ('+' term)*.
+func (p *typeParser) parseUnion() (Type, error) {
+	first, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	alts := []Type{first}
+	for {
+		p.skipSpace()
+		if p.peek() != '+' {
+			break
+		}
+		p.pos++
+		p.skipSpace()
+		next, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		alts = append(alts, next)
+	}
+	if len(alts) == 1 {
+		return first, nil
+	}
+	return NewUnion(alts...)
+}
+
+// parseTerm parses a non-union type or a parenthesized type.
+func (p *typeParser) parseTerm() (Type, error) {
+	p.skipSpace()
+	switch c := p.peek(); {
+	case c == '(':
+		p.pos++
+		t, err := p.parseUnion()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return t, nil
+	case c == '{':
+		return p.parseRecord()
+	case c == '[':
+		return p.parseArray()
+	case c == 0:
+		return nil, p.errorf("unexpected end of input")
+	default:
+		return p.parseName()
+	}
+}
+
+func (p *typeParser) parseName() (Type, error) {
+	start := p.pos
+	for p.pos < len(p.src) {
+		r, size := utf8.DecodeRuneInString(p.src[p.pos:])
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == 'ε' {
+			p.pos += size
+			continue
+		}
+		break
+	}
+	name := p.src[start:p.pos]
+	switch name {
+	case "Null":
+		return Null, nil
+	case "Bool":
+		return Bool, nil
+	case "Num":
+		return Num, nil
+	case "Str":
+		return Str, nil
+	case "ε", "Empty":
+		return Empty, nil
+	case "":
+		return nil, p.errorf("expected a type")
+	default:
+		return nil, p.errorf("unknown type name %q", name)
+	}
+}
+
+func (p *typeParser) parseRecord() (Type, error) {
+	if err := p.expect('{'); err != nil {
+		return nil, err
+	}
+	var fields []Field
+	p.skipSpace()
+	if p.peek() == '}' {
+		p.pos++
+		return NewRecord()
+	}
+	if p.peek() == '*' {
+		// Abstracted record type {*: T}.
+		p.pos++
+		p.skipSpace()
+		if err := p.expect(':'); err != nil {
+			return nil, err
+		}
+		elem, err := p.parseUnion()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if err := p.expect('}'); err != nil {
+			return nil, err
+		}
+		return NewMap(elem)
+	}
+	for {
+		p.skipSpace()
+		key, err := p.parseKey()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if err := p.expect(':'); err != nil {
+			return nil, err
+		}
+		t, err := p.parseUnion()
+		if err != nil {
+			return nil, err
+		}
+		opt := false
+		p.skipSpace()
+		if p.peek() == '?' {
+			p.pos++
+			opt = true
+			p.skipSpace()
+		}
+		fields = append(fields, Field{Key: key, Type: t, Optional: opt})
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case '}':
+			p.pos++
+			return NewRecord(fields...)
+		default:
+			return nil, p.errorf("expected ',' or '}' in record type")
+		}
+	}
+}
+
+func (p *typeParser) parseArray() (Type, error) {
+	if err := p.expect('['); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.peek() == ']' {
+		p.pos++
+		return EmptyTuple, nil
+	}
+	first, err := p.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.peek() == '*' {
+		p.pos++
+		p.skipSpace()
+		if err := p.expect(']'); err != nil {
+			return nil, err
+		}
+		return NewRepeated(first)
+	}
+	elems := []Type{first}
+	for {
+		switch p.peek() {
+		case ',':
+			p.pos++
+			e, err := p.parseUnion()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+			p.skipSpace()
+		case ']':
+			p.pos++
+			return NewTuple(elems...)
+		default:
+			return nil, p.errorf("expected ',', '*' or ']' in array type")
+		}
+	}
+}
+
+// parseKey parses a bare identifier or a double-quoted JSON string key.
+func (p *typeParser) parseKey() (string, error) {
+	if p.peek() == '"' {
+		return p.parseQuotedKey()
+	}
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9', c == '-':
+			if p.pos == start {
+				return "", p.errorf("record key cannot start with %q", string(c))
+			}
+		default:
+			if p.pos == start {
+				return "", p.errorf("expected a record key")
+			}
+			return p.src[start:p.pos], nil
+		}
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errorf("expected a record key")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *typeParser) parseQuotedKey() (string, error) {
+	// Find the closing quote, honoring escapes, then let strconv do the
+	// actual unescaping (JSON string escapes are a subset of Go's).
+	start := p.pos
+	p.pos++ // opening quote
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '\\':
+			p.pos += 2
+		case '"':
+			p.pos++
+			raw := p.src[start:p.pos]
+			key, err := unquoteJSONString(raw)
+			if err != nil {
+				return "", p.errorf("bad quoted key %s: %v", raw, err)
+			}
+			return key, nil
+		default:
+			p.pos++
+		}
+	}
+	return "", p.errorf("unterminated quoted key")
+}
+
+// unquoteJSONString unescapes a double-quoted JSON string literal.
+// Invalid UTF-8 is replaced with U+FFFD, matching the JSON lexer, so
+// keys always render back to what was parsed.
+func unquoteJSONString(raw string) (string, error) {
+	if len(raw) < 2 || raw[0] != '"' || raw[len(raw)-1] != '"' {
+		return "", fmt.Errorf("not a quoted string")
+	}
+	body := sanitizeUTF8(raw[1 : len(raw)-1])
+	if !strings.ContainsRune(body, '\\') {
+		return body, nil
+	}
+	var sb strings.Builder
+	for i := 0; i < len(body); {
+		c := body[i]
+		if c != '\\' {
+			sb.WriteByte(c)
+			i++
+			continue
+		}
+		if i+1 >= len(body) {
+			return "", fmt.Errorf("trailing backslash")
+		}
+		switch body[i+1] {
+		case '"':
+			sb.WriteByte('"')
+			i += 2
+		case '\\':
+			sb.WriteByte('\\')
+			i += 2
+		case '/':
+			sb.WriteByte('/')
+			i += 2
+		case 'n':
+			sb.WriteByte('\n')
+			i += 2
+		case 't':
+			sb.WriteByte('\t')
+			i += 2
+		case 'r':
+			sb.WriteByte('\r')
+			i += 2
+		case 'b':
+			sb.WriteByte('\b')
+			i += 2
+		case 'f':
+			sb.WriteByte('\f')
+			i += 2
+		case 'u':
+			if i+6 > len(body) {
+				return "", fmt.Errorf("short \\u escape")
+			}
+			n, err := strconv.ParseUint(body[i+2:i+6], 16, 32)
+			if err != nil {
+				return "", fmt.Errorf("bad \\u escape: %v", err)
+			}
+			sb.WriteRune(rune(n))
+			i += 6
+		default:
+			return "", fmt.Errorf("unknown escape \\%c", body[i+1])
+		}
+	}
+	return sb.String(), nil
+}
+
+// sanitizeUTF8 replaces invalid byte sequences with U+FFFD.
+func sanitizeUTF8(s string) string {
+	if utf8.ValidString(s) {
+		return s
+	}
+	var sb strings.Builder
+	sb.Grow(len(s) + utf8.UTFMax)
+	for _, r := range s {
+		sb.WriteRune(r)
+	}
+	return sb.String()
+}

@@ -1,0 +1,246 @@
+package types
+
+import (
+	"strings"
+
+	"repro/internal/value"
+)
+
+// The printer renders types in the paper's concrete syntax:
+//
+//	Null, Bool, Num, Str        basic types
+//	ε                           the empty type
+//	{a: Num, b: Str?}           record type with optional field b
+//	[Num, Str]                  tuple (positional) array type
+//	[(Num + Str)*]              simplified array type
+//	Num + Str                   union type
+//
+// Union alternatives in field position or inside a repeated type are
+// parenthesized so that the output parses back unambiguously; Parse in
+// parse.go accepts exactly this syntax.
+
+// String renders the basic type name.
+func (b Basic) String() string { return Kind(b).String() }
+
+// String renders ε.
+func (EmptyType) String() string { return "ε" }
+
+// String renders the record type in the paper's syntax.
+func (r *Record) String() string {
+	var sb strings.Builder
+	r.appendTo(&sb)
+	return sb.String()
+}
+
+// String renders the tuple array type.
+func (t *Tuple) String() string {
+	var sb strings.Builder
+	t.appendTo(&sb)
+	return sb.String()
+}
+
+// String renders the simplified array type [T*].
+func (r *Repeated) String() string {
+	var sb strings.Builder
+	r.appendTo(&sb)
+	return sb.String()
+}
+
+// String renders the union type T1 + ... + Tn.
+func (u *Union) String() string {
+	var sb strings.Builder
+	u.appendTo(&sb)
+	return sb.String()
+}
+
+type appender interface{ appendTo(*strings.Builder) }
+
+func appendType(sb *strings.Builder, t Type) {
+	if a, ok := t.(appender); ok {
+		a.appendTo(sb)
+		return
+	}
+	sb.WriteString(t.String())
+}
+
+func (b Basic) appendTo(sb *strings.Builder)   { sb.WriteString(b.String()) }
+func (EmptyType) appendTo(sb *strings.Builder) { sb.WriteString("ε") }
+
+func (m *Map) appendTo(sb *strings.Builder) {
+	sb.WriteString("{*: ")
+	appendType(sb, m.elem)
+	sb.WriteByte('}')
+}
+
+func (r *Record) appendTo(sb *strings.Builder) {
+	sb.WriteByte('{')
+	for i, f := range r.fields {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		appendKey(sb, f.Key)
+		sb.WriteString(": ")
+		_, isUnion := f.Type.(*Union)
+		if isUnion && f.Optional {
+			sb.WriteByte('(')
+			appendType(sb, f.Type)
+			sb.WriteByte(')')
+		} else {
+			appendType(sb, f.Type)
+		}
+		if f.Optional {
+			sb.WriteByte('?')
+		}
+	}
+	sb.WriteByte('}')
+}
+
+func (t *Tuple) appendTo(sb *strings.Builder) {
+	sb.WriteByte('[')
+	for i, e := range t.elems {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		appendType(sb, e)
+	}
+	sb.WriteByte(']')
+}
+
+func (r *Repeated) appendTo(sb *strings.Builder) {
+	sb.WriteByte('[')
+	if _, isUnion := r.elem.(*Union); isUnion {
+		sb.WriteByte('(')
+		appendType(sb, r.elem)
+		sb.WriteString(")*]")
+		return
+	}
+	appendType(sb, r.elem)
+	sb.WriteString("*]")
+}
+
+func (u *Union) appendTo(sb *strings.Builder) {
+	for i, a := range u.alts {
+		if i > 0 {
+			sb.WriteString(" + ")
+		}
+		appendType(sb, a)
+	}
+}
+
+// appendKey writes a record key, quoting it unless it is a bare
+// identifier that cannot be confused with syntax.
+func appendKey(sb *strings.Builder, key string) {
+	if isBareKey(key) {
+		sb.WriteString(key)
+		return
+	}
+	b := value.AppendQuoted(nil, key)
+	sb.Write(b)
+}
+
+// isBareKey reports whether key can be printed unquoted: a nonempty
+// sequence of letters, digits, '_' or '-' not starting with a digit
+// or '-'.
+func isBareKey(key string) bool {
+	if key == "" {
+		return false
+	}
+	for i, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case (r >= '0' && r <= '9') || r == '-':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Indent renders t in an indented multi-line form for human consumption:
+// each record field and union alternative on its own line. The compact
+// String form remains the parseable canonical syntax.
+func Indent(t Type) string {
+	var sb strings.Builder
+	indentTo(&sb, t, 0, false)
+	return sb.String()
+}
+
+func indentTo(sb *strings.Builder, t Type, level int, inUnion bool) {
+	pad := func(n int) {
+		for i := 0; i < n; i++ {
+			sb.WriteString("  ")
+		}
+	}
+	switch tt := t.(type) {
+	case Basic, EmptyType:
+		sb.WriteString(t.String())
+	case *Record:
+		if tt.Len() == 0 {
+			sb.WriteString("{}")
+			return
+		}
+		sb.WriteString("{\n")
+		for i, f := range tt.fields {
+			pad(level + 1)
+			appendKey(sb, f.Key)
+			sb.WriteString(": ")
+			_, isUnion := f.Type.(*Union)
+			if isUnion && f.Optional {
+				sb.WriteByte('(')
+				indentTo(sb, f.Type, level+1, false)
+				sb.WriteByte(')')
+			} else {
+				indentTo(sb, f.Type, level+1, false)
+			}
+			if f.Optional {
+				sb.WriteByte('?')
+			}
+			if i < len(tt.fields)-1 {
+				sb.WriteByte(',')
+			}
+			sb.WriteByte('\n')
+		}
+		pad(level)
+		sb.WriteByte('}')
+	case *Tuple:
+		if tt.Len() == 0 {
+			sb.WriteString("[]")
+			return
+		}
+		sb.WriteString("[\n")
+		for i, e := range tt.elems {
+			pad(level + 1)
+			indentTo(sb, e, level+1, false)
+			if i < len(tt.elems)-1 {
+				sb.WriteByte(',')
+			}
+			sb.WriteByte('\n')
+		}
+		pad(level)
+		sb.WriteByte(']')
+	case *Map:
+		sb.WriteString("{*: ")
+		indentTo(sb, tt.elem, level, false)
+		sb.WriteByte('}')
+	case *Repeated:
+		sb.WriteByte('[')
+		if _, isUnion := tt.elem.(*Union); isUnion {
+			sb.WriteByte('(')
+			indentTo(sb, tt.elem, level, false)
+			sb.WriteString(")*]")
+			return
+		}
+		indentTo(sb, tt.elem, level, false)
+		sb.WriteString("*]")
+	case *Union:
+		for i, a := range tt.alts {
+			if i > 0 {
+				sb.WriteString(" + ")
+			}
+			indentTo(sb, a, level, true)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package types
+
+import "fmt"
+
+// Subtype is a sound, syntax-directed approximation of the semantic
+// sub-typing relation of Definition 4.1: Subtype(t, u) == true implies
+// ⟦t⟧ ⊆ ⟦u⟧. The converse does not hold in general (semantic sub-typing
+// of union types is not syntax-directed), but the check is complete
+// enough to verify the fusion correctness theorem (Theorem 5.2) on the
+// normal types our algorithms produce, which the property tests exploit.
+//
+// The rules:
+//
+//   - ε <: U for every U;
+//   - {..} <: {*: T} if every field type fits T; {*: T} <: {*: U} if
+//     T <: U;
+//   - B <: B for basic types;
+//   - T <: U1 + ... + Un if T <: Ui for some i (T non-union);
+//   - T1 + ... + Tn <: U if Ti <: U for every i;
+//   - {..} <: {..} if every field of the left type appears in the right
+//     with a supertype content, left-optional fields are right-optional,
+//     and right-only fields are optional;
+//   - [T1, ..., Tn] <: [U1, ..., Un] positionally;
+//   - [T1, ..., Tn] <: [U*] if every Ti <: U;
+//   - [T*] <: [U*] if T <: U (or T = ε);
+//   - [T*] <: [] only when T = ε (both denote exactly the empty array),
+//     and [] <: [U*] always.
+func Subtype(t, u Type) bool {
+	// ε is a subtype of everything.
+	if _, ok := t.(EmptyType); ok {
+		return true
+	}
+	// A union on the left must be covered alternative by alternative.
+	if ut, ok := t.(*Union); ok {
+		for _, a := range ut.alts {
+			if !Subtype(a, u) {
+				return false
+			}
+		}
+		return true
+	}
+	// A union on the right succeeds if any alternative covers t.
+	if uu, ok := u.(*Union); ok {
+		for _, a := range uu.alts {
+			if Subtype(t, a) {
+				return true
+			}
+		}
+		return false
+	}
+	switch tt := t.(type) {
+	case Basic:
+		ub, ok := u.(Basic)
+		return ok && tt == ub
+	case *Record:
+		switch uu := u.(type) {
+		case *Record:
+			return recordSubtype(tt, uu)
+		case *Map:
+			// Every field's content must fit the map's element type;
+			// keys are unconstrained.
+			for _, f := range tt.Fields() {
+				if !Subtype(f.Type, uu.Elem()) {
+					return false
+				}
+			}
+			return true
+		default:
+			return false
+		}
+	case *Map:
+		uu, ok := u.(*Map)
+		if !ok {
+			// {*: T} admits records with arbitrary keys; no concrete
+			// record type covers that (and tuples/basics certainly do
+			// not), except vacuously when T is uninhabited — which the
+			// syntactic check conservatively ignores.
+			return false
+		}
+		return Subtype(tt.Elem(), uu.Elem())
+	case *Tuple:
+		switch uu := u.(type) {
+		case *Tuple:
+			if len(tt.elems) != len(uu.elems) {
+				return false
+			}
+			for i := range tt.elems {
+				if !Subtype(tt.elems[i], uu.elems[i]) {
+					return false
+				}
+			}
+			return true
+		case *Repeated:
+			for _, e := range tt.elems {
+				if !Subtype(e, uu.elem) {
+					return false
+				}
+			}
+			return true
+		default:
+			return false
+		}
+	case *Repeated:
+		switch uu := u.(type) {
+		case *Repeated:
+			return Subtype(tt.elem, uu.elem)
+		case *Tuple:
+			// [T*] contains the empty array and, unless T = ε, also
+			// arbitrarily long arrays; only [ε*] <: [].
+			if _, isEmpty := tt.elem.(EmptyType); isEmpty {
+				return len(uu.elems) == 0
+			}
+			return false
+		default:
+			return false
+		}
+	default:
+		panic(fmt.Sprintf("types: unknown type %T", t))
+	}
+}
+
+// Equivalent reports whether two types denote the same set of values,
+// as far as the sound subtype check can tell: mutual sub-typing. It is
+// coarser than Equal — e.g. [] and [ε*] are Equivalent but not Equal —
+// and like Subtype it can answer false for exotic semantically-equal
+// pairs, never true for unequal ones.
+func Equivalent(t, u Type) bool { return Subtype(t, u) && Subtype(u, t) }
+
+// recordSubtype implements the record rule documented on Subtype. Both
+// field slices are sorted by key; merge them.
+func recordSubtype(t, u *Record) bool {
+	tf, uf := t.fields, u.fields
+	i, j := 0, 0
+	for i < len(tf) && j < len(uf) {
+		switch {
+		case tf[i].Key == uf[j].Key:
+			if tf[i].Optional && !uf[j].Optional {
+				return false
+			}
+			if !Subtype(tf[i].Type, uf[j].Type) {
+				return false
+			}
+			i++
+			j++
+		case tf[i].Key < uf[j].Key:
+			// Left type allows a key the right type does not mention:
+			// values carrying that key are not in ⟦u⟧.
+			return false
+		default:
+			// Right-only keys must be optional, or left values (which
+			// lack the key) are excluded.
+			if !uf[j].Optional {
+				return false
+			}
+			j++
+		}
+	}
+	if i < len(tf) {
+		return false
+	}
+	for ; j < len(uf); j++ {
+		if !uf[j].Optional {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,98 @@
+package types
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/value"
+)
+
+// Witness generates a sample value belonging to ⟦t⟧, drawing choices
+// (union alternatives, optional-field presence, array lengths) from r.
+// It returns false when the type is uninhabited — ε itself, or a type
+// whose every inhabitant would need a member of ε (e.g. a record with a
+// mandatory ε field).
+//
+// Witnesses turn inferred schemas into documentation and test fixtures:
+// a user exploring a dataset can ask for concrete examples of what the
+// schema admits, and the property tests use Witness to validate the
+// semantic operators against each other.
+func Witness(t Type, r *rand.Rand) (value.Value, bool) {
+	switch tt := t.(type) {
+	case EmptyType:
+		return nil, false
+	case Basic:
+		switch tt {
+		case Null:
+			return value.Null{}, true
+		case Bool:
+			return value.Bool(r.Intn(2) == 0), true
+		case Num:
+			return value.Num(float64(r.Intn(1000)) / 4), true
+		default:
+			return value.Str(sampleStrings[r.Intn(len(sampleStrings))]), true
+		}
+	case *Record:
+		var fields []value.Field
+		for _, f := range tt.fields {
+			if f.Optional && r.Intn(2) == 0 {
+				continue
+			}
+			v, ok := Witness(f.Type, r)
+			if !ok {
+				if f.Optional {
+					continue // leave the uninhabited field out
+				}
+				return nil, false // mandatory field of an uninhabited type
+			}
+			fields = append(fields, value.Field{Key: f.Key, Value: v})
+		}
+		return value.MustRecord(fields...), true
+	case *Tuple:
+		elems := make(value.Array, tt.Len())
+		for i, e := range tt.elems {
+			v, ok := Witness(e, r)
+			if !ok {
+				return nil, false
+			}
+			elems[i] = v
+		}
+		return elems, true
+	case *Map:
+		n := r.Intn(3)
+		var fields []value.Field
+		for i := 0; i < n; i++ {
+			v, ok := Witness(tt.elem, r)
+			if !ok {
+				break // uninhabited element: only {} inhabits
+			}
+			fields = append(fields, value.Field{Key: fmt.Sprintf("key%d", i), Value: v})
+		}
+		return value.MustRecord(fields...), true
+	case *Repeated:
+		n := r.Intn(3)
+		elems := make(value.Array, 0, n)
+		for i := 0; i < n; i++ {
+			v, ok := Witness(tt.elem, r)
+			if !ok {
+				break // [ε*]: only the empty array inhabits
+			}
+			elems = append(elems, v)
+		}
+		return elems, true
+	case *Union:
+		// Try alternatives in a random rotation so every inhabited
+		// branch can be produced.
+		start := r.Intn(len(tt.alts))
+		for i := 0; i < len(tt.alts); i++ {
+			if v, ok := Witness(tt.alts[(start+i)%len(tt.alts)], r); ok {
+				return v, true
+			}
+		}
+		return nil, false
+	default:
+		return nil, false
+	}
+}
+
+var sampleStrings = []string{"alpha", "beta", "example", "venice", "2016-03-15", ""}

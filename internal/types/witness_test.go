@@ -1,0 +1,89 @@
+package types
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func TestWitnessBasics(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, tt := range []Type{Null, Bool, Num, Str} {
+		v, ok := Witness(tt, r)
+		if !ok || !Member(v, tt) {
+			t.Errorf("Witness(%s) = %v, %v", tt, v, ok)
+		}
+	}
+	if _, ok := Witness(Empty, r); ok {
+		t.Error("ε should have no witness")
+	}
+}
+
+func TestWitnessUninhabitedRecord(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	// A mandatory ε field makes the record uninhabited.
+	rec := MustRecord(Field{Key: "dead", Type: Empty})
+	if _, ok := Witness(rec, r); ok {
+		t.Error("record with mandatory ε field should have no witness")
+	}
+	// An optional ε field does not.
+	optRec := MustRecord(Field{Key: "dead", Type: Empty, Optional: true}, Field{Key: "a", Type: Num})
+	v, ok := Witness(optRec, r)
+	if !ok || !Member(v, optRec) {
+		t.Errorf("Witness = %v, %v", v, ok)
+	}
+	if v.(*value.Record).Has("dead") {
+		t.Error("witness includes the uninhabited optional field")
+	}
+}
+
+func TestWitnessEmptyArrayType(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	v, ok := Witness(MustRepeated(Empty), r)
+	if !ok {
+		t.Fatal("no witness for [ε*]")
+	}
+	if arr := v.(value.Array); len(arr) != 0 {
+		t.Errorf("witness of [ε*] = %s, want []", value.JSON(v))
+	}
+}
+
+func TestWitnessCoversUnionBranches(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	u := MustUnion(Num, Str, MustRecord(Field{Key: "a", Type: Bool}))
+	seen := map[value.Kind]bool{}
+	for i := 0; i < 200; i++ {
+		v, ok := Witness(u, r)
+		if !ok || !Member(v, u) {
+			t.Fatalf("bad witness %v", v)
+		}
+		seen[v.Kind()] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("only kinds %v produced", seen)
+	}
+}
+
+func TestPropertyWitnessIsMember(t *testing.T) {
+	f := func(seed uint64) bool {
+		tr := &typeRand{s: seed | 1}
+		tt := randomType(tr, 4)
+		r := rand.New(rand.NewSource(int64(seed)))
+		for i := 0; i < 5; i++ {
+			v, ok := Witness(tt, r)
+			if !ok {
+				return true // uninhabited: nothing to check
+			}
+			if !Member(v, tt) {
+				t.Logf("type %s witness %s", tt, value.JSON(v))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
