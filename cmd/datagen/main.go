@@ -28,7 +28,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	name := fs.String("dataset", "", "dataset to generate: "+strings.Join(dataset.Names(), ", "))
@@ -58,7 +58,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		// This file is the command's output: a close error here means
+		// records were lost, so it must fail the run, not vanish.
+		defer func() {
+			if cerr := f.Close(); cerr != nil && retErr == nil {
+				retErr = cerr
+			}
+		}()
 		w = f
 	}
 	if *fromSchema != "" {

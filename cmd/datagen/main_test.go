@@ -62,6 +62,28 @@ func TestGenerateToFile(t *testing.T) {
 	}
 }
 
+// TestFileOutputMatchesStdout is the regression test for the
+// droppederr finding on the -o path: closing the output file now feeds
+// into the command's error, and the rewritten close path must still
+// produce byte-identical output to stdout mode.
+func TestFileOutputMatchesStdout(t *testing.T) {
+	viaStdout, _, err := runCmd(t, "-dataset", "github", "-n", "50", "-seed", "9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "out.ndjson")
+	if _, _, err := runCmd(t, "-dataset", "github", "-n", "50", "-seed", "9", "-o", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != viaStdout {
+		t.Errorf("-o output differs from stdout output")
+	}
+}
+
 func TestSeedDeterminism(t *testing.T) {
 	a, _, err := runCmd(t, "-dataset", "wikidata", "-n", "5", "-seed", "99")
 	if err != nil {

@@ -65,9 +65,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 					return oerr
 				}
 				fp, ferr := jsi.ProfileReader(f, opts)
-				f.Close()
+				cerr := f.Close()
 				if ferr != nil {
 					return fmt.Errorf("%s: %w", path, ferr)
+				}
+				if cerr != nil {
+					return fmt.Errorf("%s: %w", path, cerr)
 				}
 				if p == nil {
 					p = fp
@@ -107,9 +110,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 				return oerr
 			}
 			s, st, serr := jsi.InferReader(f, opts)
-			f.Close()
+			cerr := f.Close()
 			if serr != nil {
 				return fmt.Errorf("%s: %w", path, serr)
+			}
+			if cerr != nil {
+				return fmt.Errorf("%s: %w", path, cerr)
 			}
 			schema = schema.Fuse(s)
 			stats.Records += st.Records

@@ -136,6 +136,32 @@ func TestProfileFlagOverFiles(t *testing.T) {
 	}
 }
 
+// TestStreamOverFiles covers the per-file streaming loop, whose close
+// handling was rewritten to surface close errors (droppederr finding):
+// both files must be fully read, fused, and closed without losing the
+// inference result.
+func TestStreamOverFiles(t *testing.T) {
+	dir := t.TempDir()
+	f1 := filepath.Join(dir, "a.ndjson")
+	f2 := filepath.Join(dir, "b.ndjson")
+	if err := os.WriteFile(f1, []byte(`{"x":1}`+"\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(f2, []byte(`{"x":"s"}`+"\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := runCmd(t, []string{"-stream", f1, f2}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "{x: Num + Str}" {
+		t.Errorf("output = %q", out)
+	}
+	if _, _, err := runCmd(t, []string{"-stream", "/no/such/file"}, ""); err == nil {
+		t.Error("missing stream file accepted")
+	}
+}
+
 func TestPositionalFlag(t *testing.T) {
 	in := `{"p":[1,2]}` + "\n" + `{"p":[3,4]}`
 	out, _, err := runCmd(t, []string{"-positional"}, in)

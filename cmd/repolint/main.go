@@ -1,0 +1,113 @@
+// Command repolint runs this repository's custom static-analysis suite
+// (internal/analyze): five stdlib-only analyzers guarding the
+// determinism, immutability and concurrency invariants the schema
+// inference pipeline is built on. See docs/ANALYSIS.md for what each
+// analyzer checks and how to suppress a finding.
+//
+// Usage:
+//
+//	repolint [-json] [-list] [packages...]
+//
+// Packages are directory patterns relative to the working directory
+// (default "./..."); a trailing /... recurses. The exit status is 0
+// when no findings remain after suppression, 1 when findings are
+// reported, and 2 on usage or load errors — the same convention as go
+// vet, so CI can tell "dirty tree" from "broken run".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analyze"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	list := fs.Bool("list", false, "list the registered analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analyze.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	// Root the loader at the first pattern so repolint works from any
+	// directory inside the module (and, in tests, on other modules).
+	loader, err := analyze.NewLoader(patternDir(patterns[0]))
+	if err != nil {
+		fmt.Fprintln(stderr, "repolint:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "repolint:", err)
+		return 2
+	}
+	diags := analyze.Check(pkgs, analyze.All())
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analyze.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "repolint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, relativize(d))
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(stderr, "repolint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		}
+	}
+
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// patternDir strips a trailing /... so the loader can be rooted at the
+// pattern's directory.
+func patternDir(pat string) string {
+	dir := strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+	if dir == "" {
+		return "."
+	}
+	return dir
+}
+
+// relativize renders a diagnostic with a working-directory-relative
+// path when possible, keeping output stable across checkouts.
+func relativize(d analyze.Diagnostic) string {
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+	}
+	return d.String()
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analyze"
+)
+
+func runCmd(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := run(args, &out, &errBuf)
+	return out.String(), errBuf.String(), code
+}
+
+// writeModule lays out a throwaway single-package module and returns
+// the package directory.
+func writeModule(t *testing.T, src string) string {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module tmpmod\n\ngo 1.22\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "p")
+	if err := os.Mkdir(dir, 0o700); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+const dirtySrc = `package p
+
+import "os"
+
+func Drop(f *os.File) {
+	f.Close()
+}
+`
+
+const cleanSrc = `package p
+
+import "os"
+
+func Keep(f *os.File) error {
+	return f.Close()
+}
+`
+
+func TestFindingsExitOne(t *testing.T) {
+	dir := writeModule(t, dirtySrc)
+	out, errOut, code := runCmd(t, dir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errOut)
+	}
+	if !strings.Contains(out, "droppederr") || !strings.Contains(out, "os.Close") {
+		t.Errorf("output = %q, want a droppederr finding", out)
+	}
+	if !strings.Contains(errOut, "1 finding(s)") {
+		t.Errorf("stderr = %q, want a findings summary", errOut)
+	}
+}
+
+func TestCleanExitZero(t *testing.T) {
+	dir := writeModule(t, cleanSrc)
+	out, errOut, code := runCmd(t, dir)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stdout: %s, stderr: %s)", code, out, errOut)
+	}
+	if out != "" {
+		t.Errorf("output = %q, want empty", out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dir := writeModule(t, dirtySrc)
+	out, _, code := runCmd(t, "-json", dir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var diags []analyze.Diagnostic
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "droppederr" || diags[0].Line == 0 {
+		t.Errorf("diags = %+v, want one droppederr finding with a line", diags)
+	}
+}
+
+func TestJSONOutputCleanIsEmptyArray(t *testing.T) {
+	dir := writeModule(t, cleanSrc)
+	out, _, code := runCmd(t, "-json", dir)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if strings.TrimSpace(out) != "[]" {
+		t.Errorf("output = %q, want []", out)
+	}
+}
+
+func TestSuppressionHonored(t *testing.T) {
+	dir := writeModule(t, `package p
+
+import "os"
+
+func Drop(f *os.File) {
+	//lint:ignore droppederr read-only file in a throwaway test module
+	f.Close()
+}
+`)
+	out, _, code := runCmd(t, dir)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (out: %s)", code, out)
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	out, _, code := runCmd(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, a := range analyze.All() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list output missing %s", a.Name)
+		}
+	}
+}
+
+func TestLoadErrorExitTwo(t *testing.T) {
+	if _, _, code := runCmd(t, filepath.Join(t.TempDir(), "nope")); code != 2 {
+		t.Errorf("exit = %d, want 2 for an unloadable pattern", code)
+	}
+}

@@ -25,6 +25,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	//lint:ignore droppederr best-effort cleanup of a temporary directory
 	defer os.RemoveAll(dir)
 
 	// Lay out four partitions, like the four HDFS partitions of Table 8.

@@ -136,6 +136,7 @@ func InferFile(path string, opts Options) (*Schema, Stats, error) {
 	if err != nil {
 		return nil, Stats{}, fmt.Errorf("jsoninference: %w", err)
 	}
+	//lint:ignore droppederr the file is only read; a close error cannot lose data
 	defer f.Close()
 
 	type chunkOut struct {

@@ -1,0 +1,178 @@
+// Package analyze is a hand-rolled static-analysis driver for this
+// repository, built only on the standard library (go/parser, go/ast,
+// go/types — no golang.org/x/tools). It exists because the core claims
+// of the reproduction are *invariants of the implementation*, not just
+// of the algorithms: fusion is commutative and associative so any
+// reduction order must give byte-for-byte identical schemas, fused
+// types share subtrees so they must never be mutated after
+// construction, and the map-reduce layer must not leak goroutines or
+// copy locks. Runtime property tests exercise these invariants on the
+// inputs they happen to generate; the analyzers in this package check
+// the *source* for the coding patterns that break them, on every build.
+//
+// The five project-specific analyzers are:
+//
+//   - nondetmap: iteration over a Go map whose body performs an
+//     order-sensitive operation (append to an outer slice, channel
+//     send, writer emission) without sorting — the determinism
+//     guarantee (docs/ANALYSIS.md).
+//   - typemut: writes through the shared slices returned by
+//     types.Type accessors (Fields/Elems/Alts) outside the constructor
+//     packages — fused types alias subtrees, so such writes corrupt
+//     sibling schemas.
+//   - goroleak: `go func` literals with no completion accounting (no
+//     WaitGroup, no channel close/send, no done-channel) in scope.
+//   - droppederr: discarded error results from encoding/json, io and
+//     os calls.
+//   - lockcopy: by-value copies of structs embedding sync primitives.
+//
+// Diagnostics can be suppressed with a `//lint:ignore <analyzers>
+// <reason>` comment on the flagged line or the line directly above it;
+// see suppress.go. The cmd/repolint command is the CLI front end and
+// verify.sh wires it into CI.
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check. Run inspects a type-checked package via
+// the Pass and reports findings with Pass.Reportf.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in reports and in
+	// lint:ignore directives.
+	Name string
+	// Doc is a one-line description of the invariant the analyzer
+	// guards.
+	Doc string
+	// Run executes the analyzer over one package.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions to file locations.
+	Fset *token.FileSet
+	// Files are the package's parsed files (comments included).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's recordings for the files.
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil if the checker did not record
+// one.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// exprString renders an expression for use in diagnostics and for the
+// syntactic matching of the collect-then-sort idiom.
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+// ObjectOf resolves an identifier to its object (definition or use).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Info.Defs[id]; o != nil {
+		return o
+	}
+	return p.Info.Uses[id]
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Analyzer names the check that fired.
+	Analyzer string `json:"analyzer"`
+	// Pos locates the finding.
+	Pos token.Position `json:"-"`
+	// Message explains the finding.
+	Message string `json:"message"`
+
+	// File, Line and Col mirror Pos for JSON output.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// All returns the registered analyzers in a fixed order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NondetMap,
+		TypeMut,
+		GoroLeak,
+		DroppedErr,
+		LockCopy,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Check runs the analyzers over the packages, drops findings matched by
+// lint:ignore directives, and returns the remainder sorted by file,
+// line, column and analyzer name so output is deterministic.
+func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg.Fset, pkg.Files)
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &pkgDiags,
+			}
+			a.Run(pass)
+		}
+		for _, d := range pkgDiags {
+			if !sup.matches(d) {
+				d.File, d.Line, d.Col = d.Pos.Filename, d.Pos.Line, d.Pos.Column
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,116 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak guards the worker-pool discipline of the concurrent layers
+// (internal/mapreduce, internal/cluster, the streaming inference
+// pipeline): every goroutine must have a completion story, or the
+// ROADMAP's scale-out work (sharded inference, async repositories)
+// turns every request into a slow leak.
+//
+// A `go func(){...}()` literal counts as accounted for when its body
+//
+//   - references a sync.WaitGroup declared outside the literal
+//     (wg.Done / defer wg.Done),
+//   - closes or sends on a channel from the enclosing scope (the
+//     producer pattern: defer close(out)),
+//   - or receives from a channel of the enclosing scope, including
+//     ctx.Done() (the consumer / done-channel pattern: the goroutine
+//     exits when the channel closes).
+//
+// Otherwise the statement is reported. `go namedFunc()` is not
+// analyzed — the analyzer only sees the call site, not the body — so
+// fire-and-forget helpers should either take a literal at the call
+// site or carry a lint:ignore with the ownership story.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "goroutine with no completion accounting (WaitGroup, channel close/send, or done-channel)",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if !goroutineAccounted(pass, lit) {
+				pass.Reportf(gs.Pos(), "goroutine has no completion accounting: no WaitGroup, channel close/send, or done-channel in scope")
+			}
+			return true
+		})
+	}
+}
+
+// goroutineAccounted reports whether the literal's body contains any of
+// the accepted completion signals.
+func goroutineAccounted(pass *Pass, lit *ast.FuncLit) bool {
+	accounted := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if accounted {
+			return false
+		}
+		switch nn := n.(type) {
+		case *ast.Ident:
+			if obj := pass.ObjectOf(nn); obj != nil && isWaitGroup(obj.Type()) && !withinNode(obj.Pos(), lit) {
+				accounted = true
+			}
+		case *ast.CallExpr:
+			// close(ch) on an outer channel.
+			if id, ok := nn.Fun.(*ast.Ident); ok {
+				if b, ok := pass.ObjectOf(id).(*types.Builtin); ok && b.Name() == "close" && len(nn.Args) == 1 {
+					if outerScoped(pass, nn.Args[0], lit) {
+						accounted = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if outerScoped(pass, nn.Chan, lit) {
+				accounted = true
+			}
+		case *ast.UnaryExpr:
+			// <-ch or <-ctx.Done(): exits when the channel closes.
+			if nn.Op == token.ARROW && outerScoped(pass, nn.X, lit) {
+				accounted = true
+			}
+		case *ast.RangeStmt:
+			// for x := range ch over an outer channel: exits on close.
+			if t := pass.TypeOf(nn.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan && outerScoped(pass, nn.X, lit) {
+					accounted = true
+				}
+			}
+		}
+		return !accounted
+	})
+	return accounted
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup or *sync.WaitGroup.
+func isWaitGroup(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// outerScoped reports whether the expression's root identifier is
+// declared outside the function literal.
+func outerScoped(pass *Pass, e ast.Expr, lit *ast.FuncLit) bool {
+	obj := rootObject(pass, e)
+	return obj != nil && !withinNode(obj.Pos(), lit)
+}

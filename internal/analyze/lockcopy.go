@@ -1,0 +1,154 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockCopy guards the concurrency-safe containers (the schema
+// repository's mutex, the map-reduce engine's WaitGroups): copying a
+// struct that embeds a sync primitive forks the primitive's state, so
+// the copy and the original no longer exclude each other and a Wait can
+// miss an Add. This is go vet's copylocks check re-implemented for this
+// repository's driver so the whole suite runs as one tool with one
+// suppression mechanism.
+//
+// Reported sites: function parameters, results and receivers that take
+// a lock-containing struct by value; assignments that copy an existing
+// lock-containing value (reading a variable, field, element or
+// dereference — constructing a fresh value with a composite literal is
+// fine); call arguments passing such a value; and range clauses whose
+// value variable copies one out of a collection.
+var LockCopy = &Analyzer{
+	Name: "lockcopy",
+	Doc:  "by-value copy of a struct containing a sync primitive",
+	Run:  runLockCopy,
+}
+
+func runLockCopy(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncSig(pass, nn.Recv, nn.Type)
+			case *ast.FuncLit:
+				checkFuncSig(pass, nil, nn.Type)
+			case *ast.AssignStmt:
+				for _, rhs := range nn.Rhs {
+					if copiesLock(pass, rhs) {
+						pass.Reportf(rhs.Pos(), "assignment copies %s, which contains a sync primitive; use a pointer", typeName(pass.TypeOf(rhs)))
+					}
+				}
+			case *ast.CallExpr:
+				checkCallArgs(pass, nn)
+			case *ast.RangeStmt:
+				if nn.Value != nil && !isBlank(nn.Value) {
+					if t := pass.TypeOf(nn.Value); t != nil && containsLock(t, nil) {
+						pass.Reportf(nn.Value.Pos(), "range value copies %s, which contains a sync primitive; range over indices or use pointers", typeName(t))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFuncSig reports by-value lock-containing receivers, parameters
+// and results.
+func checkFuncSig(pass *Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	for _, fl := range []*ast.FieldList{recv, ft.Params, ft.Results} {
+		if fl == nil {
+			continue
+		}
+		for _, field := range fl.List {
+			t := pass.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if containsLock(t, nil) {
+				pass.Reportf(field.Type.Pos(), "%s passed by value contains a sync primitive; use a pointer", typeName(t))
+			}
+		}
+	}
+}
+
+// checkCallArgs reports lock-containing values passed by value as call
+// arguments.
+func checkCallArgs(pass *Pass, call *ast.CallExpr) {
+	// Conversions and builtins don't copy into a callee frame in a way
+	// that detaches a lock the callee then uses; keep them out to avoid
+	// noise on e.g. len(arr).
+	if calleeFunc(pass, call) == nil {
+		return
+	}
+	for _, arg := range call.Args {
+		if copiesLock(pass, arg) {
+			pass.Reportf(arg.Pos(), "call argument copies %s, which contains a sync primitive; pass a pointer", typeName(pass.TypeOf(arg)))
+		}
+	}
+}
+
+// copiesLock reports whether evaluating e copies an existing
+// lock-containing value: e reads a variable, field, element or
+// dereference whose type contains a sync primitive. Fresh composite
+// literals, address-taking and function calls are not copies of an
+// existing value.
+func copiesLock(pass *Pass, e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return false
+	}
+	t := pass.TypeOf(e)
+	return t != nil && containsLock(t, nil)
+}
+
+// containsLock reports whether t is or embeds (transitively, by value)
+// a struct type declared in package sync. seen guards against cyclic
+// named types.
+func containsLock(t types.Type, seen map[*types.Named]bool) bool {
+	switch tt := t.(type) {
+	case *types.Named:
+		obj := tt.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			_, isStruct := tt.Underlying().(*types.Struct)
+			return isStruct
+		}
+		if seen[tt] {
+			return false
+		}
+		if seen == nil {
+			seen = make(map[*types.Named]bool)
+		}
+		seen[tt] = true
+		return containsLock(tt.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			if containsLock(tt.Field(i).Type(), seen) {
+				return true
+			}
+		}
+		return false
+	case *types.Array:
+		return containsLock(tt.Elem(), seen)
+	default:
+		return false
+	}
+}
+
+// typeName renders a type for diagnostics, tolerating nil.
+func typeName(t types.Type) string {
+	if t == nil {
+		return "value"
+	}
+	return t.String()
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,85 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives follow the staticcheck convention:
+//
+//	//lint:ignore <analyzers> <reason>
+//
+// where <analyzers> is a comma-separated list of analyzer names or the
+// word "all", and <reason> is required prose explaining why the finding
+// is acceptable. A directive suppresses matching diagnostics on the
+// line it appears on (trailing comment) and on the line directly below
+// it (standalone comment above the flagged statement).
+
+// suppression is one parsed lint:ignore directive.
+type suppression struct {
+	names  []string // analyzer names, or ["all"]
+	reason string
+}
+
+func (s suppression) covers(analyzer string) bool {
+	for _, n := range s.names {
+		if n == "all" || n == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressions indexes directives by file and line.
+type suppressions map[string]map[int][]suppression
+
+// matches reports whether the diagnostic is covered by a directive on
+// its own line or the line above.
+func (sup suppressions) matches(d Diagnostic) bool {
+	lines := sup[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, s := range lines[line] {
+			if s.covers(d.Analyzer) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectSuppressions parses every lint:ignore directive in the files.
+// Malformed directives (no analyzer list or no reason) are ignored; the
+// analyzers they meant to silence will keep firing, which makes the
+// mistake visible.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	sup := make(suppressions)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				parts := strings.SplitN(strings.TrimSpace(rest), " ", 2)
+				if len(parts) != 2 || parts[0] == "" || strings.TrimSpace(parts[1]) == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := sup[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]suppression)
+					sup[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], suppression{
+					names:  strings.Split(parts[0], ","),
+					reason: strings.TrimSpace(parts[1]),
+				})
+			}
+		}
+	}
+	return sup
+}

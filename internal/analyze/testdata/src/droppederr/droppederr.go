@@ -1,0 +1,46 @@
+// Package fixture holds known-bad and known-good snippets for the
+// droppederr analyzer's golden tests.
+package fixture
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// Persist drops the encoder's error: a full disk goes unnoticed.
+func Persist(enc *json.Encoder, v any) {
+	enc.Encode(v) // want "error result of json.Encode discarded"
+}
+
+// PersistChecked is the fixed form.
+func PersistChecked(enc *json.Encoder, v any) error {
+	return enc.Encode(v)
+}
+
+// Mirror drops io.Copy's error (and its byte count).
+func Mirror(dst io.Writer, src io.Reader) {
+	io.Copy(dst, src) // want "error result of io.Copy discarded"
+}
+
+// CloseBlank discards the close error explicitly; still a loss on a
+// written file.
+func CloseBlank(f *os.File) {
+	_ = f.Close() // want "error result of os.Close assigned to _"
+}
+
+// CloseDeferred drops the close error behind defer.
+func CloseDeferred(f *os.File) {
+	defer f.Close() // want "error result of os.Close dropped by defer"
+}
+
+// CloseChecked is the fixed form for write paths.
+func CloseChecked(f *os.File) error {
+	return f.Close()
+}
+
+// CloseReadOnly documents why the discard is safe.
+func CloseReadOnly(f *os.File) {
+	//lint:ignore droppederr close error of a read-only file carries no data loss
+	f.Close()
+}

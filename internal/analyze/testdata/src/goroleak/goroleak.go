@@ -1,0 +1,65 @@
+// Package fixture holds known-bad and known-good snippets for the
+// goroleak analyzer's golden tests.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// FireAndForget launches a goroutine nothing ever waits for.
+func FireAndForget(work []int) {
+	go func() { // want "goroutine has no completion accounting"
+		for range work {
+		}
+	}()
+}
+
+// Waited is accounted for by a WaitGroup.
+func Waited(work []int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range work {
+		}
+	}()
+	wg.Wait()
+}
+
+// Producer is accounted for: it closes the channel it feeds.
+func Producer(work []int) <-chan int {
+	out := make(chan int)
+	go func() {
+		defer close(out)
+		for _, w := range work {
+			out <- w
+		}
+	}()
+	return out
+}
+
+// Consumer is accounted for: it drains an outer channel until close.
+func Consumer(in <-chan int) {
+	go func() {
+		for range in {
+		}
+	}()
+}
+
+// CtxBound is accounted for: it exits when the context is done.
+func CtxBound(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// Detached runs for the process lifetime by design.
+func Detached() {
+	//lint:ignore goroleak background metrics flusher lives for the whole process
+	go func() {
+		for {
+			_ = struct{}{}
+		}
+	}()
+}

@@ -1,0 +1,81 @@
+// Package fixture holds known-bad and known-good snippets for the
+// lockcopy analyzer's golden tests.
+package fixture
+
+import "sync"
+
+// Guarded embeds a mutex, so copying it forks the lock state.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Nested embeds Guarded by value: still lock-containing.
+type Nested struct {
+	g Guarded
+}
+
+// use anchors values without copying them further.
+func use(p *Guarded) { _ = p }
+
+// ReadByValue takes the lock-containing struct by value.
+func ReadByValue(g Guarded) int { // want "passed by value contains a sync primitive"
+	return g.n
+}
+
+// Snapshot copies the guarded struct out of a pointer.
+func Snapshot(g *Guarded) {
+	snap := *g // want "assignment copies"
+	use(&snap)
+}
+
+// PassNested hands a nested lock-containing value to a callee.
+func PassNested(n Nested) { // want "passed by value contains a sync primitive"
+	use(&n.g)
+}
+
+// CallByValue copies the lock at the call site.
+func CallByValue(g Guarded) { // want "passed by value contains a sync primitive"
+	ReadByValue(g) // want "call argument copies"
+}
+
+// RangeCopies copies each element, lock included.
+func RangeCopies(gs []Guarded) int {
+	total := 0
+	for _, g := range gs { // want "range value copies"
+		total += g.n
+	}
+	return total
+}
+
+// RangeByIndex is the fixed form.
+func RangeByIndex(gs []Guarded) int {
+	total := 0
+	for i := range gs {
+		gs[i].mu.Lock()
+		total += gs[i].n
+		gs[i].mu.Unlock()
+	}
+	return total
+}
+
+// Fresh builds a new value with a composite literal: not a copy of an
+// existing lock.
+func Fresh() *Guarded {
+	g := Guarded{n: 1}
+	return &g
+}
+
+// Locked uses the pointer forms throughout: never reported.
+func Locked(g *Guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// SeedCopy copies a zero-valued guard before any goroutine can hold
+// the lock.
+func SeedCopy(proto *Guarded) Guarded { // want "passed by value contains a sync primitive"
+	//lint:ignore lockcopy proto is zero-valued here; the copy predates any locking
+	return *proto
+}

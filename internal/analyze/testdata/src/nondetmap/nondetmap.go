@@ -1,0 +1,88 @@
+// Package fixture holds known-bad and known-good snippets for the
+// nondetmap analyzer's golden tests.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Emit leaks map iteration order into the returned slice.
+func Emit(counts map[string]int) []string {
+	var out []string
+	for k, v := range counts {
+		out = append(out, fmt.Sprintf("%s=%d", k, v)) // want "append to out inside map iteration without a later sort"
+	}
+	return out
+}
+
+// EmitSorted is the fixed form: collect, sort, then iterate.
+func EmitSorted(counts map[string]int) []string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%s=%d", k, counts[k]))
+	}
+	return out
+}
+
+// Render writes through an outer builder in map order.
+func Render(counts map[string]int) string {
+	var sb strings.Builder
+	for k, v := range counts {
+		fmt.Fprintf(&sb, "%s=%d\n", k, v) // want "Fprintf inside map iteration"
+	}
+	return sb.String()
+}
+
+// RenderPerKey builds a per-iteration buffer: order-insensitive.
+func RenderPerKey(counts map[string]int) map[string]string {
+	out := make(map[string]string, len(counts))
+	for k, v := range counts {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%s=%d", k, v)
+		out[k] = sb.String()
+	}
+	return out
+}
+
+// Stream sends map entries in iteration order.
+func Stream(counts map[string]int, ch chan<- string) {
+	for k := range counts {
+		ch <- k // want "channel send inside map iteration"
+	}
+}
+
+// Total only folds commutatively: never reported.
+func Total(counts map[string]int) int {
+	total := 0
+	for _, v := range counts {
+		total += v
+	}
+	return total
+}
+
+// Invert inserts into another map: order-insensitive, never reported.
+func Invert(counts map[string]int) map[int]string {
+	out := make(map[int]string, len(counts))
+	for k, v := range counts {
+		out[v] = k
+	}
+	return out
+}
+
+// EmitHashes appends in map order on purpose: the caller hashes the
+// elements with an order-independent combiner.
+func EmitHashes(hashes map[string]uint64) []uint64 {
+	var out []uint64
+	for _, h := range hashes {
+		//lint:ignore nondetmap the caller folds these with an order-independent XOR
+		out = append(out, h)
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+// Package fixture holds known-bad and known-good snippets for the
+// typemut analyzer's golden tests.
+package fixture
+
+import "repro/internal/types"
+
+// MakeOptional writes through the accessor's shared slice, corrupting
+// every schema that shares this record subtree.
+func MakeOptional(r *types.Record) {
+	r.Fields()[0].Optional = true // want "write into r.Fields"
+}
+
+// SwapAlt mutates a union through a variable bound to the accessor.
+func SwapAlt(u *types.Union) {
+	alts := u.Alts()
+	alts[0] = types.Null // want "write into alts"
+}
+
+// GrowInPlace may write into the record's backing array when capacity
+// allows.
+func GrowInPlace(r *types.Record, f types.Field) []types.Field {
+	return append(r.Fields(), f) // want "append with destination r.Fields"
+}
+
+// OverwriteElems copies into the tuple's backing array.
+func OverwriteElems(t *types.Tuple, elems []types.Type) {
+	es := t.Elems()
+	copy(es, elems) // want "copy with destination es"
+}
+
+// Rebuild is the fixed form: copy the slice, mutate the copy, and run
+// it back through a canonicalizing constructor.
+func Rebuild(r *types.Record) *types.Record {
+	fs := make([]types.Field, len(r.Fields()))
+	copy(fs, r.Fields())
+	for i := range fs {
+		fs[i].Optional = true
+	}
+	return types.MustRecord(fs...)
+}
+
+// Scratch mutates a locally built slice: allowed.
+func Scratch(ts ...types.Type) []types.Type {
+	out := make([]types.Type, len(ts))
+	copy(out, ts)
+	out[0] = types.Str
+	return out
+}
+
+// DropRetained reuses the accessor slice as scratch space after the
+// record itself has been discarded.
+func DropRetained(r *types.Record) []types.Field {
+	fs := r.Fields()
+	//lint:ignore typemut r is a throwaway parse artifact owned by this call
+	fs[0].Optional = false
+	return fs
+}

@@ -1,0 +1,175 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TypeMut guards the immutability of the schema type language. Values
+// of repro/internal/types.Type are canonicalized at construction and
+// shared freely afterwards: fusion reuses subtrees of its inputs, the
+// schema repository caches fused results, and map-reduce workers hand
+// types across goroutines without copying. All of that is sound only
+// because no one writes into a type after construction.
+//
+// The compiler already prevents direct field writes (the fields are
+// unexported), but the accessors Fields, Elems and Alts return the
+// internal slices for zero-copy iteration, and a write through such a
+// slice — r.Fields()[0].Type = x, or via a variable bound to the
+// accessor's result — corrupts every schema sharing that subtree. The
+// analyzer reports element writes and potentially in-place appends
+// (append, copy) through accessor results in every package except the
+// constructor packages types, fusion and infer, which own the
+// invariant.
+var TypeMut = &Analyzer{
+	Name: "typemut",
+	Doc:  "write through a shared types.Type accessor slice outside the constructor packages",
+	Run:  runTypeMut,
+}
+
+// typesPkgPath is the package whose values the analyzer protects.
+const typesPkgPath = "repro/internal/types"
+
+// typeMutAllowed are the packages allowed to touch type internals: the
+// type language itself and the two packages that construct types.
+var typeMutAllowed = map[string]bool{
+	typesPkgPath:            true,
+	"repro/internal/fusion": true,
+	"repro/internal/infer":  true,
+}
+
+// accessorNames are the types.Type methods returning internal slices.
+var accessorNames = map[string]bool{
+	"Fields": true,
+	"Elems":  true,
+	"Alts":   true,
+}
+
+func runTypeMut(pass *Pass) {
+	if typeMutAllowed[pass.Pkg.Path()] {
+		return
+	}
+	for _, f := range pass.Files {
+		tainted := taintedObjects(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range nn.Lhs {
+					if base := sharedSliceBase(pass, lhs, tainted); base != "" {
+						pass.Reportf(lhs.Pos(), "write into %s mutates a shared immutable type; rebuild with a types constructor instead", base)
+					}
+				}
+			case *ast.IncDecStmt:
+				if base := sharedSliceBase(pass, nn.X, tainted); base != "" {
+					pass.Reportf(nn.X.Pos(), "write into %s mutates a shared immutable type; rebuild with a types constructor instead", base)
+				}
+			case *ast.CallExpr:
+				checkSliceGrower(pass, nn, tainted)
+			}
+			return true
+		})
+	}
+}
+
+// taintedObjects finds variables bound directly to an accessor result
+// (fs := r.Fields(); alts := u.Alts()[1:]) so writes through them can
+// be traced. This is a local, flow-insensitive approximation: it
+// catches the direct-binding idiom, not arbitrary aliasing.
+func taintedObjects(pass *Pass, f *ast.File) map[types.Object]bool {
+	tainted := make(map[types.Object]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isAccessorExpr(pass, rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.ObjectOf(id); obj != nil {
+					tainted[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return tainted
+}
+
+// isAccessorExpr reports whether e is (possibly a slice of) a call to a
+// types accessor method.
+func isAccessorExpr(pass *Pass, e ast.Expr) bool {
+	for {
+		switch ee := ast.Unparen(e).(type) {
+		case *ast.SliceExpr:
+			e = ee.X
+		case *ast.CallExpr:
+			return isAccessorCall(pass, ee)
+		default:
+			return false
+		}
+	}
+}
+
+// isAccessorCall reports whether the call invokes Fields/Elems/Alts on
+// a type declared in the protected types package.
+func isAccessorCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil || !accessorNames[fn.Name()] || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == typesPkgPath && fn.Type().(*types.Signature).Recv() != nil
+}
+
+// sharedSliceBase walks an l-value chain (e.g. r.Fields()[0].Type) and
+// returns a description of the shared storage being written, or "" if
+// the chain does not pass through an index into an accessor slice.
+func sharedSliceBase(pass *Pass, e ast.Expr, tainted map[types.Object]bool) string {
+	for {
+		switch ee := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			if isAccessorExpr(pass, ee.X) {
+				return exprString(ee.X)
+			}
+			if id, ok := ast.Unparen(ee.X).(*ast.Ident); ok {
+				if obj := pass.ObjectOf(id); obj != nil && tainted[obj] {
+					return id.Name + " (bound to a types accessor result)"
+				}
+			}
+			e = ee.X
+		case *ast.SelectorExpr:
+			e = ee.X
+		case *ast.StarExpr:
+			e = ee.X
+		default:
+			return ""
+		}
+	}
+}
+
+// checkSliceGrower flags append/copy calls whose destination is an
+// accessor slice: append may write in place when capacity allows, and
+// copy always writes through.
+func checkSliceGrower(pass *Pass, call *ast.CallExpr, tainted map[types.Object]bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	b, ok := pass.ObjectOf(id).(*types.Builtin)
+	if !ok || (b.Name() != "append" && b.Name() != "copy") {
+		return
+	}
+	dst := call.Args[0]
+	isShared := isAccessorExpr(pass, dst)
+	if !isShared {
+		if did, ok := ast.Unparen(dst).(*ast.Ident); ok {
+			if obj := pass.ObjectOf(did); obj != nil && tainted[obj] {
+				isShared = true
+			}
+		}
+	}
+	if isShared {
+		pass.Reportf(call.Pos(), "%s with destination %s may write into a shared immutable type; copy the slice first", b.Name(), exprString(dst))
+	}
+}

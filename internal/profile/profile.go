@@ -18,6 +18,7 @@ package profile
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/types"
 	"repro/internal/value"
@@ -270,8 +271,17 @@ func (n *Node) typ() types.Type {
 		case types.KindNull, types.KindBool, types.KindNum, types.KindStr:
 			alts = append(alts, types.Basic(kind))
 		case types.KindRecord:
-			fields := make([]types.Field, 0, len(ks.Fields))
-			for key, fs := range ks.Fields {
+			// Iterate fields in sorted key order so the recursive typ()
+			// calls — and with them any diagnostics or allocations they
+			// make — happen in a deterministic order, not map order.
+			keys := make([]string, 0, len(ks.Fields))
+			for key := range ks.Fields {
+				keys = append(keys, key)
+			}
+			sort.Strings(keys)
+			fields := make([]types.Field, 0, len(keys))
+			for _, key := range keys {
+				fs := ks.Fields[key]
 				fields = append(fields, types.Field{
 					Key:      key,
 					Type:     fs.Node.typ(),

@@ -1,0 +1,50 @@
+package profile
+
+import (
+	"testing"
+
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// TestTypeFieldOrderDeterministic is the regression test for the
+// nondetmap finding in Node.typ: record fields were collected by
+// ranging the Fields map, so the recursive dereification walked the
+// subtree in map-iteration order. Keys are now sorted first; the
+// resulting type (and its rendering) must be identical run after run.
+func TestTypeFieldOrderDeterministic(t *testing.T) {
+	keys := []string{"zulu", "alpha", "mike", "kilo", "echo", "tango", "bravo", "hotel"}
+	build := func() *Profile {
+		fs := make([]value.Field, len(keys))
+		for i, k := range keys {
+			fs[i] = value.Field{Key: k, Value: value.Num(float64(i))}
+		}
+		p := &Profile{}
+		p.Add(value.MustRecord(fs...))
+		return p
+	}
+	want := build().Type()
+	wantStr := want.String()
+	for i := 0; i < 32; i++ {
+		got := build().Type()
+		if !types.Equal(got, want) {
+			t.Fatalf("iteration %d: type differs: %s vs %s", i, got, want)
+		}
+		if got.String() != wantStr {
+			t.Fatalf("iteration %d: rendering differs: %q vs %q", i, got.String(), wantStr)
+		}
+	}
+	// The rendered fields must come out in key order, proving the walk
+	// is sorted rather than merely canonicalized downstream.
+	rec, ok := want.(*types.Record)
+	if !ok {
+		t.Fatalf("profile type is %T, want *types.Record", want)
+	}
+	prev := ""
+	for _, f := range rec.Fields() {
+		if f.Key < prev {
+			t.Fatalf("fields out of order: %q after %q", f.Key, prev)
+		}
+		prev = f.Key
+	}
+}

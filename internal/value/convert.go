@@ -47,9 +47,17 @@ func FromGo(v any) (Value, error) {
 	case uint64:
 		return Num(vv), nil
 	case map[string]any:
-		fields := make([]Field, 0, len(vv))
-		for k, fv := range vv {
-			cv, err := FromGo(fv)
+		// Convert in sorted key order: NewRecord canonicalizes field
+		// order anyway, but without the sort the error path would
+		// report a map-iteration-random field when several are invalid.
+		keys := make([]string, 0, len(vv))
+		for k := range vv {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fields := make([]Field, 0, len(keys))
+		for _, k := range keys {
+			cv, err := FromGo(vv[k])
 			if err != nil {
 				return nil, fmt.Errorf("field %q: %w", k, err)
 			}

@@ -1,0 +1,45 @@
+package value
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestFromGoErrorDeterministic is the regression test for the nondetmap
+// finding in FromGo: with several invalid fields in one object, the
+// reported field used to depend on map iteration order. Conversion now
+// walks keys in sorted order, so the lexicographically first offender
+// is reported every time.
+func TestFromGoErrorDeterministic(t *testing.T) {
+	bad := map[string]any{
+		"zulu":  math.NaN(),
+		"alpha": math.Inf(1),
+		"mike":  math.NaN(),
+	}
+	for i := 0; i < 64; i++ {
+		_, err := FromGo(bad)
+		if err == nil {
+			t.Fatal("FromGo accepted non-finite numbers")
+		}
+		if !strings.Contains(err.Error(), `field "alpha"`) {
+			t.Fatalf("iteration %d: error %q does not name the first field in key order", i, err)
+		}
+	}
+}
+
+// TestFromGoSortedKeysStillConvert checks the sorted-key path converts
+// every field, not just the ones before the sort landed.
+func TestFromGoSortedKeysStillConvert(t *testing.T) {
+	v, err := FromGo(map[string]any{"b": 2.0, "a": 1.0, "c": "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := v.(*Record)
+	if !ok {
+		t.Fatalf("FromGo returned %T, want *Record", v)
+	}
+	if got := len(rec.Fields()); got != 3 {
+		t.Fatalf("record has %d fields, want 3", got)
+	}
+}

@@ -1,0 +1,31 @@
+#!/bin/sh
+# verify.sh — the tier-1 gate. Everything CI runs, runnable locally.
+#
+#   ./verify.sh          build + vet + repolint + tests (with -race)
+#   ./verify.sh -norace  same, but skip the race detector (slow machines)
+#
+# Exits non-zero on the first failure. See docs/ANALYSIS.md for what
+# repolint checks and how to suppress a finding.
+set -eu
+
+cd "$(dirname "$0")"
+
+race="-race"
+if [ "${1:-}" = "-norace" ]; then
+    race=""
+fi
+
+echo '>> go build ./...'
+go build ./...
+
+echo '>> go vet ./...'
+go vet ./...
+
+echo '>> go run ./cmd/repolint ./...'
+go run ./cmd/repolint ./...
+
+echo ">> go test ${race} ./..."
+# shellcheck disable=SC2086 # race is intentionally empty or one flag
+go test ${race} ./...
+
+echo '>> verify.sh: all checks passed'
