@@ -79,7 +79,7 @@ func benchDatasetTable(b *testing.B, name string) {
 	b.ResetTimer()
 	var res experiments.PipelineResult
 	for i := 0; i < b.N; i++ {
-		res, err = experiments.RunPipelineOverNDJSON(data, cfg)
+		res, err = experiments.RunPipelineOverNDJSON(context.Background(), data, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -117,7 +117,7 @@ func BenchmarkTable6Times(b *testing.B) {
 			b.SetBytes(int64(len(data)))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := experiments.RunPipelineOverNDJSON(data, benchCfg()); err != nil {
+				if _, err := experiments.RunPipelineOverNDJSON(context.Background(), data, benchCfg()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -328,7 +328,7 @@ func BenchmarkAblationPositional(b *testing.B) {
 			var res experiments.PipelineResult
 			var err error
 			for i := 0; i < b.N; i++ {
-				res, err = experiments.RunPipelineOverNDJSON(data, cfg)
+				res, err = experiments.RunPipelineOverNDJSON(context.Background(), data, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -396,6 +396,39 @@ func BenchmarkTypePrintParse(b *testing.B) {
 	}
 }
 
+// BenchmarkInferNDJSON measures the public in-memory entry point end to
+// end with no recorder installed — the nil-recorder fast path whose
+// overhead docs/OBSERVABILITY.md promises is near zero (CI records the
+// comparison against BenchmarkInferNDJSONObserved in BENCH_obs.json).
+func BenchmarkInferNDJSON(b *testing.B) {
+	g, _ := dataset.New("twitter")
+	data := dataset.NDJSON(g, benchScale(), 1)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := jsi.InferNDJSON(data, jsi.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInferNDJSONObserved is BenchmarkInferNDJSON with a Collector
+// installed: the difference between the two is the full cost of
+// observing a run (atomic counters, histogram observations, timing
+// reads along the pipeline).
+func BenchmarkInferNDJSONObserved(b *testing.B) {
+	g, _ := dataset.New("twitter")
+	data := dataset.NDJSON(g, benchScale(), 1)
+	c := jsi.NewCollector()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := jsi.InferNDJSON(data, jsi.Options{Collector: c}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkInferFileStreaming measures the bounded-memory chunked file
 // pipeline end to end.
 func BenchmarkInferFileStreaming(b *testing.B) {
@@ -430,7 +463,7 @@ func BenchmarkProfile(b *testing.B) {
 // fused schema.
 func BenchmarkAbstraction(b *testing.B) {
 	g, _ := dataset.New("wikidata")
-	res, err := experiments.RunPipelineOverNDJSON(dataset.NDJSON(g, 1000, 1), experiments.Config{})
+	res, err := experiments.RunPipelineOverNDJSON(context.Background(), dataset.NDJSON(g, 1000, 1), experiments.Config{})
 	if err != nil {
 		b.Fatal(err)
 	}

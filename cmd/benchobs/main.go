@@ -1,0 +1,127 @@
+// Command benchobs measures what the observability layer costs and
+// writes the result as JSON (the BENCH_obs.json artifact CI uploads).
+//
+// It benchmarks the public InferNDJSON pipeline three ways over the
+// same synthetic dataset:
+//
+//   - nil recorder: Options zero value — every instrumentation point
+//     reduces to one predictable branch; this is what callers who never
+//     opt in pay.
+//   - collector: Options.Collector installed — atomic counters, gauges
+//     and histogram observations along the whole pipeline.
+//
+// The report contains ns/op for both, the collector overhead in
+// percent, and — when -baseline-ns provides a pre-instrumentation
+// measurement — the nil-recorder overhead relative to it.
+//
+// Usage:
+//
+//	benchobs [-records 5000] [-baseline-ns N] [-o BENCH_obs.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	jsi "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchobs:", err)
+		os.Exit(1)
+	}
+}
+
+// Report is the schema of BENCH_obs.json.
+type Report struct {
+	// Benchmark identifies the measured pipeline entry point.
+	Benchmark string `json:"benchmark"`
+	// Records is the number of records inferred per iteration.
+	Records int `json:"records"`
+	// NilRecorderNsPerOp is ns/op with observability compiled in but not
+	// requested (the default for every caller).
+	NilRecorderNsPerOp int64 `json:"nil_recorder_ns_per_op"`
+	// CollectorNsPerOp is ns/op with a Collector installed.
+	CollectorNsPerOp int64 `json:"collector_ns_per_op"`
+	// CollectorOverheadPct is the relative cost of opting in.
+	CollectorOverheadPct float64 `json:"collector_overhead_pct"`
+	// BaselineNsPerOp, when nonzero, is an externally measured ns/op of
+	// the pipeline before instrumentation existed (pass -baseline-ns),
+	// and NilRecorderOverheadPct compares against it.
+	BaselineNsPerOp        int64    `json:"baseline_ns_per_op,omitempty"`
+	NilRecorderOverheadPct *float64 `json:"nil_recorder_overhead_pct,omitempty"`
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchobs", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	// The defaults reproduce BenchmarkInferNDJSON's workload (twitter,
+	// benchScale() records, seed 1) so -baseline-ns numbers taken from
+	// that benchmark compare like for like.
+	records := fs.Int("records", 10_000, "records in the synthetic benchmark dataset")
+	baselineNs := fs.Int64("baseline-ns", 0, "pre-instrumentation ns/op to compare the nil-recorder path against (0 = skip)")
+	outPath := fs.String("o", "", "write the JSON report to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := dataset.New("twitter")
+	if err != nil {
+		return err
+	}
+	data := dataset.NDJSON(g, *records, 1)
+
+	nilRec := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := jsi.InferNDJSON(data, jsi.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	coll := jsi.NewCollector()
+	observed := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := jsi.InferNDJSON(data, jsi.Options{Collector: coll}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	rep := Report{
+		Benchmark:          "InferNDJSON/twitter",
+		Records:            *records,
+		NilRecorderNsPerOp: nilRec.NsPerOp(),
+		CollectorNsPerOp:   observed.NsPerOp(),
+	}
+	if rep.NilRecorderNsPerOp > 0 {
+		rep.CollectorOverheadPct = pctOver(rep.CollectorNsPerOp, rep.NilRecorderNsPerOp)
+	}
+	if *baselineNs > 0 {
+		rep.BaselineNsPerOp = *baselineNs
+		p := pctOver(rep.NilRecorderNsPerOp, *baselineNs)
+		rep.NilRecorderOverheadPct = &p
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *outPath == "" {
+		_, err := stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(*outPath, enc, 0o644)
+}
+
+// pctOver reports how much slower got is than base, in percent
+// (negative when got is faster).
+func pctOver(got, base int64) float64 {
+	return (float64(got) - float64(base)) / float64(base) * 100
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestReportShape(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	// Tiny dataset: the point is the report shape, not the numbers.
+	if err := run([]string{"-records", "50", "-baseline-ns", "1"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out.String())
+	}
+	if rep.NilRecorderNsPerOp <= 0 || rep.CollectorNsPerOp <= 0 {
+		t.Errorf("ns/op not measured: %+v", rep)
+	}
+	if rep.NilRecorderOverheadPct == nil {
+		t.Error("baseline provided but nil_recorder_overhead_pct missing")
+	}
+	if rep.Records != 50 {
+		t.Errorf("Records = %d", rep.Records)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-nope"}, &out, &errBuf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -15,18 +15,41 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtables:", err)
 		os.Exit(1)
+	}
+}
+
+// writeMetrics dumps the registry snapshot as indented JSON to path
+// ("-" = stderr). It reports failures on stderr rather than failing the
+// run: the tables are the primary output, the metrics a side channel.
+func writeMetrics(path string, reg *obs.Registry, stderr io.Writer) {
+	out, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "benchtables: encoding metrics:", err)
+		return
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		if _, err := stderr.Write(out); err != nil {
+			fmt.Fprintln(stderr, "benchtables: writing metrics:", err)
+		}
+		return
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintln(stderr, "benchtables: writing metrics:", err)
 	}
 }
 
@@ -38,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 0, "dataset seed (0 = default)")
 	workers := fs.Int("workers", 0, "map-phase parallelism (0 = all CPUs)")
 	ablation := fs.Bool("ablation", false, "run the ablation tables instead of the paper tables")
+	metricsPath := fs.String("metrics", "", "write a JSON snapshot of pipeline metrics (per-phase wall times, map-reduce internals) to this file; - means stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -46,6 +70,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Scales:  experiments.ScalesUpTo(*maxScale),
 		Seed:    *seed,
 		Workers: *workers,
+	}
+	if *metricsPath != "" {
+		reg := obs.NewRegistry()
+		cfg.Recorder = reg
+		defer writeMetrics(*metricsPath, reg, stderr)
 	}
 
 	if *ablation {

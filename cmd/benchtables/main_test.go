@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -86,6 +89,29 @@ func TestAblationFlag(t *testing.T) {
 	for _, want := range []string{"Ablation: fused schema", "Spark-style coercion", "combiner", "streaming", "tree reduction", "positional extension", "key abstraction", "replication factor"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}
+
+func TestMetricsFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.json")
+	if _, err := runCmd(t, "-table", "2", "-max-scale", "100", "-metrics", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("metrics file is not JSON: %v\n%s", err, data)
+	}
+	for _, want := range []string{"experiments_records", "mapreduce_tasks"} {
+		if m.Counters[want] == 0 {
+			t.Errorf("metrics missing counter %s:\n%s", want, data)
 		}
 	}
 }

@@ -11,30 +11,93 @@
 //
 // Flags:
 //
-//	-format   output format: type (default), indent, jsonschema, codec
-//	-stream   constant-memory streaming mode (single worker, no distinct
-//	          type statistics)
-//	-workers  map-phase parallelism (default: number of CPUs)
-//	-stats    print dataset statistics to stderr
+//	-format      output format: type (default), indent, jsonschema, codec
+//	-stream      constant-memory streaming mode (single worker, no
+//	             distinct type statistics)
+//	-workers     map-phase parallelism (default: number of CPUs)
+//	-stats       print dataset statistics to stderr
+//	-debug-addr  serve /debug/vars (expvar, including live pipeline
+//	             metrics as jsoninfer_metrics) and /debug/pprof on this
+//	             address while the run is in flight
+//
+// Interrupting the process (SIGINT) cancels the pipeline promptly and
+// cleanly between chunks.
 package main
 
 import (
+	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
 
 	jsi "repro"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "jsoninfer:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+// expvar.Publish is global and panics on duplicate names, so the
+// variable is registered once per process and reads whichever collector
+// the most recent run installed.
+var (
+	publishOnce      sync.Once
+	currentCollector atomic.Pointer[jsi.Collector]
+)
+
+func publishMetrics(c *jsi.Collector) {
+	currentCollector.Store(c)
+	publishOnce.Do(func() {
+		expvar.Publish("jsoninfer_metrics", expvar.Func(func() any {
+			if c := currentCollector.Load(); c != nil {
+				return c.Metrics()
+			}
+			return nil
+		}))
+	})
+}
+
+// startDebug serves expvar and pprof on addr until the returned stop
+// function is called. The actual listening address (useful with ":0")
+// is announced on stderr.
+func startDebug(addr string, c *jsi.Collector, stderr io.Writer) (func(), error) {
+	publishMetrics(c)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	fmt.Fprintf(stderr, "debug server listening on http://%s/debug/vars\n", ln.Addr())
+	go serveDebug(srv, ln)
+	return func() { _ = srv.Close() }, nil
+}
+
+func serveDebug(srv *http.Server, ln net.Listener) {
+	// Serve returns http.ErrServerClosed once the stop function runs.
+	_ = srv.Serve(ln)
+}
+
+func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("jsoninfer", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	format := fs.String("format", "type", "output format: type, indent, jsonschema, codec")
@@ -46,11 +109,20 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	expand := fs.String("expand", "", "expand a path expression (e.g. $.user.*) against the inferred schema")
 	sample := fs.Int64("sample", -1, "emit an example value conforming to the schema, generated with this seed")
 	abstract := fs.Int("abstract", 0, "abstract dictionary-like records with at least this many keys into {*: T} (0 = off)")
+	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060) during the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	opts := jsi.Options{Workers: *workers, PreserveTupleArrays: *positional}
+	if *debugAddr != "" {
+		opts.Collector = jsi.NewCollector()
+		stop, err := startDebug(*debugAddr, opts.Collector, stderr)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
 
 	if *profileFlag {
 		var p *jsi.Profile
@@ -93,15 +165,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		stats  jsi.Stats
 		err    error
 	)
+	// merged marks runs whose statistics combine several partitions, for
+	// which DistinctTypes is only a lower bound.
+	merged := fs.NArg() > 1
 	switch {
 	case fs.NArg() == 0 && *stream:
-		schema, stats, err = jsi.InferReader(stdin, opts)
+		schema, stats, err = jsi.Infer(ctx, jsi.FromReader(stdin), opts)
 	case fs.NArg() == 0:
 		data, rerr := io.ReadAll(stdin)
 		if rerr != nil {
 			return rerr
 		}
-		schema, stats, err = jsi.InferNDJSON(data, opts)
+		schema, stats, err = jsi.Infer(ctx, jsi.FromBytes(data), opts)
 	case *stream:
 		schema = jsi.EmptySchema()
 		for _, path := range fs.Args() {
@@ -109,7 +184,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			if oerr != nil {
 				return oerr
 			}
-			s, st, serr := jsi.InferReader(f, opts)
+			s, st, serr := jsi.Infer(ctx, jsi.FromReader(f), opts)
 			cerr := f.Close()
 			if serr != nil {
 				return fmt.Errorf("%s: %w", path, serr)
@@ -122,32 +197,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			stats.Bytes += st.Bytes
 		}
 	default:
-		// Files are processed with the bounded-memory chunked pipeline
-		// and fused, so arbitrarily large inputs work.
-		schema = jsi.EmptySchema()
-		for _, path := range fs.Args() {
-			s, st, ferr := jsi.InferFile(path, opts)
-			if ferr != nil {
-				return ferr
-			}
-			schema = schema.Fuse(s)
-			if st.Records > 0 {
-				total := stats.Records + st.Records
-				stats.AvgTypeSize = (stats.AvgTypeSize*float64(stats.Records) +
-					st.AvgTypeSize*float64(st.Records)) / float64(total)
-			}
-			stats.Records += st.Records
-			stats.Bytes += st.Bytes
-			if st.MaxTypeSize > stats.MaxTypeSize {
-				stats.MaxTypeSize = st.MaxTypeSize
-			}
-			if stats.MinTypeSize == 0 || (st.Records > 0 && st.MinTypeSize < stats.MinTypeSize) {
-				stats.MinTypeSize = st.MinTypeSize
-			}
-			if st.DistinctTypes > stats.DistinctTypes {
-				stats.DistinctTypes = st.DistinctTypes
-			}
-		}
+		// Files are partitions of one dataset: each runs through the
+		// bounded-memory chunked pipeline and the per-file schemas fuse,
+		// so arbitrarily large inputs work.
+		schema, stats, err = jsi.Infer(ctx, jsi.FromFiles(fs.Args()...), opts)
 	}
 	if err != nil {
 		return err
@@ -158,8 +211,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 
 	if *showStats {
-		fmt.Fprintf(stderr, "records=%d bytes=%d distinct-types=%d type-sizes=%d..%d avg=%.1f schema-size=%d\n",
-			stats.Records, stats.Bytes, stats.DistinctTypes,
+		// Merged partitions cannot combine distinct-type sets, so the
+		// count degrades to a lower bound; mark it as such.
+		distinct := fmt.Sprintf("distinct-types=%d", stats.DistinctTypes)
+		if merged && !*stream {
+			distinct = fmt.Sprintf("distinct-types>=%d", stats.DistinctTypes)
+		}
+		fmt.Fprintf(stderr, "records=%d bytes=%d %s type-sizes=%d..%d avg=%.1f schema-size=%d\n",
+			stats.Records, stats.Bytes, distinct,
 			stats.MinTypeSize, stats.MaxTypeSize, stats.AvgTypeSize, schema.Size())
 	}
 

@@ -2,17 +2,23 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func runCmd(t *testing.T, args []string, stdin string) (string, string, error) {
 	t.Helper()
 	var out, errBuf bytes.Buffer
-	err := run(args, strings.NewReader(stdin), &out, &errBuf)
+	err := run(context.Background(), args, strings.NewReader(stdin), &out, &errBuf)
 	return out.String(), errBuf.String(), err
 }
 
@@ -251,6 +257,115 @@ func TestAbstractFlag(t *testing.T) {
 	}
 	if strings.Contains(out, "{*:") {
 		t.Errorf("default output should not abstract: %q", out)
+	}
+}
+
+// syncBuffer lets the test read what run writes to stderr while run is
+// still in flight.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestDebugAddrServesLiveExpvar drives a run whose stdin stays open,
+// and asserts the -debug-addr endpoint reports pipeline metrics while
+// the run is still in flight.
+func TestDebugAddrServesLiveExpvar(t *testing.T) {
+	pr, pw := io.Pipe()
+	var out bytes.Buffer
+	errW := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(context.Background(), []string{"-debug-addr", "127.0.0.1:0", "-stream"}, pr, &out, errW)
+	}()
+	if _, err := io.WriteString(pw, `{"a":1}`+"\n"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The server announces its actual address (the test asked for :0).
+	addrRe := regexp.MustCompile(`listening on http://([^/]+)/`)
+	deadline := time.Now().Add(10 * time.Second)
+	var addr string
+	for addr == "" {
+		if m := addrRe.FindStringSubmatch(errW.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("debug server address never announced; stderr: %q", errW.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Poll /debug/vars until the live metrics show the record we fed in;
+	// the run is provably still in flight because stdin is still open.
+	var body string
+	for {
+		resp, err := http.Get("http://" + addr + "/debug/vars")
+		if err == nil {
+			b, rerr := io.ReadAll(resp.Body)
+			if cerr := resp.Body.Close(); rerr == nil && cerr == nil {
+				body = string(b)
+			}
+			if strings.Contains(body, `"jsoninfer_metrics"`) && strings.Contains(body, "infer_records") {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("expvar never served live metrics; last body: %s", body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := pw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "{a: Num}" {
+		t.Errorf("schema output = %q", out.String())
+	}
+}
+
+// TestStatsLowerBoundAcrossFiles asserts the stats line marks
+// distinct-types as a lower bound when partitions are merged.
+func TestStatsLowerBoundAcrossFiles(t *testing.T) {
+	dir := t.TempDir()
+	f1 := filepath.Join(dir, "a.ndjson")
+	f2 := filepath.Join(dir, "b.ndjson")
+	if err := os.WriteFile(f1, []byte(`{"x":1}`+"\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(f2, []byte(`{"y":"s"}`+"\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	_, errOut, err := runCmd(t, []string{"-stats", f1, f2}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut, "distinct-types>=") {
+		t.Errorf("merged stats should mark the lower bound: %q", errOut)
+	}
+	// A single input is exact: no marker.
+	_, errOut, err = runCmd(t, []string{"-stats", f1}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(errOut, "distinct-types>=") || !strings.Contains(errOut, "distinct-types=1") {
+		t.Errorf("single-file stats should be exact: %q", errOut)
 	}
 }
 

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -65,7 +66,7 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 		if err != nil {
 			return 2, err
 		}
-		res, err := experiments.RunPipelineOverNDJSON(raw, experiments.Config{})
+		res, err := experiments.RunPipelineOverNDJSON(context.Background(), raw, experiments.Config{})
 		if err != nil {
 			return 2, fmt.Errorf("%s: %w", *dataPath, err)
 		}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -73,7 +74,7 @@ func load(path string, isSchema bool) (types.Type, error) {
 		}
 		return t, nil
 	}
-	res, err := experiments.RunPipelineOverNDJSON(data, experiments.Config{})
+	res, err := experiments.RunPipelineOverNDJSON(context.Background(), data, experiments.Config{})
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}

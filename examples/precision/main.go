@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,7 +45,7 @@ func main() {
 		log.Fatal(err)
 	}
 	vs := dataset.Values(gen, 500, 61)
-	res, err := experiments.RunPipelineOverNDJSON(dataset.NDJSON(gen, 500, 61), experiments.Config{})
+	res, err := experiments.RunPipelineOverNDJSON(context.Background(), dataset.NDJSON(gen, 500, 61), experiments.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}

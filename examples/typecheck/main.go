@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,7 +39,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := experiments.RunPipelineOverNDJSON(dataset.NDJSON(gen, 1500, 42), experiments.Config{})
+	res, err := experiments.RunPipelineOverNDJSON(context.Background(), dataset.NDJSON(gen, 1500, 42), experiments.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,7 +6,6 @@ import (
 	"io"
 
 	"repro/internal/abstraction"
-	"repro/internal/experiments"
 	"repro/internal/jsontext"
 	"repro/internal/pathquery"
 	"repro/internal/profile"
@@ -17,20 +16,6 @@ import (
 // (Section 7): statistics-enriched schemas, precision-preserving array
 // inference, and the schema-driven path analysis / projection the
 // introduction motivates.
-
-// PreserveTupleArrays switches the inference pipeline to the positional
-// fusion policy: arrays that always have the same (small) length keep
-// per-position types instead of collapsing to [T*]. See the package
-// documentation of repro/internal/fusion for the algebra.
-//
-// It is an Options field so the flag travels with the rest of the
-// pipeline configuration.
-func (o Options) experimentsConfig() experiments.Config {
-	cfg := experiments.Config{Workers: o.Workers}
-	cfg.Fusion.PreserveTuples = o.PreserveTupleArrays
-	cfg.Fusion.MaxTupleLen = o.MaxTupleLen
-	return cfg
-}
 
 // Profile is a statistics-enriched schema: the same structure as a
 // Schema, annotated at every position with occurrence shares, field
@@ -44,6 +29,9 @@ type Profile struct {
 // ProfileNDJSON profiles a collection of whitespace-separated JSON
 // values.
 func ProfileNDJSON(data []byte, opts Options) (*Profile, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	var out Profile
 	err := jsontext.ScanValues(bytes.NewReader(data), jsontext.Options{MaxDepth: opts.MaxDepth}, func(v value.Value) error {
 		out.p.Add(v)
@@ -57,6 +45,9 @@ func ProfileNDJSON(data []byte, opts Options) (*Profile, error) {
 
 // ProfileReader profiles a stream of JSON values with constant memory.
 func ProfileReader(r io.Reader, opts Options) (*Profile, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	var out Profile
 	p := jsontext.NewParser(r, jsontext.Options{MaxDepth: opts.MaxDepth})
 	for {

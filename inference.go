@@ -2,17 +2,16 @@ package jsoninference
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
-	"os"
+	"runtime"
+	"time"
 
-	"repro/internal/experiments"
 	"repro/internal/fusion"
 	"repro/internal/infer"
 	"repro/internal/jsontext"
-	"repro/internal/mapreduce"
-	"repro/internal/stats"
-	"repro/internal/types"
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -31,14 +30,77 @@ type Options struct {
 	// MaxTupleLen bounds the preserved tuple length (default 4); only
 	// meaningful with PreserveTupleArrays.
 	MaxTupleLen int
-	// ChunkBytes is the chunk size of InferFile's streaming partitioner;
-	// zero means 4 MiB.
+	// ChunkBytes is the chunk size of the bounded-memory file
+	// partitioner used by FromFile and FromFiles; zero means 4 MiB.
 	ChunkBytes int
+	// Collector, when non-nil, accumulates pipeline metrics (records,
+	// bytes, per-chunk latencies, the fusion-growth curve, map-reduce
+	// engine internals) across the run. Snapshot it any time with
+	// Collector.Metrics; nil costs one predictable branch per
+	// instrumentation point (see BenchmarkInferNDJSON vs
+	// BenchmarkInferNDJSONObserved).
+	Collector *Collector
+	// Progress, when non-nil, is called with a metrics snapshot after
+	// each processed chunk (or every few thousand records on the
+	// streaming path) and once after the run completes. It runs on
+	// pipeline goroutines: keep it fast and do not call back into the
+	// pipeline. If Collector is nil a private one is used, so Progress
+	// works on its own.
+	Progress func(Metrics)
 }
 
 // fusionOptions translates the Options into a fusion policy.
 func (o Options) fusionOptions() fusion.Options {
 	return fusion.Options{PreserveTuples: o.PreserveTupleArrays, MaxTupleLen: o.MaxTupleLen}
+}
+
+// workers resolves the effective worker count.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ErrInvalidOptions is wrapped by every error a negative or otherwise
+// nonsensical Options field produces, from every entry point that
+// accepts Options.
+var ErrInvalidOptions = errors.New("jsoninference: invalid options")
+
+// validate rejects Options values that have no meaningful
+// interpretation. Zero always means "use the default", so only
+// negative values are errors.
+func (o Options) validate() error {
+	switch {
+	case o.Workers < 0:
+		return fmt.Errorf("%w: Workers = %d, must be >= 0 (0 means one per CPU)", ErrInvalidOptions, o.Workers)
+	case o.ChunkBytes < 0:
+		return fmt.Errorf("%w: ChunkBytes = %d, must be >= 0 (0 means 4 MiB)", ErrInvalidOptions, o.ChunkBytes)
+	case o.MaxDepth < 0:
+		return fmt.Errorf("%w: MaxDepth = %d, must be >= 0 (0 means the parser default)", ErrInvalidOptions, o.MaxDepth)
+	case o.MaxTupleLen < 0:
+		return fmt.Errorf("%w: MaxTupleLen = %d, must be >= 0 (0 means the default of 4)", ErrInvalidOptions, o.MaxTupleLen)
+	}
+	return nil
+}
+
+// observer resolves the Options into the recorder and progress hook
+// the pipeline threads through its stages. With neither Collector nor
+// Progress set both are nil and every instrumentation point reduces to
+// one branch.
+func (o Options) observer() (obs.Recorder, func()) {
+	c := o.Collector
+	if c == nil && o.Progress == nil {
+		return nil, nil
+	}
+	if c == nil {
+		c = NewCollector()
+	}
+	if o.Progress == nil {
+		return c.recorder(), nil
+	}
+	onProgress := o.Progress
+	return c.recorder(), func() { onProgress(c.Metrics()) }
 }
 
 // Stats summarizes an inference run — the same measurements the paper
@@ -49,12 +111,57 @@ type Stats struct {
 	// Bytes is the number of input bytes consumed.
 	Bytes int64
 	// DistinctTypes is the number of distinct types the Map phase
-	// produced.
+	// produced. It is exact for a single in-memory or single-file run,
+	// zero on the constant-memory streaming path (which cannot afford
+	// the bookkeeping), and only a LOWER BOUND when runs are merged
+	// (FromFiles, InferFiles, mergeStats): distinct counts cannot be
+	// combined without the underlying sets, so the merge keeps the
+	// per-partition maximum.
 	DistinctTypes int
 	// MinTypeSize, MaxTypeSize and AvgTypeSize describe the sizes of the
 	// per-value types; compare with Schema.Size to judge succinctness.
 	MinTypeSize, MaxTypeSize int
 	AvgTypeSize              float64
+}
+
+// Infer runs schema inference over a Source — the one entry point
+// behind InferNDJSON, InferReader, InferFile and InferFiles, and the
+// only one that accepts a context and therefore supports cancellation
+// and deadlines. Cancellation takes effect between chunks (or records,
+// on the streaming path) and leaves no goroutines behind.
+//
+// Construct the Source with FromBytes, FromReader, FromFile or
+// FromFiles; set Options.Collector or Options.Progress to observe the
+// run.
+func Infer(ctx context.Context, src Source, opts Options) (*Schema, Stats, error) {
+	if err := opts.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if src == nil {
+		return nil, Stats{}, fmt.Errorf("%w: nil Source", ErrInvalidOptions)
+	}
+	rec, progress := opts.observer()
+	var t0 time.Time
+	if rec != nil {
+		t0 = time.Now()
+	}
+	schema, st, err := src.run(ctx, opts, rec, progress)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if rec != nil {
+		wall := time.Since(t0)
+		rec.Add("infer_wall_ns", int64(wall))
+		rec.Set("infer_fused_size", int64(schema.Size()))
+		if ns := int64(wall); ns > 0 {
+			rec.Set("infer_records_per_sec", st.Records*int64(time.Second)/ns)
+			rec.Set("infer_bytes_per_sec", st.Bytes*int64(time.Second)/ns)
+		}
+	}
+	if progress != nil {
+		progress()
+	}
+	return schema, st, nil
 }
 
 // InferValue infers the schema of a single Go value of the shapes
@@ -79,50 +186,19 @@ func InferJSON(data []byte) (*Schema, error) {
 
 // InferNDJSON infers the schema of a collection of whitespace-separated
 // JSON values (one per line or concatenated), running the Map phase in
-// parallel and fusing the results.
+// parallel and fusing the results. It is Infer over FromBytes with a
+// background context.
 func InferNDJSON(data []byte, opts Options) (*Schema, Stats, error) {
-	res, err := experiments.RunPipelineOverNDJSON(data, opts.experimentsConfig())
-	if err != nil {
-		return nil, Stats{}, fmt.Errorf("jsoninference: %w", err)
-	}
-	return newSchema(res.Fused), pipelineStats(res), nil
+	return Infer(context.Background(), FromBytes(data), opts)
 }
 
 // InferReader infers the schema of a stream of JSON values with constant
 // memory: values are typed and fused one at a time, never materialized
 // as a whole. Use this for inputs too large to hold in memory; use
-// InferNDJSON when the bytes are available for parallel processing.
+// InferNDJSON when the bytes are available for parallel processing. It
+// is Infer over FromReader with a background context.
 func InferReader(r io.Reader, opts Options) (*Schema, Stats, error) {
-	dec := infer.NewDecoder(r, jsontext.Options{MaxDepth: opts.MaxDepth})
-	fz := opts.fusionOptions()
-	acc := types.Type(types.Empty)
-	var st Stats
-	for {
-		t, err := dec.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, Stats{}, fmt.Errorf("jsoninference: record %d: %w", st.Records+1, err)
-		}
-		size := t.Size()
-		if st.Records == 0 || size < st.MinTypeSize {
-			st.MinTypeSize = size
-		}
-		if size > st.MaxTypeSize {
-			st.MaxTypeSize = size
-		}
-		st.AvgTypeSize += float64(size)
-		st.Records++
-		acc = fz.Fuse(acc, fz.Simplify(t))
-	}
-	if st.Records > 0 {
-		st.AvgTypeSize /= float64(st.Records)
-	}
-	st.Bytes = dec.Offset()
-	// Streaming keeps constant memory, so it cannot count distinct
-	// types; DistinctTypes stays zero here.
-	return newSchema(acc), st, nil
+	return Infer(context.Background(), FromReader(r), opts)
 }
 
 // InferFile infers the schema of one NDJSON file with bounded memory:
@@ -130,109 +206,24 @@ func InferReader(r io.Reader, opts Options) (*Schema, Stats, error) {
 // inferred and fused by parallel workers while the file is still being
 // read. Use this for files too large for InferNDJSON's in-memory
 // partitioning; the resulting schema is identical (associativity +
-// commutativity), which the tests verify.
+// commutativity), which the tests verify. It is Infer over FromFile
+// with a background context.
 func InferFile(path string, opts Options) (*Schema, Stats, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, Stats{}, fmt.Errorf("jsoninference: %w", err)
-	}
-	//lint:ignore droppederr the file is only read; a close error cannot lose data
-	defer f.Close()
-
-	type chunkOut struct {
-		sum   *stats.Summary
-		fused types.Type
-	}
-	fz := opts.fusionOptions()
-	src := make(chan []byte)
-	var readErr error
-	go func() {
-		defer close(src)
-		readErr = jsontext.ChunkLines(f, opts.ChunkBytes, func(chunk []byte) error {
-			src <- chunk
-			return nil
-		})
-	}()
-	mapFn := func(_ context.Context, chunk []byte) (chunkOut, error) {
-		ts, err := infer.InferAll(chunk)
-		if err != nil {
-			return chunkOut{}, err
-		}
-		sum := &stats.Summary{}
-		acc := types.Type(types.Empty)
-		for _, t := range ts {
-			sum.Add(t)
-			acc = fz.Fuse(acc, fz.Simplify(t))
-		}
-		return chunkOut{sum: sum, fused: acc}, nil
-	}
-	combine := func(a, b chunkOut) chunkOut {
-		if a.sum == nil {
-			return b
-		}
-		if b.sum == nil {
-			return a
-		}
-		a.sum.Merge(b.sum)
-		return chunkOut{sum: a.sum, fused: fz.Fuse(a.fused, b.fused)}
-	}
-	out, _, err := mapreduce.Run(context.Background(), src, mapFn, combine, chunkOut{}, mapreduce.Config{Workers: opts.Workers})
-	if err != nil {
-		return nil, Stats{}, fmt.Errorf("jsoninference: %s: %w", path, err)
-	}
-	if readErr != nil {
-		return nil, Stats{}, fmt.Errorf("jsoninference: reading %s: %w", path, readErr)
-	}
-	st := Stats{}
-	schema := EmptySchema()
-	if out.sum != nil {
-		st = Stats{
-			Records:       out.sum.Count(),
-			DistinctTypes: out.sum.Distinct(),
-			MinTypeSize:   out.sum.MinSize(),
-			MaxTypeSize:   out.sum.MaxSize(),
-			AvgTypeSize:   out.sum.AvgSize(),
-		}
-		schema = newSchema(out.fused)
-	}
-	if info, err := f.Stat(); err == nil {
-		st.Bytes = info.Size()
-	}
-	return schema, st, nil
+	return Infer(context.Background(), FromFile(path), opts)
 }
 
 // InferFiles infers one schema across several NDJSON files, treating
-// each file as a partition: files are processed independently and their
-// schemas fused, the strategy of Section 6.2's partitioning experiment.
+// each file as a partition: files run through the same bounded-memory
+// chunked pipeline as InferFile and their schemas are fused, the
+// strategy of Section 6.2's partitioning experiment. The returned
+// Stats.DistinctTypes is only a lower bound — see the field's
+// documentation. It is Infer over FromFiles with a background context.
 func InferFiles(paths []string, opts Options) (*Schema, Stats, error) {
-	acc := EmptySchema()
-	var total Stats
-	for _, path := range paths {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return nil, Stats{}, fmt.Errorf("jsoninference: %w", err)
-		}
-		schema, st, err := InferNDJSON(data, opts)
-		if err != nil {
-			return nil, Stats{}, fmt.Errorf("jsoninference: %s: %w", path, err)
-		}
-		acc = acc.Fuse(schema)
-		total = mergeStats(total, st)
-	}
-	return acc, total, nil
+	return Infer(context.Background(), FromFiles(paths...), opts)
 }
 
-func pipelineStats(res experiments.PipelineResult) Stats {
-	return Stats{
-		Records:       res.Summary.Count(),
-		Bytes:         res.Bytes,
-		DistinctTypes: res.Summary.Distinct(),
-		MinTypeSize:   res.Summary.MinSize(),
-		MaxTypeSize:   res.Summary.MaxSize(),
-		AvgTypeSize:   res.Summary.AvgSize(),
-	}
-}
-
+// mergeStats folds the stats of two partitions into one, the way
+// FromFiles combines per-file runs.
 func mergeStats(a, b Stats) Stats {
 	out := a
 	if a.Records == 0 || (b.Records > 0 && b.MinTypeSize < a.MinTypeSize) {
@@ -248,7 +239,7 @@ func mergeStats(a, b Stats) Stats {
 	out.Records = a.Records + b.Records
 	out.Bytes = a.Bytes + b.Bytes
 	// Distinct counts cannot be merged without the underlying sets; keep
-	// the per-file maximum as a lower bound.
+	// the per-file maximum as a lower bound (documented on the field).
 	if b.DistinctTypes > out.DistinctTypes {
 		out.DistinctTypes = b.DistinctTypes
 	}

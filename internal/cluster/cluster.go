@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Node describes one cluster machine.
@@ -48,6 +50,10 @@ type Config struct {
 	// the accumulated schema. Fused schemas are tiny compared to the
 	// data, which is why the final fusion is cheap (Table 8).
 	FusePerTask time.Duration
+	// Recorder, when non-nil, receives the simulated job's headline
+	// numbers under the cluster_* names of docs/OBSERVABILITY.md. The
+	// recorded times are virtual (deterministic), not host timings.
+	Recorder obs.Recorder
 }
 
 // PaperCluster returns the 6-node configuration of Section 6.1.
@@ -336,6 +342,19 @@ func Run(cfg Config, blocks []Block) (Report, error) {
 		if b > 0 {
 			rep.NodesUsed++
 		}
+	}
+	if rec := cfg.Recorder; rec != nil {
+		// The _virtual suffix (not _ns) marks these as simulated clock
+		// readings in nanoseconds: deterministic for a fixed
+		// configuration, so they must survive Metrics.WithoutTimings.
+		rec.Add("cluster_tasks", int64(rep.Tasks))
+		rec.Add("cluster_remote_tasks", int64(rep.RemoteTasks))
+		rec.Add("cluster_bytes", rep.BytesProcessed)
+		rec.Set("cluster_nodes_used", int64(rep.NodesUsed))
+		rec.Set("cluster_makespan_virtual", int64(rep.Makespan))
+		rec.Set("cluster_map_virtual", int64(rep.MapTime))
+		rec.Set("cluster_reduce_virtual", int64(rep.ReduceTime))
+		rec.Set("cluster_utilization_virtual", int64(1000*rep.Utilization(cfg.TotalCores())))
 	}
 	return rep, nil
 }

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // testCluster is a small 6-node cluster with a deliberately modest
@@ -322,5 +324,30 @@ func TestReplicationRescuesSkewedPlacement(t *testing.T) {
 	}
 	if float64(makespans[2]) > 1.5*float64(ideal.Makespan) {
 		t.Errorf("3x replication still %.1fx slower than ideal", float64(makespans[2])/float64(ideal.Makespan))
+	}
+}
+
+func TestRecorderObservesSimulation(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := PaperCluster(30)
+	cfg.Recorder = reg
+	rep, err := Run(cfg, PlaceBlocks(SplitBytes(1e9, 16), PlaceRoundRobin, len(cfg.Nodes)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := reg.Snapshot()
+	if m.Counters["cluster_tasks"] != int64(rep.Tasks) {
+		t.Errorf("cluster_tasks = %d, want %d", m.Counters["cluster_tasks"], rep.Tasks)
+	}
+	if m.Gauges["cluster_makespan_virtual"] != int64(rep.Makespan) {
+		t.Errorf("cluster_makespan_virtual = %d, want %d", m.Gauges["cluster_makespan_virtual"], rep.Makespan)
+	}
+	if m.Gauges["cluster_nodes_used"] != int64(rep.NodesUsed) {
+		t.Errorf("cluster_nodes_used = %d, want %d", m.Gauges["cluster_nodes_used"], rep.NodesUsed)
+	}
+	// Virtual readings are deterministic and must survive the timing
+	// filter.
+	if _, ok := m.WithoutTimings().Gauges["cluster_makespan_virtual"]; !ok {
+		t.Error("virtual makespan stripped by WithoutTimings")
 	}
 }

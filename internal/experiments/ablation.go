@@ -34,7 +34,7 @@ func AblationSuccinctness(cfg Config) (Table, error) {
 	scales := cfg.scales()
 	n := scales[len(scales)-1].N
 	for _, name := range dataset.PaperNames() {
-		res, err := RunPipeline(name, n, cfg)
+		res, err := RunPipeline(context.Background(), name, n, cfg)
 		if err != nil {
 			return Table{}, err
 		}
@@ -233,11 +233,11 @@ func AblationPositional(cfg Config) (Table, error) {
 		paperCfg.Fusion = fusion.Options{}
 		posCfg := cfg
 		posCfg.Fusion = fusion.Options{PreserveTuples: true}
-		paper, err := RunPipeline(name, n, paperCfg)
+		paper, err := RunPipeline(context.Background(), name, n, paperCfg)
 		if err != nil {
 			return Table{}, err
 		}
-		pos, err := RunPipeline(name, n, posCfg)
+		pos, err := RunPipeline(context.Background(), name, n, posCfg)
 		if err != nil {
 			return Table{}, err
 		}
@@ -272,7 +272,7 @@ func AblationAbstraction(cfg Config) (Table, error) {
 		if n > 20_000 {
 			n = 20_000
 		}
-		res, err := RunPipeline("wikidata", n, cfg)
+		res, err := RunPipeline(context.Background(), "wikidata", n, cfg)
 		if err != nil {
 			return Table{}, err
 		}

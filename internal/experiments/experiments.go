@@ -24,6 +24,7 @@ import (
 	"repro/internal/infer"
 	"repro/internal/jsontext"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/types"
 )
@@ -53,6 +54,10 @@ type Config struct {
 	// Fusion selects the fusion policy; the zero value is the paper's
 	// algorithm, PreserveTuples enables the positional-array extension.
 	Fusion fusion.Options
+	// Recorder, when non-nil, receives per-phase wall times under the
+	// experiments_* names of docs/OBSERVABILITY.md and is forwarded to
+	// the map-reduce engine for its mapreduce_* metrics.
+	Recorder obs.Recorder
 }
 
 // DefaultMaxScale reads the JSI_MAX_SCALE environment variable (a record
@@ -126,14 +131,14 @@ type chunkResult struct {
 
 // RunPipeline generates the dataset at the given scale and runs
 // inference + fusion over it with the map-reduce engine, measuring the
-// phases separately.
-func RunPipeline(name string, n int, cfg Config) (PipelineResult, error) {
+// phases separately. The context cancels the underlying map-reduce run.
+func RunPipeline(ctx context.Context, name string, n int, cfg Config) (PipelineResult, error) {
 	g, err := dataset.New(name)
 	if err != nil {
 		return PipelineResult{}, err
 	}
 	data := dataset.NDJSON(g, n, cfg.seed())
-	res, err := RunPipelineOverNDJSON(data, cfg)
+	res, err := RunPipelineOverNDJSON(ctx, data, cfg)
 	if err != nil {
 		return PipelineResult{}, fmt.Errorf("experiments: %s at %d records: %w", name, n, err)
 	}
@@ -143,7 +148,8 @@ func RunPipeline(name string, n int, cfg Config) (PipelineResult, error) {
 }
 
 // RunPipelineOverNDJSON runs the two-phase pipeline over raw NDJSON.
-func RunPipelineOverNDJSON(data []byte, cfg Config) (PipelineResult, error) {
+// The context cancels the underlying map-reduce run.
+func RunPipelineOverNDJSON(ctx context.Context, data []byte, cfg Config) (PipelineResult, error) {
 	chunks := jsontext.SplitLines(data, cfg.workers()*4)
 	var inferNanos, fuseNanos atomic.Int64
 
@@ -183,7 +189,7 @@ func RunPipelineOverNDJSON(data []byte, cfg Config) (PipelineResult, error) {
 	}
 
 	wall0 := time.Now()
-	out, _, err := mapreduce.RunSlice(context.Background(), chunks, mapFn, combine, chunkResult{}, mapreduce.Config{Workers: cfg.workers()})
+	out, _, err := mapreduce.RunSlice(ctx, chunks, mapFn, combine, chunkResult{}, mapreduce.Config{Workers: cfg.workers(), Recorder: cfg.Recorder})
 	if err != nil {
 		return PipelineResult{}, err
 	}
@@ -197,6 +203,13 @@ func RunPipelineOverNDJSON(data []byte, cfg Config) (PipelineResult, error) {
 	if out.summary != nil {
 		res.Summary = *out.summary
 		res.Fused = out.fused
+	}
+	if rec := cfg.Recorder; rec != nil {
+		rec.Add("experiments_records", res.Summary.Count())
+		rec.Add("experiments_bytes", res.Bytes)
+		rec.Add("experiments_infer_ns", inferNanos.Load())
+		rec.Add("experiments_fuse_ns", fuseNanos.Load())
+		rec.Add("experiments_wall_ns", int64(res.Wall))
 	}
 	return res, nil
 }

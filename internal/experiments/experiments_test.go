@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -39,7 +40,7 @@ func TestDefaultMaxScaleEnv(t *testing.T) {
 }
 
 func TestRunPipelineBasics(t *testing.T) {
-	res, err := RunPipeline("twitter", 300, tinyCfg())
+	res, err := RunPipeline(context.Background(), "twitter", 300, tinyCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,17 +62,17 @@ func TestRunPipelineBasics(t *testing.T) {
 }
 
 func TestRunPipelineUnknownDataset(t *testing.T) {
-	if _, err := RunPipeline("bogus", 10, tinyCfg()); err == nil {
+	if _, err := RunPipeline(context.Background(), "bogus", 10, tinyCfg()); err == nil {
 		t.Error("unknown dataset accepted")
 	}
 }
 
 func TestRunPipelineDeterministicSchema(t *testing.T) {
-	a, err := RunPipeline("github", 200, tinyCfg())
+	a, err := RunPipeline(context.Background(), "github", 200, tinyCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunPipeline("github", 200, tinyCfg())
+	b, err := RunPipeline(context.Background(), "github", 200, tinyCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,11 +89,11 @@ func TestRunPipelineWorkerCountIrrelevant(t *testing.T) {
 	cfg1.Workers = 1
 	cfg8 := tinyCfg()
 	cfg8.Workers = 8
-	a, err := RunPipeline("nytimes", 200, cfg1)
+	a, err := RunPipeline(context.Background(), "nytimes", 200, cfg1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunPipeline("nytimes", 200, cfg8)
+	b, err := RunPipeline(context.Background(), "nytimes", 200, cfg8)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -55,7 +56,7 @@ func DatasetTable(name string, cfg Config) (Table, error) {
 		Headers: []string{"Scale", "# types", "min", "max", "avg", "fused size", "fused/avg"},
 	}
 	for _, s := range cfg.scales() {
-		res, err := RunPipeline(name, s.N, cfg)
+		res, err := RunPipeline(context.Background(), name, s.N, cfg)
 		if err != nil {
 			return Table{}, err
 		}
@@ -89,7 +90,7 @@ func Table6(cfg Config) (Table, error) {
 	scales := cfg.scales()
 	top := scales[len(scales)-1]
 	for _, name := range []string{"github", "twitter", "wikidata"} {
-		res, err := RunPipeline(name, top.N, cfg)
+		res, err := RunPipeline(context.Background(), name, top.N, cfg)
 		if err != nil {
 			return Table{}, err
 		}
@@ -176,7 +177,7 @@ func Table8(cfg Config) (Table, error) {
 	results := make([]PipelineResult, len(chunks))
 	var totalBytes int64
 	for i, chunk := range chunks {
-		res, err := RunPipelineOverNDJSON(chunk, cfg)
+		res, err := RunPipelineOverNDJSON(context.Background(), chunk, cfg)
 		if err != nil {
 			return Table{}, err
 		}

@@ -25,6 +25,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Config tunes a run.
@@ -35,6 +37,13 @@ type Config struct {
 	// Ordered selects the ordered reduction discipline documented in the
 	// package comment.
 	Ordered bool
+	// Recorder, when non-nil, receives engine metrics under the
+	// mapreduce_* names documented in docs/OBSERVABILITY.md: task
+	// counts, per-task map and combine timings, queue wait, reduce and
+	// wall times, and worker utilization. A nil Recorder costs one
+	// branch per task on the hot path (benchmarked at the repository
+	// root against BenchmarkInferNDJSON).
+	Recorder obs.Recorder
 }
 
 func (c Config) workers() int {
@@ -67,14 +76,32 @@ type Stats struct {
 func Run[I, M any](ctx context.Context, src <-chan I, mapFn func(context.Context, I) (M, error), combine func(M, M) M, zero M, cfg Config) (M, Stats, error) {
 	start := time.Now()
 	nw := cfg.workers()
+	rec := cfg.Recorder
+	if rec != nil {
+		rec.Set("mapreduce_workers", int64(nw))
+	}
 
 	type seqItem struct {
 		seq  int
 		item I
+		enq  time.Time // stamped only when a Recorder is installed
 	}
 	type seqOut struct {
 		seq int
 		out M
+	}
+
+	// The per-pair combine timing wraps the combiner once, outside the
+	// hot loop, so the nil-recorder path calls the original function
+	// directly.
+	combineFn := combine
+	if rec != nil {
+		combineFn = func(a, b M) M {
+			t0 := time.Now()
+			out := combine(a, b)
+			rec.Observe("mapreduce_combine_ns", int64(time.Since(t0)))
+			return out
+		}
 	}
 
 	runCtx, cancel := context.WithCancel(ctx)
@@ -86,8 +113,12 @@ func Run[I, M any](ctx context.Context, src <-chan I, mapFn func(context.Context
 		defer close(items)
 		seq := 0
 		for it := range src {
+			si := seqItem{seq: seq, item: it}
+			if rec != nil {
+				si.enq = time.Now()
+			}
 			select {
-			case items <- seqItem{seq: seq, item: it}:
+			case items <- si:
 				seq++
 			case <-runCtx.Done():
 				// Drain src so a blocked producer can finish.
@@ -122,11 +153,17 @@ func Run[I, M any](ctx context.Context, src <-chan I, mapFn func(context.Context
 		go func(w int) {
 			defer wg.Done()
 			for it := range items {
+				if rec != nil && !it.enq.IsZero() {
+					rec.Observe("mapreduce_queue_wait_ns", int64(time.Since(it.enq)))
+				}
 				out, dur, err := runTask(runCtx, mapFn, it.item)
 				mu.Lock()
 				mapTime += dur
 				tasks++
 				mu.Unlock()
+				if rec != nil {
+					rec.Observe("mapreduce_task_ns", int64(dur))
+				}
 				if err != nil {
 					fail(fmt.Errorf("mapreduce: task %d: %w", it.seq, err))
 					return
@@ -137,7 +174,7 @@ func Run[I, M any](ctx context.Context, src <-chan I, mapFn func(context.Context
 					mu.Unlock()
 				} else {
 					if started[w] {
-						locals[w] = combine(locals[w], out)
+						locals[w] = combineFn(locals[w], out)
 					} else {
 						locals[w] = out
 						started[w] = true
@@ -159,6 +196,7 @@ func Run[I, M any](ctx context.Context, src <-chan I, mapFn func(context.Context
 	st := Stats{Tasks: tasks, MapTime: mapTime}
 	if firstErr != nil {
 		st.Wall = time.Since(start)
+		record(rec, st, nw)
 		return zero, st, firstErr
 	}
 
@@ -167,18 +205,36 @@ func Run[I, M any](ctx context.Context, src <-chan I, mapFn func(context.Context
 	if cfg.Ordered {
 		sort.Slice(ordered, func(i, j int) bool { return ordered[i].seq < ordered[j].seq })
 		for _, o := range ordered {
-			acc = combine(acc, o.out)
+			acc = combineFn(acc, o.out)
 		}
 	} else {
 		for w := 0; w < nw; w++ {
 			if started[w] {
-				acc = combine(acc, locals[w])
+				acc = combineFn(acc, locals[w])
 			}
 		}
 	}
 	st.ReduceTime = time.Since(reduceStart)
 	st.Wall = time.Since(start)
+	record(rec, st, nw)
 	return acc, st, nil
+}
+
+// record publishes a finished run's totals. MapTime doubles as the
+// workers' total busy time, so utilization (busy / wall x workers) is
+// derived here rather than tracked separately.
+func record(rec obs.Recorder, st Stats, workers int) {
+	if rec == nil {
+		return
+	}
+	rec.Add("mapreduce_tasks", int64(st.Tasks))
+	rec.Add("mapreduce_map_ns", int64(st.MapTime))
+	rec.Add("mapreduce_reduce_ns", int64(st.ReduceTime))
+	rec.Add("mapreduce_wall_ns", int64(st.Wall))
+	if st.Wall > 0 && workers > 0 {
+		util := int64(st.MapTime) * 1000 / (int64(st.Wall) * int64(workers))
+		rec.Set("mapreduce_utilization_permille", util)
+	}
 }
 
 // runTask invokes mapFn with panic recovery and timing.

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/fusion"
 	"repro/internal/infer"
+	"repro/internal/obs"
 	"repro/internal/types"
 	"repro/internal/value"
 )
@@ -238,5 +239,60 @@ func TestDeterministicAcrossRepeats(t *testing.T) {
 		if !types.Equal(first, again) {
 			t.Fatalf("run %d differs: %s vs %s", i, again, first)
 		}
+	}
+}
+
+func TestRecorderObservesRun(t *testing.T) {
+	reg := obs.NewRegistry()
+	items := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	mapFn := func(_ context.Context, n int) (int, error) { return n, nil }
+	sum := func(a, b int) int { return a + b }
+	got, _, err := RunSlice(context.Background(), items, mapFn, sum, 0, Config{Workers: 3, Recorder: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 36 {
+		t.Fatalf("sum = %d, want 36", got)
+	}
+	m := reg.Snapshot()
+	if m.Counters["mapreduce_tasks"] != int64(len(items)) {
+		t.Errorf("mapreduce_tasks = %d, want %d", m.Counters["mapreduce_tasks"], len(items))
+	}
+	if m.Gauges["mapreduce_workers"] != 3 {
+		t.Errorf("mapreduce_workers = %d, want 3", m.Gauges["mapreduce_workers"])
+	}
+	if h := m.Histograms["mapreduce_task_ns"]; h.Count != int64(len(items)) {
+		t.Errorf("mapreduce_task_ns count = %d, want %d", h.Count, len(items))
+	}
+	if h := m.Histograms["mapreduce_queue_wait_ns"]; h.Count != int64(len(items)) {
+		t.Errorf("mapreduce_queue_wait_ns count = %d, want %d", h.Count, len(items))
+	}
+	if _, ok := m.Counters["mapreduce_wall_ns"]; !ok {
+		t.Error("mapreduce_wall_ns missing")
+	}
+	// 8 tasks over 3 workers: at least one in-worker combine plus the
+	// final fold of <=3 local accumulators must have been timed.
+	if h := m.Histograms["mapreduce_combine_ns"]; h.Count < 3 {
+		t.Errorf("mapreduce_combine_ns count = %d, want >= 3", h.Count)
+	}
+}
+
+func TestRecorderResultUnchanged(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	mapFn := func(_ context.Context, n int) (int, error) { return n * n, nil }
+	sum := func(a, b int) int { return a + b }
+	plain, _, err := RunSlice(context.Background(), items, mapFn, sum, 0, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, _, err := RunSlice(context.Background(), items, mapFn, sum, 0, Config{Workers: 4, Recorder: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != observed {
+		t.Fatalf("recorder changed the result: %d vs %d", observed, plain)
 	}
 }

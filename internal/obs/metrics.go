@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"strings"
+)
+
+// Metrics is a point-in-time snapshot of a Registry: a plain,
+// serializable value. Snapshots form a commutative monoid under Merge
+// (identity: the zero Metrics), mirroring the fusion algebra the
+// pipeline itself is built on, so per-partition metrics can be reduced
+// in any order and the result is independent of scheduling.
+type Metrics struct {
+	// Counters holds monotonic totals; Merge adds them.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Gauges holds last-value measurements; Merge keeps the maximum
+	// (the only merge that is commutative, associative and idempotent
+	// without retaining per-sample history).
+	Gauges map[string]int64 `json:"gauges,omitempty"`
+	// Histograms holds value distributions; Merge adds bucket-wise.
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// HistogramSnapshot is the frozen state of one Histogram.
+type HistogramSnapshot struct {
+	// Count is the number of observations.
+	Count int64 `json:"count"`
+	// Sum is the sum of all observed values.
+	Sum int64 `json:"sum"`
+	// Buckets holds the non-empty buckets in ascending bound order.
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one non-empty histogram bucket.
+type Bucket struct {
+	// Le is the bucket's inclusive upper bound (2^i - 1 for bucket i;
+	// 0 for the bucket of non-positive values).
+	Le int64 `json:"le"`
+	// Count is the number of observations in the bucket.
+	Count int64 `json:"count"`
+}
+
+// Merge combines two snapshots without mutating either: counters add,
+// gauges keep the maximum, histograms add bucket-wise. Merge is
+// commutative and associative with the zero Metrics as identity
+// (property-tested in metrics_test.go), so snapshots from parallel
+// partitions reduce in any order — the same contract as type fusion.
+func Merge(a, b Metrics) Metrics {
+	out := Metrics{
+		Counters:   make(map[string]int64, len(a.Counters)+len(b.Counters)),
+		Gauges:     make(map[string]int64, len(a.Gauges)+len(b.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(a.Histograms)+len(b.Histograms)),
+	}
+	for name, v := range a.Counters {
+		out.Counters[name] = v
+	}
+	for name, v := range b.Counters {
+		out.Counters[name] += v
+	}
+	for name, v := range a.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, v := range b.Gauges {
+		if cur, ok := out.Gauges[name]; !ok || v > cur {
+			out.Gauges[name] = v
+		}
+	}
+	for name, h := range a.Histograms {
+		out.Histograms[name] = cloneHistogram(h)
+	}
+	for name, h := range b.Histograms {
+		out.Histograms[name] = mergeHistograms(out.Histograms[name], h)
+	}
+	return out
+}
+
+func cloneHistogram(h HistogramSnapshot) HistogramSnapshot {
+	out := h
+	out.Buckets = append([]Bucket(nil), h.Buckets...)
+	return out
+}
+
+// mergeHistograms adds two snapshots bucket-wise, keeping the ascending
+// bound order canonical.
+func mergeHistograms(a, b HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{Count: a.Count + b.Count, Sum: a.Sum + b.Sum}
+	byLe := make(map[int64]int64, len(a.Buckets)+len(b.Buckets))
+	for _, bk := range a.Buckets {
+		byLe[bk.Le] += bk.Count
+	}
+	for _, bk := range b.Buckets {
+		byLe[bk.Le] += bk.Count
+	}
+	bounds := make([]int64, 0, len(byLe))
+	for le := range byLe {
+		bounds = append(bounds, le)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	for _, le := range bounds {
+		out.Buckets = append(out.Buckets, Bucket{Le: le, Count: byLe[le]})
+	}
+	return out
+}
+
+// IsTimingMetric reports whether the named metric depends on host
+// timing rather than on the input alone: by convention such names end
+// in _ns (durations), _permille (time-derived ratios) or _per_sec
+// (throughputs). Everything else — counts, sizes — is deterministic
+// for a fixed input and configuration.
+func IsTimingMetric(name string) bool {
+	return strings.HasSuffix(name, "_ns") ||
+		strings.HasSuffix(name, "_permille") ||
+		strings.HasSuffix(name, "_per_sec")
+}
+
+// WithoutTimings returns a copy of the snapshot with every
+// timing-dependent metric removed (see IsTimingMetric). What remains
+// is byte-for-byte reproducible across runs over the same input with
+// the same configuration — the determinism tests compare exactly this.
+func (m Metrics) WithoutTimings() Metrics {
+	out := Metrics{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for name, v := range m.Counters {
+		if !IsTimingMetric(name) {
+			out.Counters[name] = v
+		}
+	}
+	for name, v := range m.Gauges {
+		if !IsTimingMetric(name) {
+			out.Gauges[name] = v
+		}
+	}
+	for name, h := range m.Histograms {
+		if !IsTimingMetric(name) {
+			out.Histograms[name] = cloneHistogram(h)
+		}
+	}
+	return out
+}
+
+// MarshalJSON renders the snapshot deterministically: encoding/json
+// sorts map keys and buckets are stored in ascending bound order.
+func (m Metrics) MarshalJSON() ([]byte, error) {
+	// An alias drops the method set so the default struct encoding
+	// applies without recursing into this method.
+	type plain Metrics
+	return json.Marshal(plain(m))
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomMetrics builds a small random snapshot over a fixed name
+// alphabet so merges collide on names, the interesting case.
+func randomMetrics(r *rand.Rand) Metrics {
+	names := []string{"alpha", "beta", "gamma", "delta_ns", "eps_per_sec"}
+	m := Metrics{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for _, n := range names {
+		if r.Intn(2) == 0 {
+			m.Counters[n] = int64(r.Intn(1000))
+		}
+		if r.Intn(2) == 0 {
+			m.Gauges[n] = int64(r.Intn(1000) - 500)
+		}
+		if r.Intn(2) == 0 {
+			h := HistogramSnapshot{}
+			for i := 0; i < r.Intn(5); i++ {
+				le := BucketBound(r.Intn(12))
+				// Keep bounds unique and ascending.
+				if k := len(h.Buckets); k > 0 && h.Buckets[k-1].Le >= le {
+					continue
+				}
+				c := int64(r.Intn(50) + 1)
+				h.Buckets = append(h.Buckets, Bucket{Le: le, Count: c})
+				h.Count += c
+				h.Sum += c * le
+			}
+			m.Histograms[n] = h
+		}
+	}
+	return m
+}
+
+func metricsJSON(t *testing.T, m Metrics) string {
+	t.Helper()
+	b, err := m.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestMergeLaws property-tests the snapshot monoid the way
+// internal/fusion tests the fusion laws: Merge must be commutative and
+// associative so per-partition metrics reduce in any order.
+func TestMergeLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(20170321))
+	for i := 0; i < 200; i++ {
+		a, b, c := randomMetrics(r), randomMetrics(r), randomMetrics(r)
+		if got, want := metricsJSON(t, Merge(a, b)), metricsJSON(t, Merge(b, a)); got != want {
+			t.Fatalf("Merge not commutative:\n a+b=%s\n b+a=%s", got, want)
+		}
+		left := Merge(Merge(a, b), c)
+		right := Merge(a, Merge(b, c))
+		if got, want := metricsJSON(t, left), metricsJSON(t, right); got != want {
+			t.Fatalf("Merge not associative:\n (a+b)+c=%s\n a+(b+c)=%s", got, want)
+		}
+	}
+}
+
+func TestMergeIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		a := randomMetrics(r)
+		if got, want := metricsJSON(t, Merge(a, Metrics{})), metricsJSON(t, a); got != want {
+			t.Fatalf("zero Metrics is not a right identity:\n got %s\nwant %s", got, want)
+		}
+		if got, want := metricsJSON(t, Merge(Metrics{}, a)), metricsJSON(t, a); got != want {
+			t.Fatalf("zero Metrics is not a left identity:\n got %s\nwant %s", got, want)
+		}
+	}
+}
+
+// TestMergeDoesNotMutateInputs guards the same immutability discipline
+// repolint enforces for shared type subtrees.
+func TestMergeDoesNotMutateInputs(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	a, b := randomMetrics(r), randomMetrics(r)
+	ja, jb := metricsJSON(t, a), metricsJSON(t, b)
+	Merge(a, b)
+	if metricsJSON(t, a) != ja || metricsJSON(t, b) != jb {
+		t.Fatal("Merge mutated one of its inputs")
+	}
+}
+
+func TestMergeSemantics(t *testing.T) {
+	a := Metrics{
+		Counters:   map[string]int64{"c": 3},
+		Gauges:     map[string]int64{"g": 10},
+		Histograms: map[string]HistogramSnapshot{"h": {Count: 2, Sum: 4, Buckets: []Bucket{{Le: 3, Count: 2}}}},
+	}
+	b := Metrics{
+		Counters:   map[string]int64{"c": 5, "d": 1},
+		Gauges:     map[string]int64{"g": 7},
+		Histograms: map[string]HistogramSnapshot{"h": {Count: 1, Sum: 9, Buckets: []Bucket{{Le: 15, Count: 1}}}},
+	}
+	m := Merge(a, b)
+	if m.Counters["c"] != 8 || m.Counters["d"] != 1 {
+		t.Errorf("counters = %v, want c=8 d=1", m.Counters)
+	}
+	if m.Gauges["g"] != 10 {
+		t.Errorf("gauge g = %d, want max 10", m.Gauges["g"])
+	}
+	h := m.Histograms["h"]
+	if h.Count != 3 || h.Sum != 13 || len(h.Buckets) != 2 {
+		t.Errorf("histogram = %+v, want count 3 sum 13 two buckets", h)
+	}
+}
+
+func TestWithoutTimings(t *testing.T) {
+	m := Metrics{
+		Counters:   map[string]int64{"infer_records": 10, "infer_wall_ns": 123},
+		Gauges:     map[string]int64{"mapreduce_workers": 4, "mapreduce_utilization_permille": 900, "infer_bytes_per_sec": 5},
+		Histograms: map[string]HistogramSnapshot{"mapreduce_task_ns": {Count: 1}, "infer_chunk_fused_size": {Count: 1}},
+	}
+	got := m.WithoutTimings()
+	if _, ok := got.Counters["infer_wall_ns"]; ok {
+		t.Error("timing counter survived WithoutTimings")
+	}
+	if _, ok := got.Gauges["mapreduce_utilization_permille"]; ok {
+		t.Error("permille gauge survived WithoutTimings")
+	}
+	if _, ok := got.Gauges["infer_bytes_per_sec"]; ok {
+		t.Error("per_sec gauge survived WithoutTimings")
+	}
+	if _, ok := got.Histograms["mapreduce_task_ns"]; ok {
+		t.Error("ns histogram survived WithoutTimings")
+	}
+	if got.Counters["infer_records"] != 10 || got.Gauges["mapreduce_workers"] != 4 {
+		t.Error("non-timing metrics were dropped")
+	}
+	if _, ok := got.Histograms["infer_chunk_fused_size"]; !ok {
+		t.Error("size histogram was dropped")
+	}
+}

@@ -1,0 +1,287 @@
+package jsoninference
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/infer"
+	"repro/internal/jsontext"
+	"repro/internal/mapreduce"
+	"repro/internal/obs"
+	"repro/internal/stats"
+	"repro/internal/types"
+)
+
+// A Source is an input to Infer: a byte buffer, a stream, a file or a
+// set of files. Construct one with FromBytes, FromReader, FromFile or
+// FromFiles. The interface is sealed — each kind carries the knowledge
+// of how to partition itself for the map phase (in-memory split,
+// bounded-memory chunking, or sequential decoding) so Infer can stay
+// one entry point.
+type Source interface {
+	// run executes the pipeline over this input. rec may be nil (record
+	// nothing); progress may be nil (report nothing).
+	run(ctx context.Context, opts Options, rec obs.Recorder, progress func()) (*Schema, Stats, error)
+}
+
+// FromBytes is an in-memory NDJSON buffer (one or more
+// whitespace-separated JSON values): the buffer is split at line
+// boundaries into one chunk per map task and the chunks are inferred
+// in parallel.
+func FromBytes(data []byte) Source { return bytesSource{data: data} }
+
+// FromReader is a stream of JSON values processed with constant
+// memory: values are typed and fused one at a time, never materialized
+// as a whole. Use it for inputs too large to buffer; note that
+// Stats.DistinctTypes is unavailable (zero) on this path. The reader
+// is consumed until EOF or error.
+func FromReader(r io.Reader) Source { return readerSource{r: r} }
+
+// FromFile is one NDJSON file processed with bounded memory: the file
+// streams through line-aligned chunks (Options.ChunkBytes each) that
+// are inferred and fused by parallel workers while the file is still
+// being read.
+func FromFile(path string) Source { return filesSource{paths: []string{path}} }
+
+// FromFiles is a set of NDJSON files treated as partitions: each file
+// runs through the same bounded-memory chunked pipeline as FromFile
+// and the per-file schemas are fused, which by associativity equals
+// inferring the concatenation. Stats from multiple files are merged
+// with mergeStats, so Stats.DistinctTypes is only a lower bound.
+func FromFiles(paths ...string) Source {
+	return filesSource{paths: append([]string(nil), paths...)}
+}
+
+// chunkOut is the map output for one NDJSON chunk: the measurements
+// and the chunk's fused type.
+type chunkOut struct {
+	sum   *stats.Summary
+	fused types.Type
+}
+
+// feedError marks a failure of the input producer (reading chunks) as
+// opposed to the pipeline consuming them, so callers can word the two
+// differently.
+type feedError struct{ err error }
+
+func (e feedError) Error() string { return e.err.Error() }
+func (e feedError) Unwrap() error { return e.err }
+
+// runChunkPipeline distributes line-aligned NDJSON chunks over the
+// map-reduce engine: each chunk is typed and locally fused (the
+// combiner), chunk results fuse associatively + commutatively into one
+// summary and schema. feed produces the chunks through emit and may
+// block; it is always unblocked promptly — emit fails once the
+// pipeline stops (error or ctx cancellation), so feed's producer
+// goroutine can never leak.
+func runChunkPipeline(ctx context.Context, opts Options, rec obs.Recorder, progress func(), feed func(emit func([]byte) error) error) (chunkOut, error) {
+	fz := opts.fusionOptions()
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	src := make(chan []byte)
+	feedDone := make(chan struct{})
+	var feedErr error
+	go func() {
+		defer close(feedDone)
+		defer close(src)
+		feedErr = feed(func(chunk []byte) error {
+			select {
+			case src <- chunk:
+				return nil
+			case <-runCtx.Done():
+				return runCtx.Err()
+			}
+		})
+	}()
+
+	mapFn := func(_ context.Context, chunk []byte) (chunkOut, error) {
+		ts, err := infer.InferAll(chunk)
+		if err != nil {
+			return chunkOut{}, err
+		}
+		sum := &stats.Summary{}
+		acc := types.Type(types.Empty)
+		for _, t := range ts {
+			sum.Add(t)
+			acc = fz.Fuse(acc, fz.Simplify(t))
+		}
+		if rec != nil {
+			rec.Add("infer_chunks", 1)
+			rec.Add("infer_records", int64(len(ts)))
+			rec.Add("infer_bytes", int64(len(chunk)))
+			rec.Observe("infer_chunk_records", int64(len(ts)))
+			// Per-chunk fused sizes are the fusion-growth curve: how
+			// far each partition's types collapse before the reduce.
+			rec.Observe("infer_chunk_fused_size", int64(acc.Size()))
+		}
+		if progress != nil {
+			progress()
+		}
+		return chunkOut{sum: sum, fused: acc}, nil
+	}
+	combine := func(a, b chunkOut) chunkOut {
+		if a.sum == nil {
+			return b
+		}
+		if b.sum == nil {
+			return a
+		}
+		a.sum.Merge(b.sum)
+		return chunkOut{sum: a.sum, fused: fz.Fuse(a.fused, b.fused)}
+	}
+
+	out, _, err := mapreduce.Run(runCtx, src, mapFn, combine, chunkOut{}, mapreduce.Config{Workers: opts.Workers, Recorder: rec})
+	if err != nil {
+		// Unblock and join the feeder before returning so no goroutine
+		// outlives the call.
+		cancel()
+		<-feedDone
+		return chunkOut{}, err
+	}
+	<-feedDone
+	if feedErr != nil {
+		return chunkOut{}, feedError{err: feedErr}
+	}
+	return out, nil
+}
+
+// summaryStats translates a pipeline summary into the public Stats.
+func summaryStats(out chunkOut) (Stats, *Schema) {
+	if out.sum == nil {
+		return Stats{}, EmptySchema()
+	}
+	return Stats{
+		Records:       out.sum.Count(),
+		DistinctTypes: out.sum.Distinct(),
+		MinTypeSize:   out.sum.MinSize(),
+		MaxTypeSize:   out.sum.MaxSize(),
+		AvgTypeSize:   out.sum.AvgSize(),
+	}, newSchema(out.fused)
+}
+
+// bytesSource implements FromBytes.
+type bytesSource struct{ data []byte }
+
+func (s bytesSource) run(ctx context.Context, opts Options, rec obs.Recorder, progress func()) (*Schema, Stats, error) {
+	chunks := jsontext.SplitLines(s.data, opts.workers()*4)
+	out, err := runChunkPipeline(ctx, opts, rec, progress, func(emit func([]byte) error) error {
+		for _, chunk := range chunks {
+			if err := emit(chunk); err != nil {
+				return nil // the pipeline stopped; it carries the error
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("jsoninference: %w", err)
+	}
+	st, schema := summaryStats(out)
+	st.Bytes = int64(len(s.data))
+	return schema, st, nil
+}
+
+// readerSource implements FromReader.
+type readerSource struct{ r io.Reader }
+
+func (s readerSource) run(ctx context.Context, opts Options, rec obs.Recorder, progress func()) (*Schema, Stats, error) {
+	dec := infer.NewDecoder(s.r, jsontext.Options{MaxDepth: opts.MaxDepth})
+	fz := opts.fusionOptions()
+	acc := types.Type(types.Empty)
+	var st Stats
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, Stats{}, fmt.Errorf("jsoninference: record %d: %w", st.Records+1, ctx.Err())
+		default:
+		}
+		t, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("jsoninference: record %d: %w", st.Records+1, err)
+		}
+		size := t.Size()
+		if st.Records == 0 || size < st.MinTypeSize {
+			st.MinTypeSize = size
+		}
+		if size > st.MaxTypeSize {
+			st.MaxTypeSize = size
+		}
+		st.AvgTypeSize += float64(size)
+		st.Records++
+		acc = fz.Fuse(acc, fz.Simplify(t))
+		if rec != nil {
+			rec.Add("infer_records", 1)
+		}
+		if progress != nil && st.Records%progressEveryRecords == 0 {
+			progress()
+		}
+	}
+	if st.Records > 0 {
+		st.AvgTypeSize /= float64(st.Records)
+	}
+	st.Bytes = dec.Offset()
+	if rec != nil {
+		rec.Add("infer_bytes", st.Bytes)
+	}
+	// Streaming keeps constant memory, so it cannot count distinct
+	// types; DistinctTypes stays zero here.
+	return newSchema(acc), st, nil
+}
+
+// progressEveryRecords throttles Progress callbacks on the sequential
+// streaming path, where "per chunk" has no natural meaning.
+const progressEveryRecords = 1024
+
+// filesSource implements FromFile and FromFiles.
+type filesSource struct {
+	paths []string
+}
+
+func (s filesSource) run(ctx context.Context, opts Options, rec obs.Recorder, progress func()) (*Schema, Stats, error) {
+	acc := EmptySchema()
+	var total Stats
+	for i, path := range s.paths {
+		schema, st, err := s.runOne(ctx, path, opts, rec, progress)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		if i == 0 {
+			acc, total = schema, st
+			continue
+		}
+		acc = acc.Fuse(schema)
+		total = mergeStats(total, st)
+	}
+	return acc, total, nil
+}
+
+func (s filesSource) runOne(ctx context.Context, path string, opts Options, rec obs.Recorder, progress func()) (*Schema, Stats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("jsoninference: %w", err)
+	}
+	//lint:ignore droppederr the file is only read; a close error cannot lose data
+	defer f.Close()
+
+	out, err := runChunkPipeline(ctx, opts, rec, progress, func(emit func([]byte) error) error {
+		return jsontext.ChunkLines(f, opts.ChunkBytes, emit)
+	})
+	if err != nil {
+		var fe feedError
+		if errors.As(err, &fe) {
+			return nil, Stats{}, fmt.Errorf("jsoninference: reading %s: %w", path, fe.err)
+		}
+		return nil, Stats{}, fmt.Errorf("jsoninference: %s: %w", path, err)
+	}
+	st, schema := summaryStats(out)
+	if info, err := f.Stat(); err == nil {
+		st.Bytes = info.Size()
+	}
+	return schema, st, nil
+}

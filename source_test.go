@@ -1,0 +1,271 @@
+package jsoninference_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	jsi "repro"
+	"repro/internal/dataset"
+)
+
+// manyChunks writes an NDJSON file large enough to split into many
+// chunks at the given chunk size.
+func manyChunks(t *testing.T, records int) (string, []byte) {
+	t.Helper()
+	g, err := dataset.New("twitter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := dataset.NDJSON(g, records, 11)
+	path := filepath.Join(t.TempDir(), "data.ndjson")
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path, data
+}
+
+// endlessReader yields the same NDJSON record forever, so only
+// cancellation can end a run over it.
+type endlessReader struct{ record []byte }
+
+func (r endlessReader) Read(p []byte) (int, error) {
+	n := 0
+	for n+len(r.record) <= len(p) {
+		n += copy(p[n:], r.record)
+	}
+	if n == 0 {
+		n = copy(p, r.record)
+	}
+	return n, nil
+}
+
+// checkNoLeakedGoroutines asserts the goroutine count returns to its
+// pre-test level, allowing the runtime a moment to wind workers down.
+func checkNoLeakedGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestInferCancellation cancels a run mid-flight for every Source kind
+// and asserts a prompt, clean return: the error reports the
+// cancellation and no pipeline goroutine survives (the -race runs of
+// CI would also flag any unsynchronized stragglers).
+func TestInferCancellation(t *testing.T) {
+	path, data := manyChunks(t, 2000)
+	opts := jsi.Options{Workers: 2, ChunkBytes: 4 << 10}
+
+	sources := map[string]func() jsi.Source{
+		"bytes":  func() jsi.Source { return jsi.FromBytes(data) },
+		"reader": func() jsi.Source { return jsi.FromReader(endlessReader{record: []byte(`{"a":1}` + "\n")}) },
+		"file":   func() jsi.Source { return jsi.FromFile(path) },
+		"files":  func() jsi.Source { return jsi.FromFiles(path, path) },
+	}
+	for name, src := range sources {
+		t.Run(name, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			// Cancel from the first progress callback: the run is then
+			// provably mid-flight, past at least one chunk (or batch of
+			// records on the streaming path).
+			o := opts
+			o.Progress = func(jsi.Metrics) { cancel() }
+			_, _, err := jsi.Infer(ctx, src(), o)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			checkNoLeakedGoroutines(t, before)
+		})
+	}
+}
+
+// TestInferPreCancelled asserts an already-cancelled context never
+// starts work.
+func TestInferPreCancelled(t *testing.T) {
+	_, data := manyChunks(t, 100)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := jsi.Infer(ctx, jsi.FromBytes(data), jsi.Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestInferMatchesWrappers pins the wrapper contract: Infer over each
+// Source kind returns exactly what the corresponding legacy entry
+// point returns.
+func TestInferMatchesWrappers(t *testing.T) {
+	path, data := manyChunks(t, 300)
+	opts := jsi.Options{Workers: 3, ChunkBytes: 8 << 10}
+	ctx := context.Background()
+
+	wrapped, wStats, err := jsi.InferNDJSON(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, dStats, err := jsi.Infer(ctx, jsi.FromBytes(data), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wrapped.Equal(direct) || wStats != dStats {
+		t.Errorf("FromBytes disagrees with InferNDJSON: %+v vs %+v", dStats, wStats)
+	}
+
+	fileSchema, fStats, err := jsi.Infer(ctx, jsi.FromFile(path), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fileSchema.Equal(direct) {
+		t.Errorf("FromFile schema differs:\n%s\nvs\n%s", fileSchema, direct)
+	}
+	if fStats.Records != wStats.Records || fStats.DistinctTypes != wStats.DistinctTypes {
+		t.Errorf("FromFile stats differ: %+v vs %+v", fStats, wStats)
+	}
+
+	readerSchema, _, err := jsi.Infer(ctx, jsi.FromReader(bytes.NewReader(data)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !readerSchema.Equal(direct) {
+		t.Errorf("FromReader schema differs:\n%s\nvs\n%s", readerSchema, direct)
+	}
+}
+
+// TestInferFilesBoundedMemoryPath asserts FromFiles goes through the
+// chunked pipeline (many chunks per file) and still fuses to the
+// whole-dataset schema.
+func TestInferFilesBoundedMemoryPath(t *testing.T) {
+	path, data := manyChunks(t, 500)
+	c := jsi.NewCollector()
+	opts := jsi.Options{ChunkBytes: 4 << 10, Collector: c}
+	split, stats, err := jsi.Infer(context.Background(), jsi.FromFiles(path, path), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, _, err := jsi.InferNDJSON(append(append([]byte(nil), data...), data...), jsi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !split.Equal(whole) {
+		t.Errorf("per-file fusion differs from whole-dataset inference:\n%s\nvs\n%s", split, whole)
+	}
+	if stats.Records != 1000 {
+		t.Errorf("Records = %d", stats.Records)
+	}
+	m := c.Metrics()
+	if m.Counters["infer_chunks"] < 4 {
+		t.Errorf("expected many chunks through the bounded-memory path, got %d", m.Counters["infer_chunks"])
+	}
+}
+
+// TestOptionsValidation drives every negative field through every
+// entry point that accepts Options.
+func TestOptionsValidation(t *testing.T) {
+	fields := []struct {
+		name string
+		opts jsi.Options
+	}{
+		{"Workers", jsi.Options{Workers: -1}},
+		{"ChunkBytes", jsi.Options{ChunkBytes: -1}},
+		{"MaxDepth", jsi.Options{MaxDepth: -1}},
+		{"MaxTupleLen", jsi.Options{MaxTupleLen: -1}},
+	}
+	data := []byte(`{"a":1}`)
+	entries := []struct {
+		name string
+		call func(jsi.Options) error
+	}{
+		{"Infer", func(o jsi.Options) error {
+			_, _, err := jsi.Infer(context.Background(), jsi.FromBytes(data), o)
+			return err
+		}},
+		{"InferNDJSON", func(o jsi.Options) error { _, _, err := jsi.InferNDJSON(data, o); return err }},
+		{"InferReader", func(o jsi.Options) error {
+			_, _, err := jsi.InferReader(strings.NewReader(`{"a":1}`), o)
+			return err
+		}},
+		{"InferFile", func(o jsi.Options) error { _, _, err := jsi.InferFile("/dev/null", o); return err }},
+		{"InferFiles", func(o jsi.Options) error { _, _, err := jsi.InferFiles([]string{"/dev/null"}, o); return err }},
+		{"ProfileNDJSON", func(o jsi.Options) error { _, err := jsi.ProfileNDJSON(data, o); return err }},
+		{"ProfileReader", func(o jsi.Options) error {
+			_, err := jsi.ProfileReader(strings.NewReader(`{"a":1}`), o)
+			return err
+		}},
+	}
+	for _, entry := range entries {
+		for _, field := range fields {
+			t.Run(entry.name+"/"+field.name, func(t *testing.T) {
+				err := entry.call(field.opts)
+				if !errors.Is(err, jsi.ErrInvalidOptions) {
+					t.Fatalf("err = %v, want ErrInvalidOptions", err)
+				}
+				if !strings.Contains(err.Error(), field.name) {
+					t.Errorf("error %q does not name the bad field %s", err, field.name)
+				}
+			})
+		}
+	}
+	// A nil Source is rejected, not dereferenced.
+	if _, _, err := jsi.Infer(context.Background(), nil, jsi.Options{}); !errors.Is(err, jsi.ErrInvalidOptions) {
+		t.Errorf("nil Source: err = %v, want ErrInvalidOptions", err)
+	}
+}
+
+// TestProgressCallback asserts Progress fires during a run (with and
+// without an explicit Collector) and sees monotonically growing
+// counters, plus one final complete snapshot.
+func TestProgressCallback(t *testing.T) {
+	_, data := manyChunks(t, 500)
+	var snaps []int64
+	opts := jsi.Options{Workers: 1, Progress: func(m jsi.Metrics) {
+		snaps = append(snaps, m.Counters["infer_records"])
+	}}
+	_, stats, err := jsi.Infer(context.Background(), jsi.FromBytes(data), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 2 {
+		t.Fatalf("Progress fired %d times, want at least per-chunk + final", len(snaps))
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i] < snaps[i-1] {
+			t.Errorf("records counter went backwards: %v", snaps)
+		}
+	}
+	if last := snaps[len(snaps)-1]; last != stats.Records {
+		t.Errorf("final snapshot saw %d records, stats say %d", last, stats.Records)
+	}
+}
+
+// TestReaderEOFVsEndless sanity-checks the endlessReader helper against
+// a bounded read, so the cancellation test above cannot silently pass
+// by the reader running dry.
+func TestReaderEOFVsEndless(t *testing.T) {
+	var r io.Reader = endlessReader{record: []byte(`1` + "\n")}
+	buf := make([]byte, 16)
+	for i := 0; i < 3; i++ {
+		n, err := r.Read(buf)
+		if n == 0 || err != nil {
+			t.Fatalf("endlessReader ran dry: n=%d err=%v", n, err)
+		}
+	}
+}
