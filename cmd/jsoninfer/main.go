@@ -15,6 +15,10 @@
 //	-stream      constant-memory streaming mode (single worker, no
 //	             distinct type statistics)
 //	-workers     map-phase parallelism (default: number of CPUs)
+//	-retries     per-chunk retry budget for transient failures
+//	-on-error    fail (default) aborts on a chunk that exhausts its
+//	             retries; skip quarantines it and completes without its
+//	             records (reported on stderr)
 //	-stats       print dataset statistics to stderr
 //	-debug-addr  serve /debug/vars (expvar, including live pipeline
 //	             metrics as jsoninfer_metrics) and /debug/pprof on this
@@ -110,11 +114,22 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	sample := fs.Int64("sample", -1, "emit an example value conforming to the schema, generated with this seed")
 	abstract := fs.Int("abstract", 0, "abstract dictionary-like records with at least this many keys into {*: T} (0 = off)")
 	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060) during the run")
+	retries := fs.Int("retries", 0, "per-chunk retry budget for transient failures (0 = no retry)")
+	onError := fs.String("on-error", "fail", "chunk failure policy once retries are exhausted: fail or skip")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	opts := jsi.Options{Workers: *workers, PreserveTupleArrays: *positional}
+	var errPolicy jsi.ErrorPolicy
+	switch *onError {
+	case "fail":
+		errPolicy = jsi.OnErrorFail
+	case "skip":
+		errPolicy = jsi.OnErrorSkip
+	default:
+		return fmt.Errorf("unknown -on-error %q (want fail or skip)", *onError)
+	}
+	opts := jsi.Options{Workers: *workers, PreserveTupleArrays: *positional, Retries: *retries, OnError: errPolicy}
 	if *debugAddr != "" {
 		opts.Collector = jsi.NewCollector()
 		stop, err := startDebug(*debugAddr, opts.Collector, stderr)
@@ -205,6 +220,10 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	if err != nil {
 		return err
 	}
+	if stats.QuarantinedChunks > 0 {
+		fmt.Fprintf(stderr, "warning: %d chunk(s) quarantined after exhausting retries; the schema excludes their records\n",
+			stats.QuarantinedChunks)
+	}
 
 	if *abstract > 0 {
 		schema = schema.AbstractKeys(*abstract)
@@ -217,9 +236,13 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		if merged && !*stream {
 			distinct = fmt.Sprintf("distinct-types>=%d", stats.DistinctTypes)
 		}
-		fmt.Fprintf(stderr, "records=%d bytes=%d %s type-sizes=%d..%d avg=%.1f schema-size=%d\n",
+		faults := ""
+		if stats.Retries > 0 || stats.QuarantinedChunks > 0 {
+			faults = fmt.Sprintf(" retries=%d quarantined-chunks=%d", stats.Retries, stats.QuarantinedChunks)
+		}
+		fmt.Fprintf(stderr, "records=%d bytes=%d %s type-sizes=%d..%d avg=%.1f schema-size=%d%s\n",
 			stats.Records, stats.Bytes, distinct,
-			stats.MinTypeSize, stats.MaxTypeSize, stats.AvgTypeSize, schema.Size())
+			stats.MinTypeSize, stats.MaxTypeSize, stats.AvgTypeSize, schema.Size(), faults)
 	}
 
 	if *sample >= 0 {

@@ -382,3 +382,57 @@ func TestStatsAverageAcrossFiles(t *testing.T) {
 		t.Errorf("stats = %q", errOut)
 	}
 }
+
+// poisonedNDJSON builds 40 lines of valid NDJSON with one malformed
+// (but bracket-balanced, so chunk boundaries stay line-aligned) line
+// in the middle: exactly one of the four map chunks fails.
+func poisonedNDJSON() string {
+	var b strings.Builder
+	for i := 0; i < 40; i++ {
+		if i == 25 {
+			b.WriteString("{\"a\":}\n")
+			continue
+		}
+		fmt.Fprintf(&b, `{"a":%d}`+"\n", i)
+	}
+	return b.String()
+}
+
+func TestOnErrorSkipQuarantinesPoisonedChunk(t *testing.T) {
+	out, errOut, err := runCmd(t, []string{"-workers", "1", "-on-error", "skip", "-stats"}, poisonedNDJSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "{a: Num}" {
+		t.Errorf("schema = %q, want the clean lines' schema", out)
+	}
+	if !strings.Contains(errOut, "warning: 1 chunk(s) quarantined") {
+		t.Errorf("stderr missing quarantine warning: %q", errOut)
+	}
+	if !strings.Contains(errOut, "quarantined-chunks=1") {
+		t.Errorf("stats line missing quarantine count: %q", errOut)
+	}
+	// records = 40 lines minus the poisoned chunk's 10.
+	if !strings.Contains(errOut, "records=30") {
+		t.Errorf("stats line should exclude quarantined records: %q", errOut)
+	}
+}
+
+func TestOnErrorFailAbortsOnPoisonedChunk(t *testing.T) {
+	if _, _, err := runCmd(t, []string{"-workers", "1"}, poisonedNDJSON()); err == nil {
+		t.Error("default policy accepted a poisoned chunk")
+	}
+}
+
+func TestOnErrorRejectsUnknownPolicy(t *testing.T) {
+	_, _, err := runCmd(t, []string{"-on-error", "explode"}, `{"a":1}`)
+	if err == nil || !strings.Contains(err.Error(), "-on-error") {
+		t.Errorf("err = %v, want an unknown -on-error error", err)
+	}
+}
+
+func TestNegativeRetriesRejected(t *testing.T) {
+	if _, _, err := runCmd(t, []string{"-retries", "-1"}, `{"a":1}`); err == nil {
+		t.Error("negative -retries accepted")
+	}
+}

@@ -1,0 +1,79 @@
+package jsoninference_test
+
+// Differential oracle: the parallel chunked pipeline must be
+// byte-identical to a sequential single-worker run. The paper's
+// distribution strategy stands on the fusion laws (Theorems 5.4 and
+// 5.5) — associativity and commutativity make chunking, scheduling and
+// worker count invisible in the result — so any divergence here is a
+// bug in the engine or in fusion, caught by comparing canonical schema
+// bytes rather than trusting either side.
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	jsi "repro"
+	"repro/internal/dataset"
+)
+
+// canonical renders a schema to its canonical codec bytes.
+func canonical(t *testing.T, s *jsi.Schema) []byte {
+	t.Helper()
+	b, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatalf("MarshalJSON: %v", err)
+	}
+	return b
+}
+
+// TestDifferentialParallelVsSequential compares, per dataset, a
+// 1-worker in-memory reference run against parallel in-memory runs,
+// the streaming decoder, and the bounded-memory file pipeline with a
+// deliberately tiny chunk size (many more chunks than workers).
+func TestDifferentialParallelVsSequential(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range dataset.Names() {
+		g, err := dataset.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := dataset.NDJSON(g, 300, 59)
+
+		refSchema, refStats, err := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: sequential reference: %v", name, err)
+		}
+		ref := canonical(t, refSchema)
+
+		check := func(label string, s *jsi.Schema, st jsi.Stats, err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatalf("%s: %s: %v", name, label, err)
+			}
+			if got := canonical(t, s); !bytes.Equal(got, ref) {
+				t.Errorf("%s: %s schema diverged\n got: %s\nwant: %s", name, label, got, ref)
+			}
+			if st.Records != refStats.Records {
+				t.Errorf("%s: %s Records = %d, want %d", name, label, st.Records, refStats.Records)
+			}
+		}
+
+		for _, workers := range []int{2, 8} {
+			s, st, err := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: workers})
+			check("parallel "+string(rune('0'+workers)), s, st, err)
+		}
+
+		s, st, err := jsi.Infer(context.Background(), jsi.FromReader(bytes.NewReader(data)), jsi.Options{})
+		check("streaming", s, st, err)
+
+		path := filepath.Join(dir, name+".ndjson")
+		if err := os.WriteFile(path, data, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		s, st, err = jsi.Infer(context.Background(), jsi.FromFile(path), jsi.Options{Workers: 8, ChunkBytes: 1 << 10})
+		check("file pipeline", s, st, err)
+	}
+}

@@ -1,0 +1,66 @@
+package jsoninference_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	jsi "repro"
+)
+
+// FuzzInferEndToEnd fuzzes the public API with the differential oracle
+// of differential_test.go: for arbitrary input bytes the 8-worker
+// chunked pipeline, the 1-worker sequential run and the streaming
+// decoder must agree on acceptance, on the inferred schema's canonical
+// bytes, and on the record count. The fuzzer hunts for inputs that make
+// chunk boundaries or scheduling observable — exactly what the fusion
+// laws forbid.
+func FuzzInferEndToEnd(f *testing.F) {
+	f.Add([]byte(`{"a":1}` + "\n" + `{"a":"s","b":[1,2]}`))
+	f.Add([]byte("1 2 3"))
+	f.Add([]byte(`{"a":{"b":[null,true,{"c":1.5e10}]}}`))
+	f.Add([]byte("[[[[[]]]]]"))
+	f.Add([]byte("{}\n[]\n\"\"\n0\nnull\nfalse"))
+	f.Add([]byte("  \n\t "))
+	f.Add([]byte(`{"a":1`)) // truncated: both paths must reject
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seqSchema, seqStats, seqErr := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: 1})
+		parSchema, parStats, parErr := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: 8})
+		if (seqErr == nil) != (parErr == nil) {
+			t.Fatalf("acceptance diverged: sequential err = %v, parallel err = %v", seqErr, parErr)
+		}
+		if seqErr != nil {
+			return
+		}
+		seqJSON, err := seqSchema.MarshalJSON()
+		if err != nil {
+			t.Fatalf("marshal sequential: %v", err)
+		}
+		parJSON, err := parSchema.MarshalJSON()
+		if err != nil {
+			t.Fatalf("marshal parallel: %v", err)
+		}
+		if !bytes.Equal(seqJSON, parJSON) {
+			t.Fatalf("schemas diverged\n sequential: %s\n   parallel: %s", seqJSON, parJSON)
+		}
+		if seqStats.Records != parStats.Records {
+			t.Fatalf("Records diverged: sequential %d, parallel %d", seqStats.Records, parStats.Records)
+		}
+
+		// Cross-check the constant-memory streaming path.
+		rdSchema, rdStats, rdErr := jsi.Infer(context.Background(), jsi.FromReader(bytes.NewReader(data)), jsi.Options{})
+		if rdErr != nil {
+			t.Fatalf("streaming rejected input the chunked pipeline accepted: %v", rdErr)
+		}
+		rdJSON, err := rdSchema.MarshalJSON()
+		if err != nil {
+			t.Fatalf("marshal streaming: %v", err)
+		}
+		if !bytes.Equal(seqJSON, rdJSON) {
+			t.Fatalf("streaming schema diverged\n sequential: %s\n  streaming: %s", seqJSON, rdJSON)
+		}
+		if rdStats.Records != seqStats.Records {
+			t.Fatalf("streaming Records = %d, want %d", rdStats.Records, seqStats.Records)
+		}
+	})
+}

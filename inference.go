@@ -11,6 +11,7 @@ import (
 	"repro/internal/fusion"
 	"repro/internal/infer"
 	"repro/internal/jsontext"
+	"repro/internal/mapreduce"
 	"repro/internal/obs"
 	"repro/internal/value"
 )
@@ -47,11 +48,100 @@ type Options struct {
 	// pipeline. If Collector is nil a private one is used, so Progress
 	// works on its own.
 	Progress func(Metrics)
+	// Retries is the per-chunk retry budget for transient map-phase
+	// failures (I/O hiccups, timeouts, injected faults). Retried chunks
+	// re-execute with exponential backoff and deterministic jitter, and
+	// by the fusion laws (associativity + commutativity) the resulting
+	// schema is byte-identical to a fault-free run — the guarantee the
+	// chaos harness in internal/chaos verifies. Zero disables retry.
+	// Retries applies to the chunked pipeline (FromBytes, FromFile,
+	// FromFiles); the sequential FromReader path has no tasks to retry.
+	Retries int
+	// OnError selects what the pipeline does with a chunk that still
+	// fails after its retry budget: OnErrorFail (the default) aborts
+	// the run, OnErrorSkip quarantines the chunk — the run completes
+	// without its records and Stats.QuarantinedChunks reports how many
+	// chunks were dropped. Use OnErrorSkip when a few corrupt records
+	// must not kill a multi-million-record inference.
+	OnError ErrorPolicy
+	// FaultInjector, when non-nil, deterministically injects artificial
+	// faults into the map phase — the chaos-testing hook. Production
+	// callers leave it nil. See FaultInjector.
+	FaultInjector FaultInjector
 }
+
+// ErrorPolicy selects what Infer does when a chunk of input repeatedly
+// fails to process; see Options.OnError.
+type ErrorPolicy int
+
+const (
+	// OnErrorFail aborts the run on the first chunk whose retry budget
+	// is exhausted (the default).
+	OnErrorFail ErrorPolicy = iota
+	// OnErrorSkip quarantines such chunks instead: the run completes
+	// without their records, Stats.QuarantinedChunks counts them, and
+	// the mapreduce_skipped metric records each one.
+	OnErrorSkip
+)
+
+// String names the policy for flags and errors.
+func (p ErrorPolicy) String() string {
+	switch p {
+	case OnErrorFail:
+		return "fail"
+	case OnErrorSkip:
+		return "skip"
+	default:
+		return fmt.Sprintf("ErrorPolicy(%d)", int(p))
+	}
+}
+
+// InjectedFault is one artificial failure produced by a FaultInjector.
+type InjectedFault struct {
+	// Delay stalls the chunk's map attempt — an artificial straggler.
+	Delay time.Duration
+	// Err, when non-nil, aborts the attempt with this error instead of
+	// processing the chunk. Wrap it with PermanentFault to defeat the
+	// retry machinery.
+	Err error
+}
+
+// FaultInjector deterministically injects faults into the map phase
+// for chaos testing: it is consulted before every attempt (0-based) of
+// every chunk (by chunk sequence number) and must be pure and safe for
+// concurrent use. internal/chaos builds seeded injectors from
+// randomized failure plans.
+type FaultInjector func(chunk, attempt int) InjectedFault
+
+// PermanentFault marks err as non-retryable: the pipeline gives up on
+// the chunk immediately — aborting under OnErrorFail, quarantining
+// under OnErrorSkip — without burning the retry budget.
+func PermanentFault(err error) error { return mapreduce.Permanent(err) }
 
 // fusionOptions translates the Options into a fusion policy.
 func (o Options) fusionOptions() fusion.Options {
 	return fusion.Options{PreserveTuples: o.PreserveTupleArrays, MaxTupleLen: o.MaxTupleLen}
+}
+
+// failureConfig translates the Options into the engine's failure
+// policy and fault injector.
+func (o Options) failureConfig() (mapreduce.FailurePolicy, mapreduce.FaultInjector) {
+	pol := mapreduce.FailurePolicy{MaxRetries: o.Retries}
+	switch {
+	case o.OnError == OnErrorSkip:
+		pol.Mode = mapreduce.Skip
+	case o.Retries > 0:
+		pol.Mode = mapreduce.Retry
+	}
+	var inj mapreduce.FaultInjector
+	if o.FaultInjector != nil {
+		fi := o.FaultInjector
+		inj = func(seq, attempt int) mapreduce.Fault {
+			f := fi(seq, attempt)
+			return mapreduce.Fault{Delay: f.Delay, Err: f.Err}
+		}
+	}
+	return pol, inj
 }
 
 // workers resolves the effective worker count.
@@ -80,6 +170,10 @@ func (o Options) validate() error {
 		return fmt.Errorf("%w: MaxDepth = %d, must be >= 0 (0 means the parser default)", ErrInvalidOptions, o.MaxDepth)
 	case o.MaxTupleLen < 0:
 		return fmt.Errorf("%w: MaxTupleLen = %d, must be >= 0 (0 means the default of 4)", ErrInvalidOptions, o.MaxTupleLen)
+	case o.Retries < 0:
+		return fmt.Errorf("%w: Retries = %d, must be >= 0 (0 disables retry)", ErrInvalidOptions, o.Retries)
+	case o.OnError != OnErrorFail && o.OnError != OnErrorSkip:
+		return fmt.Errorf("%w: OnError = %d, must be OnErrorFail or OnErrorSkip", ErrInvalidOptions, int(o.OnError))
 	}
 	return nil
 }
@@ -122,6 +216,13 @@ type Stats struct {
 	// per-value types; compare with Schema.Size to judge succinctness.
 	MinTypeSize, MaxTypeSize int
 	AvgTypeSize              float64
+	// Retries counts retried map attempts under Options.Retries; zero
+	// on a fault-free run.
+	Retries int
+	// QuarantinedChunks counts input chunks dropped under OnErrorSkip.
+	// Their records are excluded from the schema and from Records;
+	// Bytes still reports the full input presented to the pipeline.
+	QuarantinedChunks int
 }
 
 // Infer runs schema inference over a Source — the one entry point
@@ -238,6 +339,8 @@ func mergeStats(a, b Stats) Stats {
 	}
 	out.Records = a.Records + b.Records
 	out.Bytes = a.Bytes + b.Bytes
+	out.Retries = a.Retries + b.Retries
+	out.QuarantinedChunks = a.QuarantinedChunks + b.QuarantinedChunks
 	// Distinct counts cannot be merged without the underlying sets; keep
 	// the per-file maximum as a lower bound (documented on the field).
 	if b.DistinctTypes > out.DistinctTypes {

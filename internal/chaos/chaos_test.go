@@ -1,0 +1,291 @@
+package chaos_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	jsi "repro"
+	"repro/internal/chaos"
+	"repro/internal/dataset"
+	"repro/internal/mapreduce"
+)
+
+// testInput generates one deterministic NDJSON corpus for the harness.
+func testInput(t *testing.T, name string, n int) []byte {
+	t.Helper()
+	g, err := dataset.New(name)
+	if err != nil {
+		t.Fatalf("dataset.New(%q): %v", name, err)
+	}
+	return dataset.NDJSON(g, n, 20170321)
+}
+
+// publicInjector adapts a chaos plan to the public API's hook.
+func publicInjector(p chaos.Plan) jsi.FaultInjector {
+	return func(chunk, attempt int) jsi.InjectedFault {
+		delay, err := p.Fault(chunk, attempt)
+		return jsi.InjectedFault{Delay: delay, Err: err}
+	}
+}
+
+// schemaJSON renders a schema to its canonical bytes.
+func schemaJSON(t *testing.T, s *jsi.Schema) []byte {
+	t.Helper()
+	b, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatalf("MarshalJSON: %v", err)
+	}
+	return b
+}
+
+// TestRetryByteIdenticalAcrossSchedules is the harness's acceptance
+// criterion: with a Retry policy and only transient injected faults,
+// the inferred schema is byte-identical to a no-fault reference across
+// >= 100 randomized failure schedules. The fusion laws make retried
+// outputs meet the fold in a different order without changing the
+// reduction, and this test is the executable evidence.
+func TestRetryByteIdenticalAcrossSchedules(t *testing.T) {
+	data := testInput(t, "mixed", 400)
+	opts := jsi.Options{Workers: 4}
+	refSchema, refStats, err := jsi.Infer(context.Background(), jsi.FromBytes(data), opts)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	refJSON := schemaJSON(t, refSchema)
+
+	const schedules = 120
+	totalRetries := 0
+	for seed := int64(1); seed <= schedules; seed++ {
+		plan := chaos.DefaultPlan(seed)
+		opts := jsi.Options{
+			Workers:       4,
+			Retries:       plan.MaxTransient,
+			FaultInjector: publicInjector(plan),
+		}
+		schema, st, err := jsi.Infer(context.Background(), jsi.FromBytes(data), opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := schemaJSON(t, schema); !bytes.Equal(got, refJSON) {
+			t.Fatalf("seed %d: schema diverged from reference\n got: %s\nwant: %s", seed, got, refJSON)
+		}
+		if st.Records != refStats.Records {
+			t.Fatalf("seed %d: Records = %d, want %d", seed, st.Records, refStats.Records)
+		}
+		if st.QuarantinedChunks != 0 {
+			t.Fatalf("seed %d: QuarantinedChunks = %d, want 0 (transient-only plan)", seed, st.QuarantinedChunks)
+		}
+		totalRetries += st.Retries
+	}
+	if totalRetries == 0 {
+		t.Fatalf("no retries across %d schedules: the plans injected nothing", schedules)
+	}
+	t.Logf("%d schedules, %d retried attempts, schema byte-identical throughout", schedules, totalRetries)
+}
+
+// pickPermanentPlan finds a deterministic plan that fails some but not
+// all of the first n tasks permanently, so a Skip run both quarantines
+// and completes with records.
+func pickPermanentPlan(t *testing.T, n int) chaos.Plan {
+	t.Helper()
+	for seed := int64(1); seed <= 100; seed++ {
+		p := chaos.Plan{Seed: seed, PFault: 0.3, PPermanent: 1}
+		if k := p.PermanentTasks(n); k >= 1 && k <= n/2 {
+			return p
+		}
+	}
+	t.Fatal("no seed in 1..100 yields a usable permanent-fault plan")
+	return chaos.Plan{}
+}
+
+// TestSkipQuarantinesPermanentChunks drives permanent faults through
+// the public API: under OnErrorSkip the run completes, reports the
+// quarantined chunk count in Stats and in the mapreduce_skipped
+// counter, and drops exactly the poisoned chunks' records; under the
+// default OnErrorFail the same schedule aborts the run.
+func TestSkipQuarantinesPermanentChunks(t *testing.T) {
+	data := testInput(t, "github", 400)
+	const workers = 4
+	nChunks := workers * 4 // FromBytes splits into workers*4 chunks
+	plan := pickPermanentPlan(t, nChunks)
+	want := plan.PermanentTasks(nChunks)
+
+	_, refStats, err := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: workers})
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	col := jsi.NewCollector()
+	opts := jsi.Options{
+		Workers:       workers,
+		OnError:       jsi.OnErrorSkip,
+		FaultInjector: publicInjector(plan),
+		Collector:     col,
+	}
+	_, st, err := jsi.Infer(context.Background(), jsi.FromBytes(data), opts)
+	if err != nil {
+		t.Fatalf("skip run: %v", err)
+	}
+	if st.QuarantinedChunks != want {
+		t.Errorf("QuarantinedChunks = %d, want %d (plan seed %d)", st.QuarantinedChunks, want, plan.Seed)
+	}
+	if st.Records >= refStats.Records {
+		t.Errorf("Records = %d, want fewer than the reference's %d (quarantined chunks drop records)", st.Records, refStats.Records)
+	}
+	if got := col.Metrics().Counters["mapreduce_skipped"]; got != int64(want) {
+		t.Errorf("mapreduce_skipped = %d, want %d", got, want)
+	}
+
+	// The same schedule under the default policy must abort instead.
+	_, _, err = jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{
+		Workers:       workers,
+		FaultInjector: publicInjector(plan),
+	})
+	if !errors.Is(err, chaos.ErrInjectedPermanent) {
+		t.Errorf("OnErrorFail err = %v, want wrapped ErrInjectedPermanent", err)
+	}
+}
+
+// TestRetriedRunMetricsMatchCleanRun is the observability property:
+// after stripping timing- and fault-dependent metrics, the merged
+// snapshots of a retried run equal those of a clean run over the same
+// partitions — retried attempts record nothing until they succeed, so
+// faults leave no trace outside the fault counters themselves.
+func TestRetriedRunMetricsMatchCleanRun(t *testing.T) {
+	partitions := [][]byte{
+		testInput(t, "github", 200),
+		testInput(t, "twitter", 200),
+	}
+
+	run := func(data []byte, inject bool, seed int64) jsi.Metrics {
+		t.Helper()
+		col := jsi.NewCollector()
+		opts := jsi.Options{Workers: 4, Collector: col}
+		if inject {
+			plan := chaos.DefaultPlan(seed)
+			opts.Retries = plan.MaxTransient
+			opts.FaultInjector = publicInjector(plan)
+		}
+		if _, _, err := jsi.Infer(context.Background(), jsi.FromBytes(data), opts); err != nil {
+			t.Fatalf("run (inject=%v, seed %d): %v", inject, seed, err)
+		}
+		return col.Metrics()
+	}
+
+	var clean, faulty jsi.Metrics
+	for i, data := range partitions {
+		clean = clean.Merge(run(data, false, 0))
+		faulty = faulty.Merge(run(data, true, int64(40+i)))
+	}
+
+	if got := faulty.WithoutTimings().Counters["mapreduce_retries"]; got == 0 {
+		t.Fatal("faulty run recorded no mapreduce_retries (plan injected nothing, or WithoutTimings stripped a fault counter)")
+	}
+
+	cleanJSON, err := clean.WithoutTimings().WithoutFaults().MarshalJSON()
+	if err != nil {
+		t.Fatalf("marshal clean: %v", err)
+	}
+	faultyJSON, err := faulty.WithoutTimings().WithoutFaults().MarshalJSON()
+	if err != nil {
+		t.Fatalf("marshal faulty: %v", err)
+	}
+	if !bytes.Equal(cleanJSON, faultyJSON) {
+		t.Errorf("snapshots diverge after WithoutTimings+WithoutFaults\nclean:  %s\nfaulty: %s", cleanJSON, faultyJSON)
+	}
+}
+
+// TestEngineStragglersTimeOutAndRecover exercises the straggler path at
+// the engine level: injected delays far beyond the per-attempt timeout
+// are cut off, counted as timeouts, and retried to success — the
+// map-reduce answer is unchanged.
+func TestEngineStragglersTimeOutAndRecover(t *testing.T) {
+	plan := chaos.Plan{
+		Seed:         11,
+		PFault:       1, // every task fails its first attempt...
+		MaxTransient: 1,
+		PStraggle:    1, // ...after stalling as a straggler
+		MaxDelay:     time.Second,
+	}
+	items := make([]int, 40)
+	wantSum := 0
+	for i := range items {
+		items[i] = i + 1
+		wantSum += i + 1
+	}
+	cfg := mapreduce.Config{
+		Workers:  8,
+		Injector: plan.Injector(),
+		Failure: mapreduce.FailurePolicy{
+			Mode:        mapreduce.Retry,
+			MaxRetries:  3,
+			BaseBackoff: 100 * time.Microsecond,
+			MaxBackoff:  time.Millisecond,
+			TaskTimeout: 5 * time.Millisecond,
+		},
+	}
+	mapFn := func(_ context.Context, v int) (int, error) { return v, nil }
+	sum, st, err := mapreduce.RunSlice(context.Background(), items, mapFn, func(a, b int) int { return a + b }, 0, cfg)
+	if err != nil {
+		t.Fatalf("RunSlice: %v", err)
+	}
+	if sum != wantSum {
+		t.Errorf("sum = %d, want %d", sum, wantSum)
+	}
+	if st.Timeouts == 0 {
+		t.Error("Timeouts = 0, want > 0: second-long stragglers must hit the 5ms timeout")
+	}
+	if st.Retries == 0 {
+		t.Error("Retries = 0, want > 0")
+	}
+}
+
+// TestPlanDeterminism pins the schedule algebra: equal plans inject
+// identical faults, different seeds diverge, the zero plan injects
+// nothing, and the counting helpers agree with the raw lookups.
+func TestPlanDeterminism(t *testing.T) {
+	const n = 64
+	a := chaos.DefaultPlan(42)
+	b := chaos.DefaultPlan(42)
+	other := chaos.DefaultPlan(43)
+	diverged := false
+	faulty := 0
+	for seq := 0; seq < n; seq++ {
+		taskFaulty := false
+		for attempt := 0; attempt < 4; attempt++ {
+			ad, ae := a.Fault(seq, attempt)
+			bd, be := b.Fault(seq, attempt)
+			if ad != bd || (ae == nil) != (be == nil) {
+				t.Fatalf("equal plans diverge at (%d, %d)", seq, attempt)
+			}
+			if ae != nil && !errors.Is(ae, chaos.ErrInjected) {
+				t.Fatalf("transient-only plan injected a non-transient error at (%d, %d): %v", seq, attempt, ae)
+			}
+			od, oe := other.Fault(seq, attempt)
+			if ad != od || (ae == nil) != (oe == nil) {
+				diverged = true
+			}
+			if ae != nil {
+				taskFaulty = true
+			}
+			if zd, ze := (chaos.Plan{Seed: 1}).Fault(seq, attempt); zd != 0 || ze != nil {
+				t.Fatalf("zero-probability plan injected a fault at (%d, %d)", seq, attempt)
+			}
+		}
+		if taskFaulty {
+			faulty++
+		}
+	}
+	if !diverged {
+		t.Error("seeds 42 and 43 produce identical schedules over 64 tasks")
+	}
+	if got := a.FaultyTasks(n); got != faulty {
+		t.Errorf("FaultyTasks(%d) = %d, want %d (counted from Fault lookups)", n, got, faulty)
+	}
+	if got := a.PermanentTasks(n); got != 0 {
+		t.Errorf("PermanentTasks(%d) = %d, want 0 for a transient-only plan", n, got)
+	}
+}

@@ -21,6 +21,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -36,6 +37,14 @@ type Node struct {
 	// NetMBps is the node's network bandwidth in megabytes per second;
 	// remote readers of blocks stored on this node share it.
 	NetMBps float64
+	// CrashAt, when positive, fail-stops the node at that virtual time
+	// mid-phase: attempts running on it die (their work is lost and the
+	// blocks re-execute elsewhere, the retry Spark performs for the
+	// paper's pipeline) and the node accepts no further tasks. Zero
+	// means the node never crashes. Blocks stored only on a crashed
+	// node remain readable — the model crashes compute, not storage —
+	// so the job completes whenever any node survives.
+	CrashAt time.Duration
 }
 
 // Config describes the simulated cluster and its cost model.
@@ -174,6 +183,15 @@ type Report struct {
 	// RemoteTasks counts tasks that had to read their block over the
 	// network.
 	RemoteTasks int
+	// RetriedTasks counts map attempts a node crash killed mid-task;
+	// each re-executed on a surviving core.
+	RetriedTasks int
+	// LostTime is the virtual core-time those killed attempts had
+	// consumed before dying. BusyByNode counts useful work only, so
+	// utilization reflects throughput, not wasted effort.
+	LostTime time.Duration
+	// CrashedNodes counts nodes configured to fail-stop during the run.
+	CrashedNodes int
 	// Tasks is the number of map tasks (blocks).
 	Tasks int
 	// BytesProcessed is the total input size.
@@ -257,10 +275,23 @@ func Run(cfg Config, blocks []Block) (Report, error) {
 	}
 	nicFree := make([]float64, len(cfg.Nodes)) // per-node outgoing link
 
+	// Per-node fail-stop times in virtual seconds (+Inf = healthy).
+	crash := make([]float64, len(cfg.Nodes))
+	crashedNodes := 0
+	for n, node := range cfg.Nodes {
+		crash[n] = math.Inf(1)
+		if node.CrashAt > 0 {
+			crash[n] = node.CrashAt.Seconds()
+			crashedNodes++
+		}
+	}
+
 	busy := make([]float64, len(cfg.Nodes))
 	var makespan float64
 	var bytes int64
+	var lost float64
 	remote := 0
+	retried := 0
 
 	// Earliest-completion-time list scheduling: each step commits one
 	// block to the (core, block) pair that finishes soonest, accounting
@@ -274,6 +305,11 @@ func Run(cfg Config, blocks []Block) (Report, error) {
 		var bestStart, bestEnd float64
 		for ci := range cores {
 			c := &cores[ci]
+			// A core whose node has fail-stopped by its free time can
+			// never run another task.
+			if c.free >= crash[c.node] {
+				continue
+			}
 			// Candidate block for this core: a local replica if any
 			// remain, otherwise one from the node with the most pending
 			// blocks.
@@ -305,10 +341,30 @@ func Run(cfg Config, blocks []Block) (Report, error) {
 			}
 		}
 		if bestCore < 0 {
-			break // defensive: remaining count disagreed with pending
+			// No usable core is left: every node with live cores has
+			// crashed (or, defensively, remaining disagreed with the
+			// pending lists).
+			return Report{}, fmt.Errorf("cluster: %d of %d blocks unprocessed: no usable cores remain", remaining, len(blocks))
 		}
 
 		c := &cores[bestCore]
+		// The scheduler cannot see the future: if the chosen core's node
+		// fail-stops before the attempt completes, the attempt dies at
+		// the crash instant, its work is lost, the block stays pending
+		// (to be re-executed on a surviving core), and the core is dead
+		// from then on. Work that would start after the crash dies
+		// immediately at no cost.
+		if tc := crash[c.node]; bestEnd > tc {
+			if bestStart < tc {
+				retried++
+				lost += tc - bestStart
+				if tc > makespan {
+					makespan = tc
+				}
+			}
+			c.free = math.Inf(1)
+			continue
+		}
 		blockIdx := headOf(bestSrc)
 		taken[blockIdx] = true
 		remaining--
@@ -335,6 +391,9 @@ func Run(cfg Config, blocks []Block) (Report, error) {
 		Tasks:          len(blocks),
 		BytesProcessed: bytes,
 		RemoteTasks:    remote,
+		RetriedTasks:   retried,
+		LostTime:       secs(lost),
+		CrashedNodes:   crashedNodes,
 	}
 	rep.Makespan = rep.MapTime + rep.ReduceTime
 	for n, b := range busy {
@@ -355,6 +414,11 @@ func Run(cfg Config, blocks []Block) (Report, error) {
 		rec.Set("cluster_map_virtual", int64(rep.MapTime))
 		rec.Set("cluster_reduce_virtual", int64(rep.ReduceTime))
 		rec.Set("cluster_utilization_virtual", int64(1000*rep.Utilization(cfg.TotalCores())))
+		// Fault-handling metrics (stripped by Metrics.WithoutFaults):
+		// crash-killed attempts and the virtual core-time they wasted.
+		rec.Add("cluster_retried_tasks", int64(rep.RetriedTasks))
+		rec.Set("cluster_crashed_nodes", int64(rep.CrashedNodes))
+		rec.Set("cluster_retry_lost_virtual", int64(rep.LostTime))
 	}
 	return rep, nil
 }

@@ -351,3 +351,146 @@ func TestRecorderObservesSimulation(t *testing.T) {
 		t.Error("virtual makespan stripped by WithoutTimings")
 	}
 }
+
+func TestNodeCrashRetriesTasksElsewhere(t *testing.T) {
+	// Two 2-core nodes, blocks spread round-robin. Node 1 fail-stops
+	// mid-phase: its in-flight attempts die, their blocks re-execute on
+	// node 0, and every byte is still processed.
+	cfg := Config{
+		Nodes: []Node{
+			{Name: "a", Cores: 2, NetMBps: 100},
+			{Name: "b", Cores: 2, NetMBps: 100, CrashAt: 5 * time.Second},
+		},
+		ComputeMBps: 10,
+	}
+	// Eight 100 MB blocks: 10 s each on a core, so node b's attempts
+	// are guaranteed to be running when it crashes at t=5s.
+	sizes := make([]int64, 8)
+	for i := range sizes {
+		sizes[i] = 100e6
+	}
+	blocks := PlaceBlocks(sizes, PlaceRoundRobin, 2)
+	var total int64
+	for _, b := range blocks {
+		total += b.Bytes
+	}
+	rep, err := Run(cfg, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BytesProcessed != total {
+		t.Errorf("BytesProcessed = %d, want %d: crash lost data", rep.BytesProcessed, total)
+	}
+	if rep.RetriedTasks == 0 {
+		t.Error("RetriedTasks = 0, want > 0: node b crashed with tasks in flight")
+	}
+	if rep.LostTime <= 0 {
+		t.Errorf("LostTime = %v, want > 0", rep.LostTime)
+	}
+	if rep.CrashedNodes != 1 {
+		t.Errorf("CrashedNodes = %d, want 1", rep.CrashedNodes)
+	}
+
+	// The same job on a healthy cluster is strictly faster and loses
+	// nothing.
+	healthy := cfg
+	healthy.Nodes = []Node{
+		{Name: "a", Cores: 2, NetMBps: 100},
+		{Name: "b", Cores: 2, NetMBps: 100},
+	}
+	href, err := Run(healthy, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if href.RetriedTasks != 0 || href.LostTime != 0 || href.CrashedNodes != 0 {
+		t.Errorf("healthy run reports fault handling: %+v", href)
+	}
+	if rep.Makespan <= href.Makespan {
+		t.Errorf("crashed makespan %v should exceed healthy makespan %v", rep.Makespan, href.Makespan)
+	}
+}
+
+func TestNodeCrashDeterministic(t *testing.T) {
+	cfg := testCluster()
+	cfg.Nodes[2].CrashAt = 3 * time.Second
+	blocks := PlaceBlocks(SplitBytes(5e9, 40), PlaceRoundRobin, len(cfg.Nodes))
+	first, err := Run(cfg, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := Run(cfg, blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Makespan != first.Makespan || again.RetriedTasks != first.RetriedTasks || again.LostTime != first.LostTime {
+			t.Fatalf("run %d differs: %+v vs %+v", i, again, first)
+		}
+	}
+}
+
+func TestAllNodesCrashedFailsJob(t *testing.T) {
+	cfg := Config{
+		Nodes: []Node{
+			{Name: "a", Cores: 1, NetMBps: 100, CrashAt: time.Second},
+			{Name: "b", Cores: 1, NetMBps: 100, CrashAt: 2 * time.Second},
+		},
+		ComputeMBps: 10,
+	}
+	// 100 MB = 10 s per block: no block can finish before every node dies.
+	_, err := Run(cfg, PlaceBlocks([]int64{100e6, 100e6}, PlaceRoundRobin, 2))
+	if err == nil {
+		t.Fatal("job with every node crashed should fail")
+	}
+	if !strings.Contains(err.Error(), "unprocessed") {
+		t.Errorf("err = %v, should count unprocessed blocks", err)
+	}
+}
+
+func TestCrashMetricsRecorded(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := Config{
+		Nodes: []Node{
+			{Name: "a", Cores: 2, NetMBps: 100},
+			{Name: "b", Cores: 2, NetMBps: 100, CrashAt: 5 * time.Second},
+		},
+		ComputeMBps: 10,
+		Recorder:    reg,
+	}
+	sizes := make([]int64, 8)
+	for i := range sizes {
+		sizes[i] = 100e6
+	}
+	rep, err := Run(cfg, PlaceBlocks(sizes, PlaceRoundRobin, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := reg.Snapshot()
+	if got := m.Counters["cluster_retried_tasks"]; got != int64(rep.RetriedTasks) {
+		t.Errorf("cluster_retried_tasks = %d, want %d", got, rep.RetriedTasks)
+	}
+	if got := m.Gauges["cluster_crashed_nodes"]; got != 1 {
+		t.Errorf("cluster_crashed_nodes = %d, want 1", got)
+	}
+	if got := m.Gauges["cluster_retry_lost_virtual"]; got != int64(rep.LostTime) {
+		t.Errorf("cluster_retry_lost_virtual = %d, want %d", got, rep.LostTime)
+	}
+	// Fault metrics survive WithoutTimings (they are deterministic
+	// virtual readings) but are stripped by WithoutFaults.
+	kept := m.WithoutTimings()
+	if _, ok := kept.Gauges["cluster_retry_lost_virtual"]; !ok {
+		t.Error("cluster_retry_lost_virtual stripped by WithoutTimings")
+	}
+	stripped := kept.WithoutFaults()
+	for _, name := range []string{"cluster_retried_tasks"} {
+		if _, ok := stripped.Counters[name]; ok {
+			t.Errorf("%s survived WithoutFaults", name)
+		}
+	}
+	if _, ok := stripped.Gauges["cluster_crashed_nodes"]; ok {
+		t.Error("cluster_crashed_nodes survived WithoutFaults")
+	}
+	if _, ok := stripped.Gauges["cluster_retry_lost_virtual"]; ok {
+		t.Error("cluster_retry_lost_virtual survived WithoutFaults")
+	}
+}

@@ -58,6 +58,13 @@ type Config struct {
 	// experiments_* names of docs/OBSERVABILITY.md and is forwarded to
 	// the map-reduce engine for its mapreduce_* metrics.
 	Recorder obs.Recorder
+	// Failure is the map-reduce failure policy for the pipeline runs;
+	// the zero value fail-fasts, matching the paper's Spark runs on
+	// clean data. See docs/FAULTS.md.
+	Failure mapreduce.FailurePolicy
+	// Injector, when non-nil, deterministically injects faults into the
+	// map phase — the chaos harness's entry point into the experiments.
+	Injector mapreduce.FaultInjector
 }
 
 // DefaultMaxScale reads the JSI_MAX_SCALE environment variable (a record
@@ -121,6 +128,10 @@ type PipelineResult struct {
 	// (summed across workers), FuseTime the total time fusing, and Wall
 	// the end-to-end elapsed time — the Table 6 measurements.
 	InferTime, FuseTime, Wall time.Duration
+	// Retries and Quarantined report the run's fault handling:
+	// re-executed map attempts and tasks dropped under the Skip policy.
+	// Both are zero on a fault-free run.
+	Retries, Quarantined int
 }
 
 // chunkResult is the map output for one input chunk.
@@ -189,16 +200,18 @@ func RunPipelineOverNDJSON(ctx context.Context, data []byte, cfg Config) (Pipeli
 	}
 
 	wall0 := time.Now()
-	out, _, err := mapreduce.RunSlice(ctx, chunks, mapFn, combine, chunkResult{}, mapreduce.Config{Workers: cfg.workers(), Recorder: cfg.Recorder})
+	out, mrst, err := mapreduce.RunSlice(ctx, chunks, mapFn, combine, chunkResult{}, mapreduce.Config{Workers: cfg.workers(), Recorder: cfg.Recorder, Failure: cfg.Failure, Injector: cfg.Injector})
 	if err != nil {
 		return PipelineResult{}, err
 	}
 	res := PipelineResult{
-		Bytes:     int64(len(data)),
-		Fused:     types.Empty,
-		InferTime: time.Duration(inferNanos.Load()),
-		FuseTime:  time.Duration(fuseNanos.Load()),
-		Wall:      time.Since(wall0),
+		Bytes:       int64(len(data)),
+		Fused:       types.Empty,
+		InferTime:   time.Duration(inferNanos.Load()),
+		FuseTime:    time.Duration(fuseNanos.Load()),
+		Wall:        time.Since(wall0),
+		Retries:     mrst.Retries,
+		Quarantined: len(mrst.Quarantined),
 	}
 	if out.summary != nil {
 		res.Summary = *out.summary

@@ -2,11 +2,13 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"strconv"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/mapreduce"
 	"repro/internal/types"
 )
 
@@ -331,5 +333,69 @@ func TestAllTables(t *testing.T) {
 		if out := tab.Render(); !strings.Contains(out, "Table") {
 			t.Errorf("table %d renders empty", i+1)
 		}
+	}
+}
+
+// TestPipelineRetriesTransientFaults drives the experiments pipeline
+// through the engine's failure policy: with injected transient faults
+// and a retry budget, the result is identical to the clean run and the
+// fault handling is reported.
+func TestPipelineRetriesTransientFaults(t *testing.T) {
+	cfg := Config{Scales: []Scale{{"1K", 1000}}, Workers: 4}
+	clean, err := RunPipeline(context.Background(), "github", 1000, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := cfg
+	faulty.Failure = mapreduce.FailurePolicy{Mode: mapreduce.Retry, MaxRetries: 2, BaseBackoff: 10 * time.Microsecond}
+	faulty.Injector = func(seq, attempt int) mapreduce.Fault {
+		if seq%3 == 0 && attempt == 0 {
+			return mapreduce.Fault{Err: errors.New("injected transient fault")}
+		}
+		return mapreduce.Fault{}
+	}
+	res, err := RunPipeline(context.Background(), "github", 1000, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !types.Equal(res.Fused, clean.Fused) {
+		t.Errorf("retried run fused %s, clean run %s", res.Fused, clean.Fused)
+	}
+	if res.Summary.Count() != clean.Summary.Count() {
+		t.Errorf("records = %d, want %d", res.Summary.Count(), clean.Summary.Count())
+	}
+	if res.Retries == 0 {
+		t.Error("Retries = 0, want > 0")
+	}
+	if res.Quarantined != 0 {
+		t.Errorf("Quarantined = %d, want 0", res.Quarantined)
+	}
+}
+
+// TestPipelineSkipQuarantinesChunk verifies the Skip policy completes
+// the run without a permanently failing chunk and reports it.
+func TestPipelineSkipQuarantinesChunk(t *testing.T) {
+	cfg := Config{Scales: []Scale{{"1K", 1000}}, Workers: 4}
+	clean, err := RunPipeline(context.Background(), "twitter", 1000, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := cfg
+	faulty.Failure = mapreduce.FailurePolicy{Mode: mapreduce.Skip, MaxRetries: 1, BaseBackoff: 10 * time.Microsecond}
+	faulty.Injector = func(seq, attempt int) mapreduce.Fault {
+		if seq == 2 {
+			return mapreduce.Fault{Err: mapreduce.Permanent(errors.New("injected permanent fault"))}
+		}
+		return mapreduce.Fault{}
+	}
+	res, err := RunPipeline(context.Background(), "twitter", 1000, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1", res.Quarantined)
+	}
+	if res.Summary.Count() >= clean.Summary.Count() {
+		t.Errorf("skipped run counted %d records, clean %d: the quarantined chunk's records should be missing", res.Summary.Count(), clean.Summary.Count())
 	}
 }

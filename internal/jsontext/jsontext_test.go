@@ -367,6 +367,34 @@ func TestSplitLines(t *testing.T) {
 	}
 }
 
+// TestSplitLinesMultiLineValues pins the value-safe splitting rule: a
+// newline inside a bracketed value or a string literal is not a chunk
+// boundary, so pretty-printed JSON survives partitioning. Regression
+// for a fuzzer-found input ("[\n]false") whose mid-value newline the
+// old splitter cut on, making the parallel pipeline reject input the
+// sequential path accepted.
+func TestSplitLinesMultiLineValues(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 50; i++ {
+		fmt.Fprintf(&sb, "{\n  \"i\": %d,\n  \"s\": \"br [ ace \\\" in string\"\n}\n", i)
+	}
+	sb.WriteString("[\n]false\n")
+	data := []byte(sb.String())
+	for _, n := range []int{2, 7, 64} {
+		count := 0
+		for _, c := range SplitLines(data, n) {
+			vs, err := ParseAll(c)
+			if err != nil {
+				t.Fatalf("SplitLines(n=%d) cut inside a value: %v", n, err)
+			}
+			count += len(vs)
+		}
+		if count != 52 {
+			t.Fatalf("SplitLines(n=%d) yields %d values, want 52", n, count)
+		}
+	}
+}
+
 func TestCountLines(t *testing.T) {
 	if got := CountLines([]byte("{\"a\":1}\n\n{\"b\":2}\n  \n{\"c\":3}")); got != 3 {
 		t.Errorf("CountLines = %d, want 3", got)

@@ -39,11 +39,16 @@ func ParseAll(data []byte) ([]value.Value, error) {
 	return vs, nil
 }
 
-// SplitLines splits an NDJSON byte buffer into n chunks of roughly equal
-// byte size, cutting only at line boundaries so each chunk holds whole
-// JSON values. Fewer than n chunks are returned when the data has fewer
-// lines. This is the partitioning step of the map phase: chunks can be
-// parsed independently and in parallel.
+// SplitLines splits an NDJSON byte buffer into at most n chunks of
+// roughly equal byte size, cutting only at value-safe line boundaries
+// so each chunk holds whole JSON values. A newline is value-safe when
+// it lies outside every string literal and at bracket depth zero —
+// pretty-printed values spanning several lines stay in one chunk, so
+// splitting is invisible to the parser (the end-to-end fuzz oracle at
+// the repository root checks exactly this). Fewer than n chunks are
+// returned when the data has fewer safe boundaries. This is the
+// partitioning step of the map phase: chunks can be parsed
+// independently and in parallel.
 func SplitLines(data []byte, n int) [][]byte {
 	if n <= 1 || len(data) == 0 {
 		if len(data) == 0 {
@@ -54,19 +59,40 @@ func SplitLines(data []byte, n int) [][]byte {
 	var chunks [][]byte
 	target := len(data)/n + 1
 	start := 0
-	for start < len(data) && len(chunks) < n-1 {
-		end := start + target
-		if end >= len(data) {
-			break
+	// One linear scan tracks just enough lexical state (string
+	// literals with escapes, bracket depth) to recognize safe
+	// newlines; on malformed input the state degrades toward "never
+	// split", which keeps acceptance identical to a sequential parse.
+	depth := 0
+	inStr, esc := false, false
+	for i := 0; i < len(data) && len(chunks) < n-1; i++ {
+		c := data[i]
+		if inStr {
+			switch {
+			case esc:
+				esc = false
+			case c == '\\':
+				esc = true
+			case c == '"':
+				inStr = false
+			}
+			continue
 		}
-		// Advance to the next newline so values stay intact.
-		nl := bytes.IndexByte(data[end:], '\n')
-		if nl < 0 {
-			break
+		switch c {
+		case '"':
+			inStr = true
+		case '[', '{':
+			depth++
+		case ']', '}':
+			if depth > 0 {
+				depth--
+			}
+		case '\n':
+			if depth == 0 && i+1-start >= target && i+1 < len(data) {
+				chunks = append(chunks, data[start:i+1])
+				start = i + 1
+			}
 		}
-		end += nl + 1
-		chunks = append(chunks, data[start:end])
-		start = end
 	}
 	if start < len(data) {
 		chunks = append(chunks, data[start:])

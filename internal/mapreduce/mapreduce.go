@@ -37,6 +37,12 @@ type Config struct {
 	// Ordered selects the ordered reduction discipline documented in the
 	// package comment.
 	Ordered bool
+	// Failure selects the failure-handling policy; the zero value is
+	// FailFast, the engine's historical behavior. See FailurePolicy.
+	Failure FailurePolicy
+	// Injector, when non-nil, intercepts every task attempt for chaos
+	// testing; see FaultInjector.
+	Injector FaultInjector
 	// Recorder, when non-nil, receives engine metrics under the
 	// mapreduce_* names documented in docs/OBSERVABILITY.md: task
 	// counts, per-task map and combine timings, queue wait, reduce and
@@ -65,14 +71,31 @@ type Stats struct {
 	ReduceTime time.Duration
 	// Wall is the end-to-end elapsed time of the run.
 	Wall time.Duration
+	// Retries counts re-executed task attempts (attempts beyond each
+	// task's first) under the Retry and Skip policies.
+	Retries int
+	// Timeouts counts attempts cut off by FailurePolicy.TaskTimeout.
+	Timeouts int
+	// Quarantined lists the tasks dropped under the Skip policy, in
+	// input order. Their outputs are missing from the reduction; the
+	// caller decides whether that is acceptable.
+	Quarantined []QuarantinedTask
 }
 
 // Run maps every item received from src and reduces the outputs with
-// combine, starting from zero. It stops at the first error: a mapFn
-// error, a mapFn panic (converted to an error), or ctx cancellation.
+// combine, starting from zero. What happens when a task fails — a mapFn
+// error, a mapFn panic (converted to a Permanent error), a timeout or
+// an injected fault — is governed by cfg.Failure: FailFast (the
+// default) aborts the run on the first failure, Retry re-executes the
+// task with seeded exponential backoff before aborting, and Skip
+// quarantines tasks whose retry budget is exhausted so the run can
+// complete without them (see Stats.Quarantined). Context cancellation
+// always aborts, regardless of policy.
 //
-// combine must be associative; in the default unordered mode it must
-// also be commutative. zero must be the identity of combine.
+// Re-execution is safe because combine must be associative (and, in
+// the default unordered mode, commutative): a retried task's output
+// meets the fold in a different order but yields the same reduction.
+// zero must be the identity of combine.
 func Run[I, M any](ctx context.Context, src <-chan I, mapFn func(context.Context, I) (M, error), combine func(M, M) M, zero M, cfg Config) (M, Stats, error) {
 	start := time.Now()
 	nw := cfg.workers()
@@ -130,13 +153,16 @@ func Run[I, M any](ctx context.Context, src <-chan I, mapFn func(context.Context
 	}()
 
 	var (
-		mu       sync.Mutex
-		firstErr error
-		mapTime  time.Duration
-		tasks    int
-		ordered  []seqOut // ordered mode: all outputs
-		locals   = make([]M, nw)
-		started  = make([]bool, nw)
+		mu          sync.Mutex
+		firstErr    error
+		mapTime     time.Duration
+		tasks       int
+		retries     int
+		timeouts    int
+		quarantined []QuarantinedTask
+		ordered     []seqOut // ordered mode: all outputs
+		locals      = make([]M, nw)
+		started     = make([]bool, nw)
 	)
 	fail := func(err error) {
 		mu.Lock()
@@ -156,17 +182,26 @@ func Run[I, M any](ctx context.Context, src <-chan I, mapFn func(context.Context
 				if rec != nil && !it.enq.IsZero() {
 					rec.Observe("mapreduce_queue_wait_ns", int64(time.Since(it.enq)))
 				}
-				out, dur, err := runTask(runCtx, mapFn, it.item)
+				out, res := runTaskAttempts(runCtx, mapFn, it.item, it.seq, cfg, rec)
 				mu.Lock()
-				mapTime += dur
+				mapTime += res.dur
 				tasks++
+				retries += res.retries
+				timeouts += res.timeouts
 				mu.Unlock()
-				if rec != nil {
-					rec.Observe("mapreduce_task_ns", int64(dur))
-				}
-				if err != nil {
-					fail(fmt.Errorf("mapreduce: task %d: %w", it.seq, err))
-					return
+				if res.err != nil {
+					if res.aborted || cfg.Failure.Mode != Skip {
+						fail(fmt.Errorf("mapreduce: task %d: %w", it.seq, res.err))
+						return
+					}
+					// Skip: quarantine the task and keep going.
+					mu.Lock()
+					quarantined = append(quarantined, QuarantinedTask{Seq: it.seq, Attempts: res.attempts, Err: res.err})
+					mu.Unlock()
+					if rec != nil {
+						rec.Add("mapreduce_skipped", 1)
+					}
+					continue
 				}
 				if cfg.Ordered {
 					mu.Lock()
@@ -193,7 +228,10 @@ func Run[I, M any](ctx context.Context, src <-chan I, mapFn func(context.Context
 	if firstErr == nil && ctx.Err() != nil {
 		firstErr = ctx.Err()
 	}
-	st := Stats{Tasks: tasks, MapTime: mapTime}
+	// Workers quarantine in completion order; canonicalize to input
+	// order so Stats is deterministic.
+	sort.Slice(quarantined, func(i, j int) bool { return quarantined[i].Seq < quarantined[j].Seq })
+	st := Stats{Tasks: tasks, MapTime: mapTime, Retries: retries, Timeouts: timeouts, Quarantined: quarantined}
 	if firstErr != nil {
 		st.Wall = time.Since(start)
 		record(rec, st, nw)
@@ -237,17 +275,106 @@ func record(rec obs.Recorder, st Stats, workers int) {
 	}
 }
 
-// runTask invokes mapFn with panic recovery and timing.
-func runTask[I, M any](ctx context.Context, mapFn func(context.Context, I) (M, error), item I) (out M, dur time.Duration, err error) {
+// taskResult summarizes every attempt of one task.
+type taskResult struct {
+	dur      time.Duration // time inside attempts, summed
+	attempts int
+	retries  int
+	timeouts int
+	err      error // nil on success
+	aborted  bool  // err came from run cancellation: never quarantine
+}
+
+// runTaskAttempts drives one task through the failure policy: attempt,
+// and on a transient failure back off (deterministically jittered) and
+// re-attempt until success, a Permanent error, cancellation, or an
+// exhausted budget.
+func runTaskAttempts[I, M any](ctx context.Context, mapFn func(context.Context, I) (M, error), item I, seq int, cfg Config, rec obs.Recorder) (M, taskResult) {
+	var res taskResult
+	var zero M
+	pol := cfg.Failure
+	budget := pol.maxAttempts()
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			res.retries++
+			if rec != nil {
+				rec.Add("mapreduce_retries", 1)
+			}
+			if err := sleepCtx(ctx, pol.backoff(seq, attempt)); err != nil {
+				res.err, res.aborted = err, true
+				return zero, res
+			}
+		}
+		var fault Fault
+		if cfg.Injector != nil {
+			fault = cfg.Injector(seq, attempt)
+			if rec != nil && (fault.Err != nil || fault.Delay > 0) {
+				rec.Add("mapreduce_faults_injected", 1)
+			}
+		}
+		out, dur, timedOut, err := runAttempt(ctx, mapFn, item, fault, pol.TaskTimeout)
+		res.dur += dur
+		res.attempts++
+		if rec != nil {
+			rec.Observe("mapreduce_task_ns", int64(dur))
+		}
+		if err == nil {
+			return out, res
+		}
+		if ctx.Err() != nil {
+			res.err, res.aborted = err, true
+			return zero, res
+		}
+		if timedOut {
+			res.timeouts++
+			if rec != nil {
+				rec.Add("mapreduce_task_timeouts", 1)
+			}
+		}
+		if IsPermanent(err) || attempt+1 >= budget {
+			if res.attempts > 1 {
+				err = fmt.Errorf("%w (after %d attempts)", err, res.attempts)
+			}
+			res.err = err
+			return zero, res
+		}
+	}
+}
+
+// runAttempt executes one attempt of a task: the injected fault (if
+// any), then mapFn, under the per-attempt timeout and with panic
+// recovery. A panic converts to a Permanent error — a poisoned record
+// panics on every re-execution, so retrying it only wastes the budget;
+// under Skip it quarantines at once instead of crashing the process.
+func runAttempt[I, M any](ctx context.Context, mapFn func(context.Context, I) (M, error), item I, fault Fault, timeout time.Duration) (out M, dur time.Duration, timedOut bool, err error) {
+	attemptCtx := ctx
+	cancel := func() {}
+	if timeout > 0 {
+		attemptCtx, cancel = context.WithTimeout(ctx, timeout)
+	}
 	start := time.Now()
 	defer func() {
+		cancel()
 		dur = time.Since(start)
 		if r := recover(); r != nil {
-			err = fmt.Errorf("map function panicked: %v", r)
+			err = Permanent(fmt.Errorf("map function panicked: %v", r))
+		}
+		if err != nil && attemptCtx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
+			timedOut = true
+			err = fmt.Errorf("attempt timed out after %v: %w", timeout, err)
 		}
 	}()
-	out, err = mapFn(ctx, item)
-	return out, 0, err // dur is set by the deferred closure
+	if fault.Delay > 0 {
+		if serr := sleepCtx(attemptCtx, fault.Delay); serr != nil {
+			err = serr
+			return out, 0, false, err
+		}
+	}
+	if fault.Err != nil {
+		return out, 0, false, fault.Err
+	}
+	out, err = mapFn(attemptCtx, item)
+	return out, 0, false, err // dur and timedOut are set by the deferred closure
 }
 
 // RunSlice is Run over an in-memory slice of items.

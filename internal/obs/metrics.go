@@ -103,6 +103,65 @@ func mergeHistograms(a, b HistogramSnapshot) HistogramSnapshot {
 	return out
 }
 
+// faultSuffixes lists the name suffixes that mark a metric as counting
+// failure handling: retries, timeouts, quarantined (skipped) tasks,
+// injected faults and simulated crashes. The convention spans the
+// recording components — mapreduce_retries, mapreduce_skipped,
+// mapreduce_task_timeouts, mapreduce_faults_injected,
+// cluster_retried_tasks, cluster_crashed_nodes,
+// cluster_retry_lost_virtual — and docs/FAULTS.md documents it.
+var faultSuffixes = []string{
+	"_retries",
+	"_retried_tasks",
+	"_skipped",
+	"_timeouts",
+	"_faults_injected",
+	"_crashed_nodes",
+	"_retry_lost_virtual",
+}
+
+// IsFaultMetric reports whether the named metric counts failure
+// handling rather than useful work. A run that suffered only
+// transient, successfully retried faults records exactly the same
+// non-timing metrics as a clean run EXCEPT these — the equality the
+// chaos harness asserts via WithoutFaults.
+func IsFaultMetric(name string) bool {
+	for _, s := range faultSuffixes {
+		if strings.HasSuffix(name, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// WithoutFaults returns a copy of the snapshot with every
+// fault-handling metric removed (see IsFaultMetric). Composed with
+// WithoutTimings, what remains must be identical between a clean run
+// and a run whose transient faults were all retried to success.
+func (m Metrics) WithoutFaults() Metrics {
+	out := Metrics{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for name, v := range m.Counters {
+		if !IsFaultMetric(name) {
+			out.Counters[name] = v
+		}
+	}
+	for name, v := range m.Gauges {
+		if !IsFaultMetric(name) {
+			out.Gauges[name] = v
+		}
+	}
+	for name, h := range m.Histograms {
+		if !IsFaultMetric(name) {
+			out.Histograms[name] = cloneHistogram(h)
+		}
+	}
+	return out
+}
+
 // IsTimingMetric reports whether the named metric depends on host
 // timing rather than on the input alone: by convention such names end
 // in _ns (durations), _permille (time-derived ratios) or _per_sec

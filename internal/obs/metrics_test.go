@@ -142,3 +142,61 @@ func TestWithoutTimings(t *testing.T) {
 		t.Error("size histogram was dropped")
 	}
 }
+
+func TestIsFaultMetric(t *testing.T) {
+	faulty := []string{
+		"mapreduce_retries", "mapreduce_skipped", "mapreduce_task_timeouts",
+		"mapreduce_faults_injected", "cluster_retried_tasks",
+		"cluster_crashed_nodes", "cluster_retry_lost_virtual",
+	}
+	for _, name := range faulty {
+		if !IsFaultMetric(name) {
+			t.Errorf("IsFaultMetric(%q) = false, want true", name)
+		}
+	}
+	clean := []string{
+		"mapreduce_tasks", "mapreduce_workers", "infer_records",
+		"infer_chunks", "cluster_tasks", "cluster_makespan_virtual",
+		"experiments_records",
+	}
+	for _, name := range clean {
+		if IsFaultMetric(name) {
+			t.Errorf("IsFaultMetric(%q) = true, want false", name)
+		}
+	}
+}
+
+func TestWithoutFaults(t *testing.T) {
+	r := NewRegistry()
+	r.Add("mapreduce_tasks", 10)
+	r.Add("mapreduce_retries", 3)
+	r.Add("mapreduce_skipped", 1)
+	r.Set("cluster_crashed_nodes", 2)
+	r.Set("infer_fused_size", 77)
+	r.Observe("infer_chunk_records", 5)
+	m := r.Snapshot().WithoutFaults()
+	if _, ok := m.Counters["mapreduce_retries"]; ok {
+		t.Error("mapreduce_retries survived WithoutFaults")
+	}
+	if _, ok := m.Counters["mapreduce_skipped"]; ok {
+		t.Error("mapreduce_skipped survived WithoutFaults")
+	}
+	if _, ok := m.Gauges["cluster_crashed_nodes"]; ok {
+		t.Error("cluster_crashed_nodes survived WithoutFaults")
+	}
+	if m.Counters["mapreduce_tasks"] != 10 {
+		t.Errorf("mapreduce_tasks = %d, want 10", m.Counters["mapreduce_tasks"])
+	}
+	if m.Gauges["infer_fused_size"] != 77 {
+		t.Errorf("infer_fused_size = %d, want 77", m.Gauges["infer_fused_size"])
+	}
+	if m.Histograms["infer_chunk_records"].Count != 1 {
+		t.Error("clean histogram dropped by WithoutFaults")
+	}
+	// WithoutFaults must not mutate the receiver.
+	orig := r.Snapshot()
+	_ = orig.WithoutFaults()
+	if _, ok := orig.Counters["mapreduce_retries"]; !ok {
+		t.Error("WithoutFaults mutated its receiver")
+	}
+}

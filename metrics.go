@@ -112,6 +112,16 @@ func (m Metrics) WithoutTimings() Metrics {
 	return metricsFromObs(m.toObs().WithoutTimings())
 }
 
+// WithoutFaults returns a copy with every fault-handling metric
+// (retries, timeouts, quarantined chunks, injected faults, simulated
+// crashes) removed. Composed with WithoutTimings, what remains is
+// identical between a clean run and a run whose transient faults were
+// all retried to success — the invariant the chaos harness in
+// internal/chaos asserts (see docs/FAULTS.md).
+func (m Metrics) WithoutFaults() Metrics {
+	return metricsFromObs(m.toObs().WithoutFaults())
+}
+
 // MarshalJSON renders the snapshot deterministically: map keys sort
 // and buckets are stored in ascending bound order.
 func (m Metrics) MarshalJSON() ([]byte, error) {

@@ -77,8 +77,9 @@ func (e feedError) Unwrap() error { return e.err }
 // block; it is always unblocked promptly — emit fails once the
 // pipeline stops (error or ctx cancellation), so feed's producer
 // goroutine can never leak.
-func runChunkPipeline(ctx context.Context, opts Options, rec obs.Recorder, progress func(), feed func(emit func([]byte) error) error) (chunkOut, error) {
+func runChunkPipeline(ctx context.Context, opts Options, rec obs.Recorder, progress func(), feed func(emit func([]byte) error) error) (chunkOut, mapreduce.Stats, error) {
 	fz := opts.fusionOptions()
+	pol, inj := opts.failureConfig()
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -134,19 +135,19 @@ func runChunkPipeline(ctx context.Context, opts Options, rec obs.Recorder, progr
 		return chunkOut{sum: a.sum, fused: fz.Fuse(a.fused, b.fused)}
 	}
 
-	out, _, err := mapreduce.Run(runCtx, src, mapFn, combine, chunkOut{}, mapreduce.Config{Workers: opts.Workers, Recorder: rec})
+	out, mrst, err := mapreduce.Run(runCtx, src, mapFn, combine, chunkOut{}, mapreduce.Config{Workers: opts.Workers, Recorder: rec, Failure: pol, Injector: inj})
 	if err != nil {
 		// Unblock and join the feeder before returning so no goroutine
 		// outlives the call.
 		cancel()
 		<-feedDone
-		return chunkOut{}, err
+		return chunkOut{}, mrst, err
 	}
 	<-feedDone
 	if feedErr != nil {
-		return chunkOut{}, feedError{err: feedErr}
+		return chunkOut{}, mrst, feedError{err: feedErr}
 	}
-	return out, nil
+	return out, mrst, nil
 }
 
 // summaryStats translates a pipeline summary into the public Stats.
@@ -168,7 +169,7 @@ type bytesSource struct{ data []byte }
 
 func (s bytesSource) run(ctx context.Context, opts Options, rec obs.Recorder, progress func()) (*Schema, Stats, error) {
 	chunks := jsontext.SplitLines(s.data, opts.workers()*4)
-	out, err := runChunkPipeline(ctx, opts, rec, progress, func(emit func([]byte) error) error {
+	out, mrst, err := runChunkPipeline(ctx, opts, rec, progress, func(emit func([]byte) error) error {
 		for _, chunk := range chunks {
 			if err := emit(chunk); err != nil {
 				return nil // the pipeline stopped; it carries the error
@@ -181,6 +182,8 @@ func (s bytesSource) run(ctx context.Context, opts Options, rec obs.Recorder, pr
 	}
 	st, schema := summaryStats(out)
 	st.Bytes = int64(len(s.data))
+	st.Retries = mrst.Retries
+	st.QuarantinedChunks = len(mrst.Quarantined)
 	return schema, st, nil
 }
 
@@ -269,7 +272,7 @@ func (s filesSource) runOne(ctx context.Context, path string, opts Options, rec 
 	//lint:ignore droppederr the file is only read; a close error cannot lose data
 	defer f.Close()
 
-	out, err := runChunkPipeline(ctx, opts, rec, progress, func(emit func([]byte) error) error {
+	out, mrst, err := runChunkPipeline(ctx, opts, rec, progress, func(emit func([]byte) error) error {
 		return jsontext.ChunkLines(f, opts.ChunkBytes, emit)
 	})
 	if err != nil {
@@ -283,5 +286,7 @@ func (s filesSource) runOne(ctx context.Context, path string, opts Options, rec 
 	if info, err := f.Stat(); err == nil {
 		st.Bytes = info.Size()
 	}
+	st.Retries = mrst.Retries
+	st.QuarantinedChunks = len(mrst.Quarantined)
 	return schema, st, nil
 }

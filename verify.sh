@@ -28,4 +28,12 @@ echo ">> go test ${race} ./..."
 # shellcheck disable=SC2086 # race is intentionally empty or one flag
 go test ${race} ./...
 
+# The chaos suite stresses the engine's retry/timeout/quarantine
+# concurrency, so it always runs under the race detector — even when
+# -norace skipped it for the bulk of the suite.
+if [ -z "${race}" ]; then
+    echo '>> go test -race ./internal/chaos'
+    go test -race ./internal/chaos
+fi
+
 echo '>> verify.sh: all checks passed'
