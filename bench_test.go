@@ -404,9 +404,28 @@ func BenchmarkInferNDJSON(b *testing.B) {
 	g, _ := dataset.New("twitter")
 	data := dataset.NDJSON(g, benchScale(), 1)
 	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := jsi.InferNDJSON(data, jsi.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInferNDJSONDedup is BenchmarkInferNDJSON on the hash-consed
+// fast path (Options.Dedup): interned types, multiset map phase and the
+// memoized fuse cache. The schema is byte-identical to the default
+// path; the difference between the two benches is the whole point of
+// docs/PERFORMANCE.md (CI records it in BENCH_perf.json).
+func BenchmarkInferNDJSONDedup(b *testing.B) {
+	g, _ := dataset.New("twitter")
+	data := dataset.NDJSON(g, benchScale(), 1)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := jsi.InferNDJSON(data, jsi.Options{Dedup: true}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,174 @@
+// Command benchperf measures what the hash-consed fast path buys and
+// writes the result as JSON (the BENCH_perf.json artifact CI uploads).
+//
+// For each paper dataset it benchmarks the public InferNDJSON pipeline
+// twice over the same synthetic data — Options zero value versus
+// Options.Dedup — recording ns/op, B/op, allocs/op and the exact
+// distinct-type count the dedup run reports. The headline comparison is
+// InferNDJSON/twitter dedup-on against the committed observability
+// baseline (-baseline BENCH_obs.json, whose nil_recorder_ns_per_op was
+// measured on the same workload); docs/PERFORMANCE.md explains how to
+// read the report.
+//
+// Usage:
+//
+//	benchperf [-records 10000] [-baseline BENCH_obs.json] [-o BENCH_perf.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	jsi "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchperf:", err)
+		os.Exit(1)
+	}
+}
+
+// Measurement is one benchmarked configuration of the pipeline.
+type Measurement struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"b_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// DatasetResult compares the default and dedup pipelines on one dataset.
+type DatasetResult struct {
+	Dataset string `json:"dataset"`
+	// Records is the number of records inferred per iteration.
+	Records int `json:"records"`
+	// DistinctTypes is the exact count the dedup run reports
+	// (Stats.DistinctTypes); the default in-memory path reports the same
+	// number, pinning that dedup changes cost, not results.
+	DistinctTypes int `json:"distinct_types"`
+	Default       Measurement `json:"default"`
+	Dedup         Measurement `json:"dedup"`
+	// NsImprovementPct and AllocsReductionPct compare dedup against the
+	// default run above (positive = dedup is better).
+	NsImprovementPct   float64 `json:"ns_improvement_pct"`
+	AllocsReductionPct float64 `json:"allocs_reduction_pct"`
+}
+
+// Report is the schema of BENCH_perf.json.
+type Report struct {
+	// Benchmark identifies the headline workload; Datasets holds the
+	// full per-dataset grid.
+	Benchmark string          `json:"benchmark"`
+	Datasets  []DatasetResult `json:"datasets"`
+	// BaselineNsPerOp is nil_recorder_ns_per_op from the BENCH_obs.json
+	// passed via -baseline: the committed pre-dedup measurement of the
+	// same InferNDJSON/twitter workload.
+	BaselineNsPerOp int64 `json:"baseline_ns_per_op,omitempty"`
+	// HeadlineNsImprovementPct is twitter dedup-on versus that baseline;
+	// HeadlineAllocsReductionPct is twitter dedup-on versus dedup-off
+	// (BENCH_obs predates allocation reporting, so allocs compare
+	// in-run). The acceptance floors are 25 and 40.
+	HeadlineNsImprovementPct   *float64 `json:"headline_ns_improvement_pct,omitempty"`
+	HeadlineAllocsReductionPct float64  `json:"headline_allocs_reduction_pct"`
+}
+
+// obsBaseline is the slice of BENCH_obs.json benchperf reads.
+type obsBaseline struct {
+	NilRecorderNsPerOp int64 `json:"nil_recorder_ns_per_op"`
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchperf", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	// The default workload matches cmd/benchobs (twitter, 10k records,
+	// seed 1) so the committed baseline compares like for like.
+	records := fs.Int("records", 10_000, "records in each synthetic benchmark dataset")
+	baseline := fs.String("baseline", "", "BENCH_obs.json to read the pre-dedup ns/op baseline from (empty = skip)")
+	outPath := fs.String("o", "", "write the JSON report to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rep := Report{Benchmark: "InferNDJSON/twitter"}
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		var obs obsBaseline
+		if err := json.Unmarshal(raw, &obs); err != nil {
+			return fmt.Errorf("baseline %s: %w", *baseline, err)
+		}
+		rep.BaselineNsPerOp = obs.NilRecorderNsPerOp
+	}
+
+	for _, name := range dataset.PaperNames() {
+		g, err := dataset.New(name)
+		if err != nil {
+			return err
+		}
+		data := dataset.NDJSON(g, *records, 1)
+
+		_, st, err := jsi.InferNDJSON(data, jsi.Options{Dedup: true})
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+
+		res := DatasetResult{
+			Dataset:       name,
+			Records:       *records,
+			DistinctTypes: st.DistinctTypes,
+			Default:       measure(data, jsi.Options{}),
+			Dedup:         measure(data, jsi.Options{Dedup: true}),
+		}
+		res.NsImprovementPct = pctBelow(res.Dedup.NsPerOp, res.Default.NsPerOp)
+		res.AllocsReductionPct = pctBelow(res.Dedup.AllocsPerOp, res.Default.AllocsPerOp)
+		rep.Datasets = append(rep.Datasets, res)
+
+		if name == "twitter" {
+			rep.HeadlineAllocsReductionPct = res.AllocsReductionPct
+			if rep.BaselineNsPerOp > 0 {
+				p := pctBelow(res.Dedup.NsPerOp, rep.BaselineNsPerOp)
+				rep.HeadlineNsImprovementPct = &p
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *outPath == "" {
+		_, err := stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(*outPath, enc, 0o644)
+}
+
+// measure benchmarks InferNDJSON over data with the given options.
+func measure(data []byte, opts jsi.Options) Measurement {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := jsi.InferNDJSON(data, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return Measurement{
+		NsPerOp:     r.NsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// pctBelow reports how far got sits below base, in percent (positive
+// when got is smaller, i.e. an improvement).
+func pctBelow(got, base int64) float64 {
+	return (float64(base) - float64(got)) / float64(base) * 100
+}

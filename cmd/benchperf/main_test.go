@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReportShape(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "BENCH_obs.json")
+	if err := os.WriteFile(base, []byte(`{"nil_recorder_ns_per_op": 123456}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	// Tiny dataset: the point is the report shape, not the numbers.
+	if err := run([]string{"-records", "50", "-baseline", base}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Datasets) != 4 {
+		t.Fatalf("expected 4 datasets, got %d", len(rep.Datasets))
+	}
+	for _, d := range rep.Datasets {
+		if d.Default.NsPerOp <= 0 || d.Dedup.NsPerOp <= 0 {
+			t.Errorf("%s: ns/op not measured: %+v", d.Dataset, d)
+		}
+		if d.Default.AllocsPerOp <= 0 || d.Dedup.AllocsPerOp <= 0 {
+			t.Errorf("%s: allocs/op not measured: %+v", d.Dataset, d)
+		}
+		if d.DistinctTypes <= 0 {
+			t.Errorf("%s: distinct types not reported", d.Dataset)
+		}
+		if d.Records != 50 {
+			t.Errorf("%s: Records = %d", d.Dataset, d.Records)
+		}
+	}
+	if rep.BaselineNsPerOp != 123456 {
+		t.Errorf("baseline not read: %d", rep.BaselineNsPerOp)
+	}
+	if rep.HeadlineNsImprovementPct == nil {
+		t.Error("baseline provided but headline_ns_improvement_pct missing")
+	}
+	if rep.HeadlineAllocsReductionPct == 0 {
+		t.Error("headline_allocs_reduction_pct missing")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-nope"}, &out, &errBuf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

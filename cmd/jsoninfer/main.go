@@ -13,7 +13,10 @@
 //
 //	-format      output format: type (default), indent, jsonschema, codec
 //	-stream      constant-memory streaming mode (single worker, no
-//	             distinct type statistics)
+//	             distinct type statistics unless -dedup is set)
+//	-dedup       hash-consed fast path: deduplicate distinct types in the
+//	             map phase and memoize fusion; same schema, exact
+//	             distinct-type statistics
 //	-workers     map-phase parallelism (default: number of CPUs)
 //	-retries     per-chunk retry budget for transient failures
 //	-on-error    fail (default) aborts on a chunk that exhausts its
@@ -106,6 +109,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	fs.SetOutput(stderr)
 	format := fs.String("format", "type", "output format: type, indent, jsonschema, codec")
 	stream := fs.Bool("stream", false, "constant-memory streaming mode")
+	dedup := fs.Bool("dedup", false, "hash-consed fast path: deduplicate distinct types and memoize fusion")
 	workers := fs.Int("workers", 0, "map-phase parallelism (0 = all CPUs)")
 	showStats := fs.Bool("stats", false, "print dataset statistics to stderr")
 	profileFlag := fs.Bool("profile", false, "print a statistics-annotated schema instead of a plain one")
@@ -129,7 +133,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	default:
 		return fmt.Errorf("unknown -on-error %q (want fail or skip)", *onError)
 	}
-	opts := jsi.Options{Workers: *workers, PreserveTupleArrays: *positional, Retries: *retries, OnError: errPolicy}
+	opts := jsi.Options{Workers: *workers, PreserveTupleArrays: *positional, Retries: *retries, OnError: errPolicy, Dedup: *dedup}
 	if *debugAddr != "" {
 		opts.Collector = jsi.NewCollector()
 		stop, err := startDebug(*debugAddr, opts.Collector, stderr)
@@ -210,6 +214,12 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 			schema = schema.Fuse(s)
 			stats.Records += st.Records
 			stats.Bytes += st.Bytes
+			// Each file streams through its own dedup table, so across
+			// files the distinct count degrades to a per-file maximum —
+			// the same lower bound mergeStats keeps.
+			if st.DistinctTypes > stats.DistinctTypes {
+				stats.DistinctTypes = st.DistinctTypes
+			}
 		}
 	default:
 		// Files are partitions of one dataset: each runs through the
@@ -231,9 +241,13 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 
 	if *showStats {
 		// Merged partitions cannot combine distinct-type sets, so the
-		// count degrades to a lower bound; mark it as such.
+		// count degrades to a lower bound; mark it as such. With -dedup
+		// the chunked pipeline merges multisets by identity and stays
+		// exact across files — only streaming over several files (one
+		// dedup table per file) still degrades.
+		lowerBound := merged && !*stream && !*dedup || merged && *stream && *dedup
 		distinct := fmt.Sprintf("distinct-types=%d", stats.DistinctTypes)
-		if merged && !*stream {
+		if lowerBound {
 			distinct = fmt.Sprintf("distinct-types>=%d", stats.DistinctTypes)
 		}
 		faults := ""

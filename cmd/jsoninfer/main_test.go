@@ -369,6 +369,58 @@ func TestStatsLowerBoundAcrossFiles(t *testing.T) {
 	}
 }
 
+// TestStatsDedupExactAcrossFiles: with -dedup the chunked pipeline
+// merges distinct-type multisets by identity across partitions, so the
+// stats line stays EXACT (no >= marker) over several files — including
+// when both files share shapes, where a per-file bound would undercount.
+func TestStatsDedupExactAcrossFiles(t *testing.T) {
+	dir := t.TempDir()
+	f1 := filepath.Join(dir, "a.ndjson")
+	f2 := filepath.Join(dir, "b.ndjson")
+	// Three distinct shapes overall; each file alone sees two.
+	if err := os.WriteFile(f1, []byte(`{"x":1}`+"\n"+`{"shared":true}`+"\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(f2, []byte(`{"y":"s"}`+"\n"+`{"shared":true}`+"\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	_, errOut, err := runCmd(t, []string{"-stats", "-dedup", f1, f2}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(errOut, "distinct-types>=") || !strings.Contains(errOut, "distinct-types=3") {
+		t.Errorf("dedup multi-file stats should be exact: %q", errOut)
+	}
+	// Schema must match the non-dedup run byte for byte.
+	out, _, err := runCmd(t, []string{f1, f2}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outDedup, _, err := runCmd(t, []string{"-dedup", f1, f2}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != outDedup {
+		t.Errorf("dedup schema %q != default %q", outDedup, out)
+	}
+	// Streaming with -dedup gets exact counts per file but only a bound
+	// across several.
+	_, errOut, err = runCmd(t, []string{"-stats", "-dedup", "-stream", f1}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut, "distinct-types=2") {
+		t.Errorf("dedup single-file streaming stats should be exact: %q", errOut)
+	}
+	_, errOut, err = runCmd(t, []string{"-stats", "-dedup", "-stream", f1, f2}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut, "distinct-types>=2") {
+		t.Errorf("dedup multi-file streaming stats should mark the bound: %q", errOut)
+	}
+}
+
 func TestStatsAverageAcrossFiles(t *testing.T) {
 	dir := t.TempDir()
 	f1 := filepath.Join(dir, "a.ndjson")

@@ -62,12 +62,20 @@ func TestDifferentialParallelVsSequential(t *testing.T) {
 		}
 
 		for _, workers := range []int{2, 8} {
-			s, st, err := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: workers})
-			check("parallel "+string(rune('0'+workers)), s, st, err)
+			for _, dedup := range []bool{false, true} {
+				label := "parallel " + string(rune('0'+workers))
+				if dedup {
+					label += " dedup"
+				}
+				s, st, err := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: workers, Dedup: dedup})
+				check(label, s, st, err)
+			}
 		}
 
 		s, st, err := jsi.Infer(context.Background(), jsi.FromReader(bytes.NewReader(data)), jsi.Options{})
 		check("streaming", s, st, err)
+		s, st, err = jsi.Infer(context.Background(), jsi.FromReader(bytes.NewReader(data)), jsi.Options{Dedup: true})
+		check("streaming dedup", s, st, err)
 
 		path := filepath.Join(dir, name+".ndjson")
 		if err := os.WriteFile(path, data, 0o600); err != nil {
@@ -75,5 +83,118 @@ func TestDifferentialParallelVsSequential(t *testing.T) {
 		}
 		s, st, err = jsi.Infer(context.Background(), jsi.FromFile(path), jsi.Options{Workers: 8, ChunkBytes: 1 << 10})
 		check("file pipeline", s, st, err)
+		s, st, err = jsi.Infer(context.Background(), jsi.FromFile(path), jsi.Options{Workers: 8, ChunkBytes: 1 << 10, Dedup: true})
+		check("file pipeline dedup", s, st, err)
+	}
+}
+
+// TestDifferentialDedupStatsAndMetrics pins the dedup path's contract
+// beyond schema bytes: at Workers 1, the full Stats struct matches the
+// default path field for field (DistinctTypes exact on both), and the
+// metrics snapshots are identical once timing and cache counters are
+// stripped — infer_records, infer_chunks, the fusion-growth histogram,
+// everything else must not move.
+func TestDifferentialDedupStatsAndMetrics(t *testing.T) {
+	for _, name := range dataset.Names() {
+		g, err := dataset.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := dataset.NDJSON(g, 300, 101)
+
+		run := func(dedup bool) (*jsi.Schema, jsi.Stats, jsi.Metrics) {
+			c := jsi.NewCollector()
+			s, st, err := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: 1, Dedup: dedup, Collector: c})
+			if err != nil {
+				t.Fatalf("%s (dedup=%v): %v", name, dedup, err)
+			}
+			return s, st, c.Metrics()
+		}
+		refSchema, refStats, refMetrics := run(false)
+		dedupSchema, dedupStats, dedupMetrics := run(true)
+
+		if !bytes.Equal(canonical(t, refSchema), canonical(t, dedupSchema)) {
+			t.Errorf("%s: dedup schema diverged", name)
+		}
+		if refStats != dedupStats {
+			t.Errorf("%s: stats diverged\n got: %+v\nwant: %+v", name, dedupStats, refStats)
+		}
+		want, err := refMetrics.WithoutTimings().WithoutCache().MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dedupMetrics.WithoutTimings().WithoutCache().MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: non-cache metrics diverged\n got: %s\nwant: %s", name, got, want)
+		}
+
+		// The dedup run must actually have recorded its cache counters,
+		// and a single-worker fault-free run pins the exact identities:
+		// every record interns (hits+misses counts every Canon/intern
+		// probe) and intern_misses is the table's distinct-node count.
+		counters := dedupMetrics.Counters
+		if counters["intern_hits"] == 0 || counters["intern_misses"] == 0 {
+			t.Errorf("%s: intern counters missing: %v", name, counters)
+		}
+		if counters["fuse_cache_hits"]+counters["fuse_cache_misses"] == 0 {
+			t.Errorf("%s: fuse cache counters missing", name)
+		}
+		if refMetrics.Counters["intern_hits"] != 0 {
+			t.Errorf("%s: default path recorded intern counters", name)
+		}
+	}
+}
+
+// TestDifferentialDedupExactDistinctAcrossSources: the dedup pipeline
+// reports the SAME exact DistinctTypes from the in-memory, streaming,
+// single-file and multi-file paths — the paths where the default
+// pipeline reports zero or only a lower bound.
+func TestDifferentialDedupExactDistinctAcrossSources(t *testing.T) {
+	dir := t.TempDir()
+	g, err := dataset.New("github")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := dataset.NDJSON(g, 400, 7)
+
+	_, want, err := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: 1, Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.DistinctTypes <= 0 {
+		t.Fatalf("reference distinct count not positive: %+v", want)
+	}
+
+	_, st, err := jsi.Infer(context.Background(), jsi.FromReader(bytes.NewReader(data)), jsi.Options{Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DistinctTypes != want.DistinctTypes {
+		t.Errorf("streaming dedup DistinctTypes = %d, want %d", st.DistinctTypes, want.DistinctTypes)
+	}
+
+	// Split the buffer across two files; identity-merged multisets must
+	// reproduce the exact global count, not a per-file bound.
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	mid := len(lines) / 2
+	paths := []string{filepath.Join(dir, "a.ndjson"), filepath.Join(dir, "b.ndjson")}
+	if err := os.WriteFile(paths[0], bytes.Join(lines[:mid], nil), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(paths[1], bytes.Join(lines[mid:], nil), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err = jsi.Infer(context.Background(), jsi.FromFiles(paths...), jsi.Options{Workers: 4, ChunkBytes: 1 << 10, Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DistinctTypes != want.DistinctTypes {
+		t.Errorf("multi-file dedup DistinctTypes = %d, want %d", st.DistinctTypes, want.DistinctTypes)
+	}
+	if st.Records != want.Records {
+		t.Errorf("multi-file dedup Records = %d, want %d", st.Records, want.Records)
 	}
 }

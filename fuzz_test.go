@@ -62,5 +62,42 @@ func FuzzInferEndToEnd(f *testing.F) {
 		if rdStats.Records != seqStats.Records {
 			t.Fatalf("streaming Records = %d, want %d", rdStats.Records, seqStats.Records)
 		}
+
+		// Cross-check the hash-consed dedup variants: parallel chunked
+		// and streaming, both against the same sequential reference. The
+		// fuzzer hunts for shapes where interning, the memoized fuse
+		// cache or multiset merging would become observable.
+		ddSchema, ddStats, ddErr := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: 8, Dedup: true})
+		if ddErr != nil {
+			t.Fatalf("dedup rejected input the default pipeline accepted: %v", ddErr)
+		}
+		ddJSON, err := ddSchema.MarshalJSON()
+		if err != nil {
+			t.Fatalf("marshal dedup: %v", err)
+		}
+		if !bytes.Equal(seqJSON, ddJSON) {
+			t.Fatalf("dedup schema diverged\n sequential: %s\n      dedup: %s", seqJSON, ddJSON)
+		}
+		if ddStats.Records != seqStats.Records {
+			t.Fatalf("dedup Records = %d, want %d", ddStats.Records, seqStats.Records)
+		}
+		if ddStats.DistinctTypes != seqStats.DistinctTypes {
+			t.Fatalf("dedup DistinctTypes = %d, want %d", ddStats.DistinctTypes, seqStats.DistinctTypes)
+		}
+
+		sdSchema, sdStats, sdErr := jsi.Infer(context.Background(), jsi.FromReader(bytes.NewReader(data)), jsi.Options{Dedup: true})
+		if sdErr != nil {
+			t.Fatalf("streaming dedup rejected input the default pipeline accepted: %v", sdErr)
+		}
+		sdJSON, err := sdSchema.MarshalJSON()
+		if err != nil {
+			t.Fatalf("marshal streaming dedup: %v", err)
+		}
+		if !bytes.Equal(seqJSON, sdJSON) {
+			t.Fatalf("streaming dedup schema diverged\n sequential: %s\n      dedup: %s", seqJSON, sdJSON)
+		}
+		if sdStats.Records != seqStats.Records || sdStats.DistinctTypes != seqStats.DistinctTypes {
+			t.Fatalf("streaming dedup stats diverged: %+v vs %+v", sdStats, seqStats)
+		}
 	})
 }

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/fusion"
 	"repro/internal/infer"
+	"repro/internal/intern"
 	"repro/internal/jsontext"
 	"repro/internal/mapreduce"
 	"repro/internal/obs"
@@ -68,6 +69,42 @@ type Options struct {
 	// faults into the map phase — the chaos-testing hook. Production
 	// callers leave it nil. See FaultInjector.
 	FaultInjector FaultInjector
+	// Dedup enables the hash-consed fast path: the map phase interns
+	// every inferred type in a shared table and emits a multiset of
+	// DISTINCT types per chunk (interned type → count) instead of one
+	// type per record, the combiner merges multisets by identity before
+	// fusing, and fusion runs through a memoized cache keyed by interned
+	// IDs, so each distinct pair of types fuses at most once per run.
+	// Real datasets collapse millions of records onto a handful of
+	// shapes (the paper's Tables 2-5 report tens of distinct types over
+	// millions of values), which is exactly what makes this fast.
+	//
+	// The resulting schema is byte-identical to the default path and the
+	// non-timing metrics are unchanged (both pinned by differential
+	// tests); Stats.DistinctTypes becomes EXACT on every Source —
+	// including the streaming and multi-file paths, where the default
+	// pipeline reports zero or a lower bound. With a Collector attached,
+	// the run additionally records intern_hits/intern_misses and the
+	// fuse/simplify cache counters (see docs/PERFORMANCE.md).
+	Dedup bool
+}
+
+// dedupState is the shared machinery of one deduplicating run: the
+// hash-consing table the decoders intern into and the memoized fusion
+// policy keyed by that table's IDs. One state spans all chunks, workers
+// and files of a single Infer call.
+type dedupState struct {
+	tab  *intern.Table
+	memo *fusion.Memo
+}
+
+// dedupState builds the shared dedup machinery, or nil when disabled.
+func (o Options) dedupState() *dedupState {
+	if !o.Dedup {
+		return nil
+	}
+	tab := intern.NewTable()
+	return &dedupState{tab: tab, memo: fusion.NewMemo(o.fusionOptions(), tab)}
 }
 
 // ErrorPolicy selects what Infer does when a chunk of input repeatedly
@@ -205,12 +242,15 @@ type Stats struct {
 	// Bytes is the number of input bytes consumed.
 	Bytes int64
 	// DistinctTypes is the number of distinct types the Map phase
-	// produced. It is exact for a single in-memory or single-file run,
-	// zero on the constant-memory streaming path (which cannot afford
-	// the bookkeeping), and only a LOWER BOUND when runs are merged
-	// (FromFiles, InferFiles, mergeStats): distinct counts cannot be
-	// combined without the underlying sets, so the merge keeps the
-	// per-partition maximum.
+	// produced. It is exact for a single in-memory or single-file run.
+	// On the default path it is zero for the constant-memory streaming
+	// path (which cannot afford the bookkeeping) and only a LOWER BOUND
+	// when runs are merged (FromFiles, InferFiles, mergeStats): distinct
+	// counts cannot be combined without the underlying sets, so the
+	// merge keeps the per-partition maximum. With Options.Dedup the
+	// count is EXACT on every Source — the hash-consing table IS the set
+	// of distinct types, and multisets merge by identity across chunks
+	// and files.
 	DistinctTypes int
 	// MinTypeSize, MaxTypeSize and AvgTypeSize describe the sizes of the
 	// per-value types; compare with Schema.Size to judge succinctness.
@@ -242,13 +282,28 @@ func Infer(ctx context.Context, src Source, opts Options) (*Schema, Stats, error
 		return nil, Stats{}, fmt.Errorf("%w: nil Source", ErrInvalidOptions)
 	}
 	rec, progress := opts.observer()
+	dd := opts.dedupState()
 	var t0 time.Time
 	if rec != nil {
 		t0 = time.Now()
 	}
-	schema, st, err := src.run(ctx, opts, rec, progress)
+	schema, st, err := src.run(ctx, opts, rec, progress, dd)
 	if err != nil {
 		return nil, Stats{}, err
+	}
+	if rec != nil && dd != nil {
+		// Cache effectiveness counters. Deterministic at Workers: 1 on a
+		// fault-free run; under concurrency or retries the hit/miss split
+		// can shift (double-computed entries, re-parsed chunks), which is
+		// why Metrics.WithoutCache exists.
+		hits, misses := dd.tab.Stats()
+		rec.Add("intern_hits", hits)
+		rec.Add("intern_misses", misses)
+		fh, fm, sh, sm := dd.memo.CacheStats()
+		rec.Add("fuse_cache_hits", fh)
+		rec.Add("fuse_cache_misses", fm)
+		rec.Add("simplify_cache_hits", sh)
+		rec.Add("simplify_cache_misses", sm)
 	}
 	if rec != nil {
 		wall := time.Since(t0)

@@ -86,6 +86,53 @@ func TestRetryByteIdenticalAcrossSchedules(t *testing.T) {
 	t.Logf("%d schedules, %d retried attempts, schema byte-identical throughout", schedules, totalRetries)
 }
 
+// TestRetryByteIdenticalWithDedup re-runs the retry acceptance
+// criterion with the hash-consed dedup pipeline: retried chunks
+// re-intern their types into the shared table and re-emit their
+// multisets, and neither may corrupt the result — schema bytes, record
+// counts AND the exact distinct-type count must match a fault-free
+// dedup reference across randomized schedules.
+func TestRetryByteIdenticalWithDedup(t *testing.T) {
+	data := testInput(t, "mixed", 400)
+	refSchema, refStats, err := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: 4, Dedup: true})
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	refJSON := schemaJSON(t, refSchema)
+	if refStats.DistinctTypes <= 0 {
+		t.Fatalf("reference DistinctTypes = %d, want > 0", refStats.DistinctTypes)
+	}
+
+	const schedules = 60
+	totalRetries := 0
+	for seed := int64(1); seed <= schedules; seed++ {
+		plan := chaos.DefaultPlan(seed)
+		opts := jsi.Options{
+			Workers:       4,
+			Dedup:         true,
+			Retries:       plan.MaxTransient,
+			FaultInjector: publicInjector(plan),
+		}
+		schema, st, err := jsi.Infer(context.Background(), jsi.FromBytes(data), opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := schemaJSON(t, schema); !bytes.Equal(got, refJSON) {
+			t.Fatalf("seed %d: dedup schema diverged under faults\n got: %s\nwant: %s", seed, got, refJSON)
+		}
+		if st.Records != refStats.Records {
+			t.Fatalf("seed %d: Records = %d, want %d (retries must not double-count multisets)", seed, st.Records, refStats.Records)
+		}
+		if st.DistinctTypes != refStats.DistinctTypes {
+			t.Fatalf("seed %d: DistinctTypes = %d, want %d", seed, st.DistinctTypes, refStats.DistinctTypes)
+		}
+		totalRetries += st.Retries
+	}
+	if totalRetries == 0 {
+		t.Fatalf("no retries across %d schedules: the plans injected nothing", schedules)
+	}
+}
+
 // pickPermanentPlan finds a deterministic plan that fails some but not
 // all of the first n tasks permanently, so a Skip run both quarantines
 // and completes with records.
@@ -146,6 +193,46 @@ func TestSkipQuarantinesPermanentChunks(t *testing.T) {
 	})
 	if !errors.Is(err, chaos.ErrInjectedPermanent) {
 		t.Errorf("OnErrorFail err = %v, want wrapped ErrInjectedPermanent", err)
+	}
+}
+
+// TestSkipDedupMatchesDefault: under OnErrorSkip with the same
+// permanent-fault schedule, the dedup pipeline must quarantine exactly
+// the same chunks and produce the same schema and surviving record
+// count as the default pipeline — a quarantined chunk's multiset is
+// dropped wholesale, never partially merged.
+func TestSkipDedupMatchesDefault(t *testing.T) {
+	data := testInput(t, "github", 400)
+	const workers = 4
+	plan := pickPermanentPlan(t, workers*4)
+
+	run := func(dedup bool) (*jsi.Schema, jsi.Stats) {
+		t.Helper()
+		s, st, err := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{
+			Workers:       workers,
+			Dedup:         dedup,
+			OnError:       jsi.OnErrorSkip,
+			FaultInjector: publicInjector(plan),
+		})
+		if err != nil {
+			t.Fatalf("skip run (dedup=%v): %v", dedup, err)
+		}
+		return s, st
+	}
+	defSchema, defStats := run(false)
+	ddSchema, ddStats := run(true)
+
+	if got, want := schemaJSON(t, ddSchema), schemaJSON(t, defSchema); !bytes.Equal(got, want) {
+		t.Errorf("dedup skip schema diverged\n got: %s\nwant: %s", got, want)
+	}
+	if ddStats.Records != defStats.Records {
+		t.Errorf("dedup skip Records = %d, want %d", ddStats.Records, defStats.Records)
+	}
+	if ddStats.QuarantinedChunks != defStats.QuarantinedChunks {
+		t.Errorf("dedup skip QuarantinedChunks = %d, want %d", ddStats.QuarantinedChunks, defStats.QuarantinedChunks)
+	}
+	if ddStats.DistinctTypes != defStats.DistinctTypes {
+		t.Errorf("dedup skip DistinctTypes = %d, want %d", ddStats.DistinctTypes, defStats.DistinctTypes)
 	}
 }
 

@@ -85,8 +85,18 @@ func FuseAllTree(ts []types.Type) types.Type {
 	}
 }
 
-// fuse implements Fuse under a policy.
+// fuse implements Fuse under a policy, routing through the memo cache
+// when one is installed (see Memo). All recursive fusion goes through
+// here, so sub-fusions are memoized too.
 func (p policy) fuse(t1, t2 types.Type) types.Type {
+	if p.memo != nil {
+		return p.memo.fuse(p, t1, t2)
+	}
+	return p.fuseDirect(t1, t2)
+}
+
+// fuseDirect implements Fuse under a policy, with no caching.
+func (p policy) fuseDirect(t1, t2 types.Type) types.Type {
 	g1 := p.groupByKind(t1)
 	g2 := p.groupByKind(t2)
 	out := make([]types.Type, 0, 6)
@@ -243,8 +253,17 @@ func (p policy) collapse(t *types.Tuple) types.Type {
 	return acc
 }
 
-// simplify rewrites array types into the policy's canonical form.
+// simplify rewrites array types into the policy's canonical form,
+// routing through the memo cache when one is installed.
 func (p policy) simplify(t types.Type) types.Type {
+	if p.memo != nil {
+		return p.memo.simplify(p, t)
+	}
+	return p.simplifyDirect(t)
+}
+
+// simplifyDirect implements simplify with no caching.
+func (p policy) simplifyDirect(t types.Type) types.Type {
 	switch tt := t.(type) {
 	case types.Basic, types.EmptyType:
 		return t

@@ -71,9 +71,12 @@ func (o Options) Simplify(t types.Type) types.Type {
 }
 
 // policy is the internal representation of Options: maxTuple == 0 means
-// the paper's always-simplify behaviour.
+// the paper's always-simplify behaviour. A non-nil memo routes fuse and
+// simplify through its caches (see memo.go); the zero policy is the
+// paper's direct algorithm.
 type policy struct {
 	maxTuple int
+	memo     *Memo
 }
 
 // keepTuple reports whether a tuple of length n stays positional.

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/intern"
 	"repro/internal/jsontext"
 	"repro/internal/types"
 	"repro/internal/value"
@@ -63,12 +64,41 @@ func Infer(v value.Value) types.Type {
 type Decoder struct {
 	lex  *jsontext.Lexer
 	opts jsontext.Options
+
+	// tab, when set, hash-conses every inferred node so Next returns the
+	// canonical representative of each distinct type (see SetInterner).
+	tab *intern.Table
+
+	// fieldScratch and elemScratch hold one reusable accumulator per
+	// nesting depth, so a record or array at depth d appends into the
+	// same backing array on every value of the stream instead of growing
+	// a fresh slice per composite value.
+	fieldScratch [][]types.Field
+	elemScratch  [][]types.Type
 }
 
-// NewDecoder returns a streaming type decoder for r.
+// NewDecoder returns a streaming type decoder for r. The decoder draws
+// its lexer from a pool; call Release when done with the stream to
+// recycle it (failing to is safe, just slower).
 func NewDecoder(r io.Reader, opts jsontext.Options) *Decoder {
-	return &Decoder{lex: jsontext.NewLexer(r), opts: opts}
+	return &Decoder{lex: jsontext.AcquireLexer(r), opts: opts}
 }
+
+// Release returns the decoder's pooled resources. The decoder must not
+// be used afterwards.
+func (d *Decoder) Release() {
+	if d.lex != nil {
+		d.lex.Release()
+		d.lex = nil
+	}
+}
+
+// SetInterner directs the decoder to canonicalize every inferred type
+// in tab: Next then returns hash-consed nodes, so callers can compare
+// types by identity (Table.Ref) and deduplicate repeated shapes without
+// walking them. Inference results are unchanged — the canonical node is
+// structurally equal to what the plain decoder would build.
+func (d *Decoder) SetInterner(tab *intern.Table) { d.tab = tab }
 
 // Next infers the type of the next top-level value in the stream. It
 // returns io.EOF at the end of the input.
@@ -119,9 +149,24 @@ func (d *Decoder) inferValue(tok jsontext.Token, depth int) (types.Type, error) 
 	}
 }
 
+// fieldsAt returns the (emptied) field accumulator for a nesting depth.
+func (d *Decoder) fieldsAt(depth int) []types.Field {
+	for len(d.fieldScratch) <= depth {
+		d.fieldScratch = append(d.fieldScratch, nil)
+	}
+	return d.fieldScratch[depth][:0]
+}
+
+// elemsAt returns the (emptied) element accumulator for a nesting depth.
+func (d *Decoder) elemsAt(depth int) []types.Type {
+	for len(d.elemScratch) <= depth {
+		d.elemScratch = append(d.elemScratch, nil)
+	}
+	return d.elemScratch[depth][:0]
+}
+
 func (d *Decoder) inferObject(depth int) (types.Type, error) {
-	var fields []types.Field
-	seen := make(map[string]bool)
+	fields := d.fieldsAt(depth)
 	first := true
 	for {
 		tok, err := d.lex.Next()
@@ -129,12 +174,16 @@ func (d *Decoder) inferObject(depth int) (types.Type, error) {
 			return nil, err
 		}
 		if first && tok.Kind == jsontext.TokEndObject {
+			if d.tab != nil {
+				return d.tab.InternRecord(nil), nil
+			}
 			return types.MustRecord(), nil
 		}
 		if !first {
 			switch tok.Kind {
 			case jsontext.TokEndObject:
-				return types.NewRecord(fields...)
+				d.fieldScratch[depth] = fields
+				return d.buildRecord(fields)
 			case jsontext.TokComma:
 				tok, err = d.lex.Next()
 				if err != nil {
@@ -149,10 +198,13 @@ func (d *Decoder) inferObject(depth int) (types.Type, error) {
 			return nil, d.syntaxErr(tok.Offset, "expected object key string, got %s", tok.Kind)
 		}
 		key := tok.Str
-		if seen[key] {
-			return nil, d.syntaxErr(tok.Offset, "duplicate object key %q", key)
+		// Objects have few keys in practice, so a linear scan of the
+		// accumulated fields beats allocating a per-object set.
+		for i := range fields {
+			if fields[i].Key == key {
+				return nil, d.syntaxErr(tok.Offset, "duplicate object key %q", key)
+			}
 		}
-		seen[key] = true
 		colon, err := d.lex.Next()
 		if err != nil {
 			return nil, err
@@ -172,8 +224,30 @@ func (d *Decoder) inferObject(depth int) (types.Type, error) {
 	}
 }
 
+// buildRecord turns accumulated (unique-keyed, parse-ordered) fields
+// into a record type. The interning path sorts in place — an insertion
+// sort, because objects are small and the keys of real datasets arrive
+// nearly sorted — and probes the table before building, so a repeated
+// record shape costs zero allocations. fields is scratch owned by the
+// caller; both paths copy out of it.
+func (d *Decoder) buildRecord(fields []types.Field) (types.Type, error) {
+	if d.tab == nil {
+		return types.NewRecord(fields...)
+	}
+	for i := 1; i < len(fields); i++ {
+		f := fields[i]
+		j := i - 1
+		for j >= 0 && fields[j].Key > f.Key {
+			fields[j+1] = fields[j]
+			j--
+		}
+		fields[j+1] = f
+	}
+	return d.tab.InternRecord(fields), nil
+}
+
 func (d *Decoder) inferArray(depth int) (types.Type, error) {
-	var elems []types.Type
+	elems := d.elemsAt(depth)
 	first := true
 	for {
 		tok, err := d.lex.Next()
@@ -181,11 +255,17 @@ func (d *Decoder) inferArray(depth int) (types.Type, error) {
 			return nil, err
 		}
 		if first && tok.Kind == jsontext.TokEndArray {
+			// EmptyTuple is one shared node, pre-seeded in every table, so
+			// both paths return the canonical representative.
 			return types.EmptyTuple, nil
 		}
 		if !first {
 			switch tok.Kind {
 			case jsontext.TokEndArray:
+				d.elemScratch[depth] = elems
+				if d.tab != nil {
+					return d.tab.InternTuple(elems), nil
+				}
 				return types.NewTuple(elems...)
 			case jsontext.TokComma:
 				tok, err = d.lex.Next()
@@ -209,6 +289,7 @@ func (d *Decoder) inferArray(depth int) (types.Type, error) {
 func InferAll(data []byte) ([]types.Type, error) {
 	var ts []types.Type
 	d := NewDecoder(bytes.NewReader(data), jsontext.Options{})
+	defer d.Release()
 	for {
 		t, err := d.Next()
 		if err == io.EOF {
@@ -218,5 +299,34 @@ func InferAll(data []byte) ([]types.Type, error) {
 			return nil, err
 		}
 		ts = append(ts, t)
+	}
+}
+
+// DedupAll infers the types of all top-level JSON values in data as a
+// multiset over tab: one entry per distinct type with its occurrence
+// count. This is the deduplicating map phase — a chunk of n records
+// reduces to its distinct shapes, and the fold over those shapes yields
+// exactly the same fused type as folding all n per-record types, because
+// fusion is commutative, associative and idempotent.
+func DedupAll(data []byte, tab *intern.Table) (*intern.Multiset, error) {
+	ms := intern.NewMultiset()
+	d := NewDecoder(bytes.NewReader(data), jsontext.Options{})
+	defer d.Release()
+	d.SetInterner(tab)
+	for {
+		t, err := d.Next()
+		if err == io.EOF {
+			return ms, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		ref, ok := tab.Ref(t)
+		if !ok {
+			// Unreachable under the interner invariant, but keep the
+			// multiset sound if it ever breaks.
+			ref, _ = tab.Ref(tab.Canon(t))
+		}
+		ms.Add(ref, 1)
 	}
 }

@@ -1,0 +1,66 @@
+package jsontext_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/jsontext"
+)
+
+// benchData renders a realistic NDJSON buffer: the twitter generator has
+// the key-repetition profile the lexer's string cache targets (the same
+// few dozen keys on every record).
+func benchData(b *testing.B) []byte {
+	b.Helper()
+	g, err := dataset.New("twitter")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dataset.NDJSON(g, 1000, 1)
+}
+
+// BenchmarkLexNDJSON drains the token stream of a realistic NDJSON
+// buffer. Allocations per op are dominated by string tokens; the
+// lexer-level string cache exists to flatten exactly this number.
+func BenchmarkLexNDJSON(b *testing.B) {
+	data := benchData(b)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lex := jsontext.NewLexer(bytes.NewReader(data))
+		for {
+			tok, err := lex.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if tok.Kind == jsontext.TokEOF {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkLexNDJSONPooled is BenchmarkLexNDJSON through the lexer pool:
+// the per-chunk cost the map phase pays, with the bufio buffer, scratch
+// and string cache carried over between chunks.
+func BenchmarkLexNDJSONPooled(b *testing.B) {
+	data := benchData(b)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lex := jsontext.AcquireLexer(bytes.NewReader(data))
+		for {
+			tok, err := lex.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if tok.Kind == jsontext.TokEOF {
+				break
+			}
+		}
+		lex.Release()
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"sync"
 	"unicode/utf16"
 	"unicode/utf8"
 )
@@ -97,11 +98,57 @@ type Lexer struct {
 	// strBuf is reused across string tokens to avoid per-token
 	// allocations when strings contain escapes.
 	strBuf []byte
+	// strCache interns short string tokens: NDJSON repeats the same few
+	// record keys (and enum-like values) on every line, so after the
+	// first occurrence a repeated string costs zero allocations — the
+	// map lookup keyed by string(buf) does not copy. The cache stops
+	// growing at maxCachedStrs and survives Reset, so pooled lexers
+	// share hot keys across the chunks of a whole run.
+	strCache map[string]string
 }
+
+// String-cache bounds: values longer than maxCachedStrLen are almost
+// certainly payload (tweet texts, URLs), not keys, and a full cache
+// keeps serving its existing entries without admitting new ones.
+const (
+	maxCachedStrLen = 64
+	maxCachedStrs   = 4096
+)
 
 // NewLexer returns a lexer reading from r.
 func NewLexer(r io.Reader) *Lexer {
 	return &Lexer{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// lexerPool recycles lexers — each carries a 64 KiB bufio buffer, the
+// string scratch and the string cache, which is exactly the per-chunk
+// state worth keeping warm across map tasks.
+var lexerPool = sync.Pool{
+	New: func() any { return &Lexer{r: bufio.NewReaderSize(nil, 64<<10)} },
+}
+
+// AcquireLexer returns a pooled lexer reading from r. Release it when
+// the stream is fully consumed; an un-released lexer is simply garbage
+// collected.
+func AcquireLexer(r io.Reader) *Lexer {
+	l := lexerPool.Get().(*Lexer)
+	l.Reset(r)
+	return l
+}
+
+// Release returns the lexer to the pool. The caller must not use the
+// lexer afterwards.
+func (l *Lexer) Release() {
+	// Drop the stream reference so the pool does not pin it.
+	l.r.Reset(nil)
+	lexerPool.Put(l)
+}
+
+// Reset redirects the lexer to a new stream, keeping the buffer, the
+// scratch and the string cache.
+func (l *Lexer) Reset(r io.Reader) {
+	l.r.Reset(r)
+	l.offset = 0
 }
 
 // Offset returns the number of bytes consumed so far.
@@ -236,7 +283,7 @@ func (l *Lexer) scanString(start int64) (string, error) {
 				buf = clean
 			}
 			l.strBuf = buf
-			return string(buf), nil
+			return l.internString(buf), nil
 		case b == '\\':
 			esc, err := l.readByte()
 			if err != nil {
@@ -285,6 +332,26 @@ func (l *Lexer) scanString(start int64) (string, error) {
 			buf = append(buf, b)
 		}
 	}
+}
+
+// internString materializes a string token, serving repeats of short
+// strings from the cache. The map lookup keyed by string(buf) compiles
+// to a no-copy probe, so a cache hit allocates nothing.
+func (l *Lexer) internString(buf []byte) string {
+	if len(buf) > maxCachedStrLen {
+		return string(buf)
+	}
+	if s, ok := l.strCache[string(buf)]; ok {
+		return s
+	}
+	s := string(buf)
+	if l.strCache == nil {
+		l.strCache = make(map[string]string, 64)
+	}
+	if len(l.strCache) < maxCachedStrs {
+		l.strCache[s] = s
+	}
+	return s
 }
 
 // scanHex4 reads four hex digits of a \u escape.

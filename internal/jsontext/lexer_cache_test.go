@@ -1,0 +1,135 @@
+package jsontext
+
+import (
+	"strings"
+	"testing"
+)
+
+// drainStrings lexes src and returns every string token value.
+func drainStrings(t *testing.T, l *Lexer) []string {
+	t.Helper()
+	var out []string
+	for {
+		tok, err := l.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if tok.Kind == TokEOF {
+			return out
+		}
+		if tok.Kind == TokStr {
+			out = append(out, tok.Str)
+		}
+	}
+}
+
+// TestStringCacheCorrectness: interning must never change token VALUES,
+// only their allocation — including escaped forms that decode to a
+// previously cached literal, and invalid UTF-8 that is repaired first.
+func TestStringCacheCorrectness(t *testing.T) {
+	src := `["key", "key", "key", "é\t", "é\t", "long` + strings.Repeat("x", 100) + `", "𝄞", "` + "\xff" + `", "` + "\xff" + `"]`
+	l := NewLexer(strings.NewReader(src))
+	got := drainStrings(t, l)
+	want := []string{
+		"key", "key", "key",
+		"é\t", "é\t",
+		"long" + strings.Repeat("x", 100),
+		"\U0001d11e",
+		"�", "�",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d strings, want %d: %q", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("string %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestStringCacheSharesRepeats: the second occurrence of a short string
+// is served from the cache, so the header of both string values is the
+// same allocation. (Strings are immutable; identity is observable via
+// unsafe-free comparison of successive cache returns.)
+func TestStringCacheSharesRepeats(t *testing.T) {
+	l := NewLexer(strings.NewReader(`["dup", "dup", "dup"]`))
+	got := drainStrings(t, l)
+	if len(got) != 3 {
+		t.Fatalf("want 3 strings, got %d", len(got))
+	}
+	// The cache returns the identical string header for repeats; compare
+	// via the map the lexer itself exposes.
+	if s, ok := l.strCache["dup"]; !ok || s != "dup" {
+		t.Fatalf("cache did not retain %q", "dup")
+	}
+}
+
+// TestStringCacheBounds: strings over maxCachedStrLen stay out, and a
+// full cache serves existing entries but admits no new ones.
+func TestStringCacheBounds(t *testing.T) {
+	long := strings.Repeat("a", maxCachedStrLen+1)
+	l := NewLexer(strings.NewReader(`"` + long + `"`))
+	if got := drainStrings(t, l); len(got) != 1 || got[0] != long {
+		t.Fatalf("long string mangled")
+	}
+	if _, ok := l.strCache[long]; ok {
+		t.Fatal("over-length string was cached")
+	}
+
+	full := &Lexer{strCache: make(map[string]string, maxCachedStrs)}
+	for i := 0; i < maxCachedStrs; i++ {
+		s := "k" + strings.Repeat("x", i%8) + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26))
+		full.strCache[s] = s
+	}
+	n := len(full.strCache)
+	if got := full.internString([]byte("fresh-entry")); got != "fresh-entry" {
+		t.Fatalf("internString returned %q", got)
+	}
+	if len(full.strCache) > n {
+		t.Fatal("full cache admitted a new entry")
+	}
+}
+
+// TestLexerPoolReuse: Acquire/Release/Acquire keeps the string cache
+// warm and resets offsets, so pooled reuse is indistinguishable from a
+// fresh lexer apart from allocation count.
+func TestLexerPoolReuse(t *testing.T) {
+	l1 := AcquireLexer(strings.NewReader(`{"alpha": 1}`))
+	for {
+		tok, err := l1.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tok.Kind == TokEOF {
+			break
+		}
+	}
+	if l1.Offset() == 0 {
+		t.Fatal("offset not advanced")
+	}
+	l1.Release()
+
+	// The pool is shared; the recycled lexer must start at offset 0 and
+	// still produce correct tokens whether or not we got l1 back.
+	l2 := AcquireLexer(strings.NewReader(`{"alpha": 2}`))
+	defer l2.Release()
+	if l2.Offset() != 0 {
+		t.Fatal("pooled lexer did not reset offset")
+	}
+	var keys []string
+	for {
+		tok, err := l2.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tok.Kind == TokEOF {
+			break
+		}
+		if tok.Kind == TokStr {
+			keys = append(keys, tok.Str)
+		}
+	}
+	if len(keys) != 1 || keys[0] != "alpha" {
+		t.Fatalf("pooled lexer tokens wrong: %q", keys)
+	}
+}

@@ -162,6 +162,46 @@ func (m Metrics) WithoutFaults() Metrics {
 	return out
 }
 
+// IsCacheMetric reports whether the named metric counts cache
+// effectiveness rather than work done: the intern-table counters
+// (intern_hits, intern_misses) and the fuse/simplify cache counters
+// (fuse_cache_hits, simplify_cache_misses, ...). These are exact only
+// on a single-worker fault-free run — concurrent workers can race to
+// compute the same entry (shifting the hit/miss split) and retried
+// chunks re-intern their types — so determinism comparisons strip them
+// via WithoutCache.
+func IsCacheMetric(name string) bool {
+	return strings.HasPrefix(name, "intern_") || strings.Contains(name, "_cache_")
+}
+
+// WithoutCache returns a copy of the snapshot with every
+// cache-effectiveness metric removed (see IsCacheMetric). Composed with
+// WithoutTimings, what remains must be identical between a dedup run
+// and a default run over the same input.
+func (m Metrics) WithoutCache() Metrics {
+	out := Metrics{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for name, v := range m.Counters {
+		if !IsCacheMetric(name) {
+			out.Counters[name] = v
+		}
+	}
+	for name, v := range m.Gauges {
+		if !IsCacheMetric(name) {
+			out.Gauges[name] = v
+		}
+	}
+	for name, h := range m.Histograms {
+		if !IsCacheMetric(name) {
+			out.Histograms[name] = cloneHistogram(h)
+		}
+	}
+	return out
+}
+
 // IsTimingMetric reports whether the named metric depends on host
 // timing rather than on the input alone: by convention such names end
 // in _ns (durations), _permille (time-derived ratios) or _per_sec

@@ -122,6 +122,18 @@ func (m Metrics) WithoutFaults() Metrics {
 	return metricsFromObs(m.toObs().WithoutFaults())
 }
 
+// WithoutCache returns a copy with every cache-effectiveness metric
+// (intern_hits/intern_misses and the fuse/simplify cache counters of
+// Options.Dedup) removed. Those counters are exact on a single-worker
+// fault-free run but shift under concurrency (racing workers may
+// double-compute an entry) and under retries (re-parsed chunks
+// re-intern their types); composed with WithoutTimings, what remains
+// is identical between a dedup run and a default run over the same
+// input — the invariant the differential tests assert.
+func (m Metrics) WithoutCache() Metrics {
+	return metricsFromObs(m.toObs().WithoutCache())
+}
+
 // MarshalJSON renders the snapshot deterministically: map keys sort
 // and buckets are stored in ascending bound order.
 func (m Metrics) MarshalJSON() ([]byte, error) {

@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"repro/internal/infer"
+	"repro/internal/intern"
 	"repro/internal/jsontext"
 	"repro/internal/mapreduce"
 	"repro/internal/obs"
@@ -23,8 +24,9 @@ import (
 // one entry point.
 type Source interface {
 	// run executes the pipeline over this input. rec may be nil (record
-	// nothing); progress may be nil (report nothing).
-	run(ctx context.Context, opts Options, rec obs.Recorder, progress func()) (*Schema, Stats, error)
+	// nothing); progress may be nil (report nothing); dd may be nil (the
+	// default, non-deduplicating path).
+	run(ctx context.Context, opts Options, rec obs.Recorder, progress func(), dd *dedupState) (*Schema, Stats, error)
 }
 
 // FromBytes is an in-memory NDJSON buffer (one or more
@@ -36,8 +38,9 @@ func FromBytes(data []byte) Source { return bytesSource{data: data} }
 // FromReader is a stream of JSON values processed with constant
 // memory: values are typed and fused one at a time, never materialized
 // as a whole. Use it for inputs too large to buffer; note that
-// Stats.DistinctTypes is unavailable (zero) on this path. The reader
-// is consumed until EOF or error.
+// Stats.DistinctTypes is unavailable (zero) on this path unless
+// Options.Dedup is set, in which case it is exact. The reader is
+// consumed until EOF or error.
 func FromReader(r io.Reader) Source { return readerSource{r: r} }
 
 // FromFile is one NDJSON file processed with bounded memory: the file
@@ -50,15 +53,19 @@ func FromFile(path string) Source { return filesSource{paths: []string{path}} }
 // runs through the same bounded-memory chunked pipeline as FromFile
 // and the per-file schemas are fused, which by associativity equals
 // inferring the concatenation. Stats from multiple files are merged
-// with mergeStats, so Stats.DistinctTypes is only a lower bound.
+// with mergeStats, so Stats.DistinctTypes is only a lower bound —
+// unless Options.Dedup is set, which merges the per-file multisets by
+// identity and makes the count exact.
 func FromFiles(paths ...string) Source {
 	return filesSource{paths: append([]string(nil), paths...)}
 }
 
 // chunkOut is the map output for one NDJSON chunk: the measurements
-// and the chunk's fused type.
+// and the chunk's fused type. Exactly one of sum (default path) and ms
+// (dedup path) is set; the zero chunkOut is the fold identity of both.
 type chunkOut struct {
 	sum   *stats.Summary
+	ms    *intern.Multiset
 	fused types.Type
 }
 
@@ -77,7 +84,7 @@ func (e feedError) Unwrap() error { return e.err }
 // block; it is always unblocked promptly — emit fails once the
 // pipeline stops (error or ctx cancellation), so feed's producer
 // goroutine can never leak.
-func runChunkPipeline(ctx context.Context, opts Options, rec obs.Recorder, progress func(), feed func(emit func([]byte) error) error) (chunkOut, mapreduce.Stats, error) {
+func runChunkPipeline(ctx context.Context, opts Options, rec obs.Recorder, progress func(), dd *dedupState, feed func(emit func([]byte) error) error) (chunkOut, mapreduce.Stats, error) {
 	fz := opts.fusionOptions()
 	pol, inj := opts.failureConfig()
 	runCtx, cancel := context.WithCancel(ctx)
@@ -110,18 +117,7 @@ func runChunkPipeline(ctx context.Context, opts Options, rec obs.Recorder, progr
 			sum.Add(t)
 			acc = fz.Fuse(acc, fz.Simplify(t))
 		}
-		if rec != nil {
-			rec.Add("infer_chunks", 1)
-			rec.Add("infer_records", int64(len(ts)))
-			rec.Add("infer_bytes", int64(len(chunk)))
-			rec.Observe("infer_chunk_records", int64(len(ts)))
-			// Per-chunk fused sizes are the fusion-growth curve: how
-			// far each partition's types collapse before the reduce.
-			rec.Observe("infer_chunk_fused_size", int64(acc.Size()))
-		}
-		if progress != nil {
-			progress()
-		}
+		recordChunk(rec, progress, int64(len(ts)), int64(len(chunk)), acc)
 		return chunkOut{sum: sum, fused: acc}, nil
 	}
 	combine := func(a, b chunkOut) chunkOut {
@@ -133,6 +129,27 @@ func runChunkPipeline(ctx context.Context, opts Options, rec obs.Recorder, progr
 		}
 		a.sum.Merge(b.sum)
 		return chunkOut{sum: a.sum, fused: fz.Fuse(a.fused, b.fused)}
+	}
+	if dd != nil {
+		// The dedup map task types a chunk into a multiset of distinct
+		// interned types and folds the DISTINCT types once each, in
+		// first-seen order. By commutativity, associativity and
+		// idempotency of fusion on simplified types, this equals folding
+		// all per-record types — the chunk metrics (record counts, fused
+		// size) are therefore identical to the default path's.
+		mapFn = func(_ context.Context, chunk []byte) (chunkOut, error) {
+			ms, err := infer.DedupAll(chunk, dd.tab)
+			if err != nil {
+				return chunkOut{}, err
+			}
+			acc := types.Type(types.Empty)
+			for _, e := range ms.Elems() {
+				acc = dd.memo.Fuse(acc, dd.memo.Simplify(e.Type))
+			}
+			recordChunk(rec, progress, ms.Total(), int64(len(chunk)), acc)
+			return chunkOut{ms: ms, fused: acc}, nil
+		}
+		combine = func(a, b chunkOut) chunkOut { return dedupCombine(dd, a, b) }
 	}
 
 	out, mrst, err := mapreduce.Run(runCtx, src, mapFn, combine, chunkOut{}, mapreduce.Config{Workers: opts.Workers, Recorder: rec, Failure: pol, Injector: inj})
@@ -150,6 +167,38 @@ func runChunkPipeline(ctx context.Context, opts Options, rec obs.Recorder, progr
 	return out, mrst, nil
 }
 
+// recordChunk emits the per-chunk metrics and progress tick shared by
+// the default and dedup map tasks.
+func recordChunk(rec obs.Recorder, progress func(), records, bytes int64, fused types.Type) {
+	if rec != nil {
+		rec.Add("infer_chunks", 1)
+		rec.Add("infer_records", records)
+		rec.Add("infer_bytes", bytes)
+		rec.Observe("infer_chunk_records", records)
+		// Per-chunk fused sizes are the fusion-growth curve: how
+		// far each partition's types collapse before the reduce.
+		rec.Observe("infer_chunk_fused_size", int64(fused.Size()))
+	}
+	if progress != nil {
+		progress()
+	}
+}
+
+// dedupCombine merges two dedup chunk outputs: multisets merge by
+// interned identity (counts add), fused types fuse through the memo.
+// Associative and commutative with the zero chunkOut as identity, like
+// the default combiner.
+func dedupCombine(dd *dedupState, a, b chunkOut) chunkOut {
+	if a.ms == nil {
+		return b
+	}
+	if b.ms == nil {
+		return a
+	}
+	a.ms.Merge(b.ms)
+	return chunkOut{ms: a.ms, fused: dd.memo.Fuse(a.fused, b.fused)}
+}
+
 // summaryStats translates a pipeline summary into the public Stats.
 func summaryStats(out chunkOut) (Stats, *Schema) {
 	if out.sum == nil {
@@ -164,12 +213,40 @@ func summaryStats(out chunkOut) (Stats, *Schema) {
 	}, newSchema(out.fused)
 }
 
+// multisetStats is summaryStats for the dedup path: the same numbers,
+// recovered from the distinct-type multiset. The sum of sizes is
+// accumulated in an int64 exactly like stats.Summary does (sizes and
+// counts stay far below 2^53), so AvgTypeSize is bit-identical to the
+// per-record accumulation of the default path.
+func multisetStats(out chunkOut) (Stats, *Schema) {
+	if out.ms == nil {
+		return Stats{}, EmptySchema()
+	}
+	var st Stats
+	var sumSize int64
+	for i, e := range out.ms.Elems() {
+		if i == 0 || e.Size < st.MinTypeSize {
+			st.MinTypeSize = e.Size
+		}
+		if e.Size > st.MaxTypeSize {
+			st.MaxTypeSize = e.Size
+		}
+		sumSize += int64(e.Size) * e.Count
+		st.Records += e.Count
+	}
+	st.DistinctTypes = out.ms.Len()
+	if st.Records > 0 {
+		st.AvgTypeSize = float64(sumSize) / float64(st.Records)
+	}
+	return st, newSchema(out.fused)
+}
+
 // bytesSource implements FromBytes.
 type bytesSource struct{ data []byte }
 
-func (s bytesSource) run(ctx context.Context, opts Options, rec obs.Recorder, progress func()) (*Schema, Stats, error) {
+func (s bytesSource) run(ctx context.Context, opts Options, rec obs.Recorder, progress func(), dd *dedupState) (*Schema, Stats, error) {
 	chunks := jsontext.SplitLines(s.data, opts.workers()*4)
-	out, mrst, err := runChunkPipeline(ctx, opts, rec, progress, func(emit func([]byte) error) error {
+	out, mrst, err := runChunkPipeline(ctx, opts, rec, progress, dd, func(emit func([]byte) error) error {
 		for _, chunk := range chunks {
 			if err := emit(chunk); err != nil {
 				return nil // the pipeline stopped; it carries the error
@@ -181,6 +258,9 @@ func (s bytesSource) run(ctx context.Context, opts Options, rec obs.Recorder, pr
 		return nil, Stats{}, fmt.Errorf("jsoninference: %w", err)
 	}
 	st, schema := summaryStats(out)
+	if dd != nil {
+		st, schema = multisetStats(out)
+	}
 	st.Bytes = int64(len(s.data))
 	st.Retries = mrst.Retries
 	st.QuarantinedChunks = len(mrst.Quarantined)
@@ -190,9 +270,15 @@ func (s bytesSource) run(ctx context.Context, opts Options, rec obs.Recorder, pr
 // readerSource implements FromReader.
 type readerSource struct{ r io.Reader }
 
-func (s readerSource) run(ctx context.Context, opts Options, rec obs.Recorder, progress func()) (*Schema, Stats, error) {
+func (s readerSource) run(ctx context.Context, opts Options, rec obs.Recorder, progress func(), dd *dedupState) (*Schema, Stats, error) {
 	dec := infer.NewDecoder(s.r, jsontext.Options{MaxDepth: opts.MaxDepth})
+	defer dec.Release()
 	fz := opts.fusionOptions()
+	var ms *intern.Multiset
+	if dd != nil {
+		dec.SetInterner(dd.tab)
+		ms = intern.NewMultiset()
+	}
 	acc := types.Type(types.Empty)
 	var st Stats
 	for {
@@ -208,7 +294,24 @@ func (s readerSource) run(ctx context.Context, opts Options, rec obs.Recorder, p
 		if err != nil {
 			return nil, Stats{}, fmt.Errorf("jsoninference: record %d: %w", st.Records+1, err)
 		}
-		size := t.Size()
+		var size int
+		if dd != nil {
+			ref, ok := dd.tab.Ref(t)
+			if !ok {
+				ref, _ = dd.tab.Ref(dd.tab.Canon(t))
+			}
+			size = ref.Size
+			// Absorption — fuse(fuse(A, s), s) = fuse(A, s) for the
+			// simplified s of an already-seen type — lets the streaming
+			// path skip both the Simplify and the Fuse for repeats.
+			if !ms.Contains(ref.ID) {
+				acc = dd.memo.Fuse(acc, dd.memo.Simplify(t))
+			}
+			ms.Add(ref, 1)
+		} else {
+			size = t.Size()
+			acc = fz.Fuse(acc, fz.Simplify(t))
+		}
 		if st.Records == 0 || size < st.MinTypeSize {
 			st.MinTypeSize = size
 		}
@@ -217,7 +320,6 @@ func (s readerSource) run(ctx context.Context, opts Options, rec obs.Recorder, p
 		}
 		st.AvgTypeSize += float64(size)
 		st.Records++
-		acc = fz.Fuse(acc, fz.Simplify(t))
 		if rec != nil {
 			rec.Add("infer_records", 1)
 		}
@@ -232,8 +334,12 @@ func (s readerSource) run(ctx context.Context, opts Options, rec obs.Recorder, p
 	if rec != nil {
 		rec.Add("infer_bytes", st.Bytes)
 	}
-	// Streaming keeps constant memory, so it cannot count distinct
-	// types; DistinctTypes stays zero here.
+	// Streaming keeps constant memory, so the default path cannot count
+	// distinct types and DistinctTypes stays zero; the dedup path gets
+	// the count for free from the intern table.
+	if dd != nil {
+		st.DistinctTypes = ms.Len()
+	}
 	return newSchema(acc), st, nil
 }
 
@@ -246,47 +352,76 @@ type filesSource struct {
 	paths []string
 }
 
-func (s filesSource) run(ctx context.Context, opts Options, rec obs.Recorder, progress func()) (*Schema, Stats, error) {
+func (s filesSource) run(ctx context.Context, opts Options, rec obs.Recorder, progress func(), dd *dedupState) (*Schema, Stats, error) {
+	if dd != nil {
+		// One table and one memo span all files, so per-file multisets
+		// merge by identity: cross-file distinct counts are exact and the
+		// cross-file fusion is memoized like any other.
+		merged := chunkOut{}
+		var io Stats
+		for _, path := range s.paths {
+			out, pst, err := s.runOne(ctx, path, opts, rec, progress, dd)
+			if err != nil {
+				return nil, Stats{}, err
+			}
+			merged = dedupCombine(dd, merged, out)
+			io.Bytes += pst.Bytes
+			io.Retries += pst.Retries
+			io.QuarantinedChunks += pst.QuarantinedChunks
+		}
+		st, schema := multisetStats(merged)
+		st.Bytes, st.Retries, st.QuarantinedChunks = io.Bytes, io.Retries, io.QuarantinedChunks
+		return schema, st, nil
+	}
+	fz := opts.fusionOptions()
 	acc := EmptySchema()
 	var total Stats
 	for i, path := range s.paths {
-		schema, st, err := s.runOne(ctx, path, opts, rec, progress)
+		out, pst, err := s.runOne(ctx, path, opts, rec, progress, dd)
 		if err != nil {
 			return nil, Stats{}, err
 		}
+		st, schema := summaryStats(out)
+		st.Bytes, st.Retries, st.QuarantinedChunks = pst.Bytes, pst.Retries, pst.QuarantinedChunks
 		if i == 0 {
 			acc, total = schema, st
 			continue
 		}
-		acc = acc.Fuse(schema)
+		// Fuse under the run's policy (not the zero policy), so the
+		// cross-file reduce preserves tuples exactly like the in-file
+		// reduce does.
+		acc = newSchema(fz.Fuse(acc.t, schema.t))
 		total = mergeStats(total, st)
 	}
 	return acc, total, nil
 }
 
-func (s filesSource) runOne(ctx context.Context, path string, opts Options, rec obs.Recorder, progress func()) (*Schema, Stats, error) {
+// runOne runs the chunked pipeline over one file. The returned Stats
+// carries only the I/O-side numbers (Bytes, Retries, QuarantinedChunks);
+// the caller derives the type-level stats from the chunkOut.
+func (s filesSource) runOne(ctx context.Context, path string, opts Options, rec obs.Recorder, progress func(), dd *dedupState) (chunkOut, Stats, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, Stats{}, fmt.Errorf("jsoninference: %w", err)
+		return chunkOut{}, Stats{}, fmt.Errorf("jsoninference: %w", err)
 	}
 	//lint:ignore droppederr the file is only read; a close error cannot lose data
 	defer f.Close()
 
-	out, mrst, err := runChunkPipeline(ctx, opts, rec, progress, func(emit func([]byte) error) error {
+	out, mrst, err := runChunkPipeline(ctx, opts, rec, progress, dd, func(emit func([]byte) error) error {
 		return jsontext.ChunkLines(f, opts.ChunkBytes, emit)
 	})
 	if err != nil {
 		var fe feedError
 		if errors.As(err, &fe) {
-			return nil, Stats{}, fmt.Errorf("jsoninference: reading %s: %w", path, fe.err)
+			return chunkOut{}, Stats{}, fmt.Errorf("jsoninference: reading %s: %w", path, fe.err)
 		}
-		return nil, Stats{}, fmt.Errorf("jsoninference: %s: %w", path, err)
+		return chunkOut{}, Stats{}, fmt.Errorf("jsoninference: %s: %w", path, err)
 	}
-	st, schema := summaryStats(out)
+	var st Stats
 	if info, err := f.Stat(); err == nil {
 		st.Bytes = info.Size()
 	}
 	st.Retries = mrst.Retries
 	st.QuarantinedChunks = len(mrst.Quarantined)
-	return schema, st, nil
+	return out, st, nil
 }
