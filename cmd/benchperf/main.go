@@ -10,9 +10,16 @@
 // measured on the same workload); docs/PERFORMANCE.md explains how to
 // read the report.
 //
+// The report also pins the refactor cost of the unified
+// internal/pipeline engine: -prev (default BENCH_perf.json, i.e. the
+// committed artifact when run from the repo root) supplies the previous
+// report, and pipeline_overhead_pct records how far this run's twitter
+// dedup ns/op sits above it. The budget is 5%; a missing or unreadable
+// -prev file skips the comparison so fresh checkouts still work.
+//
 // Usage:
 //
-//	benchperf [-records 10000] [-baseline BENCH_obs.json] [-o BENCH_perf.json]
+//	benchperf [-records 10000] [-baseline BENCH_obs.json] [-prev BENCH_perf.json] [-o BENCH_perf.json]
 package main
 
 import (
@@ -74,6 +81,14 @@ type Report struct {
 	// in-run). The acceptance floors are 25 and 40.
 	HeadlineNsImprovementPct   *float64 `json:"headline_ns_improvement_pct,omitempty"`
 	HeadlineAllocsReductionPct float64  `json:"headline_allocs_reduction_pct"`
+	// PrevDedupNsPerOp is the twitter dedup ns/op read from the previous
+	// report (-prev) — the committed fast-path measurement predating this
+	// run. PipelineOverheadPct is how far this run's twitter dedup ns/op
+	// sits above it: the cost of routing every entry point through the
+	// unified internal/pipeline engine (positive = regression, budget 5%).
+	// Both are omitted when no previous report is available.
+	PrevDedupNsPerOp    int64    `json:"prev_dedup_ns_per_op,omitempty"`
+	PipelineOverheadPct *float64 `json:"pipeline_overhead_pct,omitempty"`
 }
 
 // obsBaseline is the slice of BENCH_obs.json benchperf reads.
@@ -88,6 +103,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// seed 1) so the committed baseline compares like for like.
 	records := fs.Int("records", 10_000, "records in each synthetic benchmark dataset")
 	baseline := fs.String("baseline", "", "BENCH_obs.json to read the pre-dedup ns/op baseline from (empty = skip)")
+	prev := fs.String("prev", "BENCH_perf.json", "previous BENCH_perf.json for the pipeline_overhead_pct headline (missing or empty = skip)")
 	outPath := fs.String("o", "", "write the JSON report to this file instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,6 +121,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		rep.BaselineNsPerOp = obs.NilRecorderNsPerOp
 	}
+	prevNs := prevDedupNsPerOp(*prev)
 
 	for _, name := range dataset.PaperNames() {
 		g, err := dataset.New(name)
@@ -135,6 +152,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 				p := pctBelow(res.Dedup.NsPerOp, rep.BaselineNsPerOp)
 				rep.HeadlineNsImprovementPct = &p
 			}
+			if prevNs > 0 {
+				rep.PrevDedupNsPerOp = prevNs
+				p := -pctBelow(res.Dedup.NsPerOp, prevNs)
+				rep.PipelineOverheadPct = &p
+			}
 		}
 	}
 
@@ -148,6 +170,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	return os.WriteFile(*outPath, enc, 0o644)
+}
+
+// prevDedupNsPerOp reads the twitter dedup ns/op out of a previous
+// report, or 0 when the path is empty, missing or not a report — the
+// comparison is best-effort so fresh checkouts and ad-hoc runs work.
+func prevDedupNsPerOp(path string) int64 {
+	if path == "" {
+		return 0
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	var old Report
+	if json.Unmarshal(raw, &old) != nil {
+		return 0
+	}
+	for _, d := range old.Datasets {
+		if d.Dataset == "twitter" {
+			return d.Dedup.NsPerOp
+		}
+	}
+	return 0
 }
 
 // measure benchmarks InferNDJSON over data with the given options.

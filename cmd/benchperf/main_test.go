@@ -14,9 +14,14 @@ func TestReportShape(t *testing.T) {
 	if err := os.WriteFile(base, []byte(`{"nil_recorder_ns_per_op": 123456}`), 0o600); err != nil {
 		t.Fatal(err)
 	}
+	prev := filepath.Join(dir, "BENCH_perf.json")
+	prevRep := `{"datasets":[{"dataset":"twitter","dedup":{"ns_per_op":1000000}}]}`
+	if err := os.WriteFile(prev, []byte(prevRep), 0o600); err != nil {
+		t.Fatal(err)
+	}
 	var out, errBuf bytes.Buffer
 	// Tiny dataset: the point is the report shape, not the numbers.
-	if err := run([]string{"-records", "50", "-baseline", base}, &out, &errBuf); err != nil {
+	if err := run([]string{"-records", "50", "-baseline", base, "-prev", prev}, &out, &errBuf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -48,6 +53,38 @@ func TestReportShape(t *testing.T) {
 	}
 	if rep.HeadlineAllocsReductionPct == 0 {
 		t.Error("headline_allocs_reduction_pct missing")
+	}
+	if rep.PrevDedupNsPerOp != 1000000 {
+		t.Errorf("prev_dedup_ns_per_op = %d, want 1000000", rep.PrevDedupNsPerOp)
+	}
+	if rep.PipelineOverheadPct == nil {
+		t.Error("prev report provided but pipeline_overhead_pct missing")
+	}
+}
+
+func TestPrevDedupNsPerOp(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`{"datasets":[{"dataset":"github","dedup":{"ns_per_op":7}},{"dataset":"twitter","dedup":{"ns_per_op":42}}]}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`not json`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		path string
+		want int64
+	}{
+		{good, 42},
+		{bad, 0},
+		{filepath.Join(dir, "missing.json"), 0},
+		{"", 0},
+	}
+	for _, c := range cases {
+		if got := prevDedupNsPerOp(c.path); got != c.want {
+			t.Errorf("prevDedupNsPerOp(%q) = %d, want %d", c.path, got, c.want)
+		}
 	}
 }
 

@@ -29,6 +29,10 @@
 //
 // Interrupting the process (SIGINT) cancels the pipeline promptly and
 // cleanly between chunks.
+//
+// Every mode — files, stdin, streaming, dedup — runs through the one
+// engine in internal/pipeline (docs/ARCHITECTURE.md); the flags above
+// only select the feed and the accumulator payload.
 package main
 
 import (

@@ -1,0 +1,82 @@
+package jsoninference_test
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	jsi "repro"
+)
+
+// TestFeedErrorMissingFile pins the public error contract for input
+// that cannot be opened: the error unwraps to *jsi.FeedError (the
+// producer failed, the bytes never arrived) and further to the OS
+// cause, so callers can branch on fs.ErrNotExist.
+func TestFeedErrorMissingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "missing.ndjson")
+	_, _, err := jsi.InferFile(path, jsi.Options{})
+	if err == nil {
+		t.Fatal("missing file accepted")
+	}
+	var fe *jsi.FeedError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v (%T), want *FeedError in the chain", err, err)
+	}
+	if fe.Path != path {
+		t.Errorf("FeedError.Path = %q, want %q", fe.Path, path)
+	}
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("errors.Is(err, fs.ErrNotExist) = false for %v", err)
+	}
+	if !strings.HasPrefix(err.Error(), "jsoninference: reading ") {
+		t.Errorf("err = %q, want the jsoninference: reading prefix", err)
+	}
+}
+
+// TestFeedErrorMidRead pins the same contract when the open succeeds
+// but reading fails (here: the path is a directory): the feed error is
+// distinguishable even though the pipeline was already running.
+func TestFeedErrorMidRead(t *testing.T) {
+	dir := t.TempDir()
+	_, _, err := jsi.InferFile(dir, jsi.Options{})
+	if err == nil {
+		t.Skip("reading a directory succeeded on this platform")
+	}
+	var fe *jsi.FeedError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v (%T), want *FeedError in the chain", err, err)
+	}
+	if fe.Path != dir {
+		t.Errorf("FeedError.Path = %q, want %q", fe.Path, dir)
+	}
+}
+
+// TestDecodeErrorIsNotFeedError draws the line from the other side:
+// when the bytes arrive but are not valid JSON, the error must NOT be
+// a FeedError — retrying the I/O would be pointless.
+func TestDecodeErrorIsNotFeedError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "broken.ndjson")
+	if err := os.WriteFile(path, []byte("{\"ok\":1}\n{\"broken\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var fe *jsi.FeedError
+
+	_, _, err := jsi.InferFile(path, jsi.Options{})
+	if err == nil {
+		t.Fatal("invalid JSON accepted")
+	}
+	if errors.As(err, &fe) {
+		t.Errorf("file decode error surfaced as FeedError: %v", err)
+	}
+
+	_, _, err = jsi.InferNDJSON([]byte(`{"broken`), jsi.Options{})
+	if err == nil {
+		t.Fatal("invalid JSON accepted")
+	}
+	if errors.As(err, &fe) {
+		t.Errorf("bytes decode error surfaced as FeedError: %v", err)
+	}
+}

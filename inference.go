@@ -10,10 +10,10 @@ import (
 
 	"repro/internal/fusion"
 	"repro/internal/infer"
-	"repro/internal/intern"
 	"repro/internal/jsontext"
 	"repro/internal/mapreduce"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/value"
 )
 
@@ -89,22 +89,27 @@ type Options struct {
 	Dedup bool
 }
 
-// dedupState is the shared machinery of one deduplicating run: the
-// hash-consing table the decoders intern into and the memoized fusion
-// policy keyed by that table's IDs. One state spans all chunks, workers
-// and files of a single Infer call.
-type dedupState struct {
-	tab  *intern.Table
-	memo *fusion.Memo
-}
-
-// dedupState builds the shared dedup machinery, or nil when disabled.
-func (o Options) dedupState() *dedupState {
-	if !o.Dedup {
-		return nil
+// env resolves the Options into the pipeline environment one Infer
+// call runs under — the bundle every Source adapter and stage reads
+// instead of threading (options, recorder, progress, dedup state) as
+// separate parameters.
+func (o Options) env() *pipeline.Env {
+	pol, inj := o.failureConfig()
+	rec, progress := o.observer()
+	env := &pipeline.Env{
+		Fusion:     o.fusionOptions(),
+		Workers:    o.workers(),
+		ChunkBytes: o.ChunkBytes,
+		MaxDepth:   o.MaxDepth,
+		Failure:    pol,
+		Injector:   inj,
+		Rec:        rec,
+		Progress:   progress,
 	}
-	tab := intern.NewTable()
-	return &dedupState{tab: tab, memo: fusion.NewMemo(o.fusionOptions(), tab)}
+	if o.Dedup {
+		env.Dedup = pipeline.NewDedup(env.Fusion)
+	}
+	return env
 }
 
 // ErrorPolicy selects what Infer does when a chunk of input repeatedly
@@ -281,41 +286,40 @@ func Infer(ctx context.Context, src Source, opts Options) (*Schema, Stats, error
 	if src == nil {
 		return nil, Stats{}, fmt.Errorf("%w: nil Source", ErrInvalidOptions)
 	}
-	rec, progress := opts.observer()
-	dd := opts.dedupState()
+	env := opts.env()
 	var t0 time.Time
-	if rec != nil {
+	if env.Rec != nil {
 		t0 = time.Now()
 	}
-	schema, st, err := src.run(ctx, opts, rec, progress, dd)
+	schema, st, err := src.run(ctx, env)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	if rec != nil && dd != nil {
+	if env.Rec != nil && env.Dedup != nil {
 		// Cache effectiveness counters. Deterministic at Workers: 1 on a
 		// fault-free run; under concurrency or retries the hit/miss split
 		// can shift (double-computed entries, re-parsed chunks), which is
 		// why Metrics.WithoutCache exists.
-		hits, misses := dd.tab.Stats()
-		rec.Add("intern_hits", hits)
-		rec.Add("intern_misses", misses)
-		fh, fm, sh, sm := dd.memo.CacheStats()
-		rec.Add("fuse_cache_hits", fh)
-		rec.Add("fuse_cache_misses", fm)
-		rec.Add("simplify_cache_hits", sh)
-		rec.Add("simplify_cache_misses", sm)
+		hits, misses := env.Dedup.Tab.Stats()
+		env.Rec.Add("intern_hits", hits)
+		env.Rec.Add("intern_misses", misses)
+		fh, fm, sh, sm := env.Dedup.Memo.CacheStats()
+		env.Rec.Add("fuse_cache_hits", fh)
+		env.Rec.Add("fuse_cache_misses", fm)
+		env.Rec.Add("simplify_cache_hits", sh)
+		env.Rec.Add("simplify_cache_misses", sm)
 	}
-	if rec != nil {
+	if env.Rec != nil {
 		wall := time.Since(t0)
-		rec.Add("infer_wall_ns", int64(wall))
-		rec.Set("infer_fused_size", int64(schema.Size()))
+		env.Rec.Add("infer_wall_ns", int64(wall))
+		env.Rec.Set("infer_fused_size", int64(schema.Size()))
 		if ns := int64(wall); ns > 0 {
-			rec.Set("infer_records_per_sec", st.Records*int64(time.Second)/ns)
-			rec.Set("infer_bytes_per_sec", st.Bytes*int64(time.Second)/ns)
+			env.Rec.Set("infer_records_per_sec", st.Records*int64(time.Second)/ns)
+			env.Rec.Set("infer_bytes_per_sec", st.Bytes*int64(time.Second)/ns)
 		}
 	}
-	if progress != nil {
-		progress()
+	if env.Progress != nil {
+		env.Progress()
 	}
 	return schema, st, nil
 }

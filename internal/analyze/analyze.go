@@ -10,7 +10,7 @@
 // inputs they happen to generate; the analyzers in this package check
 // the *source* for the coding patterns that break them, on every build.
 //
-// The five project-specific analyzers are:
+// The six project-specific analyzers are:
 //
 //   - nondetmap: iteration over a Go map whose body performs an
 //     order-sensitive operation (append to an outer slice, channel
@@ -25,6 +25,11 @@
 //   - droppederr: discarded error results from encoding/json, io and
 //     os calls.
 //   - lockcopy: by-value copies of structs embedding sync primitives.
+//   - stagecapture: pipeline stage literals (map/combine/feed functions
+//     passed to internal/pipeline.Run or internal/mapreduce.Run) that
+//     capture loop variables or assign to captured state — stages run
+//     concurrently and may be retried, so mutable state belongs in the
+//     Accumulator or Env.
 //
 // Diagnostics can be suppressed with a `//lint:ignore <analyzers>
 // <reason>` comment on the flagged line or the line directly above it;
@@ -122,6 +127,7 @@ func All() []*Analyzer {
 		GoroLeak,
 		DroppedErr,
 		LockCopy,
+		StageCapture,
 	}
 }
 

@@ -1,0 +1,146 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// StageCapture guards the pipeline engine's contract (internal/pipeline,
+// internal/mapreduce): stage functions — the map, combine and feed
+// literals handed to the engine drivers — run concurrently, may be
+// retried, and may be reordered, so all their mutable state must live
+// in the values they return (Accumulators) or in the shared Env, never
+// in captured variables. Two patterns break that contract:
+//
+//   - capturing a loop variable declared outside the literal: even with
+//     per-iteration loop semantics, a stage that outlives or is retried
+//     across iterations reads whichever iteration's value the schedule
+//     happens to deliver, which silently breaks the determinism oracle
+//     (byte-identical schemas for any reduction order);
+//   - assigning to any variable declared outside the literal: stages
+//     execute on worker goroutines, so such writes race and make results
+//     schedule-dependent. Accumulate through the stage's return value,
+//     or use sync/atomic (method calls on captured atomics are not
+//     flagged — that is the engine's own Phases pattern).
+//
+// The analyzer inspects function literals passed directly as arguments
+// to pipeline.Run, mapreduce.Run and mapreduce.RunSlice. A stage passed
+// by name is not analyzed — only the call site is visible, not the
+// body — mirroring goroleak's limitation; give such helpers a
+// lint:ignore with the ownership story if they must capture.
+var StageCapture = &Analyzer{
+	Name: "stagecapture",
+	Doc:  "pipeline stage function captures a loop variable or mutates captured (non-Env) state",
+	Run:  runStageCapture,
+}
+
+// stageDrivers are the engine entry points whose function-literal
+// arguments are stage functions.
+var stageDrivers = map[string]map[string]bool{
+	"repro/internal/pipeline":  {"Run": true},
+	"repro/internal/mapreduce": {"Run": true, "RunSlice": true},
+}
+
+func runStageCapture(pass *Pass) {
+	for _, f := range pass.Files {
+		loopVars := collectLoopVars(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isStageDriver(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					checkStageLit(pass, lit, loopVars)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isStageDriver reports whether the call's static callee is one of the
+// pipeline engine drivers.
+func isStageDriver(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	names, ok := stageDrivers[fn.Pkg().Path()]
+	return ok && names[fn.Name()]
+}
+
+// collectLoopVars gathers the objects declared as loop variables in the
+// file: range key/value bindings and `for i := ...` init bindings.
+func collectLoopVars(pass *Pass, f *ast.File) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	def := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.ObjectOf(id); obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.RangeStmt:
+			if nn.Tok == token.DEFINE {
+				if nn.Key != nil {
+					def(nn.Key)
+				}
+				if nn.Value != nil {
+					def(nn.Value)
+				}
+			}
+		case *ast.ForStmt:
+			if init, ok := nn.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					def(lhs)
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// checkStageLit reports loop-variable captures and outer-state writes
+// inside one stage literal.
+func checkStageLit(pass *Pass, lit *ast.FuncLit, loopVars map[types.Object]bool) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.Ident:
+			obj := pass.ObjectOf(nn)
+			if obj != nil && loopVars[obj] && !withinNode(obj.Pos(), lit) {
+				pass.Reportf(nn.Pos(), "pipeline stage captures loop variable %s; pass it through the stage input instead", nn.Name)
+			}
+		case *ast.AssignStmt:
+			if nn.Tok == token.DEFINE {
+				return true // := declares inside the literal
+			}
+			for _, lhs := range nn.Lhs {
+				reportOuterWrite(pass, lit, lhs)
+			}
+		case *ast.IncDecStmt:
+			reportOuterWrite(pass, lit, nn.X)
+		}
+		return true
+	})
+}
+
+// reportOuterWrite flags an assignment target whose root variable is
+// declared outside the stage literal.
+func reportOuterWrite(pass *Pass, lit *ast.FuncLit, target ast.Expr) {
+	if id, ok := target.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	obj := rootObject(pass, target)
+	if _, isVar := obj.(*types.Var); !isVar {
+		return
+	}
+	if withinNode(obj.Pos(), lit) {
+		return
+	}
+	pass.Reportf(target.Pos(), "pipeline stage mutates captured variable %s; accumulate through the stage's return value (Accumulator), not shared state", exprString(target))
+}

@@ -1,0 +1,95 @@
+// Package fixture holds known-bad and known-good snippets for the
+// stagecapture analyzer's golden tests.
+package fixture
+
+import (
+	"context"
+
+	"repro/internal/mapreduce"
+)
+
+// BadLoopCapture hands the engine a map stage that reads the range
+// variable of the enclosing loop: by the time a retried or reordered
+// attempt runs, the loop may have moved on.
+func BadLoopCapture(ctx context.Context, batches [][]int) {
+	for _, batch := range batches {
+		_, _, _ = mapreduce.RunSlice(ctx, []int{0}, func(_ context.Context, i int) (int, error) {
+			return batch[i], nil // want "captures loop variable batch"
+		}, add, 0, mapreduce.Config{})
+	}
+}
+
+// BadIndexCapture captures a plain for-loop index.
+func BadIndexCapture(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		_, _, _ = mapreduce.RunSlice(ctx, []int{0}, func(_ context.Context, x int) (int, error) {
+			return x + i, nil // want "captures loop variable i"
+		}, add, 0, mapreduce.Config{})
+	}
+}
+
+// BadOuterMutation accumulates into a captured variable instead of the
+// stage's return value: stages run on worker goroutines, so this races.
+func BadOuterMutation(ctx context.Context, items []int) int {
+	total := 0
+	_, _, _ = mapreduce.RunSlice(ctx, items, func(_ context.Context, i int) (int, error) {
+		total += i // want "mutates captured variable total"
+		return i, nil
+	}, add, 0, mapreduce.Config{})
+	return total
+}
+
+// BadOuterIncrement increments a captured counter from the combine
+// stage.
+func BadOuterIncrement(ctx context.Context, items []int) int {
+	merges := 0
+	_, _, _ = mapreduce.RunSlice(ctx, items, double, func(a, b int) int {
+		merges++ // want "mutates captured variable merges"
+		return a + b
+	}, 0, mapreduce.Config{})
+	return merges
+}
+
+// GoodPureStage only reads captured configuration — read-only capture
+// is exactly what the Env is for.
+func GoodPureStage(ctx context.Context, items []int, scale int) int {
+	out, _, _ := mapreduce.RunSlice(ctx, items, func(_ context.Context, i int) (int, error) {
+		return i * scale, nil
+	}, add, 0, mapreduce.Config{})
+	return out
+}
+
+// GoodInnerState declares and mutates its state inside the literal; the
+// inner loop's variables are local too.
+func GoodInnerState(ctx context.Context, batches [][]int) int {
+	out, _, _ := mapreduce.RunSlice(ctx, batches, func(_ context.Context, batch []int) (int, error) {
+		sum := 0
+		for _, x := range batch {
+			sum += x
+		}
+		return sum, nil
+	}, add, 0, mapreduce.Config{})
+	return out
+}
+
+// GoodNamedStage passes the stage by name: only the call site is
+// visible, so the body is not analyzed (the documented limitation).
+func GoodNamedStage(ctx context.Context, items []int) int {
+	out, _, _ := mapreduce.RunSlice(ctx, items, double, add, 0, mapreduce.Config{})
+	return out
+}
+
+// SuppressedMutation is acknowledged with a lint:ignore directive.
+func SuppressedMutation(ctx context.Context, items []int) int {
+	seen := 0
+	_, _, _ = mapreduce.RunSlice(ctx, items, func(_ context.Context, i int) (int, error) {
+		//lint:ignore stagecapture single-worker run measured by the caller
+		seen++
+		return i, nil
+	}, add, 0, mapreduce.Config{Workers: 1})
+	return seen
+}
+
+func add(a, b int) int { return a + b }
+
+func double(_ context.Context, i int) (int, error) { return i * 2, nil }

@@ -16,7 +16,6 @@ import (
 	"os"
 	"runtime"
 	"strconv"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/dataset"
@@ -25,6 +24,7 @@ import (
 	"repro/internal/jsontext"
 	"repro/internal/mapreduce"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/stats"
 	"repro/internal/types"
 )
@@ -134,12 +134,6 @@ type PipelineResult struct {
 	Retries, Quarantined int
 }
 
-// chunkResult is the map output for one input chunk.
-type chunkResult struct {
-	summary *stats.Summary
-	fused   types.Type
-}
-
 // RunPipeline generates the dataset at the given scale and runs
 // inference + fusion over it with the map-reduce engine, measuring the
 // phases separately. The context cancels the underlying map-reduce run.
@@ -158,70 +152,46 @@ func RunPipeline(ctx context.Context, name string, n int, cfg Config) (PipelineR
 	return res, nil
 }
 
-// RunPipelineOverNDJSON runs the two-phase pipeline over raw NDJSON.
-// The context cancels the underlying map-reduce run.
+// RunPipelineOverNDJSON runs the two-phase pipeline over raw NDJSON —
+// the same internal/pipeline engine the public Infer entry points use,
+// with Env.Phases attached so the two phases (parse+infer vs fuse) are
+// measured separately across workers (the Table 6 split). The context
+// cancels the underlying map-reduce run.
 func RunPipelineOverNDJSON(ctx context.Context, data []byte, cfg Config) (PipelineResult, error) {
 	chunks := jsontext.SplitLines(data, cfg.workers()*4)
-	var inferNanos, fuseNanos atomic.Int64
-
-	fz := cfg.Fusion
-	mapFn := func(_ context.Context, chunk []byte) (chunkResult, error) {
-		// Phase 1 (Map): one type per value, streamed off the bytes.
-		t0 := time.Now()
-		ts, err := infer.InferAll(chunk)
-		if err != nil {
-			return chunkResult{}, err
-		}
-		inferNanos.Add(int64(time.Since(t0)))
-
-		// Phase 2 local fold (combiner): fuse within the chunk.
-		t1 := time.Now()
-		sum := &stats.Summary{}
-		acc := types.Type(types.Empty)
-		for _, t := range ts {
-			sum.Add(t)
-			acc = fz.Fuse(acc, fz.Simplify(t))
-		}
-		fuseNanos.Add(int64(time.Since(t1)))
-		return chunkResult{summary: sum, fused: acc}, nil
-	}
-	combine := func(a, b chunkResult) chunkResult {
-		t0 := time.Now()
-		if a.summary == nil {
-			return b
-		}
-		if b.summary == nil {
-			return a
-		}
-		a.summary.Merge(b.summary)
-		out := chunkResult{summary: a.summary, fused: fz.Fuse(a.fused, b.fused)}
-		fuseNanos.Add(int64(time.Since(t0)))
-		return out
+	var ph pipeline.Phases
+	env := &pipeline.Env{
+		Fusion:   cfg.Fusion,
+		Workers:  cfg.workers(),
+		Failure:  cfg.Failure,
+		Injector: cfg.Injector,
+		Rec:      cfg.Recorder,
+		Phases:   &ph,
 	}
 
 	wall0 := time.Now()
-	out, mrst, err := mapreduce.RunSlice(ctx, chunks, mapFn, combine, chunkResult{}, mapreduce.Config{Workers: cfg.workers(), Recorder: cfg.Recorder, Failure: cfg.Failure, Injector: cfg.Injector})
+	out, mrst, err := pipeline.Run(ctx, env, pipeline.SliceFeed(chunks))
 	if err != nil {
 		return PipelineResult{}, err
 	}
+	fold := pipeline.Fold(out)
 	res := PipelineResult{
 		Bytes:       int64(len(data)),
-		Fused:       types.Empty,
-		InferTime:   time.Duration(inferNanos.Load()),
-		FuseTime:    time.Duration(fuseNanos.Load()),
+		Fused:       fold.Fused,
+		InferTime:   time.Duration(ph.InferNS.Load()),
+		FuseTime:    time.Duration(ph.FuseNS.Load()),
 		Wall:        time.Since(wall0),
 		Retries:     mrst.Retries,
 		Quarantined: len(mrst.Quarantined),
 	}
-	if out.summary != nil {
-		res.Summary = *out.summary
-		res.Fused = out.fused
+	if fold.Summary != nil {
+		res.Summary = *fold.Summary
 	}
 	if rec := cfg.Recorder; rec != nil {
 		rec.Add("experiments_records", res.Summary.Count())
 		rec.Add("experiments_bytes", res.Bytes)
-		rec.Add("experiments_infer_ns", inferNanos.Load())
-		rec.Add("experiments_fuse_ns", fuseNanos.Load())
+		rec.Add("experiments_infer_ns", ph.InferNS.Load())
+		rec.Add("experiments_fuse_ns", ph.FuseNS.Load())
 		rec.Add("experiments_wall_ns", int64(res.Wall))
 	}
 	return res, nil

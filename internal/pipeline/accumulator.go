@@ -1,0 +1,232 @@
+package pipeline
+
+import (
+	"repro/internal/fusion"
+	"repro/internal/intern"
+	"repro/internal/stats"
+	"repro/internal/types"
+)
+
+// An Accumulator is one partial result of the reduce phase: the monoid
+// the engine folds over. The paper's distribution argument (Theorems
+// 5.4 and 5.5) is exactly that this fold is a commutative monoid —
+// Merge is associative and commutative, the empty accumulator (and nil,
+// see Combine) is its identity — so chunking, scheduling and worker
+// count are invisible in the Fold.
+//
+// There are two implementations, selected by Env.Dedup: the plain
+// payload (a stats.Summary plus the running fused type) and the dedup
+// payload (a multiset of distinct interned types plus the fused type).
+// Both satisfy the same laws, property-tested in accumulator_test.go
+// the same way Fuse and obs snapshots are.
+type Accumulator interface {
+	// Add types one record into the accumulator — the map step at
+	// record granularity. The streaming driver calls it per decoded
+	// value; chunk map tasks call it in a loop over the chunk.
+	Add(t types.Type)
+	// Merge absorbs other into the receiver. Associative and
+	// commutative; other must come from the same Env (same fusion
+	// policy and, under dedup, the same intern table).
+	Merge(other Accumulator)
+	// Fold finalizes the accumulator into a Result. It does not consume
+	// the accumulator, but callers treat it as the last step.
+	Fold() Result
+}
+
+// Result is a folded Accumulator: the fused type and the type-level
+// statistics of Tables 2-5. The byte-level numbers (input bytes,
+// retries, quarantined chunks) belong to the feed side and are filled
+// in by the caller.
+type Result struct {
+	// Fused is the final schema (types.Empty when nothing was added).
+	Fused types.Type
+	// Records is the number of values typed.
+	Records int64
+	// DistinctTypes is the number of distinct types seen. Zero on the
+	// plain streaming payload, which cannot afford the bookkeeping;
+	// exact on the plain chunked and both dedup payloads.
+	DistinctTypes int
+	// MinTypeSize, MaxTypeSize and AvgTypeSize describe the per-value
+	// type sizes.
+	MinTypeSize, MaxTypeSize int
+	AvgTypeSize              float64
+	// Summary is the full measurement payload of the plain chunked
+	// path (exemplars, distinct counts), used by the experiments
+	// harness; nil on the streaming and dedup payloads.
+	Summary *stats.Summary
+}
+
+// Combine merges two accumulators, treating nil as the identity — the
+// shape the map-reduce engine's zero value takes. Returns the merged
+// accumulator (one of its arguments).
+func Combine(a, b Accumulator) Accumulator {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	a.Merge(b)
+	return a
+}
+
+// Fold finalizes an accumulator, treating nil (no input at all) as the
+// empty Result.
+func Fold(acc Accumulator) Result {
+	if acc == nil {
+		return Result{Fused: types.Empty}
+	}
+	return acc.Fold()
+}
+
+// NewAcc returns the empty accumulator of the Env's payload kind with
+// full distinct-type bookkeeping — the granularity of the chunked
+// pipeline.
+func (e *Env) NewAcc() Accumulator {
+	if e.Dedup != nil {
+		return &dedupAcc{dd: e.Dedup, ms: intern.NewMultiset(), fused: types.Empty}
+	}
+	return &plainAcc{fz: e.Fusion, sum: &stats.Summary{}, fused: types.Empty}
+}
+
+// NewStreamAcc returns the constant-memory variant for the sequential
+// streaming driver: the plain payload drops the distinct-type
+// bookkeeping (Result.DistinctTypes stays zero), the dedup payload is
+// unchanged — its memory is bounded by the number of distinct types,
+// which is the point of deduplication.
+func (e *Env) NewStreamAcc() Accumulator {
+	if e.Dedup != nil {
+		return e.NewAcc()
+	}
+	return &plainAcc{fz: e.Fusion, fused: types.Empty}
+}
+
+// plainAcc is the default payload: a summary of per-record type sizes
+// plus the running fused type. With sum set (chunked granularity) the
+// summary also counts distinct types by structural hash; with sum nil
+// (streaming granularity) only the inline tallies are kept, so memory
+// stays constant.
+type plainAcc struct {
+	fz  fusion.Options
+	sum *stats.Summary
+	// Inline tallies of the streaming mode (sum == nil).
+	count    int64
+	sumSize  int64
+	min, max int
+	fused    types.Type
+}
+
+func (a *plainAcc) Add(t types.Type) {
+	if a.sum != nil {
+		a.sum.Add(t)
+	} else {
+		size := t.Size()
+		if a.count == 0 || size < a.min {
+			a.min = size
+		}
+		if size > a.max {
+			a.max = size
+		}
+		a.count++
+		a.sumSize += int64(size)
+	}
+	a.fused = a.fz.Fuse(a.fused, a.fz.Simplify(t))
+}
+
+func (a *plainAcc) Merge(other Accumulator) {
+	b := other.(*plainAcc)
+	if a.sum != nil {
+		a.sum.Merge(b.sum)
+	} else if b.count > 0 {
+		if a.count == 0 || b.min < a.min {
+			a.min = b.min
+		}
+		if b.max > a.max {
+			a.max = b.max
+		}
+		a.count += b.count
+		a.sumSize += b.sumSize
+	}
+	a.fused = a.fz.Fuse(a.fused, b.fused)
+}
+
+func (a *plainAcc) Fold() Result {
+	if a.sum != nil {
+		return Result{
+			Fused:         a.fused,
+			Records:       a.sum.Count(),
+			DistinctTypes: a.sum.Distinct(),
+			MinTypeSize:   a.sum.MinSize(),
+			MaxTypeSize:   a.sum.MaxSize(),
+			AvgTypeSize:   a.sum.AvgSize(),
+			Summary:       a.sum,
+		}
+	}
+	r := Result{Fused: a.fused, Records: a.count, MinTypeSize: a.minSize(), MaxTypeSize: a.max}
+	if a.count > 0 {
+		r.AvgTypeSize = float64(a.sumSize) / float64(a.count)
+	}
+	return r
+}
+
+func (a *plainAcc) minSize() int {
+	if a.count == 0 {
+		return 0
+	}
+	return a.min
+}
+
+// dedupAcc is the hash-consed payload: a multiset of distinct interned
+// types (identity-merged across chunks and files, so distinct counts
+// stay exact) plus the fused type, fused through the memo so each
+// distinct pair fuses at most once per run.
+type dedupAcc struct {
+	dd    *Dedup
+	ms    *intern.Multiset
+	fused types.Type
+}
+
+func (a *dedupAcc) Add(t types.Type) {
+	ref, ok := a.dd.Tab.Ref(t)
+	if !ok {
+		ref, _ = a.dd.Tab.Ref(a.dd.Tab.Canon(t))
+	}
+	// Absorption — fuse(fuse(A, s), s) = fuse(A, s) for the simplified s
+	// of an already-seen type — lets the record-at-a-time path skip both
+	// the Simplify and the Fuse for repeats.
+	if !a.ms.Contains(ref.ID) {
+		a.fused = a.dd.Memo.Fuse(a.fused, a.dd.Memo.Simplify(t))
+	}
+	a.ms.Add(ref, 1)
+}
+
+func (a *dedupAcc) Merge(other Accumulator) {
+	b := other.(*dedupAcc)
+	a.ms.Merge(b.ms)
+	a.fused = a.dd.Memo.Fuse(a.fused, b.fused)
+}
+
+// Fold recovers the per-record statistics from the distinct-type
+// multiset. The sum of sizes is accumulated in an int64 exactly like
+// stats.Summary does (sizes and counts stay far below 2^53), so
+// AvgTypeSize is bit-identical to the per-record accumulation of the
+// plain payload.
+func (a *dedupAcc) Fold() Result {
+	r := Result{Fused: a.fused}
+	var sumSize int64
+	for i, e := range a.ms.Elems() {
+		if i == 0 || e.Size < r.MinTypeSize {
+			r.MinTypeSize = e.Size
+		}
+		if e.Size > r.MaxTypeSize {
+			r.MaxTypeSize = e.Size
+		}
+		sumSize += int64(e.Size) * e.Count
+		r.Records += e.Count
+	}
+	r.DistinctTypes = a.ms.Len()
+	if r.Records > 0 {
+		r.AvgTypeSize = float64(sumSize) / float64(r.Records)
+	}
+	return r
+}

@@ -1,0 +1,192 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fusion"
+	"repro/internal/infer"
+	"repro/internal/types"
+)
+
+// monoidNDJSON mixes repeated and distinct shapes across every JSON
+// kind, so the laws are exercised where fusion actually has work to do.
+var monoidNDJSON = []byte(`{"a":1,"b":"x"}
+{"a":2.5,"c":[1,2]}
+[1,"two",true]
+"s"
+null
+{"a":{"d":null},"b":"y"}
+42
+[{"k":1},{"k":2},{"k":3}]
+{"a":1,"b":"x"}
+{"c":[true,false],"a":7}
+true
+{"a":1,"b":"x"}
+{"a":{"d":"deep"},"b":"y","e":[]}
+[[1],[2,3]]
+false`)
+
+func monoidTypes(t *testing.T) []types.Type {
+	t.Helper()
+	ts, err := infer.InferAll(monoidNDJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) < 10 {
+		t.Fatalf("only %d test types", len(ts))
+	}
+	return ts
+}
+
+// payload is one Accumulator implementation under test. fresh returns
+// an empty accumulator; all accumulators from the same payload share
+// dedup state, exactly as the engine guarantees within one run.
+type payload struct {
+	name  string
+	fresh func() Accumulator
+}
+
+func payloads() []payload {
+	plainEnv := &Env{Fusion: fusion.Options{}}
+	tupleEnv := &Env{Fusion: fusion.Options{PreserveTuples: true}}
+	dedupEnv := &Env{Dedup: NewDedup(fusion.Options{})}
+	return []payload{
+		{"plain", plainEnv.NewAcc},
+		{"plain-stream", plainEnv.NewStreamAcc},
+		{"plain-tuples", tupleEnv.NewAcc},
+		{"dedup", dedupEnv.NewAcc},
+	}
+}
+
+// build adds the given types, in order, to a fresh accumulator.
+func build(p payload, ts []types.Type) Accumulator {
+	acc := p.fresh()
+	for _, t := range ts {
+		acc.Add(t)
+	}
+	return acc
+}
+
+// mustEqual compares the observable Result fields. AvgTypeSize is
+// compared exactly: every implementation accumulates integer sums (far
+// below 2^53) and divides once, so any merge order yields the same
+// bits.
+func mustEqual(t *testing.T, got, want Result, context string) {
+	t.Helper()
+	if !types.Equal(got.Fused, want.Fused) {
+		t.Errorf("%s: Fused = %v, want %v", context, got.Fused, want.Fused)
+	}
+	if got.Records != want.Records {
+		t.Errorf("%s: Records = %d, want %d", context, got.Records, want.Records)
+	}
+	if got.DistinctTypes != want.DistinctTypes {
+		t.Errorf("%s: DistinctTypes = %d, want %d", context, got.DistinctTypes, want.DistinctTypes)
+	}
+	if got.MinTypeSize != want.MinTypeSize || got.MaxTypeSize != want.MaxTypeSize {
+		t.Errorf("%s: Min/MaxTypeSize = %d/%d, want %d/%d",
+			context, got.MinTypeSize, got.MaxTypeSize, want.MinTypeSize, want.MaxTypeSize)
+	}
+	if got.AvgTypeSize != want.AvgTypeSize {
+		t.Errorf("%s: AvgTypeSize = %v, want %v", context, got.AvgTypeSize, want.AvgTypeSize)
+	}
+}
+
+// TestAccumulatorIdentity pins the monoid identity: nil (the engine's
+// zero) and a fresh empty accumulator both merge as no-ops, on either
+// side.
+func TestAccumulatorIdentity(t *testing.T) {
+	ts := monoidTypes(t)
+	for _, p := range payloads() {
+		t.Run(p.name, func(t *testing.T) {
+			want := Fold(build(p, ts))
+
+			if acc := build(p, ts); Combine(nil, acc) != acc {
+				t.Error("Combine(nil, acc) is not acc")
+			}
+			if acc := build(p, ts); Combine(acc, nil) != acc {
+				t.Error("Combine(acc, nil) is not acc")
+			}
+			mustEqual(t, Fold(Combine(p.fresh(), build(p, ts))), want, "empty·acc")
+			mustEqual(t, Fold(Combine(build(p, ts), p.fresh())), want, "acc·empty")
+			mustEqual(t, Fold(nil), Result{Fused: types.Empty}, "Fold(nil)")
+		})
+	}
+}
+
+// TestAccumulatorCommutativity pins a·b = b·a for a random split, the
+// law that lets the engine combine chunk results in completion order.
+func TestAccumulatorCommutativity(t *testing.T) {
+	ts := monoidTypes(t)
+	for _, p := range payloads() {
+		t.Run(p.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			for trial := 0; trial < 20; trial++ {
+				cut := 1 + rng.Intn(len(ts)-1)
+				ab := Fold(Combine(build(p, ts[:cut]), build(p, ts[cut:])))
+				ba := Fold(Combine(build(p, ts[cut:]), build(p, ts[:cut])))
+				mustEqual(t, ba, ab, "b·a vs a·b")
+			}
+		})
+	}
+}
+
+// TestAccumulatorAssociativity pins (a·b)·c = a·(b·c), the law that
+// makes the reduction tree's shape invisible.
+func TestAccumulatorAssociativity(t *testing.T) {
+	ts := monoidTypes(t)
+	for _, p := range payloads() {
+		t.Run(p.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			for trial := 0; trial < 20; trial++ {
+				i := 1 + rng.Intn(len(ts)-2)
+				j := i + 1 + rng.Intn(len(ts)-i-1)
+				parts := [][]types.Type{ts[:i], ts[i:j], ts[j:]}
+				left := Fold(Combine(Combine(build(p, parts[0]), build(p, parts[1])), build(p, parts[2])))
+				right := Fold(Combine(build(p, parts[0]), Combine(build(p, parts[1]), build(p, parts[2]))))
+				mustEqual(t, right, left, "a·(b·c) vs (a·b)·c")
+			}
+		})
+	}
+}
+
+// TestAccumulatorRandomMergeTrees is the full distribution argument:
+// any partition of the records into groups (some possibly empty),
+// merged in any random tree order, folds to the same Result as one
+// sequential accumulator — chunking, scheduling and worker count are
+// invisible.
+func TestAccumulatorRandomMergeTrees(t *testing.T) {
+	ts := monoidTypes(t)
+	for _, p := range payloads() {
+		t.Run(p.name, func(t *testing.T) {
+			want := Fold(build(p, ts))
+			rng := rand.New(rand.NewSource(42))
+			for trial := 0; trial < 50; trial++ {
+				k := 1 + rng.Intn(8)
+				groups := make([][]types.Type, k)
+				for _, typ := range ts {
+					g := rng.Intn(k)
+					groups[g] = append(groups[g], typ)
+				}
+				accs := make([]Accumulator, k)
+				for i, g := range groups {
+					accs[i] = build(p, g)
+				}
+				for len(accs) > 1 {
+					i := rng.Intn(len(accs))
+					j := rng.Intn(len(accs) - 1)
+					if j >= i {
+						j++
+					}
+					// Merge j into i, then delete slot j by swapping in the
+					// tail (the swap is safe even when i or j is the tail:
+					// the merged value survives in exactly one slot).
+					accs[i] = Combine(accs[i], accs[j])
+					accs[j] = accs[len(accs)-1]
+					accs = accs[:len(accs)-1]
+				}
+				mustEqual(t, Fold(accs[0]), want, "random merge tree")
+			}
+		})
+	}
+}

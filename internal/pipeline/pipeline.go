@@ -1,0 +1,321 @@
+// Package pipeline is the one inference engine behind every entry
+// point of the repository: the public Source kinds (bytes, reader,
+// file, files), the experiments harness and the CLI all run the same
+// composable stages —
+//
+//	split → decode+infer map → combine (monoid) → fold
+//
+// over an Env that bundles what used to be five separately threaded
+// parameters (fusion policy, worker count, failure policy, recorder,
+// progress hook, dedup state). The map and combine stages are derived
+// from the Env's payload kind: the plain summary or the hash-consed
+// distinct-type multiset, both implementations of the Accumulator
+// monoid (see accumulator.go). A future backend — sharded, serving,
+// remote — is a new feed plus (at most) a new Accumulator, not a sixth
+// copy of the pipeline.
+//
+// Two drivers share the stages: Run distributes line-aligned chunks
+// over the map-reduce engine (parallel, fault-tolerant), RunStream
+// types one record at a time with constant memory (sequential). Both
+// leave no goroutines behind on error or cancellation, which
+// pipeline_test.go pins with mid-feed and mid-combine cancel tests.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fusion"
+	"repro/internal/infer"
+	"repro/internal/intern"
+	"repro/internal/jsontext"
+	"repro/internal/mapreduce"
+	"repro/internal/obs"
+	"repro/internal/types"
+)
+
+// Env bundles the cross-cutting state of one inference run. Build it
+// once per run and pass it to Run or RunStream; every field is
+// read-only to the stages (the stagecapture analyzer in
+// internal/analyze enforces that stages keep mutable state in their
+// Accumulators, not in captured variables).
+type Env struct {
+	// Fusion is the run's fusion policy.
+	Fusion fusion.Options
+	// Workers bounds the map-phase parallelism of Run; values <= 0 mean
+	// one worker per CPU (resolved by the map-reduce engine).
+	Workers int
+	// ChunkBytes is the chunk size of bounded-memory file feeds; zero
+	// means the partitioner default (4 MiB).
+	ChunkBytes int
+	// MaxDepth bounds value nesting in the streaming decoder; zero
+	// means the parser default.
+	MaxDepth int
+	// Failure and Injector configure the map-reduce failure handling.
+	Failure  mapreduce.FailurePolicy
+	Injector mapreduce.FaultInjector
+	// Rec receives pipeline metrics; nil records nothing.
+	Rec obs.Recorder
+	// Progress is called after each processed chunk (or every
+	// ProgressEveryRecords records on the streaming path); nil reports
+	// nothing.
+	Progress func()
+	// Dedup, when non-nil, selects the hash-consed payload: the map
+	// phase interns types and emits distinct-type multisets, fusion
+	// runs through the memo.
+	Dedup *Dedup
+	// Phases, when non-nil, accumulates per-phase busy times (decode +
+	// infer versus fuse) across workers — the experiments harness's
+	// Table 6 measurements. Nil costs one branch per chunk.
+	Phases *Phases
+}
+
+// Dedup is the shared machinery of one deduplicating run: the
+// hash-consing table the decoders intern into and the memoized fusion
+// policy keyed by that table's IDs. One value spans all chunks, workers
+// and files of a single run.
+type Dedup struct {
+	Tab  *intern.Table
+	Memo *fusion.Memo
+}
+
+// NewDedup builds the dedup machinery for one run under the given
+// fusion policy.
+func NewDedup(o fusion.Options) *Dedup {
+	tab := intern.NewTable()
+	return &Dedup{Tab: tab, Memo: fusion.NewMemo(o, tab)}
+}
+
+// Phases holds the per-phase busy-time tallies of a run, summed across
+// workers (they exceed wall time on multi-worker runs).
+type Phases struct {
+	// InferNS is time spent parsing bytes and inferring per-record
+	// types; FuseNS is time spent simplifying and fusing them
+	// (chunk-local folds and cross-chunk combines).
+	InferNS, FuseNS atomic.Int64
+}
+
+// A Feed produces the line-aligned chunks of one input through emit,
+// in order, and may block. Emit fails once the pipeline stops (error
+// or cancellation), so a feed that forwards emit's error — or simply
+// stops, like SliceFeed — can never wedge the run. A non-nil return
+// marks the *producer* as failed (an I/O error reading the input) and
+// surfaces as a FeedError, distinguishable from decode errors.
+type Feed func(emit func([]byte) error) error
+
+// SliceFeed feeds an in-memory slice of chunks.
+func SliceFeed(chunks [][]byte) Feed {
+	return func(emit func([]byte) error) error {
+		for _, chunk := range chunks {
+			if err := emit(chunk); err != nil {
+				return nil // the pipeline stopped; it carries the error
+			}
+		}
+		return nil
+	}
+}
+
+// A FeedError marks a failure of the input producer (the feed reading
+// chunks) as opposed to the pipeline decoding them, so callers can
+// word — and callers' callers programmatically distinguish — the two.
+type FeedError struct{ Err error }
+
+func (e *FeedError) Error() string { return e.Err.Error() }
+func (e *FeedError) Unwrap() error { return e.Err }
+
+// ProgressEveryRecords throttles Progress callbacks on the sequential
+// streaming path, where "per chunk" has no natural meaning.
+const ProgressEveryRecords = 1024
+
+// Run distributes the feed's chunks over the map-reduce engine: each
+// chunk is typed and locally folded into an Accumulator (the
+// combiner), and accumulators merge associatively + commutatively into
+// one. The feed's producer goroutine is always joined before Run
+// returns, so no goroutine outlives the call. The returned Accumulator
+// is nil when the feed produced nothing (Fold handles it); callers
+// that span several inputs (multi-file dedup) Combine the returned
+// accumulators before folding.
+func Run(ctx context.Context, env *Env, feed Feed) (Accumulator, mapreduce.Stats, error) {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	src := make(chan []byte)
+	feedDone := make(chan struct{})
+	var feedErr error
+	go func() {
+		defer close(feedDone)
+		defer close(src)
+		feedErr = feed(func(chunk []byte) error {
+			select {
+			case src <- chunk:
+				return nil
+			case <-runCtx.Done():
+				return runCtx.Err()
+			}
+		})
+	}()
+
+	mapFn := func(_ context.Context, chunk []byte) (Accumulator, error) {
+		return env.mapChunk(chunk)
+	}
+	combine := Combine
+	if env.Phases != nil {
+		ph := env.Phases
+		combine = func(a, b Accumulator) Accumulator {
+			if a == nil {
+				return b
+			}
+			if b == nil {
+				return a
+			}
+			t0 := time.Now()
+			a.Merge(b)
+			ph.FuseNS.Add(int64(time.Since(t0)))
+			return a
+		}
+	}
+
+	out, mrst, err := mapreduce.Run(runCtx, src, mapFn, combine, nil,
+		mapreduce.Config{Workers: env.Workers, Recorder: env.Rec, Failure: env.Failure, Injector: env.Injector})
+	if err != nil {
+		// Unblock and join the feeder before returning so no goroutine
+		// outlives the call.
+		cancel()
+		<-feedDone
+		return nil, mrst, err
+	}
+	<-feedDone
+	if feedErr != nil {
+		return nil, mrst, &FeedError{Err: feedErr}
+	}
+	return out, mrst, nil
+}
+
+// mapChunk is the decode+infer map stage: it types every value of one
+// line-aligned chunk and folds them into a fresh Accumulator of the
+// Env's payload kind.
+func (e *Env) mapChunk(chunk []byte) (Accumulator, error) {
+	if dd := e.Dedup; dd != nil {
+		// The dedup map task types a chunk into a multiset of distinct
+		// interned types and folds the DISTINCT types once each, in
+		// first-seen order. By commutativity, associativity and
+		// idempotency of fusion on simplified types, this equals folding
+		// all per-record types — the chunk metrics (record counts, fused
+		// size) are therefore identical to the plain payload's.
+		t0 := e.phaseStart()
+		ms, err := infer.DedupAll(chunk, dd.Tab)
+		if err != nil {
+			return nil, err
+		}
+		t0 = e.lapInfer(t0)
+		fused := types.Type(types.Empty)
+		for _, el := range ms.Elems() {
+			fused = dd.Memo.Fuse(fused, dd.Memo.Simplify(el.Type))
+		}
+		e.lapFuse(t0)
+		e.recordChunk(ms.Total(), int64(len(chunk)), fused)
+		return &dedupAcc{dd: dd, ms: ms, fused: fused}, nil
+	}
+	t0 := e.phaseStart()
+	ts, err := infer.InferAll(chunk)
+	if err != nil {
+		return nil, err
+	}
+	t0 = e.lapInfer(t0)
+	acc := e.NewAcc().(*plainAcc)
+	for _, t := range ts {
+		acc.Add(t)
+	}
+	e.lapFuse(t0)
+	e.recordChunk(int64(len(ts)), int64(len(chunk)), acc.fused)
+	return acc, nil
+}
+
+// phaseStart stamps the start of a timed phase segment, or zero when
+// phase timing is off.
+func (e *Env) phaseStart() time.Time {
+	if e.Phases == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// lapInfer charges the elapsed segment to the infer phase and restarts
+// the clock; lapFuse charges it to the fuse phase. Both are no-ops with
+// Phases nil.
+func (e *Env) lapInfer(t0 time.Time) time.Time {
+	if e.Phases == nil {
+		return time.Time{}
+	}
+	now := time.Now()
+	e.Phases.InferNS.Add(int64(now.Sub(t0)))
+	return now
+}
+
+func (e *Env) lapFuse(t0 time.Time) {
+	if e.Phases == nil {
+		return
+	}
+	e.Phases.FuseNS.Add(int64(time.Since(t0)))
+}
+
+// recordChunk emits the per-chunk metrics and progress tick shared by
+// the plain and dedup map stages.
+func (e *Env) recordChunk(records, bytes int64, fused types.Type) {
+	if rec := e.Rec; rec != nil {
+		rec.Add("infer_chunks", 1)
+		rec.Add("infer_records", records)
+		rec.Add("infer_bytes", bytes)
+		rec.Observe("infer_chunk_records", records)
+		// Per-chunk fused sizes are the fusion-growth curve: how
+		// far each partition's types collapse before the reduce.
+		rec.Observe("infer_chunk_fused_size", int64(fused.Size()))
+	}
+	if e.Progress != nil {
+		e.Progress()
+	}
+}
+
+// RunStream types a stream of JSON values one at a time with constant
+// memory: the sequential driver over the same Accumulator stages the
+// chunked Run uses. Returns the accumulator and the number of input
+// bytes consumed. Cancellation takes effect between records.
+func RunStream(ctx context.Context, env *Env, r io.Reader) (Accumulator, int64, error) {
+	dec := infer.NewDecoder(r, jsontext.Options{MaxDepth: env.MaxDepth})
+	defer dec.Release()
+	if env.Dedup != nil {
+		dec.SetInterner(env.Dedup.Tab)
+	}
+	acc := env.NewStreamAcc()
+	var records int64
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, 0, fmt.Errorf("record %d: %w", records+1, ctx.Err())
+		default:
+		}
+		t, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("record %d: %w", records+1, err)
+		}
+		acc.Add(t)
+		records++
+		if env.Rec != nil {
+			env.Rec.Add("infer_records", 1)
+		}
+		if env.Progress != nil && records%ProgressEveryRecords == 0 {
+			env.Progress()
+		}
+	}
+	n := dec.Offset()
+	if env.Rec != nil {
+		env.Rec.Add("infer_bytes", n)
+	}
+	return acc, n, nil
+}

@@ -7,26 +7,22 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/infer"
-	"repro/internal/intern"
 	"repro/internal/jsontext"
-	"repro/internal/mapreduce"
-	"repro/internal/obs"
-	"repro/internal/stats"
-	"repro/internal/types"
+	"repro/internal/pipeline"
 )
 
 // A Source is an input to Infer: a byte buffer, a stream, a file or a
 // set of files. Construct one with FromBytes, FromReader, FromFile or
-// FromFiles. The interface is sealed — each kind carries the knowledge
-// of how to partition itself for the map phase (in-memory split,
-// bounded-memory chunking, or sequential decoding) so Infer can stay
-// one entry point.
+// FromFiles. The interface is sealed — each kind is a thin adapter
+// that feeds the one pipeline engine (internal/pipeline) its
+// partitioning strategy (in-memory split, bounded-memory chunking, or
+// sequential decoding) so Infer can stay one entry point over one code
+// path. See docs/ARCHITECTURE.md for how to add a kind.
 type Source interface {
-	// run executes the pipeline over this input. rec may be nil (record
-	// nothing); progress may be nil (report nothing); dd may be nil (the
-	// default, non-deduplicating path).
-	run(ctx context.Context, opts Options, rec obs.Recorder, progress func(), dd *dedupState) (*Schema, Stats, error)
+	// run executes the pipeline over this input under env, which bundles
+	// the run's cross-cutting state (fusion policy, workers, failure
+	// policy, recorder, progress hook, dedup machinery).
+	run(ctx context.Context, env *pipeline.Env) (*Schema, Stats, error)
 }
 
 // FromBytes is an in-memory NDJSON buffer (one or more
@@ -60,328 +56,109 @@ func FromFiles(paths ...string) Source {
 	return filesSource{paths: append([]string(nil), paths...)}
 }
 
-// chunkOut is the map output for one NDJSON chunk: the measurements
-// and the chunk's fused type. Exactly one of sum (default path) and ms
-// (dedup path) is set; the zero chunkOut is the fold identity of both.
-type chunkOut struct {
-	sum   *stats.Summary
-	ms    *intern.Multiset
-	fused types.Type
+// A FeedError marks a failure of the input producer — opening or
+// reading the underlying file or feed — as opposed to the pipeline
+// decoding its records. Unwrap errors from Infer with errors.As to
+// distinguish the two: a FeedError means the input could not be
+// delivered (retry the I/O, check the path), while a bare decode error
+// means the bytes arrived but were not valid JSON. The wrapped Err
+// preserves the OS-level cause, so errors.Is(err, fs.ErrNotExist)
+// works through it.
+type FeedError struct {
+	// Path is the file being read, or empty for non-file feeds.
+	Path string
+	// Err is the underlying I/O error.
+	Err error
 }
 
-// feedError marks a failure of the input producer (reading chunks) as
-// opposed to the pipeline consuming them, so callers can word the two
-// differently.
-type feedError struct{ err error }
-
-func (e feedError) Error() string { return e.err.Error() }
-func (e feedError) Unwrap() error { return e.err }
-
-// runChunkPipeline distributes line-aligned NDJSON chunks over the
-// map-reduce engine: each chunk is typed and locally fused (the
-// combiner), chunk results fuse associatively + commutatively into one
-// summary and schema. feed produces the chunks through emit and may
-// block; it is always unblocked promptly — emit fails once the
-// pipeline stops (error or ctx cancellation), so feed's producer
-// goroutine can never leak.
-func runChunkPipeline(ctx context.Context, opts Options, rec obs.Recorder, progress func(), dd *dedupState, feed func(emit func([]byte) error) error) (chunkOut, mapreduce.Stats, error) {
-	fz := opts.fusionOptions()
-	pol, inj := opts.failureConfig()
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	src := make(chan []byte)
-	feedDone := make(chan struct{})
-	var feedErr error
-	go func() {
-		defer close(feedDone)
-		defer close(src)
-		feedErr = feed(func(chunk []byte) error {
-			select {
-			case src <- chunk:
-				return nil
-			case <-runCtx.Done():
-				return runCtx.Err()
-			}
-		})
-	}()
-
-	mapFn := func(_ context.Context, chunk []byte) (chunkOut, error) {
-		ts, err := infer.InferAll(chunk)
-		if err != nil {
-			return chunkOut{}, err
-		}
-		sum := &stats.Summary{}
-		acc := types.Type(types.Empty)
-		for _, t := range ts {
-			sum.Add(t)
-			acc = fz.Fuse(acc, fz.Simplify(t))
-		}
-		recordChunk(rec, progress, int64(len(ts)), int64(len(chunk)), acc)
-		return chunkOut{sum: sum, fused: acc}, nil
+func (e *FeedError) Error() string {
+	if e.Path == "" {
+		return fmt.Sprintf("reading input: %v", e.Err)
 	}
-	combine := func(a, b chunkOut) chunkOut {
-		if a.sum == nil {
-			return b
-		}
-		if b.sum == nil {
-			return a
-		}
-		a.sum.Merge(b.sum)
-		return chunkOut{sum: a.sum, fused: fz.Fuse(a.fused, b.fused)}
-	}
-	if dd != nil {
-		// The dedup map task types a chunk into a multiset of distinct
-		// interned types and folds the DISTINCT types once each, in
-		// first-seen order. By commutativity, associativity and
-		// idempotency of fusion on simplified types, this equals folding
-		// all per-record types — the chunk metrics (record counts, fused
-		// size) are therefore identical to the default path's.
-		mapFn = func(_ context.Context, chunk []byte) (chunkOut, error) {
-			ms, err := infer.DedupAll(chunk, dd.tab)
-			if err != nil {
-				return chunkOut{}, err
-			}
-			acc := types.Type(types.Empty)
-			for _, e := range ms.Elems() {
-				acc = dd.memo.Fuse(acc, dd.memo.Simplify(e.Type))
-			}
-			recordChunk(rec, progress, ms.Total(), int64(len(chunk)), acc)
-			return chunkOut{ms: ms, fused: acc}, nil
-		}
-		combine = func(a, b chunkOut) chunkOut { return dedupCombine(dd, a, b) }
-	}
-
-	out, mrst, err := mapreduce.Run(runCtx, src, mapFn, combine, chunkOut{}, mapreduce.Config{Workers: opts.Workers, Recorder: rec, Failure: pol, Injector: inj})
-	if err != nil {
-		// Unblock and join the feeder before returning so no goroutine
-		// outlives the call.
-		cancel()
-		<-feedDone
-		return chunkOut{}, mrst, err
-	}
-	<-feedDone
-	if feedErr != nil {
-		return chunkOut{}, mrst, feedError{err: feedErr}
-	}
-	return out, mrst, nil
+	return fmt.Sprintf("reading %s: %v", e.Path, e.Err)
 }
 
-// recordChunk emits the per-chunk metrics and progress tick shared by
-// the default and dedup map tasks.
-func recordChunk(rec obs.Recorder, progress func(), records, bytes int64, fused types.Type) {
-	if rec != nil {
-		rec.Add("infer_chunks", 1)
-		rec.Add("infer_records", records)
-		rec.Add("infer_bytes", bytes)
-		rec.Observe("infer_chunk_records", records)
-		// Per-chunk fused sizes are the fusion-growth curve: how
-		// far each partition's types collapse before the reduce.
-		rec.Observe("infer_chunk_fused_size", int64(fused.Size()))
-	}
-	if progress != nil {
-		progress()
-	}
-}
+func (e *FeedError) Unwrap() error { return e.Err }
 
-// dedupCombine merges two dedup chunk outputs: multisets merge by
-// interned identity (counts add), fused types fuse through the memo.
-// Associative and commutative with the zero chunkOut as identity, like
-// the default combiner.
-func dedupCombine(dd *dedupState, a, b chunkOut) chunkOut {
-	if a.ms == nil {
-		return b
-	}
-	if b.ms == nil {
-		return a
-	}
-	a.ms.Merge(b.ms)
-	return chunkOut{ms: a.ms, fused: dd.memo.Fuse(a.fused, b.fused)}
-}
-
-// summaryStats translates a pipeline summary into the public Stats.
-func summaryStats(out chunkOut) (Stats, *Schema) {
-	if out.sum == nil {
-		return Stats{}, EmptySchema()
-	}
+// typeStats translates a folded pipeline Result into the public Stats
+// and Schema. The feed-side numbers (Bytes, Retries, QuarantinedChunks)
+// are the caller's to fill in.
+func typeStats(res pipeline.Result) (Stats, *Schema) {
 	return Stats{
-		Records:       out.sum.Count(),
-		DistinctTypes: out.sum.Distinct(),
-		MinTypeSize:   out.sum.MinSize(),
-		MaxTypeSize:   out.sum.MaxSize(),
-		AvgTypeSize:   out.sum.AvgSize(),
-	}, newSchema(out.fused)
+		Records:       res.Records,
+		DistinctTypes: res.DistinctTypes,
+		MinTypeSize:   res.MinTypeSize,
+		MaxTypeSize:   res.MaxTypeSize,
+		AvgTypeSize:   res.AvgTypeSize,
+	}, newSchema(res.Fused)
 }
 
-// multisetStats is summaryStats for the dedup path: the same numbers,
-// recovered from the distinct-type multiset. The sum of sizes is
-// accumulated in an int64 exactly like stats.Summary does (sizes and
-// counts stay far below 2^53), so AvgTypeSize is bit-identical to the
-// per-record accumulation of the default path.
-func multisetStats(out chunkOut) (Stats, *Schema) {
-	if out.ms == nil {
-		return Stats{}, EmptySchema()
-	}
-	var st Stats
-	var sumSize int64
-	for i, e := range out.ms.Elems() {
-		if i == 0 || e.Size < st.MinTypeSize {
-			st.MinTypeSize = e.Size
-		}
-		if e.Size > st.MaxTypeSize {
-			st.MaxTypeSize = e.Size
-		}
-		sumSize += int64(e.Size) * e.Count
-		st.Records += e.Count
-	}
-	st.DistinctTypes = out.ms.Len()
-	if st.Records > 0 {
-		st.AvgTypeSize = float64(sumSize) / float64(st.Records)
-	}
-	return st, newSchema(out.fused)
-}
-
-// bytesSource implements FromBytes.
+// bytesSource implements FromBytes: split in memory, feed the chunks.
 type bytesSource struct{ data []byte }
 
-func (s bytesSource) run(ctx context.Context, opts Options, rec obs.Recorder, progress func(), dd *dedupState) (*Schema, Stats, error) {
-	chunks := jsontext.SplitLines(s.data, opts.workers()*4)
-	out, mrst, err := runChunkPipeline(ctx, opts, rec, progress, dd, func(emit func([]byte) error) error {
-		for _, chunk := range chunks {
-			if err := emit(chunk); err != nil {
-				return nil // the pipeline stopped; it carries the error
-			}
-		}
-		return nil
-	})
+func (s bytesSource) run(ctx context.Context, env *pipeline.Env) (*Schema, Stats, error) {
+	chunks := jsontext.SplitLines(s.data, env.Workers*4)
+	out, mrst, err := pipeline.Run(ctx, env, pipeline.SliceFeed(chunks))
 	if err != nil {
 		return nil, Stats{}, fmt.Errorf("jsoninference: %w", err)
 	}
-	st, schema := summaryStats(out)
-	if dd != nil {
-		st, schema = multisetStats(out)
-	}
+	st, schema := typeStats(pipeline.Fold(out))
 	st.Bytes = int64(len(s.data))
 	st.Retries = mrst.Retries
 	st.QuarantinedChunks = len(mrst.Quarantined)
 	return schema, st, nil
 }
 
-// readerSource implements FromReader.
+// readerSource implements FromReader: the sequential constant-memory
+// driver over the same accumulator stages.
 type readerSource struct{ r io.Reader }
 
-func (s readerSource) run(ctx context.Context, opts Options, rec obs.Recorder, progress func(), dd *dedupState) (*Schema, Stats, error) {
-	dec := infer.NewDecoder(s.r, jsontext.Options{MaxDepth: opts.MaxDepth})
-	defer dec.Release()
-	fz := opts.fusionOptions()
-	var ms *intern.Multiset
-	if dd != nil {
-		dec.SetInterner(dd.tab)
-		ms = intern.NewMultiset()
+func (s readerSource) run(ctx context.Context, env *pipeline.Env) (*Schema, Stats, error) {
+	out, n, err := pipeline.RunStream(ctx, env, s.r)
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("jsoninference: %w", err)
 	}
-	acc := types.Type(types.Empty)
-	var st Stats
-	for {
-		select {
-		case <-ctx.Done():
-			return nil, Stats{}, fmt.Errorf("jsoninference: record %d: %w", st.Records+1, ctx.Err())
-		default:
-		}
-		t, err := dec.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, Stats{}, fmt.Errorf("jsoninference: record %d: %w", st.Records+1, err)
-		}
-		var size int
-		if dd != nil {
-			ref, ok := dd.tab.Ref(t)
-			if !ok {
-				ref, _ = dd.tab.Ref(dd.tab.Canon(t))
-			}
-			size = ref.Size
-			// Absorption — fuse(fuse(A, s), s) = fuse(A, s) for the
-			// simplified s of an already-seen type — lets the streaming
-			// path skip both the Simplify and the Fuse for repeats.
-			if !ms.Contains(ref.ID) {
-				acc = dd.memo.Fuse(acc, dd.memo.Simplify(t))
-			}
-			ms.Add(ref, 1)
-		} else {
-			size = t.Size()
-			acc = fz.Fuse(acc, fz.Simplify(t))
-		}
-		if st.Records == 0 || size < st.MinTypeSize {
-			st.MinTypeSize = size
-		}
-		if size > st.MaxTypeSize {
-			st.MaxTypeSize = size
-		}
-		st.AvgTypeSize += float64(size)
-		st.Records++
-		if rec != nil {
-			rec.Add("infer_records", 1)
-		}
-		if progress != nil && st.Records%progressEveryRecords == 0 {
-			progress()
-		}
-	}
-	if st.Records > 0 {
-		st.AvgTypeSize /= float64(st.Records)
-	}
-	st.Bytes = dec.Offset()
-	if rec != nil {
-		rec.Add("infer_bytes", st.Bytes)
-	}
-	// Streaming keeps constant memory, so the default path cannot count
-	// distinct types and DistinctTypes stays zero; the dedup path gets
-	// the count for free from the intern table.
-	if dd != nil {
-		st.DistinctTypes = ms.Len()
-	}
-	return newSchema(acc), st, nil
+	st, schema := typeStats(pipeline.Fold(out))
+	st.Bytes = n
+	return schema, st, nil
 }
 
-// progressEveryRecords throttles Progress callbacks on the sequential
-// streaming path, where "per chunk" has no natural meaning.
-const progressEveryRecords = 1024
-
-// filesSource implements FromFile and FromFiles.
+// filesSource implements FromFile and FromFiles: each file feeds the
+// chunked pipeline through a bounded-memory line partitioner.
 type filesSource struct {
 	paths []string
 }
 
-func (s filesSource) run(ctx context.Context, opts Options, rec obs.Recorder, progress func(), dd *dedupState) (*Schema, Stats, error) {
-	if dd != nil {
-		// One table and one memo span all files, so per-file multisets
+func (s filesSource) run(ctx context.Context, env *pipeline.Env) (*Schema, Stats, error) {
+	if env.Dedup != nil {
+		// One table and one memo span all files, so per-file accumulators
 		// merge by identity: cross-file distinct counts are exact and the
 		// cross-file fusion is memoized like any other.
-		merged := chunkOut{}
-		var io Stats
+		var merged pipeline.Accumulator
+		var agg Stats
 		for _, path := range s.paths {
-			out, pst, err := s.runOne(ctx, path, opts, rec, progress, dd)
+			out, pst, err := runFilePipeline(ctx, env, path)
 			if err != nil {
 				return nil, Stats{}, err
 			}
-			merged = dedupCombine(dd, merged, out)
-			io.Bytes += pst.Bytes
-			io.Retries += pst.Retries
-			io.QuarantinedChunks += pst.QuarantinedChunks
+			merged = pipeline.Combine(merged, out)
+			agg.Bytes += pst.Bytes
+			agg.Retries += pst.Retries
+			agg.QuarantinedChunks += pst.QuarantinedChunks
 		}
-		st, schema := multisetStats(merged)
-		st.Bytes, st.Retries, st.QuarantinedChunks = io.Bytes, io.Retries, io.QuarantinedChunks
+		st, schema := typeStats(pipeline.Fold(merged))
+		st.Bytes, st.Retries, st.QuarantinedChunks = agg.Bytes, agg.Retries, agg.QuarantinedChunks
 		return schema, st, nil
 	}
-	fz := opts.fusionOptions()
+	fz := env.Fusion
 	acc := EmptySchema()
 	var total Stats
 	for i, path := range s.paths {
-		out, pst, err := s.runOne(ctx, path, opts, rec, progress, dd)
+		out, pst, err := runFilePipeline(ctx, env, path)
 		if err != nil {
 			return nil, Stats{}, err
 		}
-		st, schema := summaryStats(out)
+		st, schema := typeStats(pipeline.Fold(out))
 		st.Bytes, st.Retries, st.QuarantinedChunks = pst.Bytes, pst.Retries, pst.QuarantinedChunks
 		if i == 0 {
 			acc, total = schema, st
@@ -396,26 +173,28 @@ func (s filesSource) run(ctx context.Context, opts Options, rec obs.Recorder, pr
 	return acc, total, nil
 }
 
-// runOne runs the chunked pipeline over one file. The returned Stats
-// carries only the I/O-side numbers (Bytes, Retries, QuarantinedChunks);
-// the caller derives the type-level stats from the chunkOut.
-func (s filesSource) runOne(ctx context.Context, path string, opts Options, rec obs.Recorder, progress func(), dd *dedupState) (chunkOut, Stats, error) {
+// runFilePipeline feeds one file through the chunked pipeline. The
+// returned Stats carries only the I/O-side numbers (Bytes, Retries,
+// QuarantinedChunks); the caller folds the accumulator for the
+// type-level stats. Failures to open or read the file surface as
+// *FeedError; decode failures do not.
+func runFilePipeline(ctx context.Context, env *pipeline.Env, path string) (pipeline.Accumulator, Stats, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return chunkOut{}, Stats{}, fmt.Errorf("jsoninference: %w", err)
+		return nil, Stats{}, fmt.Errorf("jsoninference: %w", &FeedError{Path: path, Err: err})
 	}
 	//lint:ignore droppederr the file is only read; a close error cannot lose data
 	defer f.Close()
 
-	out, mrst, err := runChunkPipeline(ctx, opts, rec, progress, dd, func(emit func([]byte) error) error {
-		return jsontext.ChunkLines(f, opts.ChunkBytes, emit)
+	out, mrst, err := pipeline.Run(ctx, env, func(emit func([]byte) error) error {
+		return jsontext.ChunkLines(f, env.ChunkBytes, emit)
 	})
 	if err != nil {
-		var fe feedError
+		var fe *pipeline.FeedError
 		if errors.As(err, &fe) {
-			return chunkOut{}, Stats{}, fmt.Errorf("jsoninference: reading %s: %w", path, fe.err)
+			return nil, Stats{}, fmt.Errorf("jsoninference: %w", &FeedError{Path: path, Err: fe.Err})
 		}
-		return chunkOut{}, Stats{}, fmt.Errorf("jsoninference: %s: %w", path, err)
+		return nil, Stats{}, fmt.Errorf("jsoninference: %s: %w", path, err)
 	}
 	var st Stats
 	if info, err := f.Stat(); err == nil {
