@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/experiments"
@@ -26,7 +27,11 @@ import (
 )
 
 func main() {
-	code, err := run(os.Args[1:], os.Stdout, os.Stderr)
+	// The root context is minted here and only here: cancellation (^C)
+	// must reach the inference pipeline through every layer below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	code, err := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "querycheck:", err)
 		os.Exit(2)
@@ -34,7 +39,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(args []string, stdout, stderr io.Writer) (int, error) {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, error) {
 	fs := flag.NewFlagSet("querycheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	dataPath := fs.String("data", "", "NDJSON dataset to infer the input schema from")
@@ -66,7 +71,7 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 		if err != nil {
 			return 2, err
 		}
-		res, err := experiments.RunPipelineOverNDJSON(context.Background(), raw, experiments.Config{})
+		res, err := experiments.RunPipelineOverNDJSON(ctx, raw, experiments.Config{})
 		if err != nil {
 			return 2, fmt.Errorf("%s: %w", *dataPath, err)
 		}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -20,7 +21,7 @@ func write(t *testing.T, dir, name, content string) string {
 func runCmd(t *testing.T, args ...string) (string, int, error) {
 	t.Helper()
 	var out, errBuf bytes.Buffer
-	code, err := run(args, &out, &errBuf)
+	code, err := run(context.Background(), args, &out, &errBuf)
 	return out.String(), code, err
 }
 
@@ -100,5 +101,21 @@ func TestUsageErrors(t *testing.T) {
 	badData := write(t, dir, "bad.ndjson", `{"a":`)
 	if _, _, err := runCmd(t, "-data", badData, script); err == nil {
 		t.Error("bad dataset accepted")
+	}
+}
+
+// TestCancelledContext pins the plumbing this command was missing: the
+// context handed to run must reach the inference pipeline, so a
+// cancelled context aborts dataset inference instead of running it to
+// completion on a dead deadline.
+func TestCancelledContext(t *testing.T) {
+	dir := t.TempDir()
+	data := write(t, dir, "d.ndjson", `{"x":1}`+"\n")
+	script := write(t, dir, "s.pig", "a = LOAD 'input';\n")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errBuf bytes.Buffer
+	if _, err := run(ctx, []string{"-data", data, script}, &out, &errBuf); err == nil {
+		t.Fatal("cancelled context did not abort inference")
 	}
 }

@@ -1,18 +1,27 @@
 // Command repolint runs this repository's custom static-analysis suite
-// (internal/analyze): five stdlib-only analyzers guarding the
-// determinism, immutability and concurrency invariants the schema
-// inference pipeline is built on. See docs/ANALYSIS.md for what each
-// analyzer checks and how to suppress a finding.
+// (internal/analyze): nine stdlib-only analyzers guarding the
+// determinism, immutability, purity and concurrency invariants the
+// schema inference pipeline is built on — three of them
+// interprocedural, consuming call-graph function summaries. See
+// docs/ANALYSIS.md for what each analyzer checks and how to suppress a
+// finding.
 //
 // Usage:
 //
-//	repolint [-json] [-list] [packages...]
+//	repolint [-json | -sarif] [-fix] [-stats] [-list] [packages...]
 //
 // Packages are directory patterns relative to the working directory
 // (default "./..."); a trailing /... recurses. The exit status is 0
 // when no findings remain after suppression, 1 when findings are
 // reported, and 2 on usage or load errors — the same convention as go
 // vet, so CI can tell "dirty tree" from "broken run".
+//
+// -json emits the findings as a JSON array (start and end positions,
+// analyzer doc anchor, fixability). -sarif emits a SARIF 2.1.0 log for
+// code-scanning upload. -fix applies the suggested fixes attached to
+// mechanical findings in place and reports what it rewrote; a second
+// run after -fix reports zero fixable findings. -stats prints
+// per-analyzer finding counts and wall time to stderr.
 package main
 
 import (
@@ -35,14 +44,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log instead of text")
+	fix := fs.Bool("fix", false, "apply suggested fixes in place")
+	stats := fs.Bool("stats", false, "print per-analyzer finding counts and wall time to stderr")
 	list := fs.Bool("list", false, "list the registered analyzers and exit")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "repolint: -json and -sarif are mutually exclusive")
 		return 2
 	}
 
 	if *list {
 		for _, a := range analyze.All() {
-			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+			kind := "local"
+			if a.NeedsSummaries {
+				kind = "interprocedural"
+			}
+			fmt.Fprintf(stdout, "%-14s %-16s %s\n", a.Name, kind, a.Doc)
 		}
 		return 0
 	}
@@ -54,7 +74,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	// Root the loader at the first pattern so repolint works from any
 	// directory inside the module (and, in tests, on other modules).
-	loader, err := analyze.NewLoader(patternDir(patterns[0]))
+	root := patternDir(patterns[0])
+	loader, err := analyze.NewLoader(root)
 	if err != nil {
 		fmt.Fprintln(stderr, "repolint:", err)
 		return 2
@@ -64,24 +85,71 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "repolint:", err)
 		return 2
 	}
-	diags := analyze.Check(pkgs, analyze.All())
+	diags, perAnalyzer := analyze.CheckStats(pkgs, analyze.All())
 
-	if *jsonOut {
+	if *fix {
+		results, err := analyze.ApplyFixes(loader.Fset(), diags)
+		if err != nil {
+			fmt.Fprintln(stderr, "repolint:", err)
+			return 2
+		}
+		applied := 0
+		for _, r := range results {
+			if r.Applied > 0 {
+				fmt.Fprintf(stdout, "%s: applied %d fix(es)\n", relPath(r.File), r.Applied)
+				applied += r.Applied
+			}
+			if r.Skipped > 0 {
+				fmt.Fprintf(stdout, "%s: skipped %d overlapping fix(es); re-run repolint\n", relPath(r.File), r.Skipped)
+			}
+		}
+		fmt.Fprintf(stderr, "repolint: %d fix(es) applied\n", applied)
+		// Fixed findings are cured; the rest still stand.
+		remaining := diags[:0]
+		for _, d := range diags {
+			if !d.Fixable {
+				remaining = append(remaining, d)
+			}
+		}
+		diags = remaining
+	}
+
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
 			diags = []analyze.Diagnostic{}
 		}
+		for i := range diags {
+			diags[i].File = relPath(diags[i].File)
+		}
 		if err := enc.Encode(diags); err != nil {
 			fmt.Fprintln(stderr, "repolint:", err)
 			return 2
 		}
-	} else {
+	case *sarifOut:
+		absRoot, err := filepath.Abs(root)
+		if err != nil {
+			absRoot = root
+		}
+		if err := analyze.WriteSARIF(stdout, diags, absRoot); err != nil {
+			fmt.Fprintln(stderr, "repolint:", err)
+			return 2
+		}
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, relativize(d))
 		}
 		if len(diags) > 0 {
 			fmt.Fprintf(stderr, "repolint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		}
+	}
+
+	if *stats {
+		for _, s := range perAnalyzer {
+			fmt.Fprintf(stderr, "repolint: %-14s %3d finding(s) %10.2fms\n",
+				s.Name, s.Findings, float64(s.Elapsed.Microseconds())/1000)
 		}
 	}
 
@@ -101,13 +169,20 @@ func patternDir(pat string) string {
 	return dir
 }
 
-// relativize renders a diagnostic with a working-directory-relative
-// path when possible, keeping output stable across checkouts.
-func relativize(d analyze.Diagnostic) string {
+// relPath renders a path relative to the working directory when
+// possible, keeping output stable across checkouts.
+func relPath(name string) string {
 	if wd, err := os.Getwd(); err == nil {
-		if rel, err := filepath.Rel(wd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			d.Pos.Filename = rel
+		if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
 		}
 	}
+	return name
+}
+
+// relativize renders a diagnostic with a working-directory-relative
+// path.
+func relativize(d analyze.Diagnostic) string {
+	d.Pos.Filename = relPath(d.Pos.Filename)
 	return d.String()
 }

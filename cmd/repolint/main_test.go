@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"slices"
+	"sort"
 	"strings"
 	"testing"
 
@@ -126,10 +128,183 @@ func TestListAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != len(analyze.All()) || len(lines) != 9 {
+		t.Fatalf("-list printed %d lines, want 9 (one per analyzer):\n%s", len(lines), out)
+	}
 	for _, a := range analyze.All() {
 		if !strings.Contains(out, a.Name) {
 			t.Errorf("-list output missing %s", a.Name)
 		}
+		wantKind := "local"
+		if a.NeedsSummaries {
+			wantKind = "interprocedural"
+		}
+		for _, line := range lines {
+			if strings.HasPrefix(line, a.Name+" ") && !strings.Contains(line, wantKind) {
+				t.Errorf("-list line for %s lacks kind %q: %s", a.Name, wantKind, line)
+			}
+		}
+	}
+	for _, name := range []string{"monoidpure", "internmut", "ctxflow"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing interprocedural analyzer %s", name)
+		}
+	}
+}
+
+// TestJSONShapeGolden pins the exact serialized field set of a finding:
+// downstream consumers (editor integrations, the CI diff script) key on
+// these property names, so adding or renaming one must be a conscious,
+// test-breaking act.
+func TestJSONShapeGolden(t *testing.T) {
+	dir := writeModule(t, dirtySrc)
+	out, _, code := runCmd(t, "-json", dir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var raw []map[string]any
+	if err := json.Unmarshal([]byte(out), &raw); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if len(raw) != 1 {
+		t.Fatalf("got %d findings, want 1", len(raw))
+	}
+	want := []string{"analyzer", "doc", "message", "file", "line", "col", "endLine", "endCol", "fixable"}
+	got := make([]string, 0, len(raw[0]))
+	for k := range raw[0] {
+		got = append(got, k)
+	}
+	sort.Strings(want)
+	sort.Strings(got)
+	if !slices.Equal(got, want) {
+		t.Errorf("JSON keys = %v, want %v", got, want)
+	}
+	if doc, _ := raw[0]["doc"].(string); !strings.HasPrefix(doc, "docs/ANALYSIS.md#") {
+		t.Errorf("doc = %q, want a docs/ANALYSIS.md anchor", raw[0]["doc"])
+	}
+	if end, _ := raw[0]["endLine"].(float64); end < 1 {
+		t.Errorf("endLine = %v, want a populated end position", raw[0]["endLine"])
+	}
+}
+
+func TestJSONAndSARIFMutuallyExclusive(t *testing.T) {
+	_, errOut, code := runCmd(t, "-json", "-sarif", ".")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "mutually exclusive") {
+		t.Errorf("stderr = %q, want a mutually-exclusive complaint", errOut)
+	}
+}
+
+// TestSARIFOutput smoke-tests the -sarif path end to end on a dirty
+// module: valid JSON, correct version, one result, relative URI.
+func TestSARIFOutput(t *testing.T) {
+	dir := writeModule(t, dirtySrc)
+	out, _, code := runCmd(t, "-sarif", dir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out), &log); err != nil {
+		t.Fatalf("SARIF output is not JSON: %v\n%s", err, out)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version=%q runs=%d, want 2.1.0 and 1 run", log.Version, len(log.Runs))
+	}
+	rs := log.Runs[0].Results
+	if len(rs) != 1 || rs[0].RuleID != "droppederr" {
+		t.Fatalf("results = %+v, want one droppederr", rs)
+	}
+	if uri := rs[0].Locations[0].PhysicalLocation.ArtifactLocation.URI; filepath.IsAbs(uri) {
+		t.Errorf("artifact URI %q is absolute, want relative to the module root", uri)
+	}
+}
+
+// TestFixRoundTrip is the acceptance property of -fix: apply the
+// mechanical fixes, and a second plain run must come back clean. The
+// module has both fixable shapes — a key-collecting map range without a
+// sort (nondetmap inserts one plus the "sort" import) and a deferred
+// Close with a named error result (droppederr wraps it in errors.Join
+// and adds "errors").
+func TestFixRoundTrip(t *testing.T) {
+	dir := writeModule(t, `package p
+
+import "os"
+
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func ReadAll(path string) (data []byte, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	return buf[:n], err
+}
+`)
+	out, errOut, code := runCmd(t, "-fix", dir)
+	if code != 0 {
+		t.Fatalf("first -fix run exit = %d (all findings were fixable)\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+	if !strings.Contains(errOut, "2 fix(es) applied") {
+		t.Errorf("stderr = %q, want 2 fixes applied", errOut)
+	}
+
+	src, err := os.ReadFile(filepath.Join(dir, "p.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sort.Strings(keys)", "errors.Join(err, f.Close())", `"sort"`, `"errors"`} {
+		if !strings.Contains(string(src), want) {
+			t.Errorf("rewritten source missing %q:\n%s", want, src)
+		}
+	}
+
+	out, errOut, code = runCmd(t, dir)
+	if code != 0 {
+		t.Fatalf("second run exit = %d, want 0 (round-trip must converge)\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+}
+
+// TestStatsOutput checks -stats prints a per-analyzer line with a
+// finding count and wall time for every registered analyzer.
+func TestStatsOutput(t *testing.T) {
+	dir := writeModule(t, dirtySrc)
+	_, errOut, code := runCmd(t, "-stats", dir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	for _, a := range analyze.All() {
+		if !strings.Contains(errOut, a.Name) {
+			t.Errorf("-stats output missing %s:\n%s", a.Name, errOut)
+		}
+	}
+	if !strings.Contains(errOut, "finding(s)") || !strings.Contains(errOut, "ms") {
+		t.Errorf("-stats output lacks counts or timing:\n%s", errOut)
 	}
 }
 

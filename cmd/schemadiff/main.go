@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/diff"
@@ -26,7 +27,11 @@ import (
 )
 
 func main() {
-	code, err := run(os.Args[1:], os.Stdout, os.Stderr)
+	// The root context is minted here and only here: cancellation (^C)
+	// must reach the inference pipeline through every layer below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	code, err := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "schemadiff:", err)
 		os.Exit(2)
@@ -34,7 +39,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(args []string, stdout, stderr io.Writer) (int, error) {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (int, error) {
 	fs := flag.NewFlagSet("schemadiff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	schemas := fs.Bool("schemas", false, "arguments are schema files in the type syntax, not datasets")
@@ -44,11 +49,11 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	if fs.NArg() != 2 {
 		return 2, fmt.Errorf("need exactly two arguments, got %d", fs.NArg())
 	}
-	oldT, err := load(fs.Arg(0), *schemas)
+	oldT, err := load(ctx, fs.Arg(0), *schemas)
 	if err != nil {
 		return 2, err
 	}
-	newT, err := load(fs.Arg(1), *schemas)
+	newT, err := load(ctx, fs.Arg(1), *schemas)
 	if err != nil {
 		return 2, err
 	}
@@ -62,7 +67,7 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 
 // load produces a type from a dataset file (inferring its schema) or a
 // schema file in the type syntax.
-func load(path string, isSchema bool) (types.Type, error) {
+func load(ctx context.Context, path string, isSchema bool) (types.Type, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -74,7 +79,7 @@ func load(path string, isSchema bool) (types.Type, error) {
 		}
 		return t, nil
 	}
-	res, err := experiments.RunPipelineOverNDJSON(context.Background(), data, experiments.Config{})
+	res, err := experiments.RunPipelineOverNDJSON(ctx, data, experiments.Config{})
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}

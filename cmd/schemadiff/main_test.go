@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -20,7 +21,7 @@ func write(t *testing.T, name, content string) string {
 func runCmd(t *testing.T, args ...string) (string, int, error) {
 	t.Helper()
 	var out, errBuf bytes.Buffer
-	code, err := run(args, &out, &errBuf)
+	code, err := run(context.Background(), args, &out, &errBuf)
 	return out.String(), code, err
 }
 
@@ -79,5 +80,20 @@ func TestErrors(t *testing.T) {
 	goodData := write(t, "good.ndjson", `{"x":1}`)
 	if _, _, err := runCmd(t, badData, goodData); err == nil {
 		t.Error("malformed dataset accepted")
+	}
+}
+
+// TestCancelledContext pins the plumbing this command was missing: the
+// context handed to run must reach the inference pipeline, so a
+// cancelled context aborts dataset inference instead of running it to
+// completion on a dead deadline.
+func TestCancelledContext(t *testing.T) {
+	a := write(t, "a.ndjson", `{"x":1}`+"\n")
+	b := write(t, "b.ndjson", `{"x":2}`+"\n")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errBuf bytes.Buffer
+	if _, err := run(ctx, []string{a, b}, &out, &errBuf); err == nil {
+		t.Fatal("cancelled context did not abort inference")
 	}
 }

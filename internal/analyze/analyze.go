@@ -10,7 +10,7 @@
 // inputs they happen to generate; the analyzers in this package check
 // the *source* for the coding patterns that break them, on every build.
 //
-// The six project-specific analyzers are:
+// The nine project-specific analyzers are:
 //
 //   - nondetmap: iteration over a Go map whose body performs an
 //     order-sensitive operation (append to an outer slice, channel
@@ -30,11 +30,29 @@
 //     capture loop variables or assign to captured state — stages run
 //     concurrently and may be retried, so mutable state belongs in the
 //     Accumulator or Env.
+//   - monoidpure: accumulator methods (Add/Merge/Fold) and the fusion
+//     entry points must be transitively free of nondeterminism and
+//     external mutation — checked through calls via the function
+//     summaries of callgraph.go/summary.go.
+//   - internmut: writes through accessor slices of interned types
+//     reached across call boundaries (a callee that mutates its slice
+//     parameter receiving an accessor result), extending typemut
+//     interprocedurally.
+//   - ctxflow: functions that receive a context.Context must pass it
+//     down rather than minting context.Background(), and loops that
+//     spawn goroutines must observe ctx.Done().
+//
+// The last three consume the per-function fact summaries built by
+// ComputeSummaries (pass 1); the driver computes those once per Check
+// over the full package set, so facts flow across every package loaded
+// together.
 //
 // Diagnostics can be suppressed with a `//lint:ignore <analyzers>
 // <reason>` comment on the flagged line or the line directly above it;
-// see suppress.go. The cmd/repolint command is the CLI front end and
-// verify.sh wires it into CI.
+// see suppress.go. Directives naming an analyzer that does not exist
+// are themselves reported (analyzer "suppress") rather than silently
+// accepted. The cmd/repolint command is the CLI front end and verify.sh
+// wires it into CI.
 package analyze
 
 import (
@@ -43,6 +61,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Analyzer is one named check. Run inspects a type-checked package via
@@ -56,6 +75,17 @@ type Analyzer struct {
 	Doc string
 	// Run executes the analyzer over one package.
 	Run func(*Pass)
+	// NeedsSummaries marks interprocedural analyzers: the driver
+	// computes function summaries over the whole package set before
+	// running them and exposes the result as Pass.Sums.
+	NeedsSummaries bool
+}
+
+// DocAnchor returns the analyzer's documentation link, an anchor into
+// docs/ANALYSIS.md. It is attached to every finding (JSON `doc` field,
+// SARIF helpUri).
+func (a *Analyzer) DocAnchor() string {
+	return "docs/ANALYSIS.md#" + a.Name
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -70,17 +100,43 @@ type Pass struct {
 	Pkg *types.Package
 	// Info holds the type-checker's recordings for the files.
 	Info *types.Info
+	// Sums holds the interprocedural function summaries, non-nil only
+	// for analyzers with NeedsSummaries set.
+	Sums *Summaries
 
 	diags *[]Diagnostic
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	*p.diags = append(*p.diags, Diagnostic{
+	p.report(pos, token.NoPos, nil, format, args...)
+}
+
+// ReportNode records a finding spanning the node, so the diagnostic
+// carries an end position (JSON endLine/endCol, SARIF region).
+func (p *Pass) ReportNode(n ast.Node, format string, args ...any) {
+	p.report(n.Pos(), n.End(), nil, format, args...)
+}
+
+// ReportNodeFix records a finding spanning the node with an attached
+// suggested fix, applied by `repolint -fix`.
+func (p *Pass) ReportNodeFix(n ast.Node, fix *SuggestedFix, format string, args ...any) {
+	p.report(n.Pos(), n.End(), fix, format, args...)
+}
+
+func (p *Pass) report(pos, end token.Pos, fix *SuggestedFix, format string, args ...any) {
+	d := Diagnostic{
 		Analyzer: p.Analyzer.Name,
+		Doc:      p.Analyzer.DocAnchor(),
 		Pos:      p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
-	})
+		Fix:      fix,
+		Fixable:  fix != nil,
+	}
+	if end.IsValid() {
+		d.End = p.Fset.Position(end)
+	}
+	*p.diags = append(*p.diags, d)
 }
 
 // TypeOf returns the type of e, or nil if the checker did not record
@@ -103,15 +159,27 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 type Diagnostic struct {
 	// Analyzer names the check that fired.
 	Analyzer string `json:"analyzer"`
-	// Pos locates the finding.
+	// Doc is the documentation anchor for the analyzer.
+	Doc string `json:"doc"`
+	// Pos locates the finding; End, when valid, closes the flagged
+	// source range.
 	Pos token.Position `json:"-"`
+	End token.Position `json:"-"`
 	// Message explains the finding.
 	Message string `json:"message"`
 
-	// File, Line and Col mirror Pos for JSON output.
-	File string `json:"file"`
-	Line int    `json:"line"`
-	Col  int    `json:"col"`
+	// File, Line and Col mirror Pos for JSON output; EndLine/EndCol
+	// mirror End (zero when the finding has no range).
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	EndLine int    `json:"endLine,omitempty"`
+	EndCol  int    `json:"endCol,omitempty"`
+
+	// Fixable reports whether a suggested fix is attached; Fix is the
+	// fix itself (not serialized — `repolint -fix` applies it).
+	Fixable bool          `json:"fixable"`
+	Fix     *SuggestedFix `json:"-"`
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -128,6 +196,9 @@ func All() []*Analyzer {
 		DroppedErr,
 		LockCopy,
 		StageCapture,
+		MonoidPure,
+		InternMut,
+		CtxFlow,
 	}
 }
 
@@ -141,15 +212,47 @@ func ByName(name string) *Analyzer {
 	return nil
 }
 
+// AnalyzerStat is one analyzer's cost and yield over a Check run, for
+// verify.sh's per-analyzer report. The pseudo-entry "summaries" covers
+// pass 1 (call graph + fixpoint), shared by all interprocedural
+// analyzers.
+type AnalyzerStat struct {
+	Name     string
+	Findings int
+	Elapsed  time.Duration
+}
+
 // Check runs the analyzers over the packages, drops findings matched by
 // lint:ignore directives, and returns the remainder sorted by file,
 // line, column and analyzer name so output is deterministic.
 func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := CheckStats(pkgs, analyzers)
+	return diags
+}
+
+// CheckStats is Check plus per-analyzer timing and finding counts.
+// Summaries are computed once over the whole package set when any
+// requested analyzer needs them, so interprocedural facts flow across
+// every package loaded together.
+func CheckStats(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerStat) {
+	var sums *Summaries
+	stats := make([]AnalyzerStat, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		if a.NeedsSummaries {
+			start := time.Now()
+			sums = ComputeSummaries(pkgs)
+			stats = append(stats, AnalyzerStat{Name: "summaries", Elapsed: time.Since(start)})
+			break
+		}
+	}
+
 	var diags []Diagnostic
+	statIdx := make(map[string]int)
 	for _, pkg := range pkgs {
-		sup := collectSuppressions(pkg.Fset, pkg.Files)
+		sup, bad := collectSuppressions(pkg.Fset, pkg.Files)
 		var pkgDiags []Diagnostic
 		for _, a := range analyzers {
+			start := time.Now()
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -158,13 +261,32 @@ func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Info:     pkg.Info,
 				diags:    &pkgDiags,
 			}
-			a.Run(pass)
-		}
-		for _, d := range pkgDiags {
-			if !sup.matches(d) {
-				d.File, d.Line, d.Col = d.Pos.Filename, d.Pos.Line, d.Pos.Column
-				diags = append(diags, d)
+			if a.NeedsSummaries {
+				pass.Sums = sums
 			}
+			a.Run(pass)
+
+			i, ok := statIdx[a.Name]
+			if !ok {
+				i = len(stats)
+				statIdx[a.Name] = i
+				stats = append(stats, AnalyzerStat{Name: a.Name})
+			}
+			stats[i].Elapsed += time.Since(start)
+		}
+		// Malformed or unknown-name directives are findings in their own
+		// right (analyzer "suppress") and are never suppressible — a
+		// directive must not be able to silence the report about itself.
+		pkgDiags = append(pkgDiags, bad...)
+		for _, d := range pkgDiags {
+			if d.Analyzer != suppressName && sup.matches(d) {
+				continue
+			}
+			d.File, d.Line, d.Col = d.Pos.Filename, d.Pos.Line, d.Pos.Column
+			if d.End.IsValid() {
+				d.EndLine, d.EndCol = d.End.Line, d.End.Column
+			}
+			diags = append(diags, d)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -180,5 +302,16 @@ func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
+	// Finding counts reflect what survived suppression — the numbers a
+	// CI log should show next to each analyzer's cost.
+	for _, d := range diags {
+		i, ok := statIdx[d.Analyzer]
+		if !ok {
+			i = len(stats)
+			statIdx[d.Analyzer] = i
+			stats = append(stats, AnalyzerStat{Name: d.Analyzer})
+		}
+		stats[i].Findings++
+	}
+	return diags, stats
 }

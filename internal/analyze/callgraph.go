@@ -1,0 +1,242 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file builds the package-level call graph that pass 1 of the
+// interprocedural framework (summary.go) propagates facts over. Nodes
+// are the function and method declarations of the analyzed package set;
+// edges are static call sites resolved through go/types. Calls through
+// function values and interface methods have no static callee and
+// produce no edge — the summary layer treats such callees as fact-free,
+// a documented (and suppressible) blind spot.
+//
+// Each call site records, per argument, the *root* of the argument
+// expression in the caller's frame: the receiver, a parameter, a
+// package-level variable, or none of those. That mapping is what lets
+// mutation facts flow backwards through calls ("callee writes its first
+// parameter" + "caller passes its receiver there" = "caller mutates its
+// receiver").
+
+// rootKind classifies what storage an expression is rooted in, from the
+// perspective of the enclosing function declaration.
+type rootKind uint8
+
+const (
+	rootNone   rootKind = iota // a local, a literal, a fresh allocation
+	rootRecv                   // the method receiver
+	rootParam                  // the index-th parameter
+	rootGlobal                 // a package-level variable
+)
+
+// argRoot is the resolved root of one argument (or receiver) expression.
+type argRoot struct {
+	kind  rootKind
+	index int // parameter index for rootParam
+}
+
+// callSite is one static call from a function body.
+type callSite struct {
+	callee *types.Func
+	pos    token.Pos
+	// recv is the root of the receiver expression for method calls
+	// (x.M(...): the root of x), rootNone for package-level calls.
+	recv argRoot
+	// args are the roots of the value arguments, in call order.
+	args []argRoot
+}
+
+// funcNode is one declared function or method.
+type funcNode struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+	// recvObj and paramObjs are the declared receiver and parameter
+	// objects, used to classify expression roots.
+	recvObj   types.Object
+	paramObjs []types.Object
+	// aliases maps simple locals to the root of the expression they
+	// were first bound to (x := other.(*T), fs := r.fields), so writes
+	// through the alias propagate to the right root. Flow-insensitive:
+	// the first binding wins.
+	aliases map[types.Object]argRoot
+	calls   []callSite
+}
+
+// callGraph indexes funcNodes and provides a deterministic iteration
+// order (package path, then file position), which keeps the summary
+// fixpoint — including its first-witness diagnostics — byte-stable
+// across runs.
+type callGraph struct {
+	nodes map[*types.Func]*funcNode
+	order []*funcNode
+}
+
+// buildCallGraph constructs the graph for the package set. Only
+// declarations inside pkgs become nodes; callees outside the set (other
+// module packages not loaded, the standard library) stay edge targets
+// with no node, resolved by the summary layer's built-in tables.
+func buildCallGraph(pkgs []*Package) *callGraph {
+	g := &callGraph{nodes: make(map[*types.Func]*funcNode)}
+	for _, pkg := range pkgs {
+		p := &Pass{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := p.ObjectOf(fd.Name).(*types.Func)
+				if fn == nil {
+					continue
+				}
+				g.addNode(p, pkg, fd, fn)
+			}
+		}
+	}
+	g.order = make([]*funcNode, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		g.order = append(g.order, n)
+	}
+	sort.Slice(g.order, func(i, j int) bool {
+		a, b := g.order[i], g.order[j]
+		if a.pkg.Path != b.pkg.Path {
+			return a.pkg.Path < b.pkg.Path
+		}
+		pa, pb := a.pkg.Fset.Position(a.decl.Pos()), b.pkg.Fset.Position(b.decl.Pos())
+		if pa.Filename != pb.Filename {
+			return pa.Filename < pb.Filename
+		}
+		return pa.Offset < pb.Offset
+	})
+	return g
+}
+
+func (g *callGraph) addNode(p *Pass, pkg *Package, fd *ast.FuncDecl, fn *types.Func) {
+	n := &funcNode{fn: fn, decl: fd, pkg: pkg, aliases: make(map[types.Object]argRoot)}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		n.recvObj = p.ObjectOf(fd.Recv.List[0].Names[0])
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			n.paramObjs = append(n.paramObjs, p.ObjectOf(name))
+		}
+		if len(field.Names) == 0 {
+			n.paramObjs = append(n.paramObjs, nil) // unnamed: never a root
+		}
+	}
+	g.nodes[fn] = n
+
+	// One pre-order walk collects alias bindings and call sites. Alias
+	// bindings are recorded as encountered (source order), so a binding
+	// is visible to later uses — the common single-assignment shape.
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		switch nn := node.(type) {
+		case *ast.AssignStmt:
+			if nn.Tok == token.DEFINE && len(nn.Lhs) == len(nn.Rhs) {
+				for i, lhs := range nn.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					obj := p.ObjectOf(id)
+					if obj == nil {
+						continue
+					}
+					if r := n.exprRoot(p, nn.Rhs[i]); r.kind != rootNone {
+						if _, seen := n.aliases[obj]; !seen {
+							n.aliases[obj] = r
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			n.addCall(p, nn)
+		}
+		return true
+	})
+}
+
+// addCall records a static call edge with resolved argument roots.
+func (n *funcNode) addCall(p *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return
+	}
+	cs := callSite{callee: fn, pos: call.Pos()}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && fn.Type().(*types.Signature).Recv() != nil {
+		cs.recv = n.exprRoot(p, sel.X)
+	}
+	cs.args = make([]argRoot, len(call.Args))
+	for i, a := range call.Args {
+		cs.args[i] = n.exprRoot(p, a)
+	}
+	n.calls = append(n.calls, cs)
+}
+
+// exprRoot resolves the storage an expression is rooted in: it walks
+// selector/index/star/slice/paren/type-assert chains to a base
+// identifier and classifies it, following recorded aliases.
+func (n *funcNode) exprRoot(p *Pass, e ast.Expr) argRoot {
+	for {
+		switch ee := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return n.objRoot(p.ObjectOf(ee))
+		case *ast.SelectorExpr:
+			// pkg.Var selectors root at the variable itself.
+			if base := rootIdent(ee.X); base != nil {
+				if _, isPkg := p.ObjectOf(base).(*types.PkgName); isPkg {
+					return n.objRoot(p.ObjectOf(ee.Sel))
+				}
+			}
+			e = ee.X
+		case *ast.IndexExpr:
+			e = ee.X
+		case *ast.SliceExpr:
+			e = ee.X
+		case *ast.StarExpr:
+			e = ee.X
+		case *ast.TypeAssertExpr:
+			e = ee.X
+		case *ast.UnaryExpr:
+			if ee.Op != token.AND {
+				return argRoot{}
+			}
+			e = ee.X
+		case *ast.CallExpr:
+			// A call result is fresh storage from the caller's point of
+			// view — except accessor-style results, which internmut
+			// handles separately via isAccessorExpr.
+			return argRoot{}
+		default:
+			return argRoot{}
+		}
+	}
+}
+
+// objRoot classifies an object as receiver, parameter, global or none,
+// following aliases.
+func (n *funcNode) objRoot(obj types.Object) argRoot {
+	if obj == nil {
+		return argRoot{}
+	}
+	if obj == n.recvObj {
+		return argRoot{kind: rootRecv}
+	}
+	for i, po := range n.paramObjs {
+		if po != nil && obj == po {
+			return argRoot{kind: rootParam, index: i}
+		}
+	}
+	if v, ok := obj.(*types.Var); ok && v.Parent() == n.pkg.Types.Scope() {
+		return argRoot{kind: rootGlobal}
+	}
+	if r, ok := n.aliases[obj]; ok {
+		return r
+	}
+	return argRoot{}
+}

@@ -1,0 +1,192 @@
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// Suggested fixes. An analyzer may attach a SuggestedFix to a finding
+// (Pass.ReportNodeFix); `repolint -fix` applies them. Fixes are kept
+// deliberately mechanical — inserting a sort before an order-sensitive
+// map range, joining a dropped Close error into a named error result,
+// replacing context.Background() with an in-scope ctx — so applying
+// them is safe without human review and a second run reports zero
+// fixable findings (the round-trip property pinned by the tests).
+
+// SuggestedFix is one mechanical rewrite curing a finding.
+type SuggestedFix struct {
+	// Message describes the rewrite, shown by -fix as it applies.
+	Message string
+	// Edits are the byte-range replacements, non-overlapping.
+	Edits []TextEdit
+	// NeedImport, when non-empty, is an import path the rewritten file
+	// must import (e.g. "sort" or "errors"); it is added if missing.
+	NeedImport string
+}
+
+// TextEdit replaces source bytes [Pos, End) with NewText. Pos == End
+// is an insertion.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// FixResult reports what ApplyFixes did to one file.
+type FixResult struct {
+	File    string
+	Applied int
+	Skipped int // fixes dropped because their edits overlapped earlier ones
+}
+
+// ApplyFixes applies every attached fix, grouped per file, rewriting
+// the files in place. Edits are applied bottom-up so byte offsets stay
+// valid; a fix whose edits overlap an already-applied edit is skipped
+// (its finding will resurface on the next run). Results come back
+// sorted by filename.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) ([]FixResult, error) {
+	type pendingEdit struct {
+		start, end int // byte offsets in the file
+		newText    string
+	}
+	type fileFixes struct {
+		edits   []pendingEdit
+		imports map[string]bool
+		applied int
+		skipped int
+	}
+	byFile := make(map[string]*fileFixes)
+
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		name := d.Pos.Filename
+		ff := byFile[name]
+		if ff == nil {
+			ff = &fileFixes{imports: make(map[string]bool)}
+			byFile[name] = ff
+		}
+		var edits []pendingEdit
+		ok := true
+		for _, e := range d.Fix.Edits {
+			pf, ef := fset.File(e.Pos), fset.File(e.End)
+			if pf == nil || ef == nil || pf.Name() != name || ef.Name() != name {
+				ok = false
+				break
+			}
+			edits = append(edits, pendingEdit{
+				start:   pf.Offset(e.Pos),
+				end:     ef.Offset(e.End),
+				newText: e.NewText,
+			})
+		}
+		if !ok || len(edits) == 0 {
+			ff.skipped++
+			continue
+		}
+		// Reject the whole fix if any edit overlaps one already queued.
+		overlaps := false
+		for _, e := range edits {
+			for _, q := range ff.edits {
+				if e.start < q.end && q.start < e.end && !(e.start == e.end && q.start == q.end) {
+					overlaps = true
+				}
+			}
+		}
+		if overlaps {
+			ff.skipped++
+			continue
+		}
+		ff.edits = append(ff.edits, edits...)
+		ff.applied++
+		if d.Fix.NeedImport != "" {
+			ff.imports[d.Fix.NeedImport] = true
+		}
+	}
+
+	names := make([]string, 0, len(byFile))
+	for name := range byFile {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var results []FixResult
+	for _, name := range names {
+		ff := byFile[name]
+		if len(ff.edits) == 0 {
+			results = append(results, FixResult{File: name, Skipped: ff.skipped})
+			continue
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return results, fmt.Errorf("apply fixes: %w", err)
+		}
+		// Bottom-up, so earlier offsets stay valid. Ties (two insertions
+		// at one offset) keep queue order via stable sort.
+		sort.SliceStable(ff.edits, func(i, j int) bool { return ff.edits[i].start > ff.edits[j].start })
+		for _, e := range ff.edits {
+			if e.start < 0 || e.end > len(src) || e.start > e.end {
+				continue
+			}
+			src = append(src[:e.start], append([]byte(e.newText), src[e.end:]...)...)
+		}
+		for path := range ff.imports {
+			src, err = ensureImport(src, name, path)
+			if err != nil {
+				return results, fmt.Errorf("apply fixes: %w", err)
+			}
+		}
+		if err := os.WriteFile(name, src, 0o644); err != nil {
+			return results, fmt.Errorf("apply fixes: %w", err)
+		}
+		results = append(results, FixResult{File: name, Applied: ff.applied, Skipped: ff.skipped})
+	}
+	return results, nil
+}
+
+// ensureImport re-parses the edited source and inserts path into the
+// file's import block if it is not already imported. The insertion is
+// textual (computed from parsed positions) so the rest of the file's
+// formatting is untouched.
+func ensureImport(src []byte, filename, path string) ([]byte, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return src, fmt.Errorf("reparse %s: %w", filename, err)
+	}
+	for _, imp := range f.Imports {
+		if p, err := strconv.Unquote(imp.Path.Value); err == nil && p == path {
+			return src, nil
+		}
+	}
+	tf := fset.File(f.Pos())
+	insert := func(off int, text string) []byte {
+		return append(src[:off], append([]byte(text), src[off:]...)...)
+	}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if !gd.Lparen.IsValid() {
+			// `import "x"`: add a sibling declaration on the next line.
+			return insert(tf.Offset(gd.End()), "\nimport "+strconv.Quote(path)), nil
+		}
+		// Parenthesized block: splice into alphabetical position.
+		for _, s := range gd.Specs {
+			is := s.(*ast.ImportSpec)
+			if p, err := strconv.Unquote(is.Path.Value); err == nil && p > path {
+				return insert(tf.Offset(is.Pos()), strconv.Quote(path)+"\n\t"), nil
+			}
+		}
+		return insert(tf.Offset(gd.Rparen), "\t"+strconv.Quote(path)+"\n"), nil
+	}
+	// No import declaration at all: add one after the package clause.
+	return insert(tf.Offset(f.Name.End()), "\n\nimport "+strconv.Quote(path)), nil
+}

@@ -1,0 +1,139 @@
+package analyze
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fixFile registers src as a file in fset and writes it to disk, so
+// token.Pos values can be fabricated from byte offsets.
+func fixFile(t *testing.T, fset *token.FileSet, src string) (string, *token.File) {
+	t.Helper()
+	name := filepath.Join(t.TempDir(), "f.go")
+	if err := os.WriteFile(name, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tf := fset.AddFile(name, -1, len(src))
+	tf.SetLinesForContent([]byte(src))
+	return name, tf
+}
+
+func fixDiag(file string, fix *SuggestedFix) Diagnostic {
+	d := Diagnostic{Analyzer: "nondetmap", Message: "m", Fixable: true, Fix: fix}
+	d.Pos.Filename = file
+	return d
+}
+
+// TestApplyFixesBottomUp checks multiple edits in one file apply
+// bottom-up so earlier byte offsets stay valid, regardless of the order
+// fixes were reported in.
+func TestApplyFixesBottomUp(t *testing.T) {
+	src := "package p\n\nvar a = 1\nvar b = 2\n"
+	fset := token.NewFileSet()
+	name, tf := fixFile(t, fset, src)
+
+	// Replace "1" (offset 19) and "2" (offset 29) — reported top-down,
+	// must still both land.
+	at := func(off, n int) (token.Pos, token.Pos) { return tf.Pos(off), tf.Pos(off + n) }
+	p1, e1 := at(19, 1)
+	p2, e2 := at(29, 1)
+	diags := []Diagnostic{
+		fixDiag(name, &SuggestedFix{Message: "one", Edits: []TextEdit{{Pos: p1, End: e1, NewText: "100"}}}),
+		fixDiag(name, &SuggestedFix{Message: "two", Edits: []TextEdit{{Pos: p2, End: e2, NewText: "200"}}}),
+	}
+	res, err := ApplyFixes(fset, diags)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if len(res) != 1 || res[0].Applied != 2 || res[0].Skipped != 0 {
+		t.Fatalf("results = %+v, want one file with 2 applied", res)
+	}
+	got, _ := os.ReadFile(name)
+	want := "package p\n\nvar a = 100\nvar b = 200\n"
+	if string(got) != want {
+		t.Fatalf("rewritten file:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestApplyFixesOverlapSkipped checks a fix whose edits overlap an
+// already-queued fix is dropped whole, not half-applied.
+func TestApplyFixesOverlapSkipped(t *testing.T) {
+	src := "package p\n\nvar a = 1234\n"
+	fset := token.NewFileSet()
+	name, tf := fixFile(t, fset, src)
+
+	p1, e1 := tf.Pos(19), tf.Pos(23) // "1234"
+	p2, e2 := tf.Pos(21), tf.Pos(23) // "34" — overlaps the first
+	diags := []Diagnostic{
+		fixDiag(name, &SuggestedFix{Message: "whole", Edits: []TextEdit{{Pos: p1, End: e1, NewText: "9"}}}),
+		fixDiag(name, &SuggestedFix{Message: "tail", Edits: []TextEdit{{Pos: p2, End: e2, NewText: "8"}}}),
+	}
+	res, err := ApplyFixes(fset, diags)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if len(res) != 1 || res[0].Applied != 1 || res[0].Skipped != 1 {
+		t.Fatalf("results = %+v, want 1 applied 1 skipped", res)
+	}
+	got, _ := os.ReadFile(name)
+	if string(got) != "package p\n\nvar a = 9\n" {
+		t.Fatalf("rewritten file:\n%s", got)
+	}
+}
+
+// TestEnsureImport checks the three textual insertion shapes: into a
+// parenthesized block in alphabetical position, as a sibling of a
+// single-import declaration, and after a bare package clause. Each
+// result must still parse and actually import the path.
+func TestEnsureImport(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		path string
+		want string
+	}{
+		{
+			name: "block-alphabetical",
+			src:  "package p\n\nimport (\n\t\"fmt\"\n\t\"strings\"\n)\n",
+			path: "sort",
+			want: "package p\n\nimport (\n\t\"fmt\"\n\t\"sort\"\n\t\"strings\"\n)\n",
+		},
+		{
+			name: "block-at-end",
+			src:  "package p\n\nimport (\n\t\"fmt\"\n)\n",
+			path: "sort",
+			want: "package p\n\nimport (\n\t\"fmt\"\n\t\"sort\"\n)\n",
+		},
+		{
+			name: "single-import-sibling",
+			src:  "package p\n\nimport \"fmt\"\n",
+			path: "errors",
+			want: "package p\n\nimport \"fmt\"\nimport \"errors\"\n",
+		},
+		{
+			name: "no-imports",
+			src:  "package p\n\nvar x int\n",
+			path: "sort",
+			want: "package p\n\nimport \"sort\"\n\nvar x int\n",
+		},
+		{
+			name: "already-imported",
+			src:  "package p\n\nimport \"sort\"\n",
+			path: "sort",
+			want: "package p\n\nimport \"sort\"\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ensureImport([]byte(tc.src), "f.go", tc.path)
+			if err != nil {
+				t.Fatalf("ensureImport: %v", err)
+			}
+			if string(got) != tc.want {
+				t.Fatalf("got:\n%q\nwant:\n%q", got, tc.want)
+			}
+		})
+	}
+}

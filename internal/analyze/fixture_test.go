@@ -135,19 +135,19 @@ var d int
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	sup := collectSuppressions(loader.fset, []*ast.File{f})
+	sup, _ := collectSuppressions(loader.fset, []*ast.File{f})
 
 	cases := []struct {
 		line     int
 		analyzer string
 		want     bool
 	}{
-		{4, "nondetmap", true},   // directive on line above
-		{4, "goroleak", false},   // wrong analyzer
-		{6, "droppederr", true},  // trailing "all" directive
-		{9, "typemut", true},     // comma list
-		{9, "goroleak", true},    // comma list
-		{9, "lockcopy", false},   // not in list
+		{4, "nondetmap", true},    // directive on line above
+		{4, "goroleak", false},    // wrong analyzer
+		{6, "droppederr", true},   // trailing "all" directive
+		{9, "typemut", true},      // comma list
+		{9, "goroleak", true},     // comma list
+		{9, "lockcopy", false},    // not in list
 		{12, "droppederr", false}, // malformed: missing reason
 	}
 	for _, tc := range cases {

@@ -44,7 +44,7 @@ func runGoroLeak(pass *Pass) {
 				return true
 			}
 			if !goroutineAccounted(pass, lit) {
-				pass.Reportf(gs.Pos(), "goroutine has no completion accounting: no WaitGroup, channel close/send, or done-channel in scope")
+				pass.ReportNode(gs, "goroutine has no completion accounting: no WaitGroup, channel close/send, or done-channel in scope")
 			}
 			return true
 		})

@@ -1,0 +1,127 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// InternMut extends typemut across call boundaries. The typemut
+// analyzer catches a write through an accessor slice (Fields/Elems/
+// Alts) in the function that obtained it; it is blind to the same
+// write one call away — passing r.Fields() to a helper that sorts or
+// overwrites its slice parameter mutates the identical shared backing
+// array, corrupting every schema that aliases the subtree (the
+// children-are-interned, equality-is-shallow invariant of the
+// hash-consing layer).
+//
+// Using the function summaries of summary.go, this analyzer flags any
+// call, outside the constructor packages, that feeds an accessor
+// result (directly, sliced, or via a variable bound to one) into:
+//
+//   - a parameter the callee may write through, transitively
+//     (MutParams — fs[i] = x, copy(fs, ...), append in place two
+//     calls down);
+//   - a known in-place standard-library mutator (sort.Slice,
+//     slices.Sort, ...), which typemut's local rules do not cover.
+//
+// Excused: read-only consumption (iteration, len, rendering), passing
+// accessor slices into the constructor packages' own entry points
+// (types.NewRecord copies its input), and call targets with no static
+// summary (interface methods, func values) — a documented blind spot
+// rather than a guess.
+var InternMut = &Analyzer{
+	Name:           "internmut",
+	Doc:            "accessor slice of an interned type escapes into a callee that mutates it",
+	Run:            runInternMut,
+	NeedsSummaries: true,
+}
+
+func runInternMut(pass *Pass) {
+	if pass.Sums == nil || typeMutAllowed[pass.Pkg.Path()] {
+		return
+	}
+	for _, f := range pass.Files {
+		tainted := taintedObjects(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkInternEscape(pass, call, tainted)
+			return true
+		})
+	}
+}
+
+// checkInternEscape inspects one call: does any argument carry an
+// accessor slice into a mutating parameter?
+func checkInternEscape(pass *Pass, call *ast.CallExpr, tainted map[types.Object]bool) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		if !isAccessorArg(pass, arg, tainted) {
+			continue
+		}
+		if why, pname := mutatesArg(pass, fn, i); why != "" {
+			pass.ReportNode(call, "%s escapes into %s of %s, which %s; copy the slice first",
+				accessorDesc(pass, arg, tainted), pname, fn.Name(), why)
+		}
+	}
+}
+
+// isAccessorArg reports whether the argument expression is an accessor
+// result, a slice of one, or a variable bound to one.
+func isAccessorArg(pass *Pass, arg ast.Expr, tainted map[types.Object]bool) bool {
+	if isAccessorExpr(pass, arg) {
+		return true
+	}
+	e := ast.Unparen(arg)
+	if se, ok := e.(*ast.SliceExpr); ok {
+		e = ast.Unparen(se.X)
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := pass.ObjectOf(id); obj != nil && tainted[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+// accessorDesc renders the argument for diagnostics.
+func accessorDesc(pass *Pass, arg ast.Expr, tainted map[types.Object]bool) string {
+	if isAccessorExpr(pass, arg) {
+		return "accessor slice " + exprString(arg)
+	}
+	return exprString(arg) + " (bound to a types accessor result)"
+}
+
+// mutatesArg reports how fn may write through its i-th argument: a
+// non-empty witness chain and the parameter's name. Module functions
+// answer through their summaries; sort/slices in-place mutators are
+// recognized directly (their bodies are outside the analyzed set).
+func mutatesArg(pass *Pass, fn *types.Func, i int) (why, pname string) {
+	if pkg := fn.Pkg().Path(); (pkg == "sort" || pkg == "slices") && sortMutators[fn.Name()] && i == 0 {
+		return "sorts it in place", "the slice argument"
+	}
+	if typeMutAllowed[fn.Pkg().Path()] {
+		return "", "" // constructor packages own the invariant (and copy their inputs)
+	}
+	sum := pass.Sums.Of(fn)
+	if sum == nil {
+		return "", ""
+	}
+	sig := fn.Type().(*types.Signature)
+	j := i
+	if n := sig.Params().Len(); j >= n {
+		if !sig.Variadic() || n == 0 {
+			return "", ""
+		}
+		j = n - 1
+	}
+	if !sum.MutatesParam(j) {
+		return "", ""
+	}
+	return sum.MutParamWhy[j], "parameter " + paramName(sum, j)
+}

@@ -36,7 +36,7 @@ func runLockCopy(pass *Pass) {
 			case *ast.AssignStmt:
 				for _, rhs := range nn.Rhs {
 					if copiesLock(pass, rhs) {
-						pass.Reportf(rhs.Pos(), "assignment copies %s, which contains a sync primitive; use a pointer", typeName(pass.TypeOf(rhs)))
+						pass.ReportNode(rhs, "assignment copies %s, which contains a sync primitive; use a pointer", typeName(pass.TypeOf(rhs)))
 					}
 				}
 			case *ast.CallExpr:
@@ -44,7 +44,7 @@ func runLockCopy(pass *Pass) {
 			case *ast.RangeStmt:
 				if nn.Value != nil && !isBlank(nn.Value) {
 					if t := pass.TypeOf(nn.Value); t != nil && containsLock(t, nil) {
-						pass.Reportf(nn.Value.Pos(), "range value copies %s, which contains a sync primitive; range over indices or use pointers", typeName(t))
+						pass.ReportNode(nn.Value, "range value copies %s, which contains a sync primitive; range over indices or use pointers", typeName(t))
 					}
 				}
 			}
@@ -69,7 +69,7 @@ func checkFuncSig(pass *Pass, recv *ast.FieldList, ft *ast.FuncType) {
 				continue
 			}
 			if containsLock(t, nil) {
-				pass.Reportf(field.Type.Pos(), "%s passed by value contains a sync primitive; use a pointer", typeName(t))
+				pass.ReportNode(field.Type, "%s passed by value contains a sync primitive; use a pointer", typeName(t))
 			}
 		}
 	}
@@ -86,7 +86,7 @@ func checkCallArgs(pass *Pass, call *ast.CallExpr) {
 	}
 	for _, arg := range call.Args {
 		if copiesLock(pass, arg) {
-			pass.Reportf(arg.Pos(), "call argument copies %s, which contains a sync primitive; pass a pointer", typeName(pass.TypeOf(arg)))
+			pass.ReportNode(arg, "call argument copies %s, which contains a sync primitive; pass a pointer", typeName(pass.TypeOf(arg)))
 		}
 	}
 }

@@ -1,0 +1,163 @@
+package analyze
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 output (the OASIS static-analysis results interchange
+// format), for GitHub code-scanning upload. Only the slice of the spec
+// a log producer needs is modelled; field names follow the standard's
+// camelCase property names exactly, required properties are always
+// populated ($schema, version, tool.driver.name, result ruleId/
+// message/level), and file locations are emitted relative to a
+// SRCROOT uriBaseId so the log is machine-relocatable.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool               sarifTool                `json:"tool"`
+	OriginalURIBaseIDs map[string]sarifArtifact `json:"originalUriBaseIds,omitempty"`
+	Results            []sarifResult            `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	HelpURI          string       `json:"helpUri,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+	EndLine     int `json:"endLine,omitempty"`
+	EndColumn   int `json:"endColumn,omitempty"`
+}
+
+// WriteSARIF renders the diagnostics as an indented SARIF 2.1.0 log.
+// root is the directory file paths are made relative to (the module
+// root); it becomes the SRCROOT uri base.
+func WriteSARIF(w io.Writer, diags []Diagnostic, root string) error {
+	// The rule table carries every registered analyzer plus the
+	// "suppress" pseudo-analyzer, so ruleIndex is stable regardless of
+	// which rules fired in this run.
+	rules := make([]sarifRule, 0, len(All())+1)
+	ruleIdx := make(map[string]int)
+	for _, a := range All() {
+		ruleIdx[a.Name] = len(rules)
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+			HelpURI:          a.DocAnchor(),
+		})
+	}
+	ruleIdx[suppressName] = len(rules)
+	rules = append(rules, sarifRule{
+		ID:               suppressName,
+		ShortDescription: sarifMessage{Text: "defective lint:ignore directive"},
+		HelpURI:          suppressDoc,
+	})
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		idx, ok := ruleIdx[d.Analyzer]
+		if !ok {
+			idx = -1
+		}
+		region := sarifRegion{StartLine: max(d.Line, 1), StartColumn: d.Col}
+		if d.EndLine > 0 {
+			region.EndLine, region.EndColumn = d.EndLine, d.EndCol
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: idx,
+			Level:     "warning",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       sarifURI(d.File, root),
+						URIBaseID: "SRCROOT",
+					},
+					Region: region,
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "repolint",
+				InformationURI: "docs/ANALYSIS.md",
+				Rules:          rules,
+			}},
+			OriginalURIBaseIDs: map[string]sarifArtifact{
+				"SRCROOT": {URI: "file://" + filepath.ToSlash(root) + "/"},
+			},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// sarifURI renders a file path relative to root with forward slashes,
+// as SARIF artifact URIs require.
+func sarifURI(file, root string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}

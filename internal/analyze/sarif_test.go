@@ -1,0 +1,184 @@
+package analyze
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sampleDiag(analyzer, file string, line int) Diagnostic {
+	d := Diagnostic{
+		Analyzer: analyzer,
+		Doc:      "docs/ANALYSIS.md#" + analyzer,
+		Message:  "sample finding from " + analyzer,
+		File:     file,
+		Line:     line,
+		Col:      3,
+		EndLine:  line,
+		EndCol:   17,
+	}
+	d.Pos = token.Position{Filename: file, Line: line, Column: 3}
+	return d
+}
+
+// TestWriteSARIFStructure decodes the emitted log and checks the
+// properties the 2.1.0 schema requires plus the invariants consumers
+// (GitHub code scanning) rely on: version, rule table completeness,
+// ruleIndex consistency, relative URIs under SRCROOT, valid regions.
+func TestWriteSARIFStructure(t *testing.T) {
+	root := "/work/repo"
+	diags := []Diagnostic{
+		sampleDiag("nondetmap", "/work/repo/internal/x/x.go", 10),
+		sampleDiag("monoidpure", "/work/repo/cmd/y/main.go", 4),
+		sampleDiag("suppress", "/elsewhere/z.go", 2), // outside root: absolute URI
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, diags, root); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+						HelpURI string `json:"helpUri"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			OriginalURIBaseIDs map[string]struct {
+				URI string `json:"uri"`
+			} `json:"originalUriBaseIds"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI       string `json:"uri"`
+							URIBaseID string `json:"uriBaseId"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+							EndLine     int `json:"endLine"`
+							EndColumn   int `json:"endColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("emitted SARIF is not valid JSON: %v", err)
+	}
+
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("$schema = %q does not pin 2.1.0", log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "repolint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+
+	// Rule table: every registered analyzer plus "suppress", each with a
+	// description and help URI.
+	if want := len(All()) + 1; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("rule table has %d entries, want %d", len(run.Tool.Driver.Rules), want)
+	}
+	ruleAt := make(map[string]int)
+	for i, r := range run.Tool.Driver.Rules {
+		ruleAt[r.ID] = i
+		if r.ShortDescription.Text == "" || r.HelpURI == "" {
+			t.Errorf("rule %s missing description or helpUri", r.ID)
+		}
+	}
+	for _, a := range All() {
+		if _, ok := ruleAt[a.Name]; !ok {
+			t.Errorf("rule table missing analyzer %s", a.Name)
+		}
+	}
+	if _, ok := ruleAt["suppress"]; !ok {
+		t.Errorf("rule table missing the suppress pseudo-analyzer")
+	}
+
+	if base, ok := run.OriginalURIBaseIDs["SRCROOT"]; !ok || !strings.HasPrefix(base.URI, "file://") {
+		t.Errorf("SRCROOT base = %+v, want file:// URI", base)
+	}
+
+	if len(run.Results) != len(diags) {
+		t.Fatalf("got %d results, want %d", len(run.Results), len(diags))
+	}
+	for i, r := range run.Results {
+		if r.Level != "warning" {
+			t.Errorf("result %d level = %q", i, r.Level)
+		}
+		if r.Message.Text == "" {
+			t.Errorf("result %d has empty message", i)
+		}
+		if idx, ok := ruleAt[r.RuleID]; !ok || r.RuleIndex != idx {
+			t.Errorf("result %d ruleIndex %d inconsistent with rule table position of %q", i, r.RuleIndex, r.RuleID)
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("result %d has %d locations", i, len(r.Locations))
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if loc.Region.StartLine < 1 {
+			t.Errorf("result %d startLine %d < 1", i, loc.Region.StartLine)
+		}
+		if loc.Region.EndLine > 0 && loc.Region.EndLine < loc.Region.StartLine {
+			t.Errorf("result %d region ends before it starts", i)
+		}
+		if strings.HasPrefix(loc.ArtifactLocation.URI, "/work/repo") {
+			t.Errorf("result %d URI %q not relativized against root", i, loc.ArtifactLocation.URI)
+		}
+	}
+	if got := run.Results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI; got != "internal/x/x.go" {
+		t.Errorf("in-root URI = %q, want internal/x/x.go", got)
+	}
+	if got := run.Results[2].Locations[0].PhysicalLocation.ArtifactLocation.URI; got != "/elsewhere/z.go" {
+		t.Errorf("out-of-root URI = %q, want absolute fallback", got)
+	}
+}
+
+// TestWriteSARIFEmpty checks a clean run still yields a schema-valid
+// log with the full rule table and an empty (non-null) results array —
+// code scanning treats a missing results property as an error.
+func TestWriteSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, nil, "/work/repo"); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	var log map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	runs := log["runs"].([]any)
+	run := runs[0].(map[string]any)
+	results, ok := run["results"].([]any)
+	if !ok {
+		t.Fatalf("results is %T, want an array (never null)", run["results"])
+	}
+	if len(results) != 0 {
+		t.Fatalf("empty run has %d results", len(results))
+	}
+}

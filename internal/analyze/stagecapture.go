@@ -113,7 +113,7 @@ func checkStageLit(pass *Pass, lit *ast.FuncLit, loopVars map[types.Object]bool)
 		case *ast.Ident:
 			obj := pass.ObjectOf(nn)
 			if obj != nil && loopVars[obj] && !withinNode(obj.Pos(), lit) {
-				pass.Reportf(nn.Pos(), "pipeline stage captures loop variable %s; pass it through the stage input instead", nn.Name)
+				pass.ReportNode(nn, "pipeline stage captures loop variable %s; pass it through the stage input instead", nn.Name)
 			}
 		case *ast.AssignStmt:
 			if nn.Tok == token.DEFINE {
@@ -142,5 +142,5 @@ func reportOuterWrite(pass *Pass, lit *ast.FuncLit, target ast.Expr) {
 	if withinNode(obj.Pos(), lit) {
 		return
 	}
-	pass.Reportf(target.Pos(), "pipeline stage mutates captured variable %s; accumulate through the stage's return value (Accumulator), not shared state", exprString(target))
+	pass.ReportNode(target, "pipeline stage mutates captured variable %s; accumulate through the stage's return value (Accumulator), not shared state", exprString(target))
 }

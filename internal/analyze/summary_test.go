@@ -1,0 +1,200 @@
+package analyze
+
+import (
+	"fmt"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadTempPkg type-checks one source string as a standalone package.
+func loadTempPkg(t *testing.T, src string) (*Loader, *Package) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir, "summaryfixture")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	return loader, pkg
+}
+
+func summaryOf(t *testing.T, pkg *Package, sums *Summaries, name string) *FuncSummary {
+	t.Helper()
+	obj := pkg.Types.Scope().Lookup(name)
+	if obj == nil {
+		t.Fatalf("no top-level object %q", name)
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		t.Fatalf("%q is %T, not a function", name, obj)
+	}
+	sum := sums.Of(fn)
+	if sum == nil {
+		t.Fatalf("no summary for %q", name)
+	}
+	return sum
+}
+
+// TestSummaryFactPropagation checks the fixpoint lifts callee facts into
+// callers: nondeterminism and global mutation cross two call edges, and
+// parameter mutation maps through argument roots.
+func TestSummaryFactPropagation(t *testing.T) {
+	src := `package p
+
+import "time"
+
+var counter int
+
+func leafClock() int64 { return time.Now().UnixNano() }
+
+func midClock() int64 { return leafClock() }
+
+func TopClock() int64 { return midClock() }
+
+func leafGlobal() { counter++ }
+
+func TopGlobal() { leafGlobal() }
+
+func leafWrite(xs []int) { xs[0] = 1 }
+
+func midWrite(ys []int) { leafWrite(ys) }
+
+func TopPure(n int) int { return n + 1 }
+`
+	_, pkg := loadTempPkg(t, src)
+	sums := ComputeSummaries([]*Package{pkg})
+
+	top := summaryOf(t, pkg, sums, "TopClock")
+	if top.Facts&FactNondet == 0 {
+		t.Errorf("TopClock lacks FactNondet; facts=%v", top.Facts)
+	}
+	why := top.NondetWhy
+	if !strings.Contains(why, "midClock") || !strings.Contains(why, "leafClock") {
+		t.Errorf("nondet witness chain %q does not name both hops", why)
+	}
+
+	glob := summaryOf(t, pkg, sums, "TopGlobal")
+	if glob.Facts&FactMutGlobal == 0 {
+		t.Errorf("TopGlobal lacks FactMutGlobal; facts=%v", glob.Facts)
+	}
+
+	mid := summaryOf(t, pkg, sums, "midWrite")
+	if len(mid.MutParams) != 1 || !mid.MutParams[0] {
+		t.Errorf("midWrite.MutParams = %v, want [true] via leafWrite", mid.MutParams)
+	}
+
+	pure := summaryOf(t, pkg, sums, "TopPure")
+	if pure.Facts != 0 {
+		t.Errorf("TopPure has facts %v, want none", pure.Facts)
+	}
+}
+
+// TestSummaryBackgroundStopsAtCtxParam checks the FactBackground
+// propagation rule: a fresh Background deep in ctx-less helpers taints
+// callers, but a callee that itself takes a context is a plumbing
+// boundary — its own rule-1 finding covers it, so the fact does not
+// leak further up.
+func TestSummaryBackgroundStopsAtCtxParam(t *testing.T) {
+	src := `package p
+
+import "context"
+
+func mint() context.Context { return context.Background() }
+
+func Tainted() context.Context { return mint() }
+
+func plumbed(ctx context.Context) { _ = context.Background() }
+
+func NotTainted(ctx context.Context) { plumbed(ctx) }
+`
+	_, pkg := loadTempPkg(t, src)
+	sums := ComputeSummaries([]*Package{pkg})
+
+	if s := summaryOf(t, pkg, sums, "Tainted"); s.Facts&FactBackground == 0 {
+		t.Errorf("Tainted lacks FactBackground despite ctx-less mint callee")
+	}
+	if s := summaryOf(t, pkg, sums, "NotTainted"); s.Facts&FactBackground != 0 {
+		t.Errorf("FactBackground leaked through plumbed, which has a ctx param")
+	}
+}
+
+// TestSummaryReceiverMutation checks method receiver writes are
+// classified as MutRecv, not parameter or global mutation.
+func TestSummaryReceiverMutation(t *testing.T) {
+	src := `package p
+
+type Box struct{ n int }
+
+func (b *Box) Bump() { b.n++ }
+
+func (b *Box) Peek() int { return b.n }
+`
+	_, pkg := loadTempPkg(t, src)
+	sums := ComputeSummaries([]*Package{pkg})
+
+	box, _ := pkg.Types.Scope().Lookup("Box").(*types.TypeName)
+	if box == nil {
+		t.Fatal("no Box type")
+	}
+	mset := types.NewMethodSet(types.NewPointer(box.Type()))
+	for i := 0; i < mset.Len(); i++ {
+		fn := mset.At(i).Obj().(*types.Func)
+		sum := sums.Of(fn)
+		if sum == nil {
+			t.Fatalf("no summary for %s", fn.Name())
+		}
+		wantMut := fn.Name() == "Bump"
+		if sum.MutRecv != wantMut {
+			t.Errorf("%s.MutRecv = %v, want %v", fn.Name(), sum.MutRecv, wantMut)
+		}
+		if sum.Facts&FactMutGlobal != 0 {
+			t.Errorf("%s misclassified receiver write as global mutation", fn.Name())
+		}
+	}
+}
+
+// TestCallGraphDeterministic pins the framework's own discipline: two
+// independent loads of the same fixture must produce byte-identical
+// rendered diagnostics, or CI output and SARIF baselines would churn.
+func TestCallGraphDeterministic(t *testing.T) {
+	render := func() string {
+		loader, err := NewLoader(".")
+		if err != nil {
+			t.Fatalf("NewLoader: %v", err)
+		}
+		var pkgs []*Package
+		for _, name := range []string{"monoidpure", "internmut", "ctxflow"} {
+			pkg, err := loader.LoadDir(filepath.Join("testdata", "src", name),
+				"repro/internal/analyze/testdata/src/"+name)
+			if err != nil {
+				t.Fatalf("LoadDir(%s): %v", name, err)
+			}
+			pkgs = append(pkgs, pkg)
+		}
+		diags, stats := CheckStats(pkgs, All())
+		var b strings.Builder
+		for _, d := range diags {
+			fmt.Fprintf(&b, "%s\n", d)
+		}
+		for _, s := range stats {
+			fmt.Fprintf(&b, "%s=%d\n", s.Name, s.Findings)
+		}
+		return b.String()
+	}
+	first := render()
+	if got := render(); got != first {
+		t.Fatalf("second run differs from first:\n--- first\n%s\n--- second\n%s", first, got)
+	}
+	if !strings.Contains(first, "monoidpure=") {
+		t.Fatalf("stats rendering missing analyzer counts:\n%s", first)
+	}
+}

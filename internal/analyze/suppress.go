@@ -1,6 +1,7 @@
 package analyze
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
@@ -14,7 +15,23 @@ import (
 // word "all", and <reason> is required prose explaining why the finding
 // is acceptable. A directive suppresses matching diagnostics on the
 // line it appears on (trailing comment) and on the line directly below
-// it (standalone comment above the flagged statement).
+// it (standalone comment above the flagged statement). Because a
+// directive above a declaration group (e.g. a file-level `var` block)
+// only reaches the group's first line, per-line directives are needed
+// inside multi-line blocks — a deliberate narrowness that keeps every
+// suppression adjacent to what it excuses.
+//
+// A directive naming an analyzer that does not exist is itself reported
+// under the pseudo-analyzer "suppress": a typo in a directive must
+// surface as a finding, not silently leave the real analyzer firing
+// (or worse, appear to work because another name in the list matched).
+
+// suppressName is the pseudo-analyzer under which defective directives
+// are reported. It is not in All() and cannot be suppressed.
+const suppressName = "suppress"
+
+// suppressDoc is the documentation anchor for directive findings.
+const suppressDoc = "docs/ANALYSIS.md#suppressing-findings"
 
 // suppression is one parsed lint:ignore directive.
 type suppression struct {
@@ -52,11 +69,22 @@ func (sup suppressions) matches(d Diagnostic) bool {
 }
 
 // collectSuppressions parses every lint:ignore directive in the files.
-// Malformed directives (no analyzer list or no reason) are ignored; the
-// analyzers they meant to silence will keep firing, which makes the
-// mistake visible.
-func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+// Malformed directives (no analyzer list or no reason) and directives
+// naming nonexistent analyzers are returned as diagnostics instead of
+// taking effect; the analyzers they meant to silence keep firing, which
+// makes the mistake doubly visible.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressions, []Diagnostic) {
 	sup := make(suppressions)
+	var bad []Diagnostic
+	report := func(c *ast.Comment, format string, args ...any) {
+		bad = append(bad, Diagnostic{
+			Analyzer: suppressName,
+			Doc:      suppressDoc,
+			Pos:      fset.Position(c.Pos()),
+			End:      fset.Position(c.End()),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -66,6 +94,19 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
 				}
 				parts := strings.SplitN(strings.TrimSpace(rest), " ", 2)
 				if len(parts) != 2 || parts[0] == "" || strings.TrimSpace(parts[1]) == "" {
+					report(c, "lint:ignore directive is missing its reason; it has no effect")
+					continue
+				}
+				names := strings.Split(parts[0], ",")
+				valid := names[:0]
+				for _, name := range names {
+					if name != "all" && ByName(name) == nil {
+						report(c, "lint:ignore names unknown analyzer %q; that name has no effect", name)
+						continue
+					}
+					valid = append(valid, name)
+				}
+				if len(valid) == 0 {
 					continue
 				}
 				pos := fset.Position(c.Pos())
@@ -75,11 +116,11 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
 					sup[pos.Filename] = lines
 				}
 				lines[pos.Line] = append(lines[pos.Line], suppression{
-					names:  strings.Split(parts[0], ","),
+					names:  valid,
 					reason: strings.TrimSpace(parts[1]),
 				})
 			}
 		}
 	}
-	return sup
+	return sup, bad
 }

@@ -1,0 +1,99 @@
+// Command fixture holds known-bad and known-good snippets for the
+// ctxflow analyzer's golden tests. It is a package main on purpose:
+// the root-context rule only applies there.
+package main
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func main() {
+	// The program's one legitimate Background: the root context is
+	// minted in main and threaded down. Excused.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_ = Direct(ctx, nil)
+	_ = Deep(ctx)
+	Workers(ctx, 2)
+	GoodWorkers(ctx, 2)
+	Derived(ctx)
+	legacy(ctx)
+}
+
+// Direct receives a context and throws it away on the very next call.
+func Direct(ctx context.Context, data []byte) error {
+	return process(context.Background(), data) // want "calls context.Background"
+}
+
+func process(ctx context.Context, data []byte) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// Deep drops its context two calls down: startJob has no context
+// parameter, and runJob mints a fresh Background below it. The
+// summary-carried finding lands on the startJob call site.
+func Deep(ctx context.Context) error {
+	return startJob() // want "plumb ctx through"
+}
+
+func startJob() error { return runJob() }
+
+func runJob() error {
+	jobCtx := context.Background() // want "outside func main"
+	<-jobCtx.Done()
+	return nil
+}
+
+// Workers spawns goroutines in a loop with completion accounting but
+// no cancellation: a cancelled caller leaks all of them mid-task.
+func Workers(ctx context.Context, n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want "without observing any context's Done"
+			defer wg.Done()
+			time.Sleep(time.Millisecond)
+		}()
+	}
+	wg.Wait()
+}
+
+// GoodWorkers is the fixed form: every worker selects on Done — a
+// derived context would count just the same. Excused.
+func GoodWorkers(ctx context.Context, n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			select {
+			case <-ctx.Done():
+			case <-time.After(time.Millisecond):
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Derived shows the other excused idiom: deriving a child context from
+// the received one is exactly what ctx is for.
+func Derived(ctx context.Context) {
+	sub, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	<-sub.Done()
+}
+
+// legacy carries a deliberate, documented exception.
+func legacy(ctx context.Context) {
+	//lint:ignore ctxflow fixture demonstrates suppression for a detached audit-log write
+	audit(context.Background())
+}
+
+func audit(ctx context.Context) { _ = ctx }

@@ -56,12 +56,12 @@ func runTypeMut(pass *Pass) {
 			case *ast.AssignStmt:
 				for _, lhs := range nn.Lhs {
 					if base := sharedSliceBase(pass, lhs, tainted); base != "" {
-						pass.Reportf(lhs.Pos(), "write into %s mutates a shared immutable type; rebuild with a types constructor instead", base)
+						pass.ReportNode(lhs, "write into %s mutates a shared immutable type; rebuild with a types constructor instead", base)
 					}
 				}
 			case *ast.IncDecStmt:
 				if base := sharedSliceBase(pass, nn.X, tainted); base != "" {
-					pass.Reportf(nn.X.Pos(), "write into %s mutates a shared immutable type; rebuild with a types constructor instead", base)
+					pass.ReportNode(nn.X, "write into %s mutates a shared immutable type; rebuild with a types constructor instead", base)
 				}
 			case *ast.CallExpr:
 				checkSliceGrower(pass, nn, tainted)
@@ -170,6 +170,6 @@ func checkSliceGrower(pass *Pass, call *ast.CallExpr, tainted map[types.Object]b
 		}
 	}
 	if isShared {
-		pass.Reportf(call.Pos(), "%s with destination %s may write into a shared immutable type; copy the slice first", b.Name(), exprString(dst))
+		pass.ReportNode(call, "%s with destination %s may write into a shared immutable type; copy the slice first", b.Name(), exprString(dst))
 	}
 }

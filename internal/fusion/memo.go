@@ -108,6 +108,7 @@ func (m *Memo) fuse(p policy, t1, t2 types.Type) types.Type {
 	}
 	// Compute outside the lock: fuseDirect re-enters this memo for
 	// children, so holding the lock here would deadlock.
+	//lint:ignore monoidpure re-entering the memo through the policy writes the lock-protected cache; cache entries are canonical and idempotent (same key always stores the same value), so the write cannot alter any fusion result
 	res = m.tab.Canon(p.fuseDirect(t1, t2))
 	m.mu.Lock()
 	if prev, raced := m.fuseCache[k]; raced {
@@ -134,6 +135,7 @@ func (m *Memo) simplify(p policy, t types.Type) types.Type {
 		m.simpHits.Add(1)
 		return res
 	}
+	//lint:ignore monoidpure re-entering the memo through the policy writes the lock-protected cache; cache entries are canonical and idempotent, so the write cannot alter any simplification result
 	res = m.tab.Canon(p.simplifyDirect(t))
 	m.mu.Lock()
 	if prev, raced := m.simpCache[r.ID]; raced {

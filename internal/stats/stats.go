@@ -25,6 +25,10 @@ import (
 // retains for TopTypes reporting.
 const MaxExemplars = 10_000
 
+// maxExemplars is the effective cap; tests shrink it to exercise the
+// bounded-admission paths without building 10k distinct types.
+var maxExemplars = MaxExemplars
+
 // Summary accumulates the per-dataset measurements of Tables 2-5.
 // The zero value is ready to use.
 type Summary struct {
@@ -62,7 +66,7 @@ func (s *Summary) Add(t types.Type) {
 	if info == nil {
 		info = &distinctInfo{size: int32(size)}
 		s.distinct[h] = info
-		if len(s.exemplars) < MaxExemplars {
+		if len(s.exemplars) < maxExemplars {
 			// Render only first-seen types that we actually retain.
 			s.exemplars[h] = t.String()
 		}
@@ -88,16 +92,29 @@ func (s *Summary) Merge(other *Summary) {
 		s.distinct = make(map[uint64]*distinctInfo)
 		s.exemplars = make(map[uint64]string)
 	}
+	var newExemplars []uint64
 	for h, oInfo := range other.distinct {
 		info := s.distinct[h]
 		if info == nil {
 			s.distinct[h] = &distinctInfo{count: oInfo.count, size: oInfo.size}
-			if repr, ok := other.exemplars[h]; ok && len(s.exemplars) < MaxExemplars {
-				s.exemplars[h] = repr
+			if _, ok := other.exemplars[h]; ok {
+				newExemplars = append(newExemplars, h)
 			}
 			continue
 		}
 		info.count += oInfo.count
+	}
+	// Admit newly-seen exemplars in sorted-hash order: when the cap
+	// binds, which renderings win the remaining slots must not depend on
+	// Go's randomized map iteration order, or two runs over the same
+	// partitioning report different TopTypes (caught by the monoidpure
+	// analyzer via plainAcc.Merge).
+	sort.Slice(newExemplars, func(i, j int) bool { return newExemplars[i] < newExemplars[j] })
+	for _, h := range newExemplars {
+		if len(s.exemplars) >= maxExemplars {
+			break
+		}
+		s.exemplars[h] = other.exemplars[h]
 	}
 }
 

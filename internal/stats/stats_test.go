@@ -156,3 +156,63 @@ func TestDistinctSizeSum(t *testing.T) {
 		t.Errorf("after merge DistinctSizeSum = %d, want 9", got)
 	}
 }
+
+// TestMergeExemplarAdmissionDeterministic pins the fix for the
+// map-order bug the monoidpure analyzer caught: when the exemplar cap
+// binds during Merge, which renderings win the remaining slots must be
+// a pure function of the two summaries, not of Go's randomized map
+// iteration order. New exemplars are admitted in sorted-hash order, so
+// repeated merges of identical inputs retain identical sets.
+func TestMergeExemplarAdmissionDeterministic(t *testing.T) {
+	defer func(old int) { maxExemplars = old }(maxExemplars)
+	maxExemplars = 2
+
+	mkOther := func() *Summary {
+		var o Summary
+		o.Add(types.MustParse("{a: Num}"))
+		o.Add(types.MustParse("{b: Str}"))
+		o.Add(types.MustParse("{c: Bool}"))
+		o.Add(types.MustParse("{d: Null}"))
+		return &o
+	}
+	mk := func() map[string]bool {
+		var s Summary
+		s.Merge(mkOther())
+		got := make(map[string]bool)
+		for _, tc := range s.TopTypes(10) {
+			got[tc.Type] = true
+		}
+		if len(got) != 2 {
+			t.Fatalf("retained %d exemplars, want cap 2", len(got))
+		}
+		return got
+	}
+
+	first := mk()
+	for i := 0; i < 20; i++ {
+		if got := mk(); len(got) != len(first) {
+			t.Fatalf("run %d retained %d exemplars, first run %d", i, len(got), len(first))
+		} else {
+			for k := range got {
+				if !first[k] {
+					t.Fatalf("run %d retained %q, first run did not: %v vs %v", i, k, got, first)
+				}
+			}
+		}
+	}
+}
+
+// TestAddExemplarCap pins that Add also respects the effective cap.
+func TestAddExemplarCap(t *testing.T) {
+	defer func(old int) { maxExemplars = old }(maxExemplars)
+	maxExemplars = 1
+	var s Summary
+	s.Add(types.MustParse("{a: Num}"))
+	s.Add(types.MustParse("{b: Str}"))
+	if got := len(s.TopTypes(10)); got != 1 {
+		t.Fatalf("retained %d exemplars, want 1", got)
+	}
+	if s.Distinct() != 2 {
+		t.Fatalf("Distinct = %d, want 2 (counting is uncapped)", s.Distinct())
+	}
+}

@@ -21,8 +21,10 @@ go build ./...
 echo '>> go vet ./...'
 go vet ./...
 
-echo '>> go run ./cmd/repolint ./...'
-go run ./cmd/repolint ./...
+# -stats prints per-analyzer finding counts and wall time to stderr,
+# so a slow or newly noisy analyzer is visible in every log.
+echo '>> go run ./cmd/repolint -stats ./...'
+go run ./cmd/repolint -stats ./...
 
 echo ">> go test ${race} ./..."
 # shellcheck disable=SC2086 # race is intentionally empty or one flag
