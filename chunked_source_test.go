@@ -1,0 +1,134 @@
+package jsoninference_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+
+	jsi "repro"
+)
+
+// TestFromChunkedReaderMatchesBytes pins the associativity guarantee
+// for the streaming-chunked source: the schema and stats of a chunked
+// stream equal those of the same bytes inferred in memory.
+func TestFromChunkedReaderMatchesBytes(t *testing.T) {
+	_, data := manyChunks(t, 500)
+	opts := jsi.Options{Workers: 3, ChunkBytes: 8 << 10}
+	ctx := context.Background()
+
+	want, wantStats, err := jsi.Infer(ctx, jsi.FromBytes(data), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dedup := range []bool{false, true} {
+		o := opts
+		o.Dedup = dedup
+		got, gotStats, err := jsi.Infer(ctx, jsi.FromChunkedReader(bytes.NewReader(data)), o)
+		if err != nil {
+			t.Fatalf("dedup=%v: %v", dedup, err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("dedup=%v: schema = %s, want %s", dedup, got, want)
+		}
+		if gotStats.Records != wantStats.Records {
+			t.Errorf("dedup=%v: records = %d, want %d", dedup, gotStats.Records, wantStats.Records)
+		}
+		if gotStats.Bytes != int64(len(data)) {
+			t.Errorf("dedup=%v: bytes = %d, want %d", dedup, gotStats.Bytes, len(data))
+		}
+	}
+}
+
+// TestFromChunkedReaderCancellation cancels mid-stream and asserts a
+// clean return with no leaked goroutines.
+func TestFromChunkedReaderCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := jsi.Options{Workers: 2, ChunkBytes: 4 << 10,
+		Progress: func(jsi.Metrics) { cancel() }}
+	src := jsi.FromChunkedReader(endlessReader{record: []byte(`{"a":1}` + "\n")})
+	if _, _, err := jsi.Infer(ctx, src, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	checkNoLeakedGoroutines(t, before)
+}
+
+// TestFromChunkedReaderQuarantine: malformed records quarantine their
+// chunk under OnErrorSkip instead of killing the stream.
+func TestFromChunkedReaderQuarantine(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 2000; i++ {
+		if i == 999 {
+			buf.WriteString("{broken\n")
+			continue
+		}
+		fmt.Fprintf(&buf, `{"id": %d}`+"\n", i)
+	}
+	opts := jsi.Options{ChunkBytes: 1 << 10, OnError: jsi.OnErrorSkip}
+	schema, stats, err := jsi.Infer(context.Background(), jsi.FromChunkedReader(&buf), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.QuarantinedChunks != 1 {
+		t.Errorf("quarantined chunks = %d, want 1", stats.QuarantinedChunks)
+	}
+	if want := "{id: Num}"; schema.String() != want {
+		t.Errorf("schema = %s, want %s", schema, want)
+	}
+
+	// The same stream under the default policy fails.
+	buf.Reset()
+	buf.WriteString(`{"id": 1}` + "\n" + "{broken\n")
+	if _, _, err := jsi.Infer(context.Background(), jsi.FromChunkedReader(&buf), jsi.Options{}); err == nil {
+		t.Error("default policy accepted malformed input")
+	}
+}
+
+// failingReader fails after yielding some bytes, standing in for a
+// network stream that drops mid-request.
+type failingReader struct {
+	data []byte
+	err  error
+}
+
+func (r *failingReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// TestFromChunkedReaderFeedError: an I/O failure of the stream
+// surfaces as *FeedError, distinguishable from decode errors.
+func TestFromChunkedReaderFeedError(t *testing.T) {
+	cause := errors.New("connection reset")
+	src := jsi.FromChunkedReader(&failingReader{data: []byte(`{"a":1}` + "\n"), err: cause})
+	_, _, err := jsi.Infer(context.Background(), src, jsi.Options{})
+	var fe *jsi.FeedError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v, want *FeedError", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Errorf("errors.Is(err, cause) = false; err = %v", err)
+	}
+	if fe.Path != "" {
+		t.Errorf("FeedError.Path = %q, want empty (not a file)", fe.Path)
+	}
+}
+
+// TestFromChunkedReaderEmpty: an empty stream yields the empty schema.
+func TestFromChunkedReaderEmpty(t *testing.T) {
+	schema, stats, err := jsi.Infer(context.Background(), jsi.FromChunkedReader(bytes.NewReader(nil)), jsi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !schema.IsEmpty() || stats.Records != 0 {
+		t.Errorf("schema = %s, records = %d; want empty, 0", schema, stats.Records)
+	}
+}

@@ -37,19 +37,15 @@ package main
 
 import (
 	"context"
-	"expvar"
 	"flag"
 	"fmt"
 	"io"
-	"net"
-	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
-	"sync"
 	"sync/atomic"
 
 	jsi "repro"
+	"repro/internal/debugserver"
 )
 
 func main() {
@@ -61,51 +57,29 @@ func main() {
 	}
 }
 
-// expvar.Publish is global and panics on duplicate names, so the
-// variable is registered once per process and reads whichever collector
-// the most recent run installed.
-var (
-	publishOnce      sync.Once
-	currentCollector atomic.Pointer[jsi.Collector]
-)
-
-func publishMetrics(c *jsi.Collector) {
-	currentCollector.Store(c)
-	publishOnce.Do(func() {
-		expvar.Publish("jsoninfer_metrics", expvar.Func(func() any {
-			if c := currentCollector.Load(); c != nil {
-				return c.Metrics()
-			}
-			return nil
-		}))
-	})
-}
+// currentCollector backs the process-wide jsoninfer_metrics expvar
+// variable (published through internal/debugserver, whose indirection
+// makes republishing across runs safe): /debug/vars reads whichever
+// collector the most recent run installed.
+var currentCollector atomic.Pointer[jsi.Collector]
 
 // startDebug serves expvar and pprof on addr until the returned stop
 // function is called. The actual listening address (useful with ":0")
 // is announced on stderr.
 func startDebug(addr string, c *jsi.Collector, stderr io.Writer) (func(), error) {
-	publishMetrics(c)
-	ln, err := net.Listen("tcp", addr)
+	currentCollector.Store(c)
+	debugserver.Publish("jsoninfer_metrics", func() any {
+		if c := currentCollector.Load(); c != nil {
+			return c.Metrics()
+		}
+		return nil
+	})
+	srv, err := debugserver.Start(addr)
 	if err != nil {
-		return nil, fmt.Errorf("debug server: %w", err)
+		return nil, err
 	}
-	mux := http.NewServeMux()
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux}
-	fmt.Fprintf(stderr, "debug server listening on http://%s/debug/vars\n", ln.Addr())
-	go serveDebug(srv, ln)
+	fmt.Fprintf(stderr, "debug server listening on %s\n", srv.URL())
 	return func() { _ = srv.Close() }, nil
-}
-
-func serveDebug(srv *http.Server, ln net.Listener) {
-	// Serve returns http.ErrServerClosed once the stop function runs.
-	_ = srv.Serve(ln)
 }
 
 func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
@@ -148,37 +122,13 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	}
 
 	if *profileFlag {
-		var p *jsi.Profile
-		var perr error
-		if fs.NArg() == 0 {
-			p, perr = jsi.ProfileReader(stdin, opts)
-		} else {
-			p = nil
-			for _, path := range fs.Args() {
-				f, oerr := os.Open(path)
-				if oerr != nil {
-					return oerr
-				}
-				fp, ferr := jsi.ProfileReader(f, opts)
-				cerr := f.Close()
-				if ferr != nil {
-					return fmt.Errorf("%s: %w", path, ferr)
-				}
-				if cerr != nil {
-					return fmt.Errorf("%s: %w", path, cerr)
-				}
-				if p == nil {
-					p = fp
-				} else {
-					p.Merge(fp)
-				}
-			}
+		src := jsi.FromReader(stdin)
+		if fs.NArg() > 0 {
+			src = jsi.FromFiles(fs.Args()...)
 		}
+		p, _, perr := jsi.InferProfile(ctx, src, opts)
 		if perr != nil {
 			return perr
-		}
-		if p == nil {
-			return fmt.Errorf("no input")
 		}
 		fmt.Fprint(stdout, p.String())
 		return nil

@@ -1,0 +1,297 @@
+// Command schemadload is the load-test harness for cmd/schemad: it
+// drives many concurrent tenant ingest streams and verifies that
+// every tenant's final served schema is byte-identical to offline
+// inference over the same records — the end-to-end check of the
+// fusion associativity/commutativity guarantee under real HTTP
+// concurrency.
+//
+// Usage:
+//
+//	schemadload [flags]
+//
+// With -addr empty (the default) the harness starts an in-process
+// serving.Server on a loopback port, so one invocation is a complete
+// self-contained smoke test; point -addr at a running schemad to load
+// an external instance instead.
+//
+// Each tenant's records are generated deterministically from -dataset
+// and -seed, split into -batches batches spread round-robin over
+// -partitions partitions, and POSTed concurrently. Afterwards the
+// harness fetches each tenant's fused schema in codec format and
+// compares it byte-for-byte with jsoninference.InferNDJSON over the
+// tenant's full record set. Any mismatch is a failure (non-zero
+// exit).
+//
+// Flags:
+//
+//	-addr        target schemad (empty: serve in-process)
+//	-tenants     number of concurrent tenants (default 200)
+//	-records     records per tenant (default 100)
+//	-batches     ingest requests per tenant (default 4)
+//	-partitions  partitions per tenant (default 2)
+//	-dataset     generator: github, twitter, wikidata, nytimes, mixed
+//	-seed        base RNG seed; tenant i uses seed+i
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync"
+	"time"
+
+	jsi "repro"
+	"repro/internal/dataset"
+	"repro/internal/serving"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "schemadload:", err)
+		os.Exit(1)
+	}
+}
+
+// tenantResult is one tenant's outcome.
+type tenantResult struct {
+	tenant  string
+	records int64
+	bytes   int64
+	err     error
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("schemadload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "", "target schemad address (empty: serve in-process)")
+	tenants := fs.Int("tenants", 200, "number of concurrent tenants")
+	records := fs.Int("records", 100, "records per tenant")
+	batches := fs.Int("batches", 4, "ingest requests per tenant")
+	partitions := fs.Int("partitions", 2, "partitions per tenant")
+	datasetName := fs.String("dataset", "twitter", "record generator (see cmd/datagen -list)")
+	seed := fs.Int64("seed", 1, "base RNG seed; tenant i uses seed+i")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tenants < 1 || *records < 1 || *batches < 1 || *partitions < 1 {
+		return errors.New("-tenants, -records, -batches, and -partitions must be positive")
+	}
+	gen, err := dataset.New(*datasetName)
+	if err != nil {
+		return err
+	}
+
+	base := *addr
+	if base == "" {
+		dir, err := os.MkdirTemp("", "schemadload-*")
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if rerr := os.RemoveAll(dir); rerr != nil {
+				fmt.Fprintln(stderr, "schemadload:", rerr)
+			}
+		}()
+		srv, err := serving.New(serving.Config{DataDir: dir, IngestWorkers: 1})
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv}
+		go serveHTTP(hs, ln)
+		defer closeQuiet(hs)
+		base = ln.Addr().String()
+		fmt.Fprintf(stderr, "in-process schemad on http://%s\n", base)
+	}
+
+	client := &http.Client{}
+	results := make([]tenantResult, *tenants)
+	start := time.Now()
+	var wg sync.WaitGroup
+spawn:
+	for i := 0; i < *tenants; i++ {
+		select {
+		case <-ctx.Done():
+			break spawn
+		default:
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("tenant-%04d", i)
+			res := tenantResult{tenant: name}
+			res.records, res.bytes, res.err = driveTenant(ctx, client, base, name, driveConfig{
+				gen: gen, records: *records, batches: *batches,
+				partitions: *partitions, seed: *seed + int64(i),
+			})
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var (
+		totalRecords int64
+		totalBytes   int64
+		failures     int
+	)
+	for _, res := range results {
+		if res.err != nil {
+			failures++
+			if failures <= 10 {
+				fmt.Fprintf(stderr, "%s: %v\n", res.tenant, res.err)
+			}
+			continue
+		}
+		totalRecords += res.records
+		totalBytes += res.bytes
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(stdout,
+		"tenants=%d records=%d bytes=%d wall=%s records/s=%.0f heap=%dMiB sys=%dMiB\n",
+		*tenants, totalRecords, totalBytes, elapsed.Round(time.Millisecond),
+		float64(totalRecords)/elapsed.Seconds(), ms.HeapAlloc>>20, ms.Sys>>20)
+	if failures > 0 {
+		return fmt.Errorf("%d of %d tenants failed", failures, *tenants)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "all %d tenant schemas byte-identical to offline inference\n", *tenants)
+	return nil
+}
+
+// driveConfig parameterises one tenant's workload.
+type driveConfig struct {
+	gen        dataset.Generator
+	records    int
+	batches    int
+	partitions int
+	seed       int64
+}
+
+// driveTenant ingests one tenant's records in batches across
+// partitions, then verifies the served fused schema byte-for-byte
+// against offline inference over the same records.
+func driveTenant(ctx context.Context, client *http.Client, base, name string, cfg driveConfig) (int64, int64, error) {
+	data := dataset.NDJSON(cfg.gen, cfg.records, cfg.seed)
+	var sent int64
+	for b, batch := range splitBatches(data, cfg.batches) {
+		part := fmt.Sprintf("p%02d", b%cfg.partitions)
+		u := fmt.Sprintf("http://%s/v1/tenants/%s/ingest?partition=%s", base, url.PathEscape(name), part)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(batch))
+		if err != nil {
+			return 0, 0, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, 0, err
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		if cerr := resp.Body.Close(); rerr == nil {
+			rerr = cerr
+		}
+		if rerr != nil {
+			return 0, 0, rerr
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, 0, fmt.Errorf("ingest batch %d: status %d: %s", b, resp.StatusCode, bytes.TrimSpace(body))
+		}
+		sent += int64(len(batch))
+	}
+
+	got, err := fetchCodecSchema(ctx, client, base, name)
+	if err != nil {
+		return 0, 0, err
+	}
+	offline, _, err := jsi.Infer(ctx, jsi.FromBytes(data), jsi.Options{})
+	if err != nil {
+		return 0, 0, fmt.Errorf("offline inference: %w", err)
+	}
+	want, err := offline.MarshalJSON()
+	if err != nil {
+		return 0, 0, err
+	}
+	if !bytes.Equal(got, want) {
+		return 0, 0, fmt.Errorf("served schema differs from offline inference:\nserved:  %s\noffline: %s", got, want)
+	}
+	return int64(cfg.records), sent, nil
+}
+
+// fetchCodecSchema retrieves a tenant's fused schema in the canonical
+// codec encoding.
+func fetchCodecSchema(ctx context.Context, client *http.Client, base, name string) ([]byte, error) {
+	u := fmt.Sprintf("http://%s/v1/tenants/%s/schema?format=codec", base, url.PathEscape(name))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); rerr == nil {
+		rerr = cerr
+	}
+	if rerr != nil {
+		return nil, rerr
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fetch schema: status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return bytes.TrimSpace(body), nil
+}
+
+// splitBatches cuts NDJSON data into n batches on record boundaries.
+// Batches may be empty when there are fewer lines than batches; the
+// server treats an empty body as zero records, which fuses as the
+// identity.
+func splitBatches(data []byte, n int) [][]byte {
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	// SplitAfter yields a trailing empty slice when data ends in \n.
+	if len(lines) > 0 && len(lines[len(lines)-1]) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	out := make([][]byte, n)
+	per := (len(lines) + n - 1) / n
+	for i := 0; i < n; i++ {
+		lo := i * per
+		hi := lo + per
+		if lo > len(lines) {
+			lo = len(lines)
+		}
+		if hi > len(lines) {
+			hi = len(lines)
+		}
+		out[i] = bytes.Join(lines[lo:hi], nil)
+	}
+	return out
+}
+
+// serveHTTP runs the in-process server's accept loop; the harness
+// shuts it down via closeQuiet when the run ends.
+func serveHTTP(hs *http.Server, ln net.Listener) {
+	_ = hs.Serve(ln)
+}
+
+// closeQuiet closes the in-process server at exit; the run's verdict
+// is already decided by then.
+func closeQuiet(hs *http.Server) {
+	_ = hs.Close()
+}

@@ -1,0 +1,54 @@
+package jsoninference
+
+import (
+	"fmt"
+
+	"repro/internal/diff"
+)
+
+// SchemaChange is one structural difference between two schema
+// versions, produced by Schema.DiffFrom. With full schemas on both
+// sides, attribute additions, removals, kind changes and optionality
+// changes are all visible — the change-tracking application of the
+// paper's related-work discussion.
+type SchemaChange struct {
+	// Path is the slash-separated field path from the root; array
+	// element positions appear as "[]", abstracted map keys as "*".
+	Path string `json:"path"`
+	// Kind is the change class: "added", "removed", "type-changed",
+	// "made-optional" or "made-mandatory".
+	Kind string `json:"kind"`
+	// Old and New are the rendered types on each side, when applicable.
+	Old string `json:"old,omitempty"`
+	New string `json:"new,omitempty"`
+}
+
+// String renders the change as a one-line report.
+func (c SchemaChange) String() string {
+	switch c.Kind {
+	case "added":
+		return fmt.Sprintf("+ %-14s %s : %s", c.Kind, c.Path, c.New)
+	case "removed":
+		return fmt.Sprintf("- %-14s %s : %s", c.Kind, c.Path, c.Old)
+	default:
+		return fmt.Sprintf("~ %-14s %s : %s -> %s", c.Kind, c.Path, c.Old, c.New)
+	}
+}
+
+// DiffFrom reports the structural changes from old to s, sorted by
+// path: what a consumer of old's collection must absorb to handle s's.
+// A nil old compares against the empty schema, so the result of the
+// first inference reads as one big addition. An empty result means the
+// schemas are structurally identical.
+func (s *Schema) DiffFrom(old *Schema) []SchemaChange {
+	oldT := EmptySchema().t
+	if old != nil {
+		oldT = old.t
+	}
+	entries := diff.Compare(oldT, s.t)
+	out := make([]SchemaChange, len(entries))
+	for i, e := range entries {
+		out[i] = SchemaChange{Path: e.Path, Kind: e.Kind.String(), Old: e.Old, New: e.New}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package jsoninference_test
+
+import (
+	"strings"
+	"testing"
+
+	jsi "repro"
+)
+
+func mustParse(t *testing.T, src string) *jsi.Schema {
+	t.Helper()
+	s, err := jsi.ParseSchema(src)
+	if err != nil {
+		t.Fatalf("ParseSchema(%q): %v", src, err)
+	}
+	return s
+}
+
+func TestSchemaDiffFrom(t *testing.T) {
+	old := mustParse(t, "{id: Num, name: Str, tags: [Str*]}")
+	new := mustParse(t, "{id: Num + Str, name: Str?, added: Bool}")
+
+	changes := new.DiffFrom(old)
+	got := make(map[string]string, len(changes))
+	for _, c := range changes {
+		got[c.Path+" "+c.Kind] = c.Old + "->" + c.New
+	}
+	for _, want := range []string{
+		"./added added",
+		"./id type-changed",
+		"./name made-optional",
+		"./tags removed",
+	} {
+		if _, ok := got[want]; !ok {
+			t.Errorf("missing change %q in %v", want, changes)
+		}
+	}
+	for _, c := range changes {
+		if c.String() == "" {
+			t.Errorf("empty rendering for %+v", c)
+		}
+	}
+}
+
+func TestSchemaDiffFromNilAndIdentical(t *testing.T) {
+	s := mustParse(t, "{id: Num}")
+	if changes := s.DiffFrom(s); len(changes) != 0 {
+		t.Errorf("self-diff = %v, want empty", changes)
+	}
+	changes := s.DiffFrom(nil)
+	if len(changes) == 0 {
+		t.Fatal("diff from nil is empty")
+	}
+	if changes[0].Kind != "type-changed" && changes[0].Kind != "added" {
+		t.Errorf("diff from nil kind = %q", changes[0].Kind)
+	}
+}
+
+func TestSchemaDiffFromSorted(t *testing.T) {
+	old := mustParse(t, "{}")
+	new := mustParse(t, "{b: Num, a: Str, c: Bool}")
+	changes := new.DiffFrom(old)
+	for i := 1; i < len(changes); i++ {
+		if strings.Compare(changes[i-1].Path, changes[i].Path) > 0 {
+			t.Errorf("changes not sorted by path: %v", changes)
+		}
+	}
+}

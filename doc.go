@@ -25,6 +25,17 @@
 // incremental maintenance — infer once, then fuse in the types of new
 // records as they arrive.
 //
+// # Incremental repositories
+//
+// A Repository packages that incremental maintenance behind a
+// concurrency-safe API: schemas of new batches fuse into named
+// partitions in O(schema-size) (Append), the global schema is a cached
+// fold of the per-partition schemas (Schema), and the whole repository
+// serializes for persistence (Save / LoadRepository). See
+// ExampleRepository. The cmd/schemad server exposes one Repository per
+// tenant over HTTP (docs/SERVING.md), and Schema.DiffFrom reports what
+// changed between two inferred versions.
+//
 // Schemas render in the paper's type syntax (String), parse back
 // (ParseSchema), export to JSON Schema draft-04 (JSONSchema), and check
 // values for conformance (Contains).

@@ -88,3 +88,29 @@ func ExampleSchema_AbstractKeys() {
 	// Output:
 	// {*: {v: Num}}
 }
+
+// A Repository maintains schemas incrementally: each batch is inferred
+// once and its schema fused into a named partition in O(schema-size) —
+// by associativity the global schema equals a single offline inference
+// over everything appended. This is the primitive cmd/schemad serves
+// per tenant.
+func ExampleRepository() {
+	repo := jsi.NewRepository()
+
+	for part, batch := range map[string][]byte{
+		"2024-01": []byte(`{"id": 1, "tags": ["a"]}`),
+		"2024-02": []byte(`{"id": "x", "draft": true}`),
+	} {
+		schema, stats, err := jsi.InferNDJSON(batch, jsi.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		repo.Append(part, schema, stats.Records)
+	}
+
+	fmt.Println(repo.Schema())
+	fmt.Println(repo.Partitions(), repo.Count(), "records")
+	// Output:
+	// {draft: Bool?, id: Num + Str, tags: [Str*]?}
+	// [2024-01 2024-02] 2 records
+}

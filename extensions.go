@@ -1,7 +1,7 @@
 package jsoninference
 
 import (
-	"bytes"
+	"context"
 	"fmt"
 	"io"
 
@@ -26,40 +26,57 @@ type Profile struct {
 	p profile.Profile
 }
 
-// ProfileNDJSON profiles a collection of whitespace-separated JSON
-// values.
-func ProfileNDJSON(data []byte, opts Options) (*Profile, error) {
+// InferProfile runs statistics-enriched inference over a Source — the
+// profile counterpart of Infer, and like it the only profile entry
+// point that accepts a context and therefore supports cancellation and
+// deadlines (taking effect between records). Any Source kind works:
+// bytes, readers (plain or chunked), files. Values are decoded and
+// profiled sequentially with constant memory — a profile accumulates
+// every value's statistics, so there is no parallel map phase to
+// distribute. The returned Stats carries the feed-side numbers
+// (Records, Bytes); the type-level fields stay zero.
+//
+// Profiles merge commutatively and associatively (Profile.Merge), so
+// partitioned datasets can be profiled partition by partition and
+// merged, exactly like schemas.
+func InferProfile(ctx context.Context, src Source, opts Options) (*Profile, Stats, error) {
 	if err := opts.validate(); err != nil {
-		return nil, err
+		return nil, Stats{}, err
+	}
+	if src == nil {
+		return nil, Stats{}, fmt.Errorf("%w: nil Source", ErrInvalidOptions)
 	}
 	var out Profile
-	err := jsontext.ScanValues(bytes.NewReader(data), jsontext.Options{MaxDepth: opts.MaxDepth}, func(v value.Value) error {
+	n, err := src.scan(ctx, opts.env(), func(v value.Value) error {
 		out.p.Add(v)
 		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("jsoninference: %w", err)
+		return nil, Stats{}, fmt.Errorf("jsoninference: %w", err)
 	}
-	return &out, nil
+	return &out, Stats{Records: out.p.Count, Bytes: n}, nil
+}
+
+// ProfileNDJSON profiles a collection of whitespace-separated JSON
+// values. It is InferProfile over FromBytes with a background context.
+//
+// Deprecated: use InferProfile, which accepts a context and any Source
+// kind. ProfileNDJSON remains for compatibility, mirroring how the
+// Infer* wrappers sit over Infer.
+func ProfileNDJSON(data []byte, opts Options) (*Profile, error) {
+	p, _, err := InferProfile(context.Background(), FromBytes(data), opts)
+	return p, err
 }
 
 // ProfileReader profiles a stream of JSON values with constant memory.
+// It is InferProfile over FromReader with a background context.
+//
+// Deprecated: use InferProfile, which accepts a context and any Source
+// kind. ProfileReader remains for compatibility, mirroring how the
+// Infer* wrappers sit over Infer.
 func ProfileReader(r io.Reader, opts Options) (*Profile, error) {
-	if err := opts.validate(); err != nil {
-		return nil, err
-	}
-	var out Profile
-	p := jsontext.NewParser(r, jsontext.Options{MaxDepth: opts.MaxDepth})
-	for {
-		v, err := p.Next()
-		if err == io.EOF {
-			return &out, nil
-		}
-		if err != nil {
-			return nil, fmt.Errorf("jsoninference: %w", err)
-		}
-		out.p.Add(v)
-	}
+	p, _, err := InferProfile(context.Background(), FromReader(r), opts)
+	return p, err
 }
 
 // Records reports the number of values profiled.

@@ -1,0 +1,107 @@
+// Package debugserver is the shared -debug-addr implementation behind
+// cmd/jsoninfer and cmd/schemad: an HTTP server exposing /debug/vars
+// (expvar, including any process-wide variables published with
+// Publish) and /debug/pprof on an operator-chosen address.
+//
+// The package exists because expvar.Publish is process-global and
+// panics on duplicate names, which makes naive per-run registration
+// (and per-test registration) blow up. Publish here is idempotent:
+// the first call for a name registers an expvar.Func indirection, and
+// later calls swap the function it reads — so a CLI that runs several
+// inferences, or a test that starts several servers, republishes
+// freely.
+package debugserver
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+var (
+	mu   sync.Mutex
+	vars = make(map[string]func() any)
+)
+
+// Publish exposes fn as the expvar variable name. The first call for a
+// name registers it with the process-global expvar table; subsequent
+// calls replace the function the variable reads. fn must be safe to
+// call from any goroutine at any time; a nil fn unpublishes the value
+// (the variable renders as null).
+func Publish(name string, fn func() any) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := vars[name]; !ok {
+		expvar.Publish(name, expvar.Func(func() any {
+			mu.Lock()
+			f := vars[name]
+			mu.Unlock()
+			if f == nil {
+				return nil
+			}
+			return f()
+		}))
+	}
+	vars[name] = fn
+}
+
+// Handler returns the debug mux: /debug/vars plus the /debug/pprof
+// family. Servers that already listen elsewhere (tests, embedding)
+// can mount it directly instead of calling Start.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// A Server is a running debug server. Stop it with Close.
+type Server struct {
+	srv  *http.Server
+	addr net.Addr
+}
+
+// Start serves the debug Handler on addr until Close. A failure to
+// listen (address in use, bad syntax) is returned synchronously — the
+// caller decides whether a dead debug endpoint should abort its run.
+// The actual listening address is available from Addr (useful with
+// ":0").
+func Start(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug server: %w", err)
+	}
+	srv := &http.Server{Handler: Handler()}
+	go serve(srv, ln)
+	return &Server{srv: srv, addr: ln.Addr()}, nil
+}
+
+// serve runs the accept loop; it returns http.ErrServerClosed once
+// Close runs, and any earlier error means the listener died — which
+// Close surfaces.
+func serve(srv *http.Server, ln net.Listener) {
+	_ = srv.Serve(ln)
+}
+
+// Addr returns the server's listening address.
+func (s *Server) Addr() net.Addr { return s.addr }
+
+// URL returns the address of the expvar endpoint, for announcing on
+// stderr.
+func (s *Server) URL() string {
+	return fmt.Sprintf("http://%s/debug/vars", s.addr)
+}
+
+// Close stops the server immediately, closing the listener and any
+// active connections. Debug traffic is advisory; there is nothing to
+// drain.
+func (s *Server) Close() error {
+	return s.srv.Close()
+}

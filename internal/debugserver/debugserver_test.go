@@ -1,0 +1,91 @@
+package debugserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestPublishIsIdempotentAndSwappable(t *testing.T) {
+	Publish("debugserver_test_var", func() any { return 1 })
+	Publish("debugserver_test_var", func() any { return 2 }) // must not panic
+
+	ts := httptest.NewServer(Handler())
+	defer ts.Close()
+
+	get := func() map[string]any {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/debug/vars")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var doc map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+
+	if got := get()["debugserver_test_var"]; got != float64(2) {
+		t.Errorf("published value = %v, want 2", got)
+	}
+	Publish("debugserver_test_var", nil)
+	if got := get()["debugserver_test_var"]; got != nil {
+		t.Errorf("unpublished value = %v, want null", got)
+	}
+}
+
+func TestPublishConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			Publish(fmt.Sprintf("debugserver_test_conc_%d", i%4), func() any { return i })
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestStartServesVarsAndPprof(t *testing.T) {
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for _, path := range []string{"/debug/vars", "/debug/pprof/cmdline"} {
+		resp, err := http.Get("http://" + s.Addr().String() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			t.Fatalf("close %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+	if s.URL() == "" {
+		t.Error("empty URL")
+	}
+}
+
+func TestStartListenError(t *testing.T) {
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := Start(s.Addr().String()); err == nil {
+		t.Error("second Start on the same address succeeded")
+	}
+}

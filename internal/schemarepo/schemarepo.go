@@ -68,6 +68,25 @@ func (r *Repo) AppendType(part string, t types.Type) {
 	r.cached = nil
 }
 
+// AppendSchema fuses an already-fused schema describing count values
+// into the named partition — the bulk insert path: a batch of records
+// is inferred once (anywhere — another process, an HTTP client) and
+// its schema lands here in one O(schema-size) fuse. By associativity
+// this equals appending the batch record by record.
+func (r *Repo) AppendSchema(part string, t types.Type, count int64) {
+	t = fusion.Simplify(t)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := r.partitions[part]
+	if p == nil {
+		p = &partition{schema: types.Empty}
+		r.partitions[part] = p
+	}
+	p.schema = fusion.Fuse(p.schema, t)
+	p.count += count
+	r.cached = nil
+}
+
 // SetPartition replaces a partition's schema wholesale, as after
 // re-inferring an updated partition. count records how many values the
 // schema describes.
@@ -103,13 +122,15 @@ func (r *Repo) ReplacePartition(part string, vs []value.Value) {
 
 // DropPartition removes a partition. Dropping an absent partition is a
 // no-op.
-func (r *Repo) DropPartition(part string) {
+func (r *Repo) DropPartition(part string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.partitions[part]; ok {
 		delete(r.partitions, part)
 		r.cached = nil
+		return true
 	}
+	return false
 }
 
 // Schema returns the fused schema of all partitions (ε when empty). The
@@ -138,6 +159,18 @@ func (r *Repo) PartitionSchema(part string) (types.Type, bool) {
 		return nil, false
 	}
 	return p.schema, true
+}
+
+// PartitionCount returns the number of values the named partition
+// describes and whether the partition exists.
+func (r *Repo) PartitionCount(part string) (int64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.partitions[part]
+	if !ok {
+		return 0, false
+	}
+	return p.count, true
 }
 
 // Count returns the total number of values described across partitions.

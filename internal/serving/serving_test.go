@@ -1,0 +1,603 @@
+package serving
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	jsi "repro"
+	"repro/internal/dataset"
+)
+
+// newTestServer builds a Server over a scratch data dir and mounts it
+// on an httptest listener.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.DataDir == "" {
+		cfg.DataDir = t.TempDir()
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+// doReq issues one request and returns status and body.
+func doReq(t *testing.T, method, url string, body []byte) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, rerr := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); rerr == nil {
+		rerr = cerr
+	}
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	return resp.StatusCode, out
+}
+
+func ingest(t *testing.T, base, tenant, partition string, data []byte) {
+	t.Helper()
+	status, body := doReq(t, http.MethodPost,
+		fmt.Sprintf("%s/v1/tenants/%s/ingest?partition=%s", base, tenant, partition), data)
+	if status != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", status, body)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	status, body := doReq(t, http.MethodGet, hs.URL+"/healthz", nil)
+	if status != http.StatusOK || !bytes.Contains(body, []byte(`"ok"`)) {
+		t.Fatalf("healthz: status %d, body %s", status, body)
+	}
+	ingest(t, hs.URL, "m", "default", []byte(`{"a":1}`+"\n"))
+	status, body = doReq(t, http.MethodGet, hs.URL+"/v1/metrics", nil)
+	if status != http.StatusOK {
+		t.Fatalf("metrics: status %d", status)
+	}
+	var doc struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, body)
+	}
+	if doc.Counters["schemad_ingest_records"] != 1 {
+		t.Errorf("schemad_ingest_records = %d, want 1\n%s", doc.Counters["schemad_ingest_records"], body)
+	}
+}
+
+// TestIngestMatchesOffline is the core serving guarantee: batches
+// ingested over HTTP across partitions fuse to the same schema as
+// offline inference over the concatenation — byte-identical in codec
+// format.
+func TestIngestMatchesOffline(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	g, err := dataset.New("github")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := dataset.NDJSON(g, 300, 7)
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	third := len(lines) / 3
+	ingest(t, hs.URL, "acme", "p0", bytes.Join(lines[:third], nil))
+	ingest(t, hs.URL, "acme", "p1", bytes.Join(lines[third:2*third], nil))
+	ingest(t, hs.URL, "acme", "p0", bytes.Join(lines[2*third:], nil))
+
+	status, got := doReq(t, http.MethodGet, hs.URL+"/v1/tenants/acme/schema?format=codec", nil)
+	if status != http.StatusOK {
+		t.Fatalf("schema: status %d: %s", status, got)
+	}
+	offline, _, err := jsi.InferNDJSON(data, jsi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := offline.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(got), want) {
+		t.Errorf("served schema differs from offline:\nserved:  %s\noffline: %s", got, want)
+	}
+}
+
+// TestTenantIsolation: two tenants with different data never see each
+// other's fields.
+func TestTenantIsolation(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	ingest(t, hs.URL, "alpha", "default", []byte(`{"alpha_only":1}`+"\n"))
+	ingest(t, hs.URL, "beta", "default", []byte(`{"beta_only":"x"}`+"\n"))
+	_, a := doReq(t, http.MethodGet, hs.URL+"/v1/tenants/alpha/schema", nil)
+	_, b := doReq(t, http.MethodGet, hs.URL+"/v1/tenants/beta/schema", nil)
+	if bytes.Contains(a, []byte("beta_only")) || bytes.Contains(b, []byte("alpha_only")) {
+		t.Errorf("tenant schemas leaked across tenants:\nalpha: %s\nbeta: %s", a, b)
+	}
+}
+
+func TestSchemaFormats(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	ingest(t, hs.URL, "f", "default", []byte(`{"a":1}`+"\n"))
+	for _, format := range []string{"type", "indent", "jsonschema", "codec"} {
+		status, body := doReq(t, http.MethodGet, hs.URL+"/v1/tenants/f/schema?format="+format, nil)
+		if status != http.StatusOK || len(bytes.TrimSpace(body)) == 0 {
+			t.Errorf("format %s: status %d, body %q", format, status, body)
+		}
+	}
+	status, _ := doReq(t, http.MethodGet, hs.URL+"/v1/tenants/f/schema?format=bogus", nil)
+	if status != http.StatusBadRequest {
+		t.Errorf("bogus format: status %d, want 400", status)
+	}
+}
+
+func TestPartitionEndpoints(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	ingest(t, hs.URL, "p", "jan", []byte(`{"a":1}`+"\n"))
+	ingest(t, hs.URL, "p", "feb", []byte(`{"a":"s"}`+"\n"))
+
+	status, body := doReq(t, http.MethodGet, hs.URL+"/v1/tenants/p/partitions", nil)
+	if status != http.StatusOK {
+		t.Fatalf("partitions: status %d", status)
+	}
+	var doc struct {
+		Partitions []struct {
+			Name    string `json:"name"`
+			Records int64  `json:"records"`
+		} `json:"partitions"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Partitions) != 2 || doc.Partitions[0].Name != "feb" || doc.Partitions[1].Name != "jan" {
+		t.Errorf("partitions = %+v, want sorted [feb jan]", doc.Partitions)
+	}
+
+	status, body = doReq(t, http.MethodGet, hs.URL+"/v1/tenants/p/partitions/jan/schema", nil)
+	if status != http.StatusOK || !bytes.Contains(body, []byte("Num")) {
+		t.Errorf("partition schema: status %d, body %s", status, body)
+	}
+	status, _ = doReq(t, http.MethodGet, hs.URL+"/v1/tenants/p/partitions/mar/schema", nil)
+	if status != http.StatusNotFound {
+		t.Errorf("absent partition schema: status %d, want 404", status)
+	}
+
+	status, _ = doReq(t, http.MethodDelete, hs.URL+"/v1/tenants/p/partitions/jan", nil)
+	if status != http.StatusOK {
+		t.Errorf("drop partition: status %d", status)
+	}
+	status, _ = doReq(t, http.MethodDelete, hs.URL+"/v1/tenants/p/partitions/jan", nil)
+	if status != http.StatusNotFound {
+		t.Errorf("re-drop partition: status %d, want 404", status)
+	}
+	// After dropping jan the fused schema shrinks to feb's.
+	_, schema := doReq(t, http.MethodGet, hs.URL+"/v1/tenants/p/schema", nil)
+	if got := string(bytes.TrimSpace(schema)); got != "{a: Str}" {
+		t.Errorf("schema after drop = %s, want {a: Str}", got)
+	}
+}
+
+func TestDiffEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	ingest(t, hs.URL, "d", "default", []byte(`{"id":1}`+"\n"))
+	_, prior := doReq(t, http.MethodGet, hs.URL+"/v1/tenants/d/schema?format=codec", nil)
+	ingest(t, hs.URL, "d", "default", []byte(`{"id":"x","extra":true}`+"\n"))
+
+	status, body := doReq(t, http.MethodPost, hs.URL+"/v1/tenants/d/diff", bytes.TrimSpace(prior))
+	if status != http.StatusOK {
+		t.Fatalf("diff: status %d: %s", status, body)
+	}
+	var doc struct {
+		Count   int `json:"count"`
+		Changes []struct {
+			Path string `json:"path"`
+			Kind string `json:"kind"`
+		} `json:"changes"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	kinds := make(map[string]string, len(doc.Changes))
+	for _, c := range doc.Changes {
+		kinds[c.Path] = c.Kind
+	}
+	if kinds["./extra"] != "added" || kinds["./id"] != "type-changed" {
+		t.Errorf("diff changes = %+v", doc.Changes)
+	}
+
+	// Identical prior → zero changes.
+	_, now := doReq(t, http.MethodGet, hs.URL+"/v1/tenants/d/schema?format=codec", nil)
+	status, body = doReq(t, http.MethodPost, hs.URL+"/v1/tenants/d/diff", bytes.TrimSpace(now))
+	if status != http.StatusOK {
+		t.Fatalf("diff(now): status %d", status)
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Count != 0 {
+		t.Errorf("self-diff count = %d, want 0", doc.Count)
+	}
+
+	status, _ = doReq(t, http.MethodPost, hs.URL+"/v1/tenants/d/diff", []byte("{not json"))
+	if status != http.StatusBadRequest {
+		t.Errorf("malformed diff body: status %d, want 400", status)
+	}
+}
+
+func TestValidateEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	ingest(t, hs.URL, "v", "default", []byte(`{"id":1,"name":"a"}`+"\n"))
+
+	status, body := doReq(t, http.MethodPost, hs.URL+"/v1/tenants/v/validate",
+		[]byte(`{"id":2,"name":"b"}`+"\n"+`{"id":"oops","name":"c"}`+"\n"))
+	if status != http.StatusOK {
+		t.Fatalf("validate: status %d: %s", status, body)
+	}
+	var doc struct {
+		Checked  int64 `json:"checked"`
+		Valid    int64 `json:"valid"`
+		Invalid  int64 `json:"invalid"`
+		Failures []struct {
+			Record int64  `json:"record"`
+			Error  string `json:"error"`
+		} `json:"failures"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Checked != 2 || doc.Valid != 1 || doc.Invalid != 1 {
+		t.Errorf("validate = %+v", doc)
+	}
+	if len(doc.Failures) != 1 || doc.Failures[0].Record != 2 {
+		t.Errorf("failures = %+v", doc.Failures)
+	}
+
+	// Malformed JSON mid-stream stops validation with a parse failure.
+	status, body = doReq(t, http.MethodPost, hs.URL+"/v1/tenants/v/validate",
+		[]byte(`{"id":3,"name":"d"}`+"\n"+"{broken\n"))
+	if status != http.StatusOK {
+		t.Fatalf("validate(malformed): status %d", status)
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Valid != 1 || len(doc.Failures) != 1 || !strings.Contains(doc.Failures[0].Error, "") {
+		t.Errorf("validate(malformed) = %+v", doc)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	ingest(t, hs.URL, "s", "default", []byte(`{"a":1}`+"\n"+`{"a":2,"b":"x"}`+"\n"))
+
+	status, snap := doReq(t, http.MethodGet, hs.URL+"/v1/tenants/s/snapshot", nil)
+	if status != http.StatusOK {
+		t.Fatalf("snapshot get: status %d", status)
+	}
+	_, wantSchema := doReq(t, http.MethodGet, hs.URL+"/v1/tenants/s/schema", nil)
+
+	// Restore into a different tenant; its schema must match.
+	status, body := doReq(t, http.MethodPut, hs.URL+"/v1/tenants/s2/snapshot", snap)
+	if status != http.StatusOK {
+		t.Fatalf("snapshot put: status %d: %s", status, body)
+	}
+	var doc struct {
+		Records int64 `json:"records"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Records != 2 {
+		t.Errorf("restored records = %d, want 2", doc.Records)
+	}
+	_, gotSchema := doReq(t, http.MethodGet, hs.URL+"/v1/tenants/s2/schema", nil)
+	if !bytes.Equal(gotSchema, wantSchema) {
+		t.Errorf("restored schema = %s, want %s", gotSchema, wantSchema)
+	}
+
+	status, _ = doReq(t, http.MethodPut, hs.URL+"/v1/tenants/s3/snapshot", []byte("{bad"))
+	if status != http.StatusBadRequest {
+		t.Errorf("bad snapshot: status %d, want 400", status)
+	}
+}
+
+func TestDeleteTenant(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	ingest(t, hs.URL, "del", "default", []byte(`{"a":1}`+"\n"))
+	status, _ := doReq(t, http.MethodDelete, hs.URL+"/v1/tenants/del", nil)
+	if status != http.StatusOK {
+		t.Errorf("delete: status %d", status)
+	}
+	status, _ = doReq(t, http.MethodDelete, hs.URL+"/v1/tenants/del", nil)
+	if status != http.StatusNotFound {
+		t.Errorf("re-delete: status %d, want 404", status)
+	}
+	// The tenant comes back empty on next touch.
+	_, schema := doReq(t, http.MethodGet, hs.URL+"/v1/tenants/del/schema", nil)
+	if got := string(bytes.TrimSpace(schema)); got != "ε" {
+		t.Errorf("schema after delete = %q, want empty type", got)
+	}
+}
+
+func TestListTenants(t *testing.T) {
+	srv, hs := newTestServer(t, Config{MaxResidentTenants: 1})
+	ingest(t, hs.URL, "one", "default", []byte(`{"a":1}`+"\n"))
+	ingest(t, hs.URL, "two", "default", []byte(`{"b":1}`+"\n"))
+	// Cap 1: tenant "one" has been evicted to disk by now.
+	status, body := doReq(t, http.MethodGet, hs.URL+"/v1/tenants", nil)
+	if status != http.StatusOK {
+		t.Fatalf("list: status %d", status)
+	}
+	var doc struct {
+		Tenants []tenantInfo `json:"tenants"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Tenants) != 2 || doc.Tenants[0].Name != "one" || doc.Tenants[1].Name != "two" {
+		t.Fatalf("tenants = %+v, want [one two]", doc.Tenants)
+	}
+	if doc.Tenants[0].Resident || !doc.Tenants[1].Resident {
+		t.Errorf("residency = %+v, want one evicted, two resident", doc.Tenants)
+	}
+	if got := srv.Metrics().Counters["schemad_evictions"]; got < 1 {
+		t.Errorf("schemad_evictions = %d, want >= 1", got)
+	}
+}
+
+// TestEvictionPreservesSchemas: with a residency cap of 2, ingesting
+// into many tenants forces spill/reload cycles; every tenant's final
+// schema must still match offline inference.
+func TestEvictionPreservesSchemas(t *testing.T) {
+	_, hs := newTestServer(t, Config{MaxResidentTenants: 2})
+	const tenants = 8
+	var datas [tenants][]byte
+	for round := 0; round < 3; round++ {
+		for i := 0; i < tenants; i++ {
+			rec := []byte(fmt.Sprintf(`{"tenant":%d,"round":%d,"k%d":true}`+"\n", i, round, round))
+			datas[i] = append(datas[i], rec...)
+			ingest(t, hs.URL, fmt.Sprintf("ev-%d", i), "default", rec)
+		}
+	}
+	for i := 0; i < tenants; i++ {
+		_, got := doReq(t, http.MethodGet, hs.URL+fmt.Sprintf("/v1/tenants/ev-%d/schema?format=codec", i), nil)
+		offline, _, err := jsi.InferNDJSON(datas[i], jsi.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := offline.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bytes.TrimSpace(got), want) {
+			t.Errorf("tenant ev-%d: schema %s, want %s", i, got, want)
+		}
+	}
+}
+
+// TestSnapshotSurvivesRestart: SaveAll + a fresh Server over the same
+// data dir restores every tenant.
+func TestSnapshotSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv, hs := newTestServer(t, Config{DataDir: dir})
+	ingest(t, hs.URL, "persist", "default", []byte(`{"a":1}`+"\n"))
+	_, want := doReq(t, http.MethodGet, hs.URL+"/v1/tenants/persist/schema", nil)
+	if err := srv.SaveAll(); err != nil {
+		t.Fatal(err)
+	}
+	hs.Close()
+
+	_, hs2 := newTestServer(t, Config{DataDir: dir})
+	_, got := doReq(t, http.MethodGet, hs2.URL+"/v1/tenants/persist/schema", nil)
+	if !bytes.Equal(got, want) {
+		t.Errorf("schema after restart = %s, want %s", got, want)
+	}
+}
+
+func TestIngestQuarantine(t *testing.T) {
+	// Small chunks so the one malformed record poisons a single chunk
+	// rather than the whole body.
+	_, hs := newTestServer(t, Config{ChunkBytes: 1 << 10})
+	var buf bytes.Buffer
+	for i := 0; i < 2000; i++ {
+		if i == 999 {
+			buf.WriteString("{broken\n")
+			continue
+		}
+		fmt.Fprintf(&buf, `{"id": %d}`+"\n", i)
+	}
+	// Default policy: the malformed chunk fails the request and leaves
+	// the repository untouched.
+	status, _ := doReq(t, http.MethodPost, hs.URL+"/v1/tenants/q/ingest", buf.Bytes())
+	if status != http.StatusBadRequest {
+		t.Fatalf("malformed ingest: status %d, want 400", status)
+	}
+	_, schema := doReq(t, http.MethodGet, hs.URL+"/v1/tenants/q/schema", nil)
+	if got := string(bytes.TrimSpace(schema)); got != "ε" {
+		t.Errorf("schema after failed ingest = %q, want empty", got)
+	}
+
+	// on_error=skip quarantines the chunk and commits the rest.
+	status, body := doReq(t, http.MethodPost,
+		hs.URL+"/v1/tenants/q/ingest?on_error=skip", buf.Bytes())
+	if status != http.StatusOK {
+		t.Fatalf("skip ingest: status %d: %s", status, body)
+	}
+	var doc ingestResponse
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.QuarantinedChunks < 1 {
+		t.Errorf("quarantined_chunks = %d, want >= 1", doc.QuarantinedChunks)
+	}
+	_, schema = doReq(t, http.MethodGet, hs.URL+"/v1/tenants/q/schema", nil)
+	if got := string(bytes.TrimSpace(schema)); got != "{id: Num}" {
+		t.Errorf("schema after skip ingest = %q, want {id: Num}", got)
+	}
+
+	status, _ = doReq(t, http.MethodPost, hs.URL+"/v1/tenants/q/ingest?on_error=bogus", nil)
+	if status != http.StatusBadRequest {
+		t.Errorf("bogus on_error: status %d, want 400", status)
+	}
+}
+
+func TestIngestBodyCap(t *testing.T) {
+	_, hs := newTestServer(t, Config{MaxBodyBytes: 1 << 10})
+	big := bytes.Repeat([]byte(`{"pad":"xxxxxxxxxxxxxxxx"}`+"\n"), 200)
+	status, body := doReq(t, http.MethodPost, hs.URL+"/v1/tenants/cap/ingest", big)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized ingest: status %d: %s", status, body)
+	}
+	_, schema := doReq(t, http.MethodGet, hs.URL+"/v1/tenants/cap/schema", nil)
+	if got := string(bytes.TrimSpace(schema)); got != "ε" {
+		t.Errorf("schema after rejected ingest = %q, want empty", got)
+	}
+}
+
+// slowBody feeds records then blocks until its context dies,
+// simulating a client that stalls mid-upload.
+type slowBody struct {
+	data []byte
+	ctx  context.Context
+}
+
+func (b *slowBody) Read(p []byte) (int, error) {
+	if len(b.data) > 0 {
+		n := copy(p, b.data)
+		b.data = b.data[n:]
+		return n, nil
+	}
+	<-b.ctx.Done()
+	return 0, b.ctx.Err()
+}
+
+// TestIngestCancellationMidStream cancels the request context while
+// the body is still streaming; the server must abort the pipeline and
+// commit nothing.
+func TestIngestCancellationMidStream(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	body := &slowBody{data: bytes.Repeat([]byte(`{"a":1}`+"\n"), 100), ctx: ctx}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		hs.URL+"/v1/tenants/cancel/ingest", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			err = resp.Body.Close()
+		}
+		done <- err
+	}()
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("cancelled ingest returned a response")
+	}
+	_, schema := doReq(t, http.MethodGet, hs.URL+"/v1/tenants/cancel/schema", nil)
+	if got := string(bytes.TrimSpace(schema)); got != "ε" {
+		t.Errorf("schema after cancelled ingest = %q, want empty", got)
+	}
+}
+
+func TestTenantNameValidation(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	long := strings.Repeat("x", maxTenantNameLen+1)
+	status, _ := doReq(t, http.MethodGet, hs.URL+"/v1/tenants/"+long+"/schema", nil)
+	if status != http.StatusBadRequest {
+		t.Errorf("overlong tenant name: status %d, want 400", status)
+	}
+}
+
+// TestConcurrentMixedTraffic hammers one server with ingests, schema
+// reads, validations, and snapshots across a small tenant set under a
+// tight residency cap — the -race stress for the serving layer.
+func TestConcurrentMixedTraffic(t *testing.T) {
+	_, hs := newTestServer(t, Config{MaxResidentTenants: 2})
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("mix-%d", w%3)
+			for i := 0; i < 15; i++ {
+				rec := []byte(fmt.Sprintf(`{"w":%d,"i":%d}`+"\n", w, i))
+				switch i % 4 {
+				case 0, 1:
+					status, body := doReq(t, http.MethodPost,
+						fmt.Sprintf("%s/v1/tenants/%s/ingest?partition=p%d", hs.URL, tenant, w%2), rec)
+					if status != http.StatusOK {
+						t.Errorf("ingest: status %d: %s", status, body)
+					}
+				case 2:
+					doReq(t, http.MethodGet, hs.URL+"/v1/tenants/"+tenant+"/schema", nil)
+				case 3:
+					doReq(t, http.MethodPost, hs.URL+"/v1/tenants/"+tenant+"/validate", rec)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every record carried the same shape; all three tenants must agree.
+	want := "{i: Num, w: Num}"
+	for i := 0; i < 3; i++ {
+		_, schema := doReq(t, http.MethodGet, fmt.Sprintf("%s/v1/tenants/mix-%d/schema", hs.URL, i), nil)
+		if got := string(bytes.TrimSpace(schema)); got != want {
+			t.Errorf("tenant mix-%d schema = %q, want %q", i, got, want)
+		}
+	}
+}
+
+// TestForeignFilesIgnored: stray files in the data dir don't appear
+// as tenants.
+func TestForeignFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(dir+"/README.txt", []byte("not a snapshot"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir+"/t-zz.json", []byte("bad hex"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	_, hs := newTestServer(t, Config{DataDir: dir})
+	status, body := doReq(t, http.MethodGet, hs.URL+"/v1/tenants", nil)
+	if status != http.StatusOK {
+		t.Fatalf("list: status %d", status)
+	}
+	var doc struct {
+		Tenants []tenantInfo `json:"tenants"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Tenants) != 0 {
+		t.Errorf("tenants = %+v, want none", doc.Tenants)
+	}
+}
+
+func TestNewRequiresDataDir(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New accepted empty DataDir")
+	}
+}

@@ -1,0 +1,105 @@
+package jsoninference
+
+import (
+	"io"
+
+	"repro/internal/schemarepo"
+)
+
+// A Repository maintains inferred schemas incrementally, one per named
+// partition plus the fused global schema — the capability Sections 1
+// and 7 of the paper derive from associativity: appending a batch only
+// fuses its schema into one partition, and the global schema is a fold
+// of the small per-partition schemas, never a re-inference of the data.
+//
+// Repositories are safe for concurrent use: Append, Schema, Save and
+// the rest may race freely (cmd/schemad serves one Repository per
+// tenant to hundreds of concurrent ingest streams). All schemas stored
+// in a Repository are simplified on the way in, so fusing them is a
+// pure fold of Fuse and results are byte-identical to a single offline
+// Infer over the concatenated records, whatever the arrival order of
+// same-partition batches and whatever the interleaving across
+// partitions — the guarantee cmd/schemadload verifies end to end over
+// HTTP.
+//
+// The zero value is not ready; use NewRepository or LoadRepository.
+type Repository struct {
+	repo *schemarepo.Repo
+}
+
+// NewRepository returns an empty repository.
+func NewRepository() *Repository {
+	return &Repository{repo: schemarepo.New()}
+}
+
+// Append fuses a schema describing count records into the named
+// partition, creating the partition on first use. The typical flow
+// infers a batch with Infer (or receives a schema from elsewhere) and
+// appends it here in one O(schema-size) operation. A nil or empty
+// schema adds only to the partition's record count.
+func (r *Repository) Append(part string, s *Schema, count int64) {
+	t := EmptySchema().t
+	if s != nil {
+		t = s.t
+	}
+	r.repo.AppendSchema(part, t, count)
+}
+
+// Schema returns the fused schema of all partitions (the empty schema
+// when the repository is empty). The result is cached until the
+// repository changes; recomputation folds one small schema per
+// partition.
+func (r *Repository) Schema() *Schema {
+	return newSchema(r.repo.Schema())
+}
+
+// PartitionSchema returns the named partition's schema and whether the
+// partition exists.
+func (r *Repository) PartitionSchema(part string) (*Schema, bool) {
+	t, ok := r.repo.PartitionSchema(part)
+	if !ok {
+		return nil, false
+	}
+	return newSchema(t), true
+}
+
+// PartitionCount returns the number of records the named partition
+// describes and whether the partition exists.
+func (r *Repository) PartitionCount(part string) (int64, bool) {
+	return r.repo.PartitionCount(part)
+}
+
+// DropPartition removes a partition, as when a shard of the dataset is
+// deleted; the global schema shrinks accordingly on the next Schema
+// call. It reports whether the partition existed; dropping an absent
+// partition is a no-op.
+func (r *Repository) DropPartition(part string) bool {
+	return r.repo.DropPartition(part)
+}
+
+// Partitions lists partition names in sorted order.
+func (r *Repository) Partitions() []string {
+	return r.repo.Partitions()
+}
+
+// Count returns the total number of records described across
+// partitions.
+func (r *Repository) Count() int64 {
+	return r.repo.Count()
+}
+
+// Save writes the repository as a JSON document that LoadRepository
+// reads back. Safe to call concurrently with Append; the snapshot is a
+// consistent point-in-time view.
+func (r *Repository) Save(w io.Writer) error {
+	return r.repo.Save(w)
+}
+
+// LoadRepository reads a repository previously written with Save.
+func LoadRepository(rd io.Reader) (*Repository, error) {
+	repo, err := schemarepo.Load(rd)
+	if err != nil {
+		return nil, err
+	}
+	return &Repository{repo: repo}, nil
+}

@@ -1,6 +1,7 @@
 package jsoninference
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/jsontext"
 	"repro/internal/pipeline"
+	"repro/internal/value"
 )
 
 // A Source is an input to Infer: a byte buffer, a stream, a file or a
@@ -23,6 +25,11 @@ type Source interface {
 	// the run's cross-cutting state (fusion policy, workers, failure
 	// policy, recorder, progress hook, dedup machinery).
 	run(ctx context.Context, env *pipeline.Env) (*Schema, Stats, error)
+	// scan decodes the input's values sequentially, calling fn for each
+	// and checking ctx between records; it returns the number of input
+	// bytes consumed. InferProfile drives this path — profiling needs
+	// the values themselves, not just their types.
+	scan(ctx context.Context, env *pipeline.Env, fn func(value.Value) error) (int64, error)
 }
 
 // FromBytes is an in-memory NDJSON buffer (one or more
@@ -44,6 +51,19 @@ func FromReader(r io.Reader) Source { return readerSource{r: r} }
 // are inferred and fused by parallel workers while the file is still
 // being read.
 func FromFile(path string) Source { return filesSource{paths: []string{path}} }
+
+// FromChunkedReader is a stream of JSON values processed through the
+// same bounded-memory chunked parallel pipeline as FromFile: the
+// stream is cut into line-aligned chunks (Options.ChunkBytes each)
+// that are inferred by parallel workers while the stream is still
+// being read, and the full failure machinery (Options.Retries,
+// Options.OnError) applies per chunk. Use it when the input arrives as
+// a stream too large to buffer but parallel inference or quarantine
+// semantics are wanted — an HTTP request body, a pipe, a socket;
+// cmd/schemad feeds ingest request bodies through it. Use FromReader
+// when strict record-at-a-time sequencing matters more than
+// throughput. The reader is consumed until EOF or error.
+func FromChunkedReader(r io.Reader) Source { return chunkedSource{r: r} }
 
 // FromFiles is a set of NDJSON files treated as partitions: each file
 // runs through the same bounded-memory chunked pipeline as FromFile
@@ -109,6 +129,10 @@ func (s bytesSource) run(ctx context.Context, env *pipeline.Env) (*Schema, Stats
 	return schema, st, nil
 }
 
+func (s bytesSource) scan(ctx context.Context, env *pipeline.Env, fn func(value.Value) error) (int64, error) {
+	return scanStream(ctx, env, bytes.NewReader(s.data), fn)
+}
+
 // readerSource implements FromReader: the sequential constant-memory
 // driver over the same accumulator stages.
 type readerSource struct{ r io.Reader }
@@ -121,6 +145,52 @@ func (s readerSource) run(ctx context.Context, env *pipeline.Env) (*Schema, Stat
 	st, schema := typeStats(pipeline.Fold(out))
 	st.Bytes = n
 	return schema, st, nil
+}
+
+func (s readerSource) scan(ctx context.Context, env *pipeline.Env, fn func(value.Value) error) (int64, error) {
+	return scanStream(ctx, env, s.r, fn)
+}
+
+// chunkedSource implements FromChunkedReader: the stream feeds the
+// chunked pipeline through the same bounded-memory line partitioner
+// the file sources use.
+type chunkedSource struct{ r io.Reader }
+
+func (s chunkedSource) run(ctx context.Context, env *pipeline.Env) (*Schema, Stats, error) {
+	cr := &countingReader{r: s.r}
+	out, mrst, err := pipeline.Run(ctx, env, func(emit func([]byte) error) error {
+		return jsontext.ChunkLines(cr, env.ChunkBytes, emit)
+	})
+	if err != nil {
+		var fe *pipeline.FeedError
+		if errors.As(err, &fe) {
+			return nil, Stats{}, fmt.Errorf("jsoninference: %w", &FeedError{Err: fe.Err})
+		}
+		return nil, Stats{}, fmt.Errorf("jsoninference: %w", err)
+	}
+	st, schema := typeStats(pipeline.Fold(out))
+	st.Bytes = cr.n
+	st.Retries = mrst.Retries
+	st.QuarantinedChunks = len(mrst.Quarantined)
+	return schema, st, nil
+}
+
+func (s chunkedSource) scan(ctx context.Context, env *pipeline.Env, fn func(value.Value) error) (int64, error) {
+	return scanStream(ctx, env, s.r, fn)
+}
+
+// countingReader counts the bytes delivered by Read. The pipeline's
+// feeder goroutine is always joined before Run returns, so reading n
+// afterwards does not race.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // filesSource implements FromFile and FromFiles: each file feeds the
@@ -171,6 +241,52 @@ func (s filesSource) run(ctx context.Context, env *pipeline.Env) (*Schema, Stats
 		total = mergeStats(total, st)
 	}
 	return acc, total, nil
+}
+
+func (s filesSource) scan(ctx context.Context, env *pipeline.Env, fn func(value.Value) error) (int64, error) {
+	var total int64
+	for _, path := range s.paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return total, &FeedError{Path: path, Err: err}
+		}
+		n, err := scanStream(ctx, env, f, fn)
+		total += n
+		cerr := f.Close()
+		if err != nil {
+			return total, fmt.Errorf("%s: %w", path, err)
+		}
+		if cerr != nil {
+			return total, &FeedError{Path: path, Err: cerr}
+		}
+	}
+	return total, nil
+}
+
+// scanStream decodes JSON values sequentially from r, calling fn for
+// each. Cancellation takes effect between records, like the streaming
+// inference path. Returns the number of bytes consumed.
+func scanStream(ctx context.Context, env *pipeline.Env, r io.Reader, fn func(value.Value) error) (int64, error) {
+	p := jsontext.NewParser(r, jsontext.Options{MaxDepth: env.MaxDepth})
+	var records int64
+	for {
+		select {
+		case <-ctx.Done():
+			return p.Offset(), fmt.Errorf("record %d: %w", records+1, ctx.Err())
+		default:
+		}
+		v, err := p.Next()
+		if err == io.EOF {
+			return p.Offset(), nil
+		}
+		if err != nil {
+			return p.Offset(), fmt.Errorf("record %d: %w", records+1, err)
+		}
+		if err := fn(v); err != nil {
+			return p.Offset(), err
+		}
+		records++
+	}
 }
 
 // runFilePipeline feeds one file through the chunked pipeline. The
