@@ -42,6 +42,59 @@ func TestFromChunkedReaderMatchesBytes(t *testing.T) {
 	}
 }
 
+// TestFromChunkedReaderLineEndings closes the coverage gap for the two
+// real-world NDJSON framing variants the chunked reader must absorb:
+// CRLF line terminators (the \r is insignificant whitespace to the
+// lexer, not part of any value) and a final record with no trailing
+// newline at all (ChunkLines must flush the unterminated tail at EOF
+// rather than drop it). Both must infer the same schema and record
+// count as the canonical LF-terminated buffer, including across chunk
+// boundaries (tiny ChunkBytes) and on both pipelines.
+func TestFromChunkedReaderLineEndings(t *testing.T) {
+	const n = 200
+	var lf, crlf, noFinalNL bytes.Buffer
+	for i := 0; i < n; i++ {
+		rec := fmt.Sprintf(`{"id": %d, "tag": ["t%d"]}`, i, i%7)
+		lf.WriteString(rec + "\n")
+		crlf.WriteString(rec + "\r\n")
+		noFinalNL.WriteString(rec)
+		if i != n-1 {
+			noFinalNL.WriteString("\n")
+		}
+	}
+	ctx := context.Background()
+	want, wantStats, err := jsi.Infer(ctx, jsi.FromBytes(lf.Bytes()), jsi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		label string
+		data  []byte
+	}{
+		{"crlf", crlf.Bytes()},
+		{"no final newline", noFinalNL.Bytes()},
+		{"crlf, unterminated tail", bytes.TrimSuffix(crlf.Bytes(), []byte("\r\n"))},
+	} {
+		for _, dedup := range []bool{false, true} {
+			opts := jsi.Options{Workers: 3, ChunkBytes: 256, Dedup: dedup}
+			got, gotStats, err := jsi.Infer(ctx, jsi.FromChunkedReader(bytes.NewReader(tc.data)), opts)
+			if err != nil {
+				t.Fatalf("%s (dedup=%v): %v", tc.label, dedup, err)
+			}
+			if got.String() != want.String() {
+				t.Errorf("%s (dedup=%v): schema = %s, want %s", tc.label, dedup, got, want)
+			}
+			if gotStats.Records != wantStats.Records {
+				t.Errorf("%s (dedup=%v): records = %d, want %d", tc.label, dedup, gotStats.Records, wantStats.Records)
+			}
+			if gotStats.Bytes != int64(len(tc.data)) {
+				t.Errorf("%s (dedup=%v): bytes = %d, want %d", tc.label, dedup, gotStats.Bytes, len(tc.data))
+			}
+		}
+	}
+}
+
 // TestFromChunkedReaderCancellation cancels mid-stream and asserts a
 // clean return with no leaked goroutines.
 func TestFromChunkedReaderCancellation(t *testing.T) {

@@ -2,9 +2,10 @@
 // writes the result as JSON (the BENCH_perf.json artifact CI uploads).
 //
 // For each paper dataset it benchmarks the public InferNDJSON pipeline
-// twice over the same synthetic data — Options zero value versus
-// Options.Dedup — recording ns/op, B/op, allocs/op and the exact
-// distinct-type count the dedup run reports. The headline comparison is
+// three times over the same synthetic data — Options zero value,
+// Options.Dedup, and Options.Enrich "all" — recording ns/op, B/op,
+// allocs/op, the exact distinct-type count the dedup run reports, and
+// the enrichment lattice's overhead over the default run. The headline comparison is
 // InferNDJSON/twitter dedup-on against the committed observability
 // baseline (-baseline BENCH_obs.json, whose nil_recorder_ns_per_op was
 // measured on the same workload); docs/PERFORMANCE.md explains how to
@@ -56,9 +57,16 @@ type DatasetResult struct {
 	// DistinctTypes is the exact count the dedup run reports
 	// (Stats.DistinctTypes); the default in-memory path reports the same
 	// number, pinning that dedup changes cost, not results.
-	DistinctTypes int `json:"distinct_types"`
+	DistinctTypes int         `json:"distinct_types"`
 	Default       Measurement `json:"default"`
 	Dedup         Measurement `json:"dedup"`
+	// Enriched measures the same workload with every enrichment monoid
+	// on (Options.Enrich "all"); EnrichOverheadPct is its ns/op above
+	// Default — the documented, paid-only-when-asked-for cost of the
+	// lattice (docs/ENRICHMENT.md). Enrichment off stays covered by the
+	// Default measurement and the 5% pipeline_overhead_pct budget.
+	Enriched          Measurement `json:"enriched"`
+	EnrichOverheadPct float64     `json:"enrich_overhead_pct"`
 	// NsImprovementPct and AllocsReductionPct compare dedup against the
 	// default run above (positive = dedup is better).
 	NsImprovementPct   float64 `json:"ns_improvement_pct"`
@@ -141,7 +149,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 			DistinctTypes: st.DistinctTypes,
 			Default:       measure(data, jsi.Options{}),
 			Dedup:         measure(data, jsi.Options{Dedup: true}),
+			Enriched:      measure(data, jsi.Options{Enrich: []string{"all"}}),
 		}
+		res.EnrichOverheadPct = -pctBelow(res.Enriched.NsPerOp, res.Default.NsPerOp)
 		res.NsImprovementPct = pctBelow(res.Dedup.NsPerOp, res.Default.NsPerOp)
 		res.AllocsReductionPct = pctBelow(res.Dedup.AllocsPerOp, res.Default.AllocsPerOp)
 		rep.Datasets = append(rep.Datasets, res)

@@ -11,7 +11,8 @@
 //
 // Flags:
 //
-//	-format      output format: type (default), indent, jsonschema, codec
+//	-format      output format: type (default), indent, jsonschema, codec,
+//	             enrich (the per-path enrichment report; requires -enrich)
 //	-stream      constant-memory streaming mode (single worker, no
 //	             distinct type statistics unless -dedup is set)
 //	-dedup       hash-consed fast path: deduplicate distinct types in the
@@ -23,6 +24,10 @@
 //	             retries; skip quarantines it and completes without its
 //	             records (reported on stderr)
 //	-stats       print dataset statistics to stderr
+//	-enrich      enrichment monoids computed alongside inference in the
+//	             same pass (comma list or "all"; docs/ENRICHMENT.md).
+//	             jsonschema output gains annotations; the structural
+//	             schema and statistics are unchanged.
 //	-debug-addr  serve /debug/vars (expvar, including live pipeline
 //	             metrics as jsoninfer_metrics) and /debug/pprof on this
 //	             address while the run is in flight
@@ -98,6 +103,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060) during the run")
 	retries := fs.Int("retries", 0, "per-chunk retry budget for transient failures (0 = no retry)")
 	onError := fs.String("on-error", "fail", "chunk failure policy once retries are exhausted: fail or skip")
+	enrichNames := fs.String("enrich", "", "enrichment monoids computed alongside inference (comma list: ranges,hll,bloom,formats,lengths,numprec; or \"all\")")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -112,6 +118,12 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		return fmt.Errorf("unknown -on-error %q (want fail or skip)", *onError)
 	}
 	opts := jsi.Options{Workers: *workers, PreserveTupleArrays: *positional, Retries: *retries, OnError: errPolicy, Dedup: *dedup}
+	if *enrichNames != "" {
+		opts.Enrich = []string{*enrichNames}
+	}
+	if *format == "enrich" && *enrichNames == "" {
+		return fmt.Errorf("-format enrich requires -enrich")
+	}
 	if *debugAddr != "" {
 		opts.Collector = jsi.NewCollector()
 		stop, err := startDebug(*debugAddr, opts.Collector, stderr)
@@ -258,8 +270,14 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 			return err
 		}
 		fmt.Fprintln(stdout, string(out))
+	case "enrich":
+		out, err := schema.EnrichmentJSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, string(out))
 	default:
-		return fmt.Errorf("unknown format %q (want type, indent, jsonschema, or codec)", *format)
+		return fmt.Errorf("unknown format %q (want type, indent, jsonschema, codec, or enrich)", *format)
 	}
 	return nil
 }

@@ -19,8 +19,8 @@
 //	GET    /healthz
 //	GET    /v1/metrics
 //	GET    /v1/tenants
-//	POST   /v1/tenants/{tenant}/ingest?partition=P&on_error=fail|skip
-//	GET    /v1/tenants/{tenant}/schema?format=type|indent|jsonschema|codec
+//	POST   /v1/tenants/{tenant}/ingest?partition=P&on_error=fail|skip&enrich=NAMES|off
+//	GET    /v1/tenants/{tenant}/schema?format=type|indent|jsonschema|codec|enrich&enrich=off
 //	GET    /v1/tenants/{tenant}/partitions
 //	GET    /v1/tenants/{tenant}/partitions/{part}/schema
 //	DELETE /v1/tenants/{tenant}/partitions/{part}
@@ -41,6 +41,8 @@
 //	-retries           per-chunk retry budget for ingest pipelines
 //	-on-error          default chunk failure policy: fail or skip
 //	-dedup             hash-consed fast path on ingest pipelines
+//	-enrich            enrichment monoids computed on every ingest
+//	                   (comma list or "all"; see docs/ENRICHMENT.md)
 //	-debug-addr        serve expvar (schemad_metrics) and pprof here
 //	-shutdown-timeout  grace period for draining on SIGINT/SIGTERM
 package main
@@ -82,6 +84,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	retries := fs.Int("retries", 0, "per-chunk retry budget for ingest pipelines")
 	onError := fs.String("on-error", "fail", "default chunk failure policy: fail or skip")
 	dedup := fs.Bool("dedup", false, "hash-consed distinct-type fast path on ingest pipelines")
+	enrichNames := fs.String("enrich", "", "enrichment monoids for every ingest (comma list or \"all\"; empty disables)")
 	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this address")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 15*time.Second, "grace period for draining in-flight requests")
 	if err := fs.Parse(args); err != nil {
@@ -95,6 +98,10 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		skip = true
 	default:
 		return fmt.Errorf("unknown -on-error %q (want fail or skip)", *onError)
+	}
+	var enrich []string
+	if *enrichNames != "" {
+		enrich = []string{*enrichNames}
 	}
 	if *dataDir == "" {
 		dir, err := os.MkdirTemp("", "schemad-*")
@@ -113,6 +120,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		Retries:            *retries,
 		OnErrorSkip:        skip,
 		Dedup:              *dedup,
+		Enrich:             enrich,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stderr, "schemad: "+format+"\n", args...)
 		},

@@ -88,6 +88,105 @@ func TestDifferentialParallelVsSequential(t *testing.T) {
 	}
 }
 
+// TestDifferentialEnrichmentTransparent pins the two enrichment
+// contracts on every dataset generator. First, enrichment is purely
+// additive: with Options.Enrich on, the structural schema bytes and
+// the full Stats struct are identical to a run without it. Second,
+// enrichment is deterministic: the annotated JSON Schema and the
+// per-path report are byte-identical whatever the worker count, chunk
+// size, or source (in-memory, streaming, file pipeline), because the
+// enrichment lattice merges under the same commutative-monoid laws as
+// fusion.
+func TestDifferentialEnrichmentTransparent(t *testing.T) {
+	dir := t.TempDir()
+	enrich := []string{"all"}
+	for _, name := range dataset.Names() {
+		g, err := dataset.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := dataset.NDJSON(g, 300, 59)
+
+		plainSchema, plainStats, err := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: plain reference: %v", name, err)
+		}
+		refSchema, refStats, err := jsi.Infer(context.Background(), jsi.FromBytes(data),
+			jsi.Options{Workers: 1, Enrich: enrich})
+		if err != nil {
+			t.Fatalf("%s: enriched reference: %v", name, err)
+		}
+
+		// Additive: same structural bytes, same stats, field for field.
+		if got, want := canonical(t, refSchema), canonical(t, plainSchema); !bytes.Equal(got, want) {
+			t.Errorf("%s: enrichment changed the structural schema\n got: %s\nwant: %s", name, got, want)
+		}
+		if refStats != plainStats {
+			t.Errorf("%s: enrichment changed Stats\n got: %+v\nwant: %+v", name, refStats, plainStats)
+		}
+		if !refSchema.Enriched() {
+			t.Fatalf("%s: enriched run reports Enriched() = false", name)
+		}
+
+		wantJS, err := refSchema.JSONSchema()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantReport, err := refSchema.EnrichmentJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		check := func(label string, s *jsi.Schema, st jsi.Stats, err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatalf("%s: %s: %v", name, label, err)
+			}
+			js, jerr := s.JSONSchema()
+			if jerr != nil {
+				t.Fatal(jerr)
+			}
+			if !bytes.Equal(js, wantJS) {
+				t.Errorf("%s: %s annotated schema diverged\n got: %s\nwant: %s", name, label, js, wantJS)
+			}
+			rep, rerr := s.EnrichmentJSON()
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			if !bytes.Equal(rep, wantReport) {
+				t.Errorf("%s: %s enrichment report diverged\n got: %s\nwant: %s", name, label, rep, wantReport)
+			}
+			if st.Records != refStats.Records {
+				t.Errorf("%s: %s Records = %d, want %d", name, label, st.Records, refStats.Records)
+			}
+		}
+
+		for _, workers := range []int{2, 8} {
+			for _, dedup := range []bool{false, true} {
+				label := "parallel"
+				if dedup {
+					label += " dedup"
+				}
+				s, st, err := jsi.Infer(context.Background(), jsi.FromBytes(data),
+					jsi.Options{Workers: workers, Dedup: dedup, Enrich: enrich})
+				check(label, s, st, err)
+			}
+		}
+
+		s, st, err := jsi.Infer(context.Background(), jsi.FromReader(bytes.NewReader(data)),
+			jsi.Options{Enrich: enrich})
+		check("streaming", s, st, err)
+
+		path := filepath.Join(dir, name+".ndjson")
+		if err := os.WriteFile(path, data, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		s, st, err = jsi.Infer(context.Background(), jsi.FromFile(path),
+			jsi.Options{Workers: 8, ChunkBytes: 1 << 10, Enrich: enrich})
+		check("file pipeline", s, st, err)
+	}
+}
+
 // TestDifferentialDedupStatsAndMetrics pins the dedup path's contract
 // beyond schema bytes: at Workers 1, the full Stats struct matches the
 // default path field for field (DistinctTypes exact on both), and the

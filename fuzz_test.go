@@ -23,6 +23,12 @@ func FuzzInferEndToEnd(f *testing.F) {
 	f.Add([]byte("{}\n[]\n\"\"\n0\nnull\nfalse"))
 	f.Add([]byte("  \n\t "))
 	f.Add([]byte(`{"a":1`)) // truncated: both paths must reject
+	// Enrichment-sensitive shapes: near-miss date strings that must NOT
+	// be classified as formats, huge and tiny magnitudes for min/max,
+	// and mixed integer/fractional precision in one field.
+	f.Add([]byte(`{"d":"2023-02-30"}` + "\n" + `{"d":"2024-1-05"}` + "\n" + `{"d":"2024-01-05"}`))
+	f.Add([]byte(`{"n":1e300}` + "\n" + `{"n":-1e300}` + "\n" + `{"n":5e-324}` + "\n" + `{"n":-0.0}`))
+	f.Add([]byte(`{"x":1}` + "\n" + `{"x":1.5}` + "\n" + `{"x":2}` + "\n" + `{"u":"6ba7b810-9dad-11d1-80b4-00c04fd430c8"}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		seqSchema, seqStats, seqErr := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: 1})
 		parSchema, parStats, parErr := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: 8})
@@ -98,6 +104,65 @@ func FuzzInferEndToEnd(f *testing.F) {
 		}
 		if sdStats.Records != seqStats.Records || sdStats.DistinctTypes != seqStats.DistinctTypes {
 			t.Fatalf("streaming dedup stats diverged: %+v vs %+v", sdStats, seqStats)
+		}
+
+		// Enrichment-on variants: the lattice must be additive (identical
+		// structural bytes and Stats) and deterministic (annotated schema
+		// and report byte-identical across sequential, parallel chunked,
+		// and streaming execution) on arbitrary accepted inputs.
+		enrich := []string{"all"}
+		enSchema, enStats, enErr := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: 1, Enrich: enrich})
+		if enErr != nil {
+			t.Fatalf("enriched run rejected input the plain pipeline accepted: %v", enErr)
+		}
+		enJSON, err := enSchema.MarshalJSON()
+		if err != nil {
+			t.Fatalf("marshal enriched: %v", err)
+		}
+		if !bytes.Equal(seqJSON, enJSON) {
+			t.Fatalf("enrichment changed structural schema\n plain: %s\n enriched: %s", seqJSON, enJSON)
+		}
+		if enStats != seqStats {
+			t.Fatalf("enrichment changed Stats: %+v vs %+v", enStats, seqStats)
+		}
+		refJS, err := enSchema.JSONSchema()
+		if err != nil {
+			t.Fatalf("JSONSchema enriched: %v", err)
+		}
+		refReport, err := enSchema.EnrichmentJSON()
+		if err != nil {
+			t.Fatalf("EnrichmentJSON: %v", err)
+		}
+		for _, variant := range []struct {
+			label string
+			src   jsi.Source
+			opts  jsi.Options
+		}{
+			{"parallel", jsi.FromBytes(data), jsi.Options{Workers: 8, Enrich: enrich}},
+			{"parallel dedup", jsi.FromBytes(data), jsi.Options{Workers: 8, Dedup: true, Enrich: enrich}},
+			{"streaming", jsi.FromReader(bytes.NewReader(data)), jsi.Options{Enrich: enrich}},
+		} {
+			vs, vst, verr := jsi.Infer(context.Background(), variant.src, variant.opts)
+			if verr != nil {
+				t.Fatalf("enriched %s rejected accepted input: %v", variant.label, verr)
+			}
+			vjs, err := vs.JSONSchema()
+			if err != nil {
+				t.Fatalf("JSONSchema enriched %s: %v", variant.label, err)
+			}
+			if !bytes.Equal(vjs, refJS) {
+				t.Fatalf("enriched %s annotated schema diverged\n got: %s\nwant: %s", variant.label, vjs, refJS)
+			}
+			vrep, err := vs.EnrichmentJSON()
+			if err != nil {
+				t.Fatalf("EnrichmentJSON %s: %v", variant.label, err)
+			}
+			if !bytes.Equal(vrep, refReport) {
+				t.Fatalf("enriched %s report diverged\n got: %s\nwant: %s", variant.label, vrep, refReport)
+			}
+			if vst.Records != seqStats.Records {
+				t.Fatalf("enriched %s Records = %d, want %d", variant.label, vst.Records, seqStats.Records)
+			}
 		}
 	})
 }

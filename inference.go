@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/enrich"
 	"repro/internal/fusion"
 	"repro/internal/infer"
 	"repro/internal/jsontext"
@@ -87,6 +88,21 @@ type Options struct {
 	// the run additionally records intern_hits/intern_misses and the
 	// fuse/simplify cache counters (see docs/PERFORMANCE.md).
 	Dedup bool
+	// Enrich selects enrichment monoids (docs/ENRICHMENT.md) computed
+	// alongside structural inference in the same pass: per-path value
+	// statistics — "ranges" (numeric min/max), "hll" (approximate
+	// distinct values), "bloom" (membership sketch), "formats" (string
+	// format detection), "lengths" (array lengths), "numprec" (number
+	// precision) — or "all". Each entry may itself be a comma-separated
+	// list, matching flag syntax. Results surface on the Schema:
+	// JSONSchema output gains annotations, EnrichmentJSON reports them
+	// per path, and Repository snapshots persist them. Enrichment is
+	// purely additive: the structural schema, Stats and codec bytes
+	// are identical with or without it, and like the schema itself the
+	// statistics are byte-identical under any worker count, merge tree
+	// or fault schedule (every monoid passes the conformance harness in
+	// internal/enrich/monoidtest). Empty means off.
+	Enrich []string
 }
 
 // env resolves the Options into the pipeline environment one Infer
@@ -108,6 +124,15 @@ func (o Options) env() *pipeline.Env {
 	}
 	if o.Dedup {
 		env.Dedup = pipeline.NewDedup(env.Fusion)
+	}
+	if len(o.Enrich) > 0 {
+		// validate() already vetted the selection; an error here is
+		// impossible by construction.
+		set, err := enrich.ParseSet(o.Enrich)
+		if err != nil {
+			panic(err)
+		}
+		env.Enrich = set
 	}
 	return env
 }
@@ -216,6 +241,11 @@ func (o Options) validate() error {
 		return fmt.Errorf("%w: Retries = %d, must be >= 0 (0 disables retry)", ErrInvalidOptions, o.Retries)
 	case o.OnError != OnErrorFail && o.OnError != OnErrorSkip:
 		return fmt.Errorf("%w: OnError = %d, must be OnErrorFail or OnErrorSkip", ErrInvalidOptions, int(o.OnError))
+	}
+	if len(o.Enrich) > 0 {
+		if _, err := enrich.ParseSet(o.Enrich); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+		}
 	}
 	return nil
 }

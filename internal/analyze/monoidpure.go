@@ -23,7 +23,14 @@ import (
 //     three (the duck-typed form of pipeline.Accumulator);
 //   - every function or method of repro/internal/fusion whose name
 //     involves fusing, simplifying or collapsing — the Fuse/Simplify
-//     paths.
+//     paths;
+//   - every function or method of repro/internal/enrich whose name
+//     involves merging, folding, unioning or absorbing — the
+//     enrichment monoids and lattice ride the same reduction trees as
+//     fusion, so their combine paths carry the same purity obligation
+//     (their Observer hooks don't: observation mutates the lattice
+//     being built, which is the receiver-mutation the analyzer excuses
+//     at the accumulator roots anyway).
 //
 // What is excused, by construction: mutation of the root's own receiver
 // (accumulating in place and memo caches are the point), allocation,
@@ -42,6 +49,16 @@ var MonoidPure = &Analyzer{
 
 // fusionPkgPath is the package whose fuse/simplify paths are rooted.
 const fusionPkgPath = "repro/internal/fusion"
+
+// enrichPkgPath is the package whose merge/fold/union paths are rooted.
+const enrichPkgPath = "repro/internal/enrich"
+
+// nameRoots maps a rooted package to the lowercase name fragments that
+// mark a function as a combine path there.
+var nameRoots = map[string][]string{
+	fusionPkgPath: {"fuse", "simplify", "collapse"},
+	enrichPkgPath: {"merge", "fold", "union", "absorb"},
+}
 
 // monoidMethodNames are the accumulator operations checked on
 // accumulator-shaped types.
@@ -121,7 +138,7 @@ func monoidRoots(pass *Pass) []*types.Func {
 		}
 	}
 
-	if pass.Pkg.Path() == fusionPkgPath {
+	if fragments, ok := nameRoots[pass.Pkg.Path()]; ok {
 		for _, f := range pass.Files {
 			for _, decl := range f.Decls {
 				fd, ok := decl.(*ast.FuncDecl)
@@ -129,9 +146,12 @@ func monoidRoots(pass *Pass) []*types.Func {
 					continue
 				}
 				lower := strings.ToLower(fd.Name.Name)
-				if strings.Contains(lower, "fuse") || strings.Contains(lower, "simplify") || strings.Contains(lower, "collapse") {
-					fn, _ := pass.ObjectOf(fd.Name).(*types.Func)
-					add(fn)
+				for _, frag := range fragments {
+					if strings.Contains(lower, frag) {
+						fn, _ := pass.ObjectOf(fd.Name).(*types.Func)
+						add(fn)
+						break
+					}
 				}
 			}
 		}

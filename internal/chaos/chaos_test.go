@@ -86,6 +86,84 @@ func TestRetryByteIdenticalAcrossSchedules(t *testing.T) {
 	t.Logf("%d schedules, %d retried attempts, schema byte-identical throughout", schedules, totalRetries)
 }
 
+// TestRetryEnrichmentByteIdentical re-runs the retry acceptance
+// criterion with the enrichment lattice on: across randomized
+// transient-fault schedules, the annotated JSON Schema and the
+// per-path enrichment report must be byte-identical to a no-fault
+// enriched reference.
+//
+// This pins the engine's exactly-once-combine stance for enrichment
+// under at-least-once map execution: a failed chunk attempt discards
+// its lattice along with its accumulator, so a retried chunk's values
+// are counted once no matter how many attempts ran. The guarantee is
+// NOT the sketches' idempotence — HyperLogLog (register max) and Bloom
+// (bit or) would absorb double-counting, but the exact counters
+// (ranges' count, array-length sums, format tallies) would not, and a
+// single drifting average in x-observedAvgItems breaks byte equality.
+// The byte-identical report across schedules is therefore evidence the
+// discard-on-failure path works, not merely that the sketches forgive.
+func TestRetryEnrichmentByteIdentical(t *testing.T) {
+	data := testInput(t, "mixed", 400)
+	enrich := []string{"all"}
+	refSchema, refStats, err := jsi.Infer(context.Background(), jsi.FromBytes(data),
+		jsi.Options{Workers: 4, Enrich: enrich})
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	refJS, err := refSchema.JSONSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refReport, err := refSchema.EnrichmentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !refSchema.Enriched() {
+		t.Fatal("reference run is not enriched")
+	}
+
+	const schedules = 60
+	totalRetries := 0
+	for seed := int64(1); seed <= schedules; seed++ {
+		plan := chaos.DefaultPlan(seed)
+		for _, dedup := range []bool{false, true} {
+			opts := jsi.Options{
+				Workers:       4,
+				Dedup:         dedup,
+				Retries:       plan.MaxTransient,
+				FaultInjector: publicInjector(plan),
+				Enrich:        enrich,
+			}
+			schema, st, err := jsi.Infer(context.Background(), jsi.FromBytes(data), opts)
+			if err != nil {
+				t.Fatalf("seed %d (dedup=%v): %v", seed, dedup, err)
+			}
+			js, jerr := schema.JSONSchema()
+			if jerr != nil {
+				t.Fatal(jerr)
+			}
+			if !bytes.Equal(js, refJS) {
+				t.Fatalf("seed %d (dedup=%v): annotated schema diverged under faults\n got: %s\nwant: %s", seed, dedup, js, refJS)
+			}
+			rep, rerr := schema.EnrichmentJSON()
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			if !bytes.Equal(rep, refReport) {
+				t.Fatalf("seed %d (dedup=%v): enrichment report diverged under faults\n got: %s\nwant: %s", seed, dedup, rep, refReport)
+			}
+			if st.Records != refStats.Records {
+				t.Fatalf("seed %d (dedup=%v): Records = %d, want %d", seed, dedup, st.Records, refStats.Records)
+			}
+			totalRetries += st.Retries
+		}
+	}
+	if totalRetries == 0 {
+		t.Fatalf("no retries across %d schedules: the plans injected nothing", schedules)
+	}
+	t.Logf("%d schedules x2 pipelines, %d retried attempts, enrichment byte-identical throughout", schedules, totalRetries)
+}
+
 // TestRetryByteIdenticalWithDedup re-runs the retry acceptance
 // criterion with the hash-consed dedup pipeline: retried chunks
 // re-intern their types into the shared table and re-emit their

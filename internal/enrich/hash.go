@@ -1,0 +1,76 @@
+package enrich
+
+import "math"
+
+// The sketch monoids hash values with FNV-1a 64 over a kind-tagged
+// byte encoding, finalized with the splitmix64 mixer (the same mixer
+// the map-reduce backoff jitter uses) to spread FNV's weak low bits
+// across the whole word. Everything is fixed and platform-independent,
+// so sketches are byte-identical wherever they are computed.
+
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// Kind tags keep values of different JSON kinds from colliding: the
+// string "1" and the number 1 hash differently.
+const (
+	tagNull = 0x00
+	tagBool = 0x01
+	tagNum  = 0x02
+	tagStr  = 0x03
+)
+
+func fnvByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return h
+}
+
+func fnvUint64(h uint64, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(v>>(8*i)))
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+func hashNull() uint64 { return mix64(fnvByte(fnvOffset64, tagNull)) }
+
+func hashBool(b bool) uint64 {
+	h := fnvByte(fnvOffset64, tagBool)
+	if b {
+		h = fnvByte(h, 1)
+	} else {
+		h = fnvByte(h, 0)
+	}
+	return mix64(h)
+}
+
+// hashNum hashes the IEEE 754 bits, with -0 normalized to 0 so the two
+// JSON spellings of zero count as one value.
+func hashNum(f float64) uint64 {
+	if f == 0 {
+		f = 0
+	}
+	return mix64(fnvUint64(fnvByte(fnvOffset64, tagNum), math.Float64bits(f)))
+}
+
+func hashStr(s string) uint64 {
+	return mix64(fnvString(fnvByte(fnvOffset64, tagStr), s))
+}

@@ -1,0 +1,41 @@
+package monoidtest
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// counter is the simplest commutative monoid — integer addition — used
+// to sanity-check the harness itself, including the serialization laws.
+type counter struct{ n int64 }
+
+func TestHarnessOnCounter(t *testing.T) {
+	Run(t, Subject{
+		Name:  "counter",
+		Empty: func() any { return &counter{} },
+		Rand:  func(r *rand.Rand) any { return &counter{n: int64(r.Intn(1000))} },
+		Merge: func(a, b any) any {
+			a.(*counter).n += b.(*counter).n
+			return a
+		},
+		Fingerprint: func(x any) string { return fmt.Sprint(x.(*counter).n) },
+		Marshal:     func(x any) ([]byte, error) { return []byte(fmt.Sprint(x.(*counter).n)), nil },
+		Unmarshal: func(data []byte) (any, error) {
+			n, err := strconv.ParseInt(string(data), 10, 64)
+			return &counter{n: n}, err
+		},
+	})
+}
+
+func TestItersFloor(t *testing.T) {
+	if got := Iters(10); got < 50 {
+		t.Fatalf("Iters(10) = %d, want the 50-iteration conformance floor", got)
+	}
+	if got := Iters(200); got != 200 && *itersFlag == 0 {
+		// An explicit -monoid.iters or MONOID_ITERS may override; only
+		// pin the default path.
+		t.Logf("Iters(200) = %d (overridden by flag or env)", got)
+	}
+}

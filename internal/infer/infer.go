@@ -59,6 +59,27 @@ func Infer(v value.Value) types.Type {
 	}
 }
 
+// An Observer receives the value events of the stream as the decoder
+// infers types — the hook the enrichment lattice (internal/enrich)
+// rides to compute value-level statistics in the same single pass.
+// Events follow the value structure: scalars fire their kind's hook
+// with the decoded value, composites bracket their children (Key fires
+// before each object member's value, EndArray carries the element
+// count). A value that fails to decode may leave the observer
+// mid-composite; callers discard such observers (the failed chunk's
+// accumulator is dropped too) or reset them.
+type Observer interface {
+	Null()
+	Bool(b bool)
+	Num(f float64)
+	Str(s string)
+	BeginObject()
+	Key(k string)
+	EndObject()
+	BeginArray()
+	EndArray(count int)
+}
+
 // Decoder infers one type per top-level JSON value read from an input
 // stream, without building intermediate value trees.
 type Decoder struct {
@@ -68,6 +89,9 @@ type Decoder struct {
 	// tab, when set, hash-conses every inferred node so Next returns the
 	// canonical representative of each distinct type (see SetInterner).
 	tab *intern.Table
+
+	// obs, when set, receives value events alongside inference.
+	obs Observer
 
 	// fieldScratch and elemScratch hold one reusable accumulator per
 	// nesting depth, so a record or array at depth d appends into the
@@ -99,6 +123,11 @@ func (d *Decoder) Release() {
 // walking them. Inference results are unchanged — the canonical node is
 // structurally equal to what the plain decoder would build.
 func (d *Decoder) SetInterner(tab *intern.Table) { d.tab = tab }
+
+// SetObserver directs the decoder to report value events to obs while
+// inferring; nil (the default) reports nothing and costs one branch
+// per token.
+func (d *Decoder) SetObserver(obs Observer) { d.obs = obs }
 
 // Next infers the type of the next top-level value in the stream. It
 // returns io.EOF at the end of the input.
@@ -133,12 +162,24 @@ func (d *Decoder) inferValue(tok jsontext.Token, depth int) (types.Type, error) 
 	}
 	switch tok.Kind {
 	case jsontext.TokNull:
+		if d.obs != nil {
+			d.obs.Null()
+		}
 		return types.Null, nil
 	case jsontext.TokTrue, jsontext.TokFalse:
+		if d.obs != nil {
+			d.obs.Bool(tok.Kind == jsontext.TokTrue)
+		}
 		return types.Bool, nil
 	case jsontext.TokNum:
+		if d.obs != nil {
+			d.obs.Num(tok.Num)
+		}
 		return types.Num, nil
 	case jsontext.TokStr:
+		if d.obs != nil {
+			d.obs.Str(tok.Str)
+		}
 		return types.Str, nil
 	case jsontext.TokBeginObject:
 		return d.inferObject(depth)
@@ -166,6 +207,9 @@ func (d *Decoder) elemsAt(depth int) []types.Type {
 }
 
 func (d *Decoder) inferObject(depth int) (types.Type, error) {
+	if d.obs != nil {
+		d.obs.BeginObject()
+	}
 	fields := d.fieldsAt(depth)
 	first := true
 	for {
@@ -174,6 +218,9 @@ func (d *Decoder) inferObject(depth int) (types.Type, error) {
 			return nil, err
 		}
 		if first && tok.Kind == jsontext.TokEndObject {
+			if d.obs != nil {
+				d.obs.EndObject()
+			}
 			if d.tab != nil {
 				return d.tab.InternRecord(nil), nil
 			}
@@ -182,6 +229,9 @@ func (d *Decoder) inferObject(depth int) (types.Type, error) {
 		if !first {
 			switch tok.Kind {
 			case jsontext.TokEndObject:
+				if d.obs != nil {
+					d.obs.EndObject()
+				}
 				d.fieldScratch[depth] = fields
 				return d.buildRecord(fields)
 			case jsontext.TokComma:
@@ -204,6 +254,9 @@ func (d *Decoder) inferObject(depth int) (types.Type, error) {
 			if fields[i].Key == key {
 				return nil, d.syntaxErr(tok.Offset, "duplicate object key %q", key)
 			}
+		}
+		if d.obs != nil {
+			d.obs.Key(key)
 		}
 		colon, err := d.lex.Next()
 		if err != nil {
@@ -247,6 +300,9 @@ func (d *Decoder) buildRecord(fields []types.Field) (types.Type, error) {
 }
 
 func (d *Decoder) inferArray(depth int) (types.Type, error) {
+	if d.obs != nil {
+		d.obs.BeginArray()
+	}
 	elems := d.elemsAt(depth)
 	first := true
 	for {
@@ -255,6 +311,9 @@ func (d *Decoder) inferArray(depth int) (types.Type, error) {
 			return nil, err
 		}
 		if first && tok.Kind == jsontext.TokEndArray {
+			if d.obs != nil {
+				d.obs.EndArray(0)
+			}
 			// EmptyTuple is one shared node, pre-seeded in every table, so
 			// both paths return the canonical representative.
 			return types.EmptyTuple, nil
@@ -262,6 +321,9 @@ func (d *Decoder) inferArray(depth int) (types.Type, error) {
 		if !first {
 			switch tok.Kind {
 			case jsontext.TokEndArray:
+				if d.obs != nil {
+					d.obs.EndArray(len(elems))
+				}
 				d.elemScratch[depth] = elems
 				if d.tab != nil {
 					return d.tab.InternTuple(elems), nil
@@ -287,9 +349,18 @@ func (d *Decoder) inferArray(depth int) (types.Type, error) {
 
 // InferAll infers one type per top-level JSON value in data.
 func InferAll(data []byte) ([]types.Type, error) {
+	return InferAllObserved(data, nil)
+}
+
+// InferAllObserved is InferAll with value events reported to obs (when
+// non-nil) — the enrichment-enabled map stage.
+func InferAllObserved(data []byte, obs Observer) ([]types.Type, error) {
 	var ts []types.Type
 	d := NewDecoder(bytes.NewReader(data), jsontext.Options{})
 	defer d.Release()
+	if obs != nil {
+		d.SetObserver(obs)
+	}
 	for {
 		t, err := d.Next()
 		if err == io.EOF {
@@ -309,10 +380,20 @@ func InferAll(data []byte) ([]types.Type, error) {
 // exactly the same fused type as folding all n per-record types, because
 // fusion is commutative, associative and idempotent.
 func DedupAll(data []byte, tab *intern.Table) (*intern.Multiset, error) {
+	return DedupAllObserved(data, tab, nil)
+}
+
+// DedupAllObserved is DedupAll with value events reported to obs (when
+// non-nil). Observation stays per record — the multiset deduplicates
+// types, not values, and enrichment wants every value.
+func DedupAllObserved(data []byte, tab *intern.Table, obs Observer) (*intern.Multiset, error) {
 	ms := intern.NewMultiset()
 	d := NewDecoder(bytes.NewReader(data), jsontext.Options{})
 	defer d.Release()
 	d.SetInterner(tab)
+	if obs != nil {
+		d.SetObserver(obs)
+	}
 	for {
 		t, err := d.Next()
 		if err == io.EOF {

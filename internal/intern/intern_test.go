@@ -1,10 +1,15 @@
 package intern_test
 
 import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/enrich/monoidtest"
 	"repro/internal/intern"
 	"repro/internal/types"
 )
@@ -250,43 +255,48 @@ func TestMultiset(t *testing.T) {
 	}
 }
 
-// TestMultisetMergeCountAssociativity: counts after merging are
-// independent of merge grouping — the property the combiner relies on.
-func TestMultisetMergeCountAssociativity(t *testing.T) {
+// TestMultisetMergeConformance: the count multiset is a commutative
+// monoid — counts after merging are independent of merge grouping and
+// order, the property the combiner relies on. The shared harness
+// checks identity, commutativity, associativity, random merge trees
+// and non-mutation of the second operand over a shared intern table,
+// exactly the within-run sharing the dedup pipeline has.
+func TestMultisetMergeConformance(t *testing.T) {
 	tab := intern.NewTable()
-	r := &rng{s: 99}
-	build := func() *intern.Multiset {
-		ms := intern.NewMultiset()
-		for i := 0; i < 20; i++ {
-			ms.Add(mustRef(t, tab, randomType(r, 2)), int64(1+r.intn(5)))
-		}
-		return ms
-	}
-	x, y, z := build(), build(), build()
-
-	counts := func(groups ...[]*intern.Multiset) map[intern.ID]int64 {
-		acc := intern.NewMultiset()
-		for _, g := range groups {
-			part := intern.NewMultiset()
-			for _, m := range g {
-				part.Merge(m)
+	monoidtest.Run(t, monoidtest.Subject{
+		Name:  "multiset",
+		Empty: func() any { return intern.NewMultiset() },
+		Rand: func(r *rand.Rand) any {
+			// Seed the local xorshift generator from the harness rng, so
+			// the element stays a pure function of the reads from r.
+			gen := &rng{s: uint64(r.Int63()) | 1}
+			ms := intern.NewMultiset()
+			for i, n := 0, gen.intn(20); i < n; i++ {
+				ms.Add(mustRef(t, tab, randomType(gen, 2)), int64(1+gen.intn(5)))
 			}
-			acc.Merge(part)
-		}
-		out := make(map[intern.ID]int64)
-		for _, e := range acc.Elems() {
-			out[e.ID] = e.Count
-		}
-		return out
-	}
-	left := counts([]*intern.Multiset{x, y}, []*intern.Multiset{z})
-	right := counts([]*intern.Multiset{x}, []*intern.Multiset{y, z})
-	if len(left) != len(right) {
-		t.Fatalf("distinct counts differ: %d vs %d", len(left), len(right))
-	}
-	for id, n := range left {
-		if right[id] != n {
-			t.Fatalf("count for ID %d differs: %d vs %d", id, n, right[id])
-		}
-	}
+			return ms
+		},
+		Merge: func(a, b any) any {
+			ms := a.(*intern.Multiset)
+			ms.Merge(b.(*intern.Multiset))
+			return ms
+		},
+		Fingerprint: func(x any) string {
+			ms := x.(*intern.Multiset)
+			elems := ms.Elems()
+			counts := make(map[intern.ID]int64, len(elems))
+			ids := make([]int, 0, len(elems))
+			for _, e := range elems {
+				counts[e.ID] = e.Count
+				ids = append(ids, int(e.ID))
+			}
+			sort.Ints(ids)
+			var sb strings.Builder
+			fmt.Fprintf(&sb, "len=%d total=%d", ms.Len(), ms.Total())
+			for _, id := range ids {
+				fmt.Fprintf(&sb, " %d:%d", id, counts[intern.ID(id)])
+			}
+			return sb.String()
+		},
+	})
 }

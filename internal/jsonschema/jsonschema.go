@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/enrich"
 	"repro/internal/types"
 )
 
@@ -47,6 +48,148 @@ func Marshal(t types.Type) ([]byte, error) {
 	}
 	doc["$schema"] = "http://json-schema.org/draft-04/schema#"
 	return json.MarshalIndent(doc, "", "  ")
+}
+
+// ExportAnnotated converts a type to a JSON Schema document tree with
+// enrichment annotations (docs/ENRICHMENT.md) woven in. The lattice is
+// walked in parallel with the type: record fields descend into the
+// matching lattice field, array elements into the shared element node.
+// Annotations are placed by kind — numeric ranges on number schemas,
+// format on string schemas, length statistics on array schemas — and
+// whole-value annotations (approximate distinct counts, Bloom filters)
+// on the top schema node of each path, so a union is annotated once
+// rather than once per alternative. Annotations never overwrite
+// structural keywords, and never tighten validation: minimum/maximum
+// and format reflect only what was observed. A nil lattice yields the
+// same document as Export.
+func ExportAnnotated(t types.Type, l *enrich.Lattice) (map[string]any, error) {
+	if t == nil {
+		return nil, fmt.Errorf("jsonschema: nil type")
+	}
+	return exportAnn(t, l.Cursor(), true)
+}
+
+// MarshalAnnotated renders the annotated JSON Schema for t, including
+// the draft-04 $schema marker, as indented JSON.
+func MarshalAnnotated(t types.Type, l *enrich.Lattice) ([]byte, error) {
+	doc, err := ExportAnnotated(t, l)
+	if err != nil {
+		return nil, err
+	}
+	doc["$schema"] = "http://json-schema.org/draft-04/schema#"
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// annotate copies the cursor's annotations of the given kind into doc,
+// skipping any key the structural export already set.
+func annotate(doc map[string]any, c enrich.Cursor, kind enrich.Kind) {
+	for k, v := range c.Annotations(kind) {
+		if _, exists := doc[k]; !exists {
+			doc[k] = v
+		}
+	}
+}
+
+// exportAnn mirrors export, threading a lattice cursor. includeValue
+// marks the top schema node of a path: only there do whole-value
+// annotations attach (union alternatives are exported with
+// includeValue=false so the union node carries them once).
+func exportAnn(t types.Type, c enrich.Cursor, includeValue bool) (map[string]any, error) {
+	var doc map[string]any
+	var err error
+	switch tt := t.(type) {
+	case types.Basic:
+		doc, err = export(tt)
+		if err != nil {
+			return nil, err
+		}
+		switch tt {
+		case types.Num:
+			annotate(doc, c, enrich.KindNumber)
+		case types.Str:
+			annotate(doc, c, enrich.KindString)
+		}
+	case *types.Record:
+		props := map[string]any{}
+		var required []any
+		for _, f := range tt.Fields() {
+			s, err := exportAnn(f.Type, c.Field(f.Key), true)
+			if err != nil {
+				return nil, fmt.Errorf("field %q: %w", f.Key, err)
+			}
+			props[f.Key] = s
+			if !f.Optional {
+				required = append(required, f.Key)
+			}
+		}
+		doc = map[string]any{
+			"type":                 "object",
+			"properties":           props,
+			"additionalProperties": false,
+		}
+		if len(required) > 0 {
+			doc["required"] = required
+		}
+	case *types.Tuple:
+		items := make([]any, tt.Len())
+		for i, e := range tt.Elems() {
+			// Tuple positions share the lattice's collapsed element
+			// node, mirroring the fusion rule that merges array
+			// positions.
+			s, err := exportAnn(e, c.Elem(), true)
+			if err != nil {
+				return nil, fmt.Errorf("tuple element %d: %w", i, err)
+			}
+			items[i] = s
+		}
+		n := float64(tt.Len())
+		doc = map[string]any{
+			"type":     "array",
+			"minItems": n,
+			"maxItems": n,
+		}
+		if len(items) > 0 {
+			doc["items"] = items
+			doc["additionalItems"] = false
+		}
+		annotate(doc, c, enrich.KindArray)
+	case *types.Map:
+		// A map schema collapses all keys into one element schema; the
+		// lattice keeps per-key nodes, so there is no single node to
+		// annotate the element with — stop annotating below here.
+		elem, err := exportAnn(tt.Elem(), enrich.Cursor{}, true)
+		if err != nil {
+			return nil, fmt.Errorf("map element: %w", err)
+		}
+		doc = map[string]any{"type": "object", "additionalProperties": elem}
+	case *types.Repeated:
+		if _, isEmpty := tt.Elem().(types.EmptyType); isEmpty {
+			doc = map[string]any{"type": "array", "maxItems": float64(0)}
+		} else {
+			s, err := exportAnn(tt.Elem(), c.Elem(), true)
+			if err != nil {
+				return nil, fmt.Errorf("array element: %w", err)
+			}
+			doc = map[string]any{"type": "array", "items": s}
+		}
+		annotate(doc, c, enrich.KindArray)
+	case *types.Union:
+		alts := make([]any, tt.Len())
+		for i, a := range tt.Alts() {
+			s, err := exportAnn(a, c, false)
+			if err != nil {
+				return nil, fmt.Errorf("union alternative %d: %w", i, err)
+			}
+			alts[i] = s
+		}
+		doc = map[string]any{"anyOf": alts}
+	default:
+		return export(t)
+	}
+	if includeValue {
+		annotate(doc, c, enrich.KindValue)
+	}
+	return doc, nil
 }
 
 func export(t types.Type) (map[string]any, error) {

@@ -1,8 +1,11 @@
 package obs
 
 import (
+	"encoding/json"
 	"math/rand"
 	"testing"
+
+	"repro/internal/enrich/monoidtest"
 )
 
 // randomMetrics builds a small random snapshot over a fixed name
@@ -49,47 +52,30 @@ func metricsJSON(t *testing.T, m Metrics) string {
 	return string(b)
 }
 
-// TestMergeLaws property-tests the snapshot monoid the way
-// internal/fusion tests the fusion laws: Merge must be commutative and
-// associative so per-partition metrics reduce in any order.
-func TestMergeLaws(t *testing.T) {
-	r := rand.New(rand.NewSource(20170321))
-	for i := 0; i < 200; i++ {
-		a, b, c := randomMetrics(r), randomMetrics(r), randomMetrics(r)
-		if got, want := metricsJSON(t, Merge(a, b)), metricsJSON(t, Merge(b, a)); got != want {
-			t.Fatalf("Merge not commutative:\n a+b=%s\n b+a=%s", got, want)
-		}
-		left := Merge(Merge(a, b), c)
-		right := Merge(a, Merge(b, c))
-		if got, want := metricsJSON(t, left), metricsJSON(t, right); got != want {
-			t.Fatalf("Merge not associative:\n (a+b)+c=%s\n a+(b+c)=%s", got, want)
-		}
-	}
-}
-
-func TestMergeIdentity(t *testing.T) {
-	r := rand.New(rand.NewSource(7))
-	for i := 0; i < 50; i++ {
-		a := randomMetrics(r)
-		if got, want := metricsJSON(t, Merge(a, Metrics{})), metricsJSON(t, a); got != want {
-			t.Fatalf("zero Metrics is not a right identity:\n got %s\nwant %s", got, want)
-		}
-		if got, want := metricsJSON(t, Merge(Metrics{}, a)), metricsJSON(t, a); got != want {
-			t.Fatalf("zero Metrics is not a left identity:\n got %s\nwant %s", got, want)
-		}
-	}
-}
-
-// TestMergeDoesNotMutateInputs guards the same immutability discipline
-// repolint enforces for shared type subtrees.
-func TestMergeDoesNotMutateInputs(t *testing.T) {
-	r := rand.New(rand.NewSource(11))
-	a, b := randomMetrics(r), randomMetrics(r)
-	ja, jb := metricsJSON(t, a), metricsJSON(t, b)
-	Merge(a, b)
-	if metricsJSON(t, a) != ja || metricsJSON(t, b) != jb {
-		t.Fatal("Merge mutated one of its inputs")
-	}
+// TestMergeConformance property-tests the snapshot monoid through the
+// shared harness: identity, commutativity, associativity, random merge
+// trees versus the sequential fold, non-mutation, and serialization
+// round-trips — the laws that let per-partition metrics reduce in any
+// order. (obs.Merge is pure, which is stricter than the harness's
+// may-mutate-first contract; the suite holds a fortiori.)
+func TestMergeConformance(t *testing.T) {
+	monoidtest.Run(t, monoidtest.Subject{
+		Name:  "metrics",
+		Empty: func() any { return Metrics{} },
+		Rand:  func(r *rand.Rand) any { return randomMetrics(r) },
+		Merge: func(a, b any) any { return Merge(a.(Metrics), b.(Metrics)) },
+		Fingerprint: func(x any) string {
+			return metricsJSON(t, x.(Metrics))
+		},
+		Marshal: func(x any) ([]byte, error) { return x.(Metrics).MarshalJSON() },
+		Unmarshal: func(data []byte) (any, error) {
+			var m Metrics
+			if err := json.Unmarshal(data, &m); err != nil {
+				return nil, err
+			}
+			return m, nil
+		},
+	})
 }
 
 func TestMergeSemantics(t *testing.T) {

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"repro/internal/enrich"
 	"repro/internal/fusion"
 	"repro/internal/intern"
 	"repro/internal/stats"
@@ -54,6 +55,9 @@ type Result struct {
 	// path (exemplars, distinct counts), used by the experiments
 	// harness; nil on the streaming and dedup payloads.
 	Summary *stats.Summary
+	// Enrichment is the combined enrichment lattice of the run; nil
+	// with Env.Enrich unset (or when nothing was fed).
+	Enrichment *enrich.Lattice
 }
 
 // Combine merges two accumulators, treating nil as the identity — the
@@ -109,6 +113,10 @@ func (e *Env) NewStreamAcc() Accumulator {
 type plainAcc struct {
 	fz  fusion.Options
 	sum *stats.Summary
+	// lat is the chunk's (then the run's) enrichment lattice; nil with
+	// enrichment off. Merges ride the accumulator merge, so enrichment
+	// inherits the engine's exactly-once combine.
+	lat *enrich.Lattice
 	// Inline tallies of the streaming mode (sum == nil).
 	count    int64
 	sumSize  int64
@@ -148,6 +156,7 @@ func (a *plainAcc) Merge(other Accumulator) {
 		a.sumSize += b.sumSize
 	}
 	a.fused = a.fz.Fuse(a.fused, b.fused)
+	a.lat = mergeLattices(a.lat, b.lat)
 }
 
 func (a *plainAcc) Fold() Result {
@@ -160,9 +169,10 @@ func (a *plainAcc) Fold() Result {
 			MaxTypeSize:   a.sum.MaxSize(),
 			AvgTypeSize:   a.sum.AvgSize(),
 			Summary:       a.sum,
+			Enrichment:    a.lat,
 		}
 	}
-	r := Result{Fused: a.fused, Records: a.count, MinTypeSize: a.minSize(), MaxTypeSize: a.max}
+	r := Result{Fused: a.fused, Records: a.count, MinTypeSize: a.minSize(), MaxTypeSize: a.max, Enrichment: a.lat}
 	if a.count > 0 {
 		r.AvgTypeSize = float64(a.sumSize) / float64(a.count)
 	}
@@ -184,6 +194,7 @@ type dedupAcc struct {
 	dd    *Dedup
 	ms    *intern.Multiset
 	fused types.Type
+	lat   *enrich.Lattice
 }
 
 func (a *dedupAcc) Add(t types.Type) {
@@ -204,6 +215,7 @@ func (a *dedupAcc) Merge(other Accumulator) {
 	b := other.(*dedupAcc)
 	a.ms.Merge(b.ms)
 	a.fused = a.dd.Memo.Fuse(a.fused, b.fused)
+	a.lat = mergeLattices(a.lat, b.lat)
 }
 
 // Fold recovers the per-record statistics from the distinct-type
@@ -212,7 +224,7 @@ func (a *dedupAcc) Merge(other Accumulator) {
 // AvgTypeSize is bit-identical to the per-record accumulation of the
 // plain payload.
 func (a *dedupAcc) Fold() Result {
-	r := Result{Fused: a.fused}
+	r := Result{Fused: a.fused, Enrichment: a.lat}
 	var sumSize int64
 	for i, e := range a.ms.Elems() {
 		if i == 0 || e.Size < r.MinTypeSize {
@@ -229,4 +241,28 @@ func (a *dedupAcc) Fold() Result {
 		r.AvgTypeSize = float64(sumSize) / float64(r.Records)
 	}
 	return r
+}
+
+// mergeLattices combines the enrichment lattices of two accumulators
+// in place on a, treating nil as the identity. Within one run either
+// both sides carry a lattice or neither does; the nil cases keep the
+// merge total for hand-built accumulators in tests.
+func mergeLattices(a, b *enrich.Lattice) *enrich.Lattice {
+	if a == nil {
+		return b
+	}
+	a.Merge(b)
+	return a
+}
+
+// attachLattice hands a run-scoped lattice to a freshly built
+// accumulator (the streaming driver observes the whole stream into one
+// lattice rather than one per chunk).
+func attachLattice(acc Accumulator, lat *enrich.Lattice) {
+	switch a := acc.(type) {
+	case *plainAcc:
+		a.lat = lat
+	case *dedupAcc:
+		a.lat = lat
+	}
 }

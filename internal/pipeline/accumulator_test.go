@@ -1,9 +1,13 @@
 package pipeline
 
 import (
+	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 
+	"repro/internal/enrich"
+	"repro/internal/enrich/monoidtest"
 	"repro/internal/fusion"
 	"repro/internal/infer"
 	"repro/internal/types"
@@ -27,165 +31,145 @@ true
 [[1],[2,3]]
 false`)
 
-func monoidTypes(t *testing.T) []types.Type {
+// monoidRecords splits the corpus into one line per record, the unit
+// the random-subset generator samples.
+func monoidRecords() [][]byte {
+	return bytes.Split(monoidNDJSON, []byte("\n"))
+}
+
+// payload is one Accumulator implementation under test: an engine
+// configuration plus the way it builds accumulators. All accumulators
+// from the same payload share dedup state, exactly as the engine
+// guarantees within one run.
+type payload struct {
+	name   string
+	env    *Env
+	stream bool
+}
+
+func payloads(t *testing.T) []payload {
 	t.Helper()
-	ts, err := infer.InferAll(monoidNDJSON)
+	set, err := enrich.ParseSet([]string{"all"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ts) < 10 {
-		t.Fatalf("only %d test types", len(ts))
-	}
-	return ts
-}
-
-// payload is one Accumulator implementation under test. fresh returns
-// an empty accumulator; all accumulators from the same payload share
-// dedup state, exactly as the engine guarantees within one run.
-type payload struct {
-	name  string
-	fresh func() Accumulator
-}
-
-func payloads() []payload {
-	plainEnv := &Env{Fusion: fusion.Options{}}
-	tupleEnv := &Env{Fusion: fusion.Options{PreserveTuples: true}}
-	dedupEnv := &Env{Dedup: NewDedup(fusion.Options{})}
 	return []payload{
-		{"plain", plainEnv.NewAcc},
-		{"plain-stream", plainEnv.NewStreamAcc},
-		{"plain-tuples", tupleEnv.NewAcc},
-		{"dedup", dedupEnv.NewAcc},
+		{"plain", &Env{Fusion: fusion.Options{}}, false},
+		{"plain-stream", &Env{Fusion: fusion.Options{}}, true},
+		{"plain-tuples", &Env{Fusion: fusion.Options{PreserveTuples: true}}, false},
+		{"dedup", &Env{Dedup: NewDedup(fusion.Options{})}, false},
+		{"plain-enrich", &Env{Fusion: fusion.Options{}, Enrich: set}, false},
+		{"dedup-enrich", &Env{Dedup: NewDedup(fusion.Options{}), Enrich: set}, false},
 	}
 }
 
-// build adds the given types, in order, to a fresh accumulator.
-func build(p payload, ts []types.Type) Accumulator {
-	acc := p.fresh()
-	for _, t := range ts {
-		acc.Add(t)
+// empty returns the payload's identity accumulator: the stream flavour
+// for stream payloads, the chunked flavour otherwise.
+func (p payload) empty() Accumulator {
+	if p.stream {
+		return p.env.NewStreamAcc()
+	}
+	return p.env.NewAcc()
+}
+
+// buildChunk runs a chunk of records through the payload's real map
+// path (mapChunk for chunked modes, the stream accumulator otherwise),
+// so the harness exercises exactly what the engine produces.
+func buildChunk(t *testing.T, p payload, chunk []byte) Accumulator {
+	t.Helper()
+	if p.stream {
+		acc := p.env.NewStreamAcc()
+		ts, err := infer.InferAll(chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, typ := range ts {
+			acc.Add(typ)
+		}
+		return acc
+	}
+	acc, err := p.env.mapChunk(chunk)
+	if err != nil {
+		t.Fatal(err)
 	}
 	return acc
 }
 
-// mustEqual compares the observable Result fields. AvgTypeSize is
-// compared exactly: every implementation accumulates integer sums (far
-// below 2^53) and divides once, so any merge order yields the same
-// bits.
-func mustEqual(t *testing.T, got, want Result, context string) {
+// resultFingerprint renders every observable field of a folded Result,
+// including the enrichment report, so two accumulators fingerprint
+// equal iff they are observationally equal.
+func resultFingerprint(t *testing.T, res Result) string {
 	t.Helper()
-	if !types.Equal(got.Fused, want.Fused) {
-		t.Errorf("%s: Fused = %v, want %v", context, got.Fused, want.Fused)
+	enr := "<nil>"
+	if res.Enrichment != nil {
+		data, err := res.Enrichment.MarshalReport()
+		if err != nil {
+			t.Fatal(err)
+		}
+		enr = string(data)
 	}
-	if got.Records != want.Records {
-		t.Errorf("%s: Records = %d, want %d", context, got.Records, want.Records)
-	}
-	if got.DistinctTypes != want.DistinctTypes {
-		t.Errorf("%s: DistinctTypes = %d, want %d", context, got.DistinctTypes, want.DistinctTypes)
-	}
-	if got.MinTypeSize != want.MinTypeSize || got.MaxTypeSize != want.MaxTypeSize {
-		t.Errorf("%s: Min/MaxTypeSize = %d/%d, want %d/%d",
-			context, got.MinTypeSize, got.MaxTypeSize, want.MinTypeSize, want.MaxTypeSize)
-	}
-	if got.AvgTypeSize != want.AvgTypeSize {
-		t.Errorf("%s: AvgTypeSize = %v, want %v", context, got.AvgTypeSize, want.AvgTypeSize)
+	return fmt.Sprintf("fused=%s records=%d distinct=%d sizes=%d..%d avg=%v enrich=%s",
+		res.Fused, res.Records, res.DistinctTypes, res.MinTypeSize, res.MaxTypeSize, res.AvgTypeSize, enr)
+}
+
+// TestAccumulatorConformance runs every accumulator payload — with and
+// without enrichment — through the shared monoid-law harness: identity,
+// commutativity, associativity, random merge trees versus the
+// sequential fold, and non-mutation of the second operand. AvgTypeSize
+// is fingerprinted exactly: every implementation accumulates integer
+// sums (far below 2^53) and divides once, so any merge order yields
+// the same bits.
+func TestAccumulatorConformance(t *testing.T) {
+	records := monoidRecords()
+	for _, p := range payloads(t) {
+		monoidtest.Run(t, monoidtest.Subject{
+			Name:  p.name,
+			Empty: func() any { return p.empty() },
+			Rand: func(r *rand.Rand) any {
+				// A random multiset of records in random order, joined
+				// into one chunk — some draws are empty, covering the
+				// empty-chunk accumulator.
+				n := r.Intn(len(records) + 1)
+				var chunk []byte
+				for i := 0; i < n; i++ {
+					chunk = append(chunk, records[r.Intn(len(records))]...)
+					chunk = append(chunk, '\n')
+				}
+				if len(chunk) == 0 {
+					return p.empty()
+				}
+				return buildChunk(t, p, chunk)
+			},
+			Merge: func(a, b any) any {
+				return Combine(a.(Accumulator), b.(Accumulator))
+			},
+			Fingerprint: func(x any) string {
+				return resultFingerprint(t, Fold(x.(Accumulator)))
+			},
+		})
 	}
 }
 
-// TestAccumulatorIdentity pins the monoid identity: nil (the engine's
-// zero) and a fresh empty accumulator both merge as no-ops, on either
-// side.
-func TestAccumulatorIdentity(t *testing.T) {
-	ts := monoidTypes(t)
-	for _, p := range payloads() {
+// TestCombineNilIdentity pins the engine's nil identity, which the
+// harness cannot express: Combine treats nil as the zero accumulator
+// and Fold(nil) is the empty Result.
+func TestCombineNilIdentity(t *testing.T) {
+	for _, p := range payloads(t) {
 		t.Run(p.name, func(t *testing.T) {
-			want := Fold(build(p, ts))
-
-			if acc := build(p, ts); Combine(nil, acc) != acc {
+			acc := buildChunk(t, p, monoidNDJSON)
+			want := resultFingerprint(t, Fold(acc))
+			if got := Combine(nil, acc); got != acc {
 				t.Error("Combine(nil, acc) is not acc")
 			}
-			if acc := build(p, ts); Combine(acc, nil) != acc {
+			if got := Combine(acc, nil); got != acc {
 				t.Error("Combine(acc, nil) is not acc")
 			}
-			mustEqual(t, Fold(Combine(p.fresh(), build(p, ts))), want, "empty·acc")
-			mustEqual(t, Fold(Combine(build(p, ts), p.fresh())), want, "acc·empty")
-			mustEqual(t, Fold(nil), Result{Fused: types.Empty}, "Fold(nil)")
-		})
-	}
-}
-
-// TestAccumulatorCommutativity pins a·b = b·a for a random split, the
-// law that lets the engine combine chunk results in completion order.
-func TestAccumulatorCommutativity(t *testing.T) {
-	ts := monoidTypes(t)
-	for _, p := range payloads() {
-		t.Run(p.name, func(t *testing.T) {
-			rng := rand.New(rand.NewSource(7))
-			for trial := 0; trial < 20; trial++ {
-				cut := 1 + rng.Intn(len(ts)-1)
-				ab := Fold(Combine(build(p, ts[:cut]), build(p, ts[cut:])))
-				ba := Fold(Combine(build(p, ts[cut:]), build(p, ts[:cut])))
-				mustEqual(t, ba, ab, "b·a vs a·b")
+			if got := resultFingerprint(t, Fold(acc)); got != want {
+				t.Errorf("nil combines changed the accumulator\n got %s\nwant %s", got, want)
 			}
-		})
-	}
-}
-
-// TestAccumulatorAssociativity pins (a·b)·c = a·(b·c), the law that
-// makes the reduction tree's shape invisible.
-func TestAccumulatorAssociativity(t *testing.T) {
-	ts := monoidTypes(t)
-	for _, p := range payloads() {
-		t.Run(p.name, func(t *testing.T) {
-			rng := rand.New(rand.NewSource(11))
-			for trial := 0; trial < 20; trial++ {
-				i := 1 + rng.Intn(len(ts)-2)
-				j := i + 1 + rng.Intn(len(ts)-i-1)
-				parts := [][]types.Type{ts[:i], ts[i:j], ts[j:]}
-				left := Fold(Combine(Combine(build(p, parts[0]), build(p, parts[1])), build(p, parts[2])))
-				right := Fold(Combine(build(p, parts[0]), Combine(build(p, parts[1]), build(p, parts[2]))))
-				mustEqual(t, right, left, "a·(b·c) vs (a·b)·c")
-			}
-		})
-	}
-}
-
-// TestAccumulatorRandomMergeTrees is the full distribution argument:
-// any partition of the records into groups (some possibly empty),
-// merged in any random tree order, folds to the same Result as one
-// sequential accumulator — chunking, scheduling and worker count are
-// invisible.
-func TestAccumulatorRandomMergeTrees(t *testing.T) {
-	ts := monoidTypes(t)
-	for _, p := range payloads() {
-		t.Run(p.name, func(t *testing.T) {
-			want := Fold(build(p, ts))
-			rng := rand.New(rand.NewSource(42))
-			for trial := 0; trial < 50; trial++ {
-				k := 1 + rng.Intn(8)
-				groups := make([][]types.Type, k)
-				for _, typ := range ts {
-					g := rng.Intn(k)
-					groups[g] = append(groups[g], typ)
-				}
-				accs := make([]Accumulator, k)
-				for i, g := range groups {
-					accs[i] = build(p, g)
-				}
-				for len(accs) > 1 {
-					i := rng.Intn(len(accs))
-					j := rng.Intn(len(accs) - 1)
-					if j >= i {
-						j++
-					}
-					// Merge j into i, then delete slot j by swapping in the
-					// tail (the swap is safe even when i or j is the tail:
-					// the merged value survives in exactly one slot).
-					accs[i] = Combine(accs[i], accs[j])
-					accs[j] = accs[len(accs)-1]
-					accs = accs[:len(accs)-1]
-				}
-				mustEqual(t, Fold(accs[0]), want, "random merge tree")
+			empty := Fold(nil)
+			if !types.Equal(empty.Fused, types.Empty) || empty.Records != 0 || empty.Enrichment != nil {
+				t.Errorf("Fold(nil) = %+v, want empty Result", empty)
 			}
 		})
 	}

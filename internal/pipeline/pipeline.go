@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/enrich"
 	"repro/internal/fusion"
 	"repro/internal/infer"
 	"repro/internal/intern"
@@ -67,6 +68,14 @@ type Env struct {
 	// phase interns types and emits distinct-type multisets, fusion
 	// runs through the memo.
 	Dedup *Dedup
+	// Enrich, when non-nil, computes the configured enrichment monoids
+	// (internal/enrich) alongside structural inference in the same
+	// pass: each map task observes its chunk into a fresh lattice
+	// carried on the chunk's Accumulator, lattices merge with the
+	// accumulators, and the folded Result carries the combined lattice.
+	// Purely additive — the structural schema and statistics are
+	// byte-identical with or without it.
+	Enrich *enrich.Set
 	// Phases, when non-nil, accumulates per-phase busy times (decode +
 	// infer versus fuse) across workers — the experiments harness's
 	// Table 6 measurements. Nil costs one branch per chunk.
@@ -198,6 +207,10 @@ func Run(ctx context.Context, env *Env, feed Feed) (Accumulator, mapreduce.Stats
 // line-aligned chunk and folds them into a fresh Accumulator of the
 // Env's payload kind.
 func (e *Env) mapChunk(chunk []byte) (Accumulator, error) {
+	// A failed decode discards the chunk's lattice along with its
+	// accumulator, so retried attempts observe into a fresh one and the
+	// combine stays exactly-once for enrichment too (docs/ENRICHMENT.md).
+	lat := e.newLattice()
 	if dd := e.Dedup; dd != nil {
 		// The dedup map task types a chunk into a multiset of distinct
 		// interned types and folds the DISTINCT types once each, in
@@ -206,7 +219,7 @@ func (e *Env) mapChunk(chunk []byte) (Accumulator, error) {
 		// all per-record types — the chunk metrics (record counts, fused
 		// size) are therefore identical to the plain payload's.
 		t0 := e.phaseStart()
-		ms, err := infer.DedupAll(chunk, dd.Tab)
+		ms, err := infer.DedupAllObserved(chunk, dd.Tab, observer(lat))
 		if err != nil {
 			return nil, err
 		}
@@ -217,21 +230,40 @@ func (e *Env) mapChunk(chunk []byte) (Accumulator, error) {
 		}
 		e.lapFuse(t0)
 		e.recordChunk(ms.Total(), int64(len(chunk)), fused)
-		return &dedupAcc{dd: dd, ms: ms, fused: fused}, nil
+		return &dedupAcc{dd: dd, ms: ms, fused: fused, lat: lat}, nil
 	}
 	t0 := e.phaseStart()
-	ts, err := infer.InferAll(chunk)
+	ts, err := infer.InferAllObserved(chunk, observer(lat))
 	if err != nil {
 		return nil, err
 	}
 	t0 = e.lapInfer(t0)
 	acc := e.NewAcc().(*plainAcc)
+	acc.lat = lat
 	for _, t := range ts {
 		acc.Add(t)
 	}
 	e.lapFuse(t0)
 	e.recordChunk(int64(len(ts)), int64(len(chunk)), acc.fused)
 	return acc, nil
+}
+
+// newLattice returns a fresh enrichment lattice, or nil with
+// enrichment off.
+func (e *Env) newLattice() *enrich.Lattice {
+	if e.Enrich == nil {
+		return nil
+	}
+	return e.Enrich.NewLattice()
+}
+
+// observer adapts a possibly-nil lattice to the decoder's Observer
+// hook without smuggling a typed-nil interface through.
+func observer(lat *enrich.Lattice) infer.Observer {
+	if lat == nil {
+		return nil
+	}
+	return lat
 }
 
 // phaseStart stamps the start of a timed phase segment, or zero when
@@ -290,6 +322,10 @@ func RunStream(ctx context.Context, env *Env, r io.Reader) (Accumulator, int64, 
 		dec.SetInterner(env.Dedup.Tab)
 	}
 	acc := env.NewStreamAcc()
+	if lat := env.newLattice(); lat != nil {
+		dec.SetObserver(lat)
+		attachLattice(acc, lat)
+	}
 	var records int64
 	for {
 		select {

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/enrich"
 	"repro/internal/fusion"
 	"repro/internal/infer"
 	"repro/internal/types"
@@ -31,12 +32,18 @@ import (
 type Repo struct {
 	mu         sync.Mutex
 	partitions map[string]*partition
-	cached     types.Type // fused global schema; nil when stale
+	cached     types.Type      // fused global schema; nil when stale
+	cachedEnr  *enrich.Lattice // fused global enrichment; nil when stale or absent
+	enrStale   bool
 }
 
 type partition struct {
 	schema types.Type
 	count  int64
+	// enr is the partition's enrichment lattice (docs/ENRICHMENT.md);
+	// nil when the partition was built without enrichment. Lattices
+	// union under the same any-order guarantee as schemas.
+	enr *enrich.Lattice
 }
 
 // New returns an empty repository.
@@ -65,7 +72,7 @@ func (r *Repo) AppendType(part string, t types.Type) {
 	}
 	p.schema = fusion.Fuse(p.schema, t)
 	p.count++
-	r.cached = nil
+	r.invalidateLocked()
 }
 
 // AppendSchema fuses an already-fused schema describing count values
@@ -74,6 +81,14 @@ func (r *Repo) AppendType(part string, t types.Type) {
 // its schema lands here in one O(schema-size) fuse. By associativity
 // this equals appending the batch record by record.
 func (r *Repo) AppendSchema(part string, t types.Type, count int64) {
+	r.AppendEnriched(part, t, count, nil)
+}
+
+// AppendEnriched is AppendSchema carrying the batch's enrichment
+// lattice (nil for none). The lattice unions into the partition's
+// lattice; Union is pure, so the caller's lattice is never mutated and
+// may keep accumulating elsewhere.
+func (r *Repo) AppendEnriched(part string, t types.Type, count int64, lat *enrich.Lattice) {
 	t = fusion.Simplify(t)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -84,7 +99,16 @@ func (r *Repo) AppendSchema(part string, t types.Type, count int64) {
 	}
 	p.schema = fusion.Fuse(p.schema, t)
 	p.count += count
+	if lat != nil {
+		p.enr = enrich.Union(p.enr, lat)
+	}
+	r.invalidateLocked()
+}
+
+func (r *Repo) invalidateLocked() {
 	r.cached = nil
+	r.cachedEnr = nil
+	r.enrStale = true
 }
 
 // SetPartition replaces a partition's schema wholesale, as after
@@ -95,7 +119,7 @@ func (r *Repo) SetPartition(part string, schema types.Type, count int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.partitions[part] = &partition{schema: schema, count: count}
-	r.cached = nil
+	r.invalidateLocked()
 }
 
 // SetPartitionJSON is SetPartition for a schema in its codec JSON
@@ -127,7 +151,7 @@ func (r *Repo) DropPartition(part string) bool {
 	defer r.mu.Unlock()
 	if _, ok := r.partitions[part]; ok {
 		delete(r.partitions, part)
-		r.cached = nil
+		r.invalidateLocked()
 		return true
 	}
 	return false
@@ -149,6 +173,25 @@ func (r *Repo) Schema() types.Type {
 	return r.cached
 }
 
+// Enrichment returns the union of all partitions' enrichment lattices,
+// nil when no partition carries one. Cached like Schema; Union is pure,
+// so the cached lattice never aliases a partition's.
+func (r *Repo) Enrichment() *enrich.Lattice {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.enrStale {
+		var acc *enrich.Lattice
+		for _, name := range r.partitionNamesLocked() {
+			if p := r.partitions[name]; p.enr != nil {
+				acc = enrich.Union(acc, p.enr)
+			}
+		}
+		r.cachedEnr = acc
+		r.enrStale = false
+	}
+	return r.cachedEnr
+}
+
 // PartitionSchema returns the named partition's schema and whether the
 // partition exists.
 func (r *Repo) PartitionSchema(part string) (types.Type, bool) {
@@ -159,6 +202,19 @@ func (r *Repo) PartitionSchema(part string) (types.Type, bool) {
 		return nil, false
 	}
 	return p.schema, true
+}
+
+// PartitionEnrichment returns a copy of the named partition's
+// enrichment lattice; nil when the partition is absent or carries none.
+// The copy lets the caller keep unioning without racing Append.
+func (r *Repo) PartitionEnrichment(part string) *enrich.Lattice {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.partitions[part]
+	if !ok || p.enr == nil {
+		return nil
+	}
+	return p.enr.Clone()
 }
 
 // PartitionCount returns the number of values the named partition
@@ -209,6 +265,10 @@ type wirePartition struct {
 	Name   string          `json:"name"`
 	Count  int64           `json:"count"`
 	Schema json.RawMessage `json:"schema"`
+	// Enrichment is the partition's lattice in its self-describing wire
+	// encoding; absent for plain partitions, so snapshots written by
+	// older builds load unchanged.
+	Enrichment json.RawMessage `json:"enrichment,omitempty"`
 }
 
 // Save writes the repository as a JSON document.
@@ -222,7 +282,15 @@ func (r *Repo) Save(w io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("schemarepo: partition %q: %w", name, err)
 		}
-		doc.Partitions = append(doc.Partitions, wirePartition{Name: name, Count: p.count, Schema: raw})
+		wp := wirePartition{Name: name, Count: p.count, Schema: raw}
+		if p.enr != nil {
+			enr, err := p.enr.MarshalJSON()
+			if err != nil {
+				return fmt.Errorf("schemarepo: partition %q enrichment: %w", name, err)
+			}
+			wp.Enrichment = enr
+		}
+		doc.Partitions = append(doc.Partitions, wp)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -244,7 +312,16 @@ func Load(rd io.Reader) (*Repo, error) {
 		if err != nil {
 			return nil, fmt.Errorf("schemarepo: partition %q: %w", wp.Name, err)
 		}
-		repo.partitions[wp.Name] = &partition{schema: schema, count: wp.Count}
+		p := &partition{schema: schema, count: wp.Count}
+		if len(wp.Enrichment) > 0 {
+			lat, err := enrich.UnmarshalLattice(wp.Enrichment)
+			if err != nil {
+				return nil, fmt.Errorf("schemarepo: partition %q enrichment: %w", wp.Name, err)
+			}
+			p.enr = lat
+		}
+		repo.partitions[wp.Name] = p
 	}
+	repo.enrStale = true
 	return repo, nil
 }

@@ -28,6 +28,7 @@ import (
 	"runtime"
 
 	jsi "repro"
+	"repro/internal/enrich"
 	"repro/internal/jsontext"
 	"repro/internal/obs"
 	"repro/internal/types"
@@ -70,6 +71,12 @@ type Config struct {
 	// pipelines.
 	Dedup bool
 
+	// Enrich names the enrichment monoids (docs/ENRICHMENT.md) computed
+	// on every ingest: "ranges", "hll", ..., or "all". Empty disables
+	// enrichment. Requests can override it per call with the enrich
+	// query parameter (a comma list, "all", or "off").
+	Enrich []string
+
 	// Logf receives operational messages (eviction failures, snapshot
 	// errors). Nil discards them.
 	Logf func(format string, args ...any)
@@ -104,6 +111,11 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
+	}
+	if len(cfg.Enrich) > 0 {
+		if _, err := enrich.ParseSet(cfg.Enrich); err != nil {
+			return nil, fmt.Errorf("serving: %w", err)
+		}
 	}
 	s := &Server{cfg: cfg, reg: obs.NewRegistry()}
 	s.tenants = newTenantSet(cfg.DataDir, cfg.MaxResidentTenants, s.reg)
@@ -204,6 +216,15 @@ func (s *Server) ingestOptions(r *http.Request) (jsi.Options, error) {
 	default:
 		return opts, fmt.Errorf("unknown on_error %q (want fail or skip)", v)
 	}
+	opts.Enrich = s.cfg.Enrich
+	if r.URL.Query().Has("enrich") {
+		switch v := r.URL.Query().Get("enrich"); v {
+		case "off", "none", "0", "":
+			opts.Enrich = nil
+		default:
+			opts.Enrich = []string{v}
+		}
+	}
 	return opts, nil
 }
 
@@ -295,8 +316,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, t *tenant)
 }
 
 // renderSchema writes a schema in the requested format: type
-// (default), indent, jsonschema, or codec.
+// (default), indent, jsonschema, codec, or enrich (the per-path
+// enrichment report). enrich=0 strips enrichment annotations first, so
+// clients can fetch the plain JSON Schema from an enriched tenant.
 func (s *Server) renderSchema(w http.ResponseWriter, r *http.Request, schema *jsi.Schema) {
+	switch v := r.URL.Query().Get("enrich"); v {
+	case "off", "none", "0":
+		schema = schema.WithoutEnrichment()
+	}
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "type":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -320,9 +347,17 @@ func (s *Server) renderSchema(w http.ResponseWriter, r *http.Request, schema *js
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(append(out, '\n'))
+	case "enrich":
+		out, err := schema.EnrichmentJSON()
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(out, '\n'))
 	default:
 		s.writeError(w, http.StatusBadRequest,
-			fmt.Errorf("unknown format %q (want type, indent, jsonschema, or codec)", format))
+			fmt.Errorf("unknown format %q (want type, indent, jsonschema, codec, or enrich)", format))
 	}
 }
 

@@ -321,6 +321,116 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 }
 
+// TestEnrichmentEndToEnd drives the enrichment lattice through the
+// whole serving surface: server-wide -enrich config, the per-request
+// ingest override, the format=enrich report, the enrich=off strip, and
+// snapshot save/restore carrying annotations across tenants. The
+// served annotated schema must be byte-identical to offline enriched
+// inference over the concatenation.
+func TestEnrichmentEndToEnd(t *testing.T) {
+	_, hs := newTestServer(t, Config{Enrich: []string{"all"}})
+	batches := [][]byte{
+		[]byte(`{"n": 3, "when": "2024-01-05"}` + "\n" + `{"n": 1, "when": "2023-11-30"}` + "\n"),
+		[]byte(`{"n": 2.5, "tags": ["a", "b"]}` + "\n"),
+	}
+	ingest(t, hs.URL, "e", "p0", batches[0])
+	ingest(t, hs.URL, "e", "p1", batches[1])
+
+	offline, _, err := jsi.InferNDJSON(append(append([]byte{}, batches[0]...), batches[1]...),
+		jsi.Options{Enrich: []string{"all"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJS, err := offline.JSONSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantReport, err := offline.EnrichmentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	status, js := doReq(t, http.MethodGet, hs.URL+"/v1/tenants/e/schema?format=jsonschema", nil)
+	if status != http.StatusOK {
+		t.Fatalf("jsonschema: status %d: %s", status, js)
+	}
+	if !bytes.Equal(bytes.TrimSpace(js), bytes.TrimSpace(wantJS)) {
+		t.Errorf("served annotated schema differs from offline:\nserved:  %s\noffline: %s", js, wantJS)
+	}
+
+	status, rep := doReq(t, http.MethodGet, hs.URL+"/v1/tenants/e/schema?format=enrich", nil)
+	if status != http.StatusOK {
+		t.Fatalf("format=enrich: status %d: %s", status, rep)
+	}
+	if !bytes.Equal(bytes.TrimSpace(rep), bytes.TrimSpace(wantReport)) {
+		t.Errorf("served report differs from offline:\nserved:  %s\noffline: %s", rep, wantReport)
+	}
+
+	// enrich=off strips annotations from any format.
+	status, plain := doReq(t, http.MethodGet, hs.URL+"/v1/tenants/e/schema?format=jsonschema&enrich=off", nil)
+	if status != http.StatusOK {
+		t.Fatalf("enrich=off: status %d", status)
+	}
+	if bytes.Contains(plain, []byte("x-distinctValues")) || bytes.Contains(plain, []byte(`"minimum"`)) {
+		t.Errorf("enrich=off left annotations in: %s", plain)
+	}
+
+	// The per-partition schema carries its own lattice.
+	status, pjs := doReq(t, http.MethodGet, hs.URL+"/v1/tenants/e/partitions/p0/schema?format=jsonschema", nil)
+	if status != http.StatusOK || !bytes.Contains(pjs, []byte(`"minimum"`)) {
+		t.Errorf("partition schema unannotated: status %d, body %s", status, pjs)
+	}
+
+	// Snapshot round-trip: annotations survive save + restore into a
+	// fresh tenant byte for byte.
+	status, snap := doReq(t, http.MethodGet, hs.URL+"/v1/tenants/e/snapshot", nil)
+	if status != http.StatusOK {
+		t.Fatalf("snapshot get: status %d", status)
+	}
+	status, body := doReq(t, http.MethodPut, hs.URL+"/v1/tenants/e2/snapshot", snap)
+	if status != http.StatusOK {
+		t.Fatalf("snapshot put: status %d: %s", status, body)
+	}
+	_, js2 := doReq(t, http.MethodGet, hs.URL+"/v1/tenants/e2/schema?format=jsonschema", nil)
+	if !bytes.Equal(js2, js) {
+		t.Errorf("restored annotated schema differs:\nrestored: %s\noriginal: %s", js2, js)
+	}
+
+	// Per-request override on an enrichment-off server: only the
+	// overridden ingest produces annotations.
+	_, hs2 := newTestServer(t, Config{})
+	status, body = doReq(t, http.MethodPost, hs2.URL+"/v1/tenants/o/ingest?enrich=ranges", batches[0])
+	if status != http.StatusOK {
+		t.Fatalf("override ingest: status %d: %s", status, body)
+	}
+	_, js3 := doReq(t, http.MethodGet, hs2.URL+"/v1/tenants/o/schema?format=jsonschema", nil)
+	if !bytes.Contains(js3, []byte(`"minimum"`)) {
+		t.Errorf("enrich=ranges override produced no range annotations: %s", js3)
+	}
+	if bytes.Contains(js3, []byte("x-distinctValues")) {
+		t.Errorf("enrich=ranges override enabled more than ranges: %s", js3)
+	}
+
+	// And the reverse: enrich=off ingest on an enrichment-on server.
+	status, _ = doReq(t, http.MethodPost, hs.URL+"/v1/tenants/off/ingest?enrich=off", batches[0])
+	if status != http.StatusOK {
+		t.Fatalf("enrich=off ingest: status %d", status)
+	}
+	_, js4 := doReq(t, http.MethodGet, hs.URL+"/v1/tenants/off/schema?format=jsonschema", nil)
+	if bytes.Contains(js4, []byte(`"minimum"`)) {
+		t.Errorf("enrich=off ingest still annotated: %s", js4)
+	}
+
+	// Invalid selections fail loudly, both at config and request level.
+	if _, err := New(Config{DataDir: t.TempDir(), Enrich: []string{"bogus"}}); err == nil {
+		t.Error("New accepted an unknown monoid name")
+	}
+	status, _ = doReq(t, http.MethodPost, hs.URL+"/v1/tenants/e/ingest?enrich=bogus", batches[0])
+	if status != http.StatusBadRequest {
+		t.Errorf("bogus enrich ingest: status %d, want 400", status)
+	}
+}
+
 func TestDeleteTenant(t *testing.T) {
 	_, hs := newTestServer(t, Config{})
 	ingest(t, hs.URL, "del", "default", []byte(`{"a":1}`+"\n"))

@@ -3,6 +3,7 @@ package jsoninference
 import (
 	"io"
 
+	"repro/internal/enrich"
 	"repro/internal/schemarepo"
 )
 
@@ -36,31 +37,38 @@ func NewRepository() *Repository {
 // partition, creating the partition on first use. The typical flow
 // infers a batch with Infer (or receives a schema from elsewhere) and
 // appends it here in one O(schema-size) operation. A nil or empty
-// schema adds only to the partition's record count.
+// schema adds only to the partition's record count. A schema inferred
+// with Options.Enrich carries its enrichment lattice along: the
+// partition accumulates it, and Schema and PartitionSchema return
+// schemas enriched with the union.
 func (r *Repository) Append(part string, s *Schema, count int64) {
 	t := EmptySchema().t
 	if s != nil {
 		t = s.t
 	}
-	r.repo.AppendSchema(part, t, count)
+	var lat *enrich.Lattice
+	if s != nil {
+		lat = s.enr
+	}
+	r.repo.AppendEnriched(part, t, count, lat)
 }
 
 // Schema returns the fused schema of all partitions (the empty schema
-// when the repository is empty). The result is cached until the
-// repository changes; recomputation folds one small schema per
-// partition.
+// when the repository is empty), carrying the union of any enrichment
+// appended. The result is cached until the repository changes;
+// recomputation folds one small schema per partition.
 func (r *Repository) Schema() *Schema {
-	return newSchema(r.repo.Schema())
+	return newSchema(r.repo.Schema()).withEnrichment(r.repo.Enrichment())
 }
 
-// PartitionSchema returns the named partition's schema and whether the
-// partition exists.
+// PartitionSchema returns the named partition's schema (with its
+// enrichment, if any was appended) and whether the partition exists.
 func (r *Repository) PartitionSchema(part string) (*Schema, bool) {
 	t, ok := r.repo.PartitionSchema(part)
 	if !ok {
 		return nil, false
 	}
-	return newSchema(t), true
+	return newSchema(t).withEnrichment(r.repo.PartitionEnrichment(part)), true
 }
 
 // PartitionCount returns the number of records the named partition

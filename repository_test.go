@@ -106,6 +106,108 @@ func TestRepositorySaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRepositoryEnrichmentRoundTrip: appended schemas carry their
+// enrichment lattice into the repository (per partition and fused
+// globally), and Save/Load preserves it — the reloaded repository
+// serves byte-identical annotated schemas and reports. The global
+// enrichment must equal a direct inference over the concatenation,
+// because lattice union is the same commutative monoid the fused
+// schema rides.
+func TestRepositoryEnrichmentRoundTrip(t *testing.T) {
+	enrich := jsi.Options{Enrich: []string{"all"}}
+	batches := []string{
+		`{"n": 3, "when": "2024-01-05"}` + "\n" + `{"n": 1, "when": "2023-11-30"}`,
+		`{"n": 2.5, "tags": ["a", "b"]}`,
+	}
+	repo := jsi.NewRepository()
+	var all strings.Builder
+	for i, b := range batches {
+		schema, stats, err := jsi.InferNDJSON([]byte(b), enrich)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !schema.Enriched() {
+			t.Fatalf("batch %d not enriched", i)
+		}
+		repo.Append(fmt.Sprintf("part-%d", i), schema, stats.Records)
+		all.WriteString(b + "\n")
+	}
+	offline, _, err := jsi.InferNDJSON([]byte(all.String()), enrich)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJS, err := offline.JSONSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantReport, err := offline.EnrichmentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	checkRepo := func(label string, r *jsi.Repository) {
+		t.Helper()
+		got := r.Schema()
+		if !got.Enriched() {
+			t.Fatalf("%s: global schema lost enrichment", label)
+		}
+		js, err := got.JSONSchema()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(js, wantJS) {
+			t.Errorf("%s: annotated schema diverged from offline\n got: %s\nwant: %s", label, js, wantJS)
+		}
+		rep, err := got.EnrichmentJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rep, wantReport) {
+			t.Errorf("%s: enrichment report diverged from offline\n got: %s\nwant: %s", label, rep, wantReport)
+		}
+		ps, ok := r.PartitionSchema("part-0")
+		if !ok || !ps.Enriched() {
+			t.Errorf("%s: partition schema not enriched (ok=%v)", label, ok)
+		}
+	}
+	checkRepo("live", repo)
+
+	var buf bytes.Buffer
+	if err := repo.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := jsi.LoadRepository(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRepo("reloaded", loaded)
+
+	// A second save of the reloaded repository is byte-identical: the
+	// wire format itself is deterministic, enrichment included.
+	var buf2 bytes.Buffer
+	if err := loaded.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	var buf3 bytes.Buffer
+	if err := repo.Save(&buf3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf2.Bytes(), buf3.Bytes()) {
+		t.Errorf("save-load-save not byte-stable\n got: %s\nwant: %s", buf2.Bytes(), buf3.Bytes())
+	}
+
+	// Appending a plain (unenriched) schema still works: the lattice
+	// union simply has nothing new for those values.
+	plain, stats, err := jsi.InferNDJSON([]byte(`{"n": 9}`), jsi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo.Append("part-plain", plain, stats.Records)
+	if !repo.Schema().Enriched() {
+		t.Error("appending a plain schema dropped the repository's enrichment")
+	}
+}
+
 // TestRepositoryConcurrentAppendScheamSave races Append, Schema,
 // PartitionSchema and Save on one Repository — the access pattern of a
 // schemad tenant under concurrent ingest — and then checks the final

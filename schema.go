@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/enrich"
 	"repro/internal/fusion"
 	"repro/internal/jsonschema"
 	"repro/internal/jsontext"
@@ -15,12 +16,27 @@ import (
 // wrapped behind a stable API. Schemas are immutable; Fuse returns a new
 // one. The zero value is not useful — obtain schemas from the Infer
 // functions, ParseSchema, or UnmarshalSchemaJSON.
+//
+// A schema inferred with Options.Enrich additionally carries the run's
+// enrichment lattice (per-path value statistics, docs/ENRICHMENT.md):
+// JSONSchema output gains annotations, EnrichmentJSON reports them per
+// path, and Fuse combines the lattices alongside the types. The
+// structural methods — String, Equal, MarshalJSON, Size — never see
+// it.
 type Schema struct {
 	t types.Type
+	// enr is the enrichment lattice; nil on plain schemas.
+	enr *enrich.Lattice
 }
 
 // newSchema wraps a type; nil types are rejected at the call sites.
 func newSchema(t types.Type) *Schema { return &Schema{t: t} }
+
+// withEnrichment attaches an enrichment lattice (nil is fine).
+func (s *Schema) withEnrichment(l *enrich.Lattice) *Schema {
+	s.enr = l
+	return s
+}
 
 // EmptySchema returns the schema of the empty collection: the empty type
 // ε, the identity of Fuse.
@@ -63,7 +79,7 @@ func (s *Schema) Fuse(other *Schema) *Schema {
 	if other == nil {
 		return s
 	}
-	return newSchema(fusion.Fuse(s.t, other.t))
+	return newSchema(fusion.Fuse(s.t, other.t)).withEnrichment(enrich.Union(s.enr, other.enr))
 }
 
 // Contains reports whether the JSON value in data conforms to the
@@ -104,7 +120,31 @@ func (s *Schema) Sample(seed int64) ([]byte, bool) {
 }
 
 // JSONSchema exports the schema as a JSON Schema (draft-04) document.
-func (s *Schema) JSONSchema() ([]byte, error) { return jsonschema.Marshal(s.t) }
+// A schema inferred with Options.Enrich carries its enrichment as
+// annotations: observed minimum/maximum on number schemas, format on
+// unanimously formatted string schemas, and x- extension keywords
+// (x-distinctValues, x-bloomFilter, x-observedMinItems, ...) that
+// never tighten validation. Use WithoutEnrichment for the plain
+// document.
+func (s *Schema) JSONSchema() ([]byte, error) {
+	if s.enr != nil {
+		return jsonschema.MarshalAnnotated(s.t, s.enr)
+	}
+	return jsonschema.Marshal(s.t)
+}
+
+// Enriched reports whether the schema carries enrichment statistics
+// (inferred with Options.Enrich, and at least one value observed).
+func (s *Schema) Enriched() bool { return !s.enr.Empty() }
+
+// EnrichmentJSON reports the enrichment statistics as a flat JSON
+// object mapping paths (in the $.field[] spelling of ExpandPath) to
+// their annotations; "{}" on a plain schema.
+func (s *Schema) EnrichmentJSON() ([]byte, error) { return s.enr.MarshalReport() }
+
+// WithoutEnrichment returns the schema with its enrichment statistics
+// stripped: same structure, plain JSONSchema output.
+func (s *Schema) WithoutEnrichment() *Schema { return newSchema(s.t) }
 
 // MarshalJSON encodes the schema in the library's loss-free JSON codec
 // (distinct from JSONSchema, which targets the JSON Schema standard).

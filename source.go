@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/enrich"
 	"repro/internal/jsontext"
 	"repro/internal/pipeline"
 	"repro/internal/value"
@@ -110,7 +111,7 @@ func typeStats(res pipeline.Result) (Stats, *Schema) {
 		MinTypeSize:   res.MinTypeSize,
 		MaxTypeSize:   res.MaxTypeSize,
 		AvgTypeSize:   res.AvgTypeSize,
-	}, newSchema(res.Fused)
+	}, newSchema(res.Fused).withEnrichment(res.Enrichment)
 }
 
 // bytesSource implements FromBytes: split in memory, feed the chunks.
@@ -236,8 +237,8 @@ func (s filesSource) run(ctx context.Context, env *pipeline.Env) (*Schema, Stats
 		}
 		// Fuse under the run's policy (not the zero policy), so the
 		// cross-file reduce preserves tuples exactly like the in-file
-		// reduce does.
-		acc = newSchema(fz.Fuse(acc.t, schema.t))
+		// reduce does. Enrichment lattices union alongside.
+		acc = newSchema(fz.Fuse(acc.t, schema.t)).withEnrichment(enrich.Union(acc.enr, schema.enr))
 		total = mergeStats(total, st)
 	}
 	return acc, total, nil
