@@ -425,9 +425,32 @@ func BenchmarkInferNDJSONDedup(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := jsi.InferNDJSON(data, jsi.Options{Dedup: true}); err != nil {
+		if _, _, err := jsi.InferNDJSON(data, jsi.Options{Dedup: jsi.DedupOn}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkInferNDJSONAuto is BenchmarkInferNDJSON under the adaptive
+// mode (Options.Dedup DedupAuto) on the two skew extremes: twitter
+// settles on the hash-consed path, wikidata's all-distinct records
+// degrade to the plain payload mid-chunk. CI's -benchtime=1x smoke runs
+// both routes, and BENCH_perf.json's worst_case_regression_pct tracks
+// how close auto stays to the better fixed mode (docs/PERFORMANCE.md).
+func BenchmarkInferNDJSONAuto(b *testing.B) {
+	for _, name := range []string{"twitter", "wikidata"} {
+		b.Run(name, func(b *testing.B) {
+			g, _ := dataset.New(name)
+			data := dataset.NDJSON(g, benchScale(), 1)
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := jsi.InferNDJSON(data, jsi.Options{Dedup: jsi.DedupAuto}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -23,7 +23,7 @@ func TestFromChunkedReaderMatchesBytes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, dedup := range []bool{false, true} {
+	for _, dedup := range []jsi.DedupMode{jsi.DedupOff, jsi.DedupOn, jsi.DedupAuto} {
 		o := opts
 		o.Dedup = dedup
 		got, gotStats, err := jsi.Infer(ctx, jsi.FromChunkedReader(bytes.NewReader(data)), o)
@@ -76,7 +76,7 @@ func TestFromChunkedReaderLineEndings(t *testing.T) {
 		{"no final newline", noFinalNL.Bytes()},
 		{"crlf, unterminated tail", bytes.TrimSuffix(crlf.Bytes(), []byte("\r\n"))},
 	} {
-		for _, dedup := range []bool{false, true} {
+		for _, dedup := range []jsi.DedupMode{jsi.DedupOff, jsi.DedupOn, jsi.DedupAuto} {
 			opts := jsi.Options{Workers: 3, ChunkBytes: 256, Dedup: dedup}
 			got, gotStats, err := jsi.Infer(ctx, jsi.FromChunkedReader(bytes.NewReader(tc.data)), opts)
 			if err != nil {

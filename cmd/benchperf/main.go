@@ -2,10 +2,13 @@
 // writes the result as JSON (the BENCH_perf.json artifact CI uploads).
 //
 // For each paper dataset it benchmarks the public InferNDJSON pipeline
-// three times over the same synthetic data — Options zero value,
-// Options.Dedup, and Options.Enrich "all" — recording ns/op, B/op,
-// allocs/op, the exact distinct-type count the dedup run reports, and
-// the enrichment lattice's overhead over the default run. The headline comparison is
+// four times over the same synthetic data — Options zero value,
+// Options.Dedup on, Dedup auto (the adaptive mode), and Options.Enrich
+// "all" — recording ns/op, B/op, allocs/op, the exact distinct-type
+// count the dedup run reports, the enrichment lattice's overhead over
+// the default run, and worst_case_regression_pct: the worst gap
+// between the adaptive mode and the better fixed mode across the
+// grid. The headline comparison is
 // InferNDJSON/twitter dedup-on against the committed observability
 // baseline (-baseline BENCH_obs.json, whose nil_recorder_ns_per_op was
 // measured on the same workload); docs/PERFORMANCE.md explains how to
@@ -67,6 +70,14 @@ type DatasetResult struct {
 	// Default measurement and the 5% pipeline_overhead_pct budget.
 	Enriched          Measurement `json:"enriched"`
 	EnrichOverheadPct float64     `json:"enrich_overhead_pct"`
+	// Auto measures the adaptive mode (Options.Dedup DedupAuto), which
+	// samples each chunk and degrades to the plain path when
+	// hash-consing cannot pay for itself. AutoVsBestPct is its ns/op
+	// relative to the better of Default and Dedup on this dataset
+	// (positive = auto is slower than the best fixed mode) — auto's
+	// whole promise is that this stays near zero on every distribution.
+	Auto          Measurement `json:"auto"`
+	AutoVsBestPct float64     `json:"auto_vs_best_pct"`
 	// NsImprovementPct and AllocsReductionPct compare dedup against the
 	// default run above (positive = dedup is better).
 	NsImprovementPct   float64 `json:"ns_improvement_pct"`
@@ -97,6 +108,13 @@ type Report struct {
 	// Both are omitted when no previous report is available.
 	PrevDedupNsPerOp    int64    `json:"prev_dedup_ns_per_op,omitempty"`
 	PipelineOverheadPct *float64 `json:"pipeline_overhead_pct,omitempty"`
+	// WorstCaseRegressionPct is the maximum AutoVsBestPct over the
+	// dataset grid: how far the adaptive mode sits above the better
+	// fixed mode on its least favorable distribution (positive =
+	// regression). This is the explicit skew-sensitivity gate — the
+	// all-distinct wikidata worst case that motivated adaptive dedup
+	// shows up here instead of hiding in the per-dataset grid.
+	WorstCaseRegressionPct float64 `json:"worst_case_regression_pct"`
 }
 
 // obsBaseline is the slice of BENCH_obs.json benchperf reads.
@@ -138,7 +156,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		data := dataset.NDJSON(g, *records, 1)
 
-		_, st, err := jsi.InferNDJSON(data, jsi.Options{Dedup: true})
+		_, st, err := jsi.InferNDJSON(data, jsi.Options{Dedup: jsi.DedupOn})
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -148,10 +166,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 			Records:       *records,
 			DistinctTypes: st.DistinctTypes,
 			Default:       measure(data, jsi.Options{}),
-			Dedup:         measure(data, jsi.Options{Dedup: true}),
+			Dedup:         measure(data, jsi.Options{Dedup: jsi.DedupOn}),
+			Auto:          measure(data, jsi.Options{Dedup: jsi.DedupAuto}),
 			Enriched:      measure(data, jsi.Options{Enrich: []string{"all"}}),
 		}
 		res.EnrichOverheadPct = -pctBelow(res.Enriched.NsPerOp, res.Default.NsPerOp)
+		best := res.Default.NsPerOp
+		if res.Dedup.NsPerOp < best {
+			best = res.Dedup.NsPerOp
+		}
+		res.AutoVsBestPct = -pctBelow(res.Auto.NsPerOp, best)
+		if len(rep.Datasets) == 0 || res.AutoVsBestPct > rep.WorstCaseRegressionPct {
+			rep.WorstCaseRegressionPct = res.AutoVsBestPct
+		}
 		res.NsImprovementPct = pctBelow(res.Dedup.NsPerOp, res.Default.NsPerOp)
 		res.AllocsReductionPct = pctBelow(res.Dedup.AllocsPerOp, res.Default.AllocsPerOp)
 		rep.Datasets = append(rep.Datasets, res)

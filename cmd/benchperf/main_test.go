@@ -32,7 +32,7 @@ func TestReportShape(t *testing.T) {
 		t.Fatalf("expected 4 datasets, got %d", len(rep.Datasets))
 	}
 	for _, d := range rep.Datasets {
-		if d.Default.NsPerOp <= 0 || d.Dedup.NsPerOp <= 0 {
+		if d.Default.NsPerOp <= 0 || d.Dedup.NsPerOp <= 0 || d.Auto.NsPerOp <= 0 {
 			t.Errorf("%s: ns/op not measured: %+v", d.Dataset, d)
 		}
 		if d.Default.AllocsPerOp <= 0 || d.Dedup.AllocsPerOp <= 0 {

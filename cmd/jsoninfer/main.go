@@ -15,9 +15,13 @@
 //	             enrich (the per-path enrichment report; requires -enrich)
 //	-stream      constant-memory streaming mode (single worker, no
 //	             distinct type statistics unless -dedup is set)
-//	-dedup       hash-consed fast path: deduplicate distinct types in the
-//	             map phase and memoize fusion; same schema, exact
-//	             distinct-type statistics
+//	-dedup       deduplication mode: false (default), true, or auto.
+//	             true runs the hash-consed fast path (deduplicate
+//	             distinct types in the map phase, memoize fusion; same
+//	             schema, exact distinct-type statistics); auto samples
+//	             each chunk and degrades to the plain path when
+//	             hash-consing cannot pay for itself (near-all-distinct
+//	             data). A bare -dedup means true.
 //	-workers     map-phase parallelism (default: number of CPUs)
 //	-retries     per-chunk retry budget for transient failures
 //	-on-error    fail (default) aborts on a chunk that exhausts its
@@ -87,12 +91,28 @@ func startDebug(addr string, c *jsi.Collector, stderr io.Writer) (func(), error)
 	return func() { _ = srv.Close() }, nil
 }
 
+// dedupFlag adapts jsi.DedupMode to the flag package: it accepts the
+// boolean spellings plus "auto", and a bare -dedup means true.
+type dedupFlag struct{ mode jsi.DedupMode }
+
+func (f *dedupFlag) String() string { return f.mode.String() }
+func (f *dedupFlag) Set(s string) error {
+	m, err := jsi.ParseDedupMode(s)
+	if err != nil {
+		return err
+	}
+	f.mode = m
+	return nil
+}
+func (f *dedupFlag) IsBoolFlag() bool { return true }
+
 func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("jsoninfer", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	format := fs.String("format", "type", "output format: type, indent, jsonschema, codec")
 	stream := fs.Bool("stream", false, "constant-memory streaming mode")
-	dedup := fs.Bool("dedup", false, "hash-consed fast path: deduplicate distinct types and memoize fusion")
+	var dedup dedupFlag
+	fs.Var(&dedup, "dedup", "deduplication mode: false, true or auto (bare -dedup means true)")
 	workers := fs.Int("workers", 0, "map-phase parallelism (0 = all CPUs)")
 	showStats := fs.Bool("stats", false, "print dataset statistics to stderr")
 	profileFlag := fs.Bool("profile", false, "print a statistics-annotated schema instead of a plain one")
@@ -117,7 +137,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	default:
 		return fmt.Errorf("unknown -on-error %q (want fail or skip)", *onError)
 	}
-	opts := jsi.Options{Workers: *workers, PreserveTupleArrays: *positional, Retries: *retries, OnError: errPolicy, Dedup: *dedup}
+	opts := jsi.Options{Workers: *workers, PreserveTupleArrays: *positional, Retries: *retries, OnError: errPolicy, Dedup: dedup.mode}
 	if *enrichNames != "" {
 		opts.Enrich = []string{*enrichNames}
 	}
@@ -211,7 +231,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		// the chunked pipeline merges multisets by identity and stays
 		// exact across files — only streaming over several files (one
 		// dedup table per file) still degrades.
-		lowerBound := merged && !*stream && !*dedup || merged && *stream && *dedup
+		dedupOn := dedup.mode != jsi.DedupOff
+		lowerBound := merged && !*stream && !dedupOn || merged && *stream && dedupOn
 		distinct := fmt.Sprintf("distinct-types=%d", stats.DistinctTypes)
 		if lowerBound {
 			distinct = fmt.Sprintf("distinct-types>=%d", stats.DistinctTypes)

@@ -129,8 +129,8 @@ func TestListAnalyzers(t *testing.T) {
 		t.Fatalf("exit = %d, want 0", code)
 	}
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
-	if len(lines) != len(analyze.All()) || len(lines) != 9 {
-		t.Fatalf("-list printed %d lines, want 9 (one per analyzer):\n%s", len(lines), out)
+	if len(lines) != len(analyze.All()) || len(lines) != 10 {
+		t.Fatalf("-list printed %d lines, want 10 (one per analyzer):\n%s", len(lines), out)
 	}
 	for _, a := range analyze.All() {
 		if !strings.Contains(out, a.Name) {

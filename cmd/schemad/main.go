@@ -40,7 +40,8 @@
 //	-ingest-workers    map-phase parallelism per ingest request
 //	-retries           per-chunk retry budget for ingest pipelines
 //	-on-error          default chunk failure policy: fail or skip
-//	-dedup             hash-consed fast path on ingest pipelines
+//	-dedup             deduplication mode for ingest pipelines: false
+//	                   (default), true, or auto (adaptive per chunk)
 //	-enrich            enrichment monoids computed on every ingest
 //	                   (comma list or "all"; see docs/ENRICHMENT.md)
 //	-debug-addr        serve expvar (schemad_metrics) and pprof here
@@ -60,9 +61,25 @@ import (
 	"syscall"
 	"time"
 
+	jsi "repro"
 	"repro/internal/debugserver"
 	"repro/internal/serving"
 )
+
+// dedupFlag adapts jsi.DedupMode to the flag package: it accepts the
+// boolean spellings plus "auto", and a bare -dedup means true.
+type dedupFlag struct{ mode jsi.DedupMode }
+
+func (f *dedupFlag) String() string { return f.mode.String() }
+func (f *dedupFlag) Set(s string) error {
+	m, err := jsi.ParseDedupMode(s)
+	if err != nil {
+		return err
+	}
+	f.mode = m
+	return nil
+}
+func (f *dedupFlag) IsBoolFlag() bool { return true }
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -83,7 +100,8 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	ingestWorkers := fs.Int("ingest-workers", 2, "map-phase parallelism per ingest request")
 	retries := fs.Int("retries", 0, "per-chunk retry budget for ingest pipelines")
 	onError := fs.String("on-error", "fail", "default chunk failure policy: fail or skip")
-	dedup := fs.Bool("dedup", false, "hash-consed distinct-type fast path on ingest pipelines")
+	var dedup dedupFlag
+	fs.Var(&dedup, "dedup", "deduplication mode for ingest pipelines: false, true or auto (bare -dedup means true)")
 	enrichNames := fs.String("enrich", "", "enrichment monoids for every ingest (comma list or \"all\"; empty disables)")
 	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this address")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 15*time.Second, "grace period for draining in-flight requests")
@@ -119,7 +137,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		IngestWorkers:      *ingestWorkers,
 		Retries:            *retries,
 		OnErrorSkip:        skip,
-		Dedup:              *dedup,
+		Dedup:              dedup.mode,
 		Enrich:             enrich,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stderr, "schemad: "+format+"\n", args...)

@@ -11,6 +11,7 @@ package jsoninference_test
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -62,29 +63,26 @@ func TestDifferentialParallelVsSequential(t *testing.T) {
 		}
 
 		for _, workers := range []int{2, 8} {
-			for _, dedup := range []bool{false, true} {
-				label := "parallel " + string(rune('0'+workers))
-				if dedup {
-					label += " dedup"
-				}
+			for _, dedup := range []jsi.DedupMode{jsi.DedupOff, jsi.DedupOn, jsi.DedupAuto} {
+				label := fmt.Sprintf("parallel %d dedup=%s", workers, dedup)
 				s, st, err := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: workers, Dedup: dedup})
 				check(label, s, st, err)
 			}
 		}
 
-		s, st, err := jsi.Infer(context.Background(), jsi.FromReader(bytes.NewReader(data)), jsi.Options{})
-		check("streaming", s, st, err)
-		s, st, err = jsi.Infer(context.Background(), jsi.FromReader(bytes.NewReader(data)), jsi.Options{Dedup: true})
-		check("streaming dedup", s, st, err)
+		for _, dedup := range []jsi.DedupMode{jsi.DedupOff, jsi.DedupOn, jsi.DedupAuto} {
+			s, st, err := jsi.Infer(context.Background(), jsi.FromReader(bytes.NewReader(data)), jsi.Options{Dedup: dedup})
+			check("streaming dedup="+dedup.String(), s, st, err)
+		}
 
 		path := filepath.Join(dir, name+".ndjson")
 		if err := os.WriteFile(path, data, 0o600); err != nil {
 			t.Fatal(err)
 		}
-		s, st, err = jsi.Infer(context.Background(), jsi.FromFile(path), jsi.Options{Workers: 8, ChunkBytes: 1 << 10})
-		check("file pipeline", s, st, err)
-		s, st, err = jsi.Infer(context.Background(), jsi.FromFile(path), jsi.Options{Workers: 8, ChunkBytes: 1 << 10, Dedup: true})
-		check("file pipeline dedup", s, st, err)
+		for _, dedup := range []jsi.DedupMode{jsi.DedupOff, jsi.DedupOn, jsi.DedupAuto} {
+			s, st, err := jsi.Infer(context.Background(), jsi.FromFile(path), jsi.Options{Workers: 8, ChunkBytes: 1 << 10, Dedup: dedup})
+			check("file pipeline dedup="+dedup.String(), s, st, err)
+		}
 	}
 }
 
@@ -162,14 +160,10 @@ func TestDifferentialEnrichmentTransparent(t *testing.T) {
 		}
 
 		for _, workers := range []int{2, 8} {
-			for _, dedup := range []bool{false, true} {
-				label := "parallel"
-				if dedup {
-					label += " dedup"
-				}
+			for _, dedup := range []jsi.DedupMode{jsi.DedupOff, jsi.DedupOn, jsi.DedupAuto} {
 				s, st, err := jsi.Infer(context.Background(), jsi.FromBytes(data),
 					jsi.Options{Workers: workers, Dedup: dedup, Enrich: enrich})
-				check(label, s, st, err)
+				check("parallel dedup="+dedup.String(), s, st, err)
 			}
 		}
 
@@ -201,7 +195,7 @@ func TestDifferentialDedupStatsAndMetrics(t *testing.T) {
 		}
 		data := dataset.NDJSON(g, 300, 101)
 
-		run := func(dedup bool) (*jsi.Schema, jsi.Stats, jsi.Metrics) {
+		run := func(dedup jsi.DedupMode) (*jsi.Schema, jsi.Stats, jsi.Metrics) {
 			c := jsi.NewCollector()
 			s, st, err := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: 1, Dedup: dedup, Collector: c})
 			if err != nil {
@@ -209,14 +203,21 @@ func TestDifferentialDedupStatsAndMetrics(t *testing.T) {
 			}
 			return s, st, c.Metrics()
 		}
-		refSchema, refStats, refMetrics := run(false)
-		dedupSchema, dedupStats, dedupMetrics := run(true)
+		refSchema, refStats, refMetrics := run(jsi.DedupOff)
+		dedupSchema, dedupStats, dedupMetrics := run(jsi.DedupOn)
 
 		if !bytes.Equal(canonical(t, refSchema), canonical(t, dedupSchema)) {
 			t.Errorf("%s: dedup schema diverged", name)
 		}
 		if refStats != dedupStats {
 			t.Errorf("%s: stats diverged\n got: %+v\nwant: %+v", name, dedupStats, refStats)
+		}
+		autoSchema, autoStats, _ := run(jsi.DedupAuto)
+		if !bytes.Equal(canonical(t, refSchema), canonical(t, autoSchema)) {
+			t.Errorf("%s: auto schema diverged", name)
+		}
+		if refStats != autoStats {
+			t.Errorf("%s: auto stats diverged\n got: %+v\nwant: %+v", name, autoStats, refStats)
 		}
 		want, err := refMetrics.WithoutTimings().WithoutCache().MarshalJSON()
 		if err != nil {
@@ -259,7 +260,7 @@ func TestDifferentialDedupExactDistinctAcrossSources(t *testing.T) {
 	}
 	data := dataset.NDJSON(g, 400, 7)
 
-	_, want, err := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: 1, Dedup: true})
+	_, want, err := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: 1, Dedup: jsi.DedupOn})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +268,7 @@ func TestDifferentialDedupExactDistinctAcrossSources(t *testing.T) {
 		t.Fatalf("reference distinct count not positive: %+v", want)
 	}
 
-	_, st, err := jsi.Infer(context.Background(), jsi.FromReader(bytes.NewReader(data)), jsi.Options{Dedup: true})
+	_, st, err := jsi.Infer(context.Background(), jsi.FromReader(bytes.NewReader(data)), jsi.Options{Dedup: jsi.DedupOn})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestDifferentialDedupExactDistinctAcrossSources(t *testing.T) {
 	if err := os.WriteFile(paths[1], bytes.Join(lines[mid:], nil), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	_, st, err = jsi.Infer(context.Background(), jsi.FromFiles(paths...), jsi.Options{Workers: 4, ChunkBytes: 1 << 10, Dedup: true})
+	_, st, err = jsi.Infer(context.Background(), jsi.FromFiles(paths...), jsi.Options{Workers: 4, ChunkBytes: 1 << 10, Dedup: jsi.DedupOn})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,5 +296,66 @@ func TestDifferentialDedupExactDistinctAcrossSources(t *testing.T) {
 	}
 	if st.Records != want.Records {
 		t.Errorf("multi-file dedup Records = %d, want %d", st.Records, want.Records)
+	}
+}
+
+// TestDifferentialDedupAutoDeterminism pins the adaptive mode's core
+// promise at real sample sizes: with enough records per chunk for
+// per-chunk sampling to complete and degrade decisions to actually
+// fire (wikidata's all-distinct records) — or to settle on the dedup
+// path (twitter's repetitive ones) — DedupAuto is byte-identical to
+// the fixed dedup reference across 1/4/8 workers and the bytes, file
+// and streaming sources. The shared hint makes the *cost* of a chunk
+// depend on scheduling; this test is the proof the *result* does not.
+func TestDifferentialDedupAutoDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"wikidata", "twitter"} {
+		g, err := dataset.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := dataset.NDJSON(g, 1500, 7)
+		path := filepath.Join(dir, name+".ndjson")
+		if err := os.WriteFile(path, data, 0o600); err != nil {
+			t.Fatal(err)
+		}
+
+		refSchema, refStats, err := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: 1, Dedup: jsi.DedupOn})
+		if err != nil {
+			t.Fatalf("%s: dedup reference: %v", name, err)
+		}
+		ref := canonical(t, refSchema)
+
+		check := func(label string, s *jsi.Schema, st jsi.Stats, err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatalf("%s: %s: %v", name, label, err)
+			}
+			if got := canonical(t, s); !bytes.Equal(got, ref) {
+				t.Errorf("%s: %s schema diverged\n got: %s\nwant: %s", name, label, got, ref)
+			}
+			if st.Records != refStats.Records || st.DistinctTypes != refStats.DistinctTypes {
+				t.Errorf("%s: %s stats: records %d/%d distinct %d/%d", name, label,
+					st.Records, refStats.Records, st.DistinctTypes, refStats.DistinctTypes)
+			}
+			if st.MinTypeSize != refStats.MinTypeSize || st.MaxTypeSize != refStats.MaxTypeSize || st.AvgTypeSize != refStats.AvgTypeSize {
+				t.Errorf("%s: %s sizes: min %d/%d max %d/%d avg %v/%v", name, label,
+					st.MinTypeSize, refStats.MinTypeSize, st.MaxTypeSize, refStats.MaxTypeSize,
+					st.AvgTypeSize, refStats.AvgTypeSize)
+			}
+		}
+
+		for _, workers := range []int{1, 4, 8} {
+			s, st, err := jsi.Infer(context.Background(), jsi.FromBytes(data),
+				jsi.Options{Workers: workers, Dedup: jsi.DedupAuto})
+			check(fmt.Sprintf("auto bytes %dw", workers), s, st, err)
+
+			s, st, err = jsi.Infer(context.Background(), jsi.FromFile(path),
+				jsi.Options{Workers: workers, ChunkBytes: 8 << 10, Dedup: jsi.DedupAuto})
+			check(fmt.Sprintf("auto file %dw", workers), s, st, err)
+		}
+		s, st, err := jsi.Infer(context.Background(), jsi.FromReader(bytes.NewReader(data)),
+			jsi.Options{Dedup: jsi.DedupAuto})
+		check("auto streaming", s, st, err)
 	}
 }

@@ -29,6 +29,13 @@ func FuzzInferEndToEnd(f *testing.F) {
 	f.Add([]byte(`{"d":"2023-02-30"}` + "\n" + `{"d":"2024-1-05"}` + "\n" + `{"d":"2024-01-05"}`))
 	f.Add([]byte(`{"n":1e300}` + "\n" + `{"n":-1e300}` + "\n" + `{"n":5e-324}` + "\n" + `{"n":-0.0}`))
 	f.Add([]byte(`{"x":1}` + "\n" + `{"x":1.5}` + "\n" + `{"x":2}` + "\n" + `{"u":"6ba7b810-9dad-11d1-80b4-00c04fd430c8"}`))
+	// Escape-heavy shapes for the zero-copy lexer: multi-escape strings,
+	// UTF-16 surrogate pairs, lone surrogates, escaped field names and
+	// JS line separators — everything that forces the scanner off its
+	// escape-free fast path and through the byte-slice decode loop.
+	f.Add([]byte(`{"s":"\u0041\u00e9\u4e2d\ufeff"}` + "\n" + `{"s":"\ud83d\ude00 pair"}`))
+	f.Add([]byte(`{"\ud834\udd1e":"\\\\\\"\\n\\t"}` + "\n" + `{"q":"a\u0020b\ud800c"}` + "\n" + `{"q":"\udc00 lone low"}`))
+	f.Add([]byte(`{"e":"\\\\\\\\\\"\\/\\b\\f\\n\\r\\t\u2028\u2029"}` + "\n" + `{"e":"plain then \ud83d\ude00\uD83D"}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		seqSchema, seqStats, seqErr := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: 1})
 		parSchema, parStats, parErr := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: 8})
@@ -73,7 +80,7 @@ func FuzzInferEndToEnd(f *testing.F) {
 		// and streaming, both against the same sequential reference. The
 		// fuzzer hunts for shapes where interning, the memoized fuse
 		// cache or multiset merging would become observable.
-		ddSchema, ddStats, ddErr := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: 8, Dedup: true})
+		ddSchema, ddStats, ddErr := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: 8, Dedup: jsi.DedupOn})
 		if ddErr != nil {
 			t.Fatalf("dedup rejected input the default pipeline accepted: %v", ddErr)
 		}
@@ -91,7 +98,7 @@ func FuzzInferEndToEnd(f *testing.F) {
 			t.Fatalf("dedup DistinctTypes = %d, want %d", ddStats.DistinctTypes, seqStats.DistinctTypes)
 		}
 
-		sdSchema, sdStats, sdErr := jsi.Infer(context.Background(), jsi.FromReader(bytes.NewReader(data)), jsi.Options{Dedup: true})
+		sdSchema, sdStats, sdErr := jsi.Infer(context.Background(), jsi.FromReader(bytes.NewReader(data)), jsi.Options{Dedup: jsi.DedupOn})
 		if sdErr != nil {
 			t.Fatalf("streaming dedup rejected input the default pipeline accepted: %v", sdErr)
 		}
@@ -104,6 +111,40 @@ func FuzzInferEndToEnd(f *testing.F) {
 		}
 		if sdStats.Records != seqStats.Records || sdStats.DistinctTypes != seqStats.DistinctTypes {
 			t.Fatalf("streaming dedup stats diverged: %+v vs %+v", sdStats, seqStats)
+		}
+
+		// Adaptive-dedup variants: DedupAuto may route any mix of chunk
+		// portions through the interned and plain paths, but schemas and
+		// Stats must stay byte-identical to the fixed modes — only the
+		// cost model is allowed to adapt.
+		adSchema, adStats, adErr := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: 8, Dedup: jsi.DedupAuto})
+		if adErr != nil {
+			t.Fatalf("auto rejected input the default pipeline accepted: %v", adErr)
+		}
+		adJSON, err := adSchema.MarshalJSON()
+		if err != nil {
+			t.Fatalf("marshal auto: %v", err)
+		}
+		if !bytes.Equal(seqJSON, adJSON) {
+			t.Fatalf("auto schema diverged\n sequential: %s\n       auto: %s", seqJSON, adJSON)
+		}
+		if adStats.Records != seqStats.Records || adStats.DistinctTypes != seqStats.DistinctTypes {
+			t.Fatalf("auto stats diverged: %+v vs %+v", adStats, seqStats)
+		}
+
+		saSchema, saStats, saErr := jsi.Infer(context.Background(), jsi.FromReader(bytes.NewReader(data)), jsi.Options{Dedup: jsi.DedupAuto})
+		if saErr != nil {
+			t.Fatalf("streaming auto rejected input the default pipeline accepted: %v", saErr)
+		}
+		saJSON, err := saSchema.MarshalJSON()
+		if err != nil {
+			t.Fatalf("marshal streaming auto: %v", err)
+		}
+		if !bytes.Equal(seqJSON, saJSON) {
+			t.Fatalf("streaming auto schema diverged\n sequential: %s\n       auto: %s", seqJSON, saJSON)
+		}
+		if saStats.Records != seqStats.Records || saStats.DistinctTypes != seqStats.DistinctTypes {
+			t.Fatalf("streaming auto stats diverged: %+v vs %+v", saStats, seqStats)
 		}
 
 		// Enrichment-on variants: the lattice must be additive (identical
@@ -139,7 +180,7 @@ func FuzzInferEndToEnd(f *testing.F) {
 			opts  jsi.Options
 		}{
 			{"parallel", jsi.FromBytes(data), jsi.Options{Workers: 8, Enrich: enrich}},
-			{"parallel dedup", jsi.FromBytes(data), jsi.Options{Workers: 8, Dedup: true, Enrich: enrich}},
+			{"parallel dedup", jsi.FromBytes(data), jsi.Options{Workers: 8, Dedup: jsi.DedupOn, Enrich: enrich}},
 			{"streaming", jsi.FromReader(bytes.NewReader(data)), jsi.Options{Enrich: enrich}},
 		} {
 			vs, vst, verr := jsi.Infer(context.Background(), variant.src, variant.opts)

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/enrich"
@@ -70,24 +72,34 @@ type Options struct {
 	// faults into the map phase — the chaos-testing hook. Production
 	// callers leave it nil. See FaultInjector.
 	FaultInjector FaultInjector
-	// Dedup enables the hash-consed fast path: the map phase interns
-	// every inferred type in a shared table and emits a multiset of
-	// DISTINCT types per chunk (interned type → count) instead of one
-	// type per record, the combiner merges multisets by identity before
-	// fusing, and fusion runs through a memoized cache keyed by interned
-	// IDs, so each distinct pair of types fuses at most once per run.
-	// Real datasets collapse millions of records onto a handful of
-	// shapes (the paper's Tables 2-5 report tens of distinct types over
-	// millions of values), which is exactly what makes this fast.
+	// Dedup selects the deduplication mode of the run. DedupOn enables
+	// the hash-consed fast path: the map phase interns every inferred
+	// type in a shared table and emits a multiset of DISTINCT types per
+	// chunk (interned type → count) instead of one type per record, the
+	// combiner merges multisets by identity before fusing, and fusion
+	// runs through a memoized cache keyed by interned IDs, so each
+	// distinct pair of types fuses at most once per run. Real datasets
+	// collapse millions of records onto a handful of shapes (the
+	// paper's Tables 2-5 report tens of distinct types over millions of
+	// values), which is exactly what makes this fast.
 	//
-	// The resulting schema is byte-identical to the default path and the
-	// non-timing metrics are unchanged (both pinned by differential
-	// tests); Stats.DistinctTypes becomes EXACT on every Source —
-	// including the streaming and multi-file paths, where the default
-	// pipeline reports zero or a lower bound. With a Collector attached,
-	// the run additionally records intern_hits/intern_misses and the
-	// fuse/simplify cache counters (see docs/PERFORMANCE.md).
-	Dedup bool
+	// DedupAuto makes the choice adaptively per chunk: the pipeline
+	// samples the distinct-type ratio and the intern-table growth over
+	// the first records of each chunk and falls back to the plain path
+	// when hash-consing cannot pay for itself (near-all-distinct data
+	// allocating several new interned nodes per record — the worst case
+	// where fixed dedup is a pessimization). See docs/PERFORMANCE.md
+	// for the cost model and knobs.
+	//
+	// The resulting schema is byte-identical across all three modes and
+	// the non-timing metrics are unchanged (both pinned by differential
+	// tests); under DedupOn and DedupAuto Stats.DistinctTypes becomes
+	// EXACT on every Source — including the streaming and multi-file
+	// paths, where the default pipeline reports zero or a lower bound.
+	// With a Collector attached, deduplicating runs additionally record
+	// intern_hits/intern_misses and the fuse/simplify cache counters
+	// (see docs/PERFORMANCE.md).
+	Dedup DedupMode
 	// Enrich selects enrichment monoids (docs/ENRICHMENT.md) computed
 	// alongside structural inference in the same pass: per-path value
 	// statistics — "ranges" (numeric min/max), "hll" (approximate
@@ -122,8 +134,11 @@ func (o Options) env() *pipeline.Env {
 		Rec:        rec,
 		Progress:   progress,
 	}
-	if o.Dedup {
+	switch o.Dedup {
+	case DedupOn:
 		env.Dedup = pipeline.NewDedup(env.Fusion)
+	case DedupAuto:
+		env.Dedup = pipeline.NewAutoDedup(env.Fusion)
 	}
 	if len(o.Enrich) > 0 {
 		// validate() already vetted the selection; an error here is
@@ -135,6 +150,52 @@ func (o Options) env() *pipeline.Env {
 		env.Enrich = set
 	}
 	return env
+}
+
+// DedupMode selects how a run deduplicates inferred types; see
+// Options.Dedup. The zero value is DedupOff, so the zero Options keep
+// their historical meaning.
+type DedupMode uint8
+
+const (
+	// DedupOff types every record individually (the default).
+	DedupOff DedupMode = iota
+	// DedupOn always runs the hash-consed distinct-type path.
+	DedupOn
+	// DedupAuto samples each chunk and picks the cheaper path,
+	// degrading to DedupOff-shaped work on near-all-distinct data.
+	DedupAuto
+)
+
+// String names the mode the way the -dedup flag spells it.
+func (m DedupMode) String() string {
+	switch m {
+	case DedupOff:
+		return "false"
+	case DedupOn:
+		return "true"
+	case DedupAuto:
+		return "auto"
+	default:
+		return fmt.Sprintf("DedupMode(%d)", int(m))
+	}
+}
+
+// ParseDedupMode parses the -dedup flag syntax: the strconv booleans
+// ("true", "1", "false", "0", ...) select the fixed modes and "auto"
+// the adaptive one.
+func ParseDedupMode(s string) (DedupMode, error) {
+	if strings.EqualFold(s, "auto") {
+		return DedupAuto, nil
+	}
+	on, err := strconv.ParseBool(s)
+	if err != nil {
+		return DedupOff, fmt.Errorf("invalid dedup mode %q (want true, false or auto)", s)
+	}
+	if on {
+		return DedupOn, nil
+	}
+	return DedupOff, nil
 }
 
 // ErrorPolicy selects what Infer does when a chunk of input repeatedly
@@ -241,6 +302,8 @@ func (o Options) validate() error {
 		return fmt.Errorf("%w: Retries = %d, must be >= 0 (0 disables retry)", ErrInvalidOptions, o.Retries)
 	case o.OnError != OnErrorFail && o.OnError != OnErrorSkip:
 		return fmt.Errorf("%w: OnError = %d, must be OnErrorFail or OnErrorSkip", ErrInvalidOptions, int(o.OnError))
+	case o.Dedup > DedupAuto:
+		return fmt.Errorf("%w: Dedup = %d, must be DedupOff, DedupOn or DedupAuto", ErrInvalidOptions, int(o.Dedup))
 	}
 	if len(o.Enrich) > 0 {
 		if _, err := enrich.ParseSet(o.Enrich); err != nil {

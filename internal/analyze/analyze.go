@@ -10,7 +10,7 @@
 // inputs they happen to generate; the analyzers in this package check
 // the *source* for the coding patterns that break them, on every build.
 //
-// The nine project-specific analyzers are:
+// The ten project-specific analyzers are:
 //
 //   - nondetmap: iteration over a Go map whose body performs an
 //     order-sensitive operation (append to an outer slice, channel
@@ -41,6 +41,10 @@
 //   - ctxflow: functions that receive a context.Context must pass it
 //     down rather than minting context.Background(), and loops that
 //     spawn goroutines must observe ctx.Done().
+//   - poolescape: pooled chunk buffers (sync.Pool, jsontext.ChunkPool)
+//     used after being Put back, and map stages handed to the releasing
+//     engine drivers whose output aliases the released item — the
+//     batched-feed recycling contract (docs/PERFORMANCE.md).
 //
 // The last three consume the per-function fact summaries built by
 // ComputeSummaries (pass 1); the driver computes those once per Check
@@ -199,6 +203,7 @@ func All() []*Analyzer {
 		MonoidPure,
 		InternMut,
 		CtxFlow,
+		PoolEscape,
 	}
 }
 

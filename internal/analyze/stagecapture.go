@@ -25,7 +25,8 @@ import (
 //     flagged — that is the engine's own Phases pattern).
 //
 // The analyzer inspects function literals passed directly as arguments
-// to pipeline.Run, mapreduce.Run and mapreduce.RunSlice. A stage passed
+// to pipeline.Run/RunPooled and mapreduce.Run/RunSlice/RunReleased (the
+// release-hook variants behind the pooled feed path). A stage passed
 // by name is not analyzed — only the call site is visible, not the
 // body — mirroring goroleak's limitation; give such helpers a
 // lint:ignore with the ownership story if they must capture.
@@ -38,8 +39,8 @@ var StageCapture = &Analyzer{
 // stageDrivers are the engine entry points whose function-literal
 // arguments are stage functions.
 var stageDrivers = map[string]map[string]bool{
-	"repro/internal/pipeline":  {"Run": true},
-	"repro/internal/mapreduce": {"Run": true, "RunSlice": true},
+	"repro/internal/pipeline":  {"Run": true, "RunPooled": true},
+	"repro/internal/mapreduce": {"Run": true, "RunSlice": true, "RunReleased": true},
 }
 
 func runStageCapture(pass *Pass) {

@@ -126,7 +126,7 @@ func TestRetryEnrichmentByteIdentical(t *testing.T) {
 	totalRetries := 0
 	for seed := int64(1); seed <= schedules; seed++ {
 		plan := chaos.DefaultPlan(seed)
-		for _, dedup := range []bool{false, true} {
+		for _, dedup := range []jsi.DedupMode{jsi.DedupOff, jsi.DedupOn, jsi.DedupAuto} {
 			opts := jsi.Options{
 				Workers:       4,
 				Dedup:         dedup,
@@ -172,7 +172,7 @@ func TestRetryEnrichmentByteIdentical(t *testing.T) {
 // dedup reference across randomized schedules.
 func TestRetryByteIdenticalWithDedup(t *testing.T) {
 	data := testInput(t, "mixed", 400)
-	refSchema, refStats, err := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: 4, Dedup: true})
+	refSchema, refStats, err := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: 4, Dedup: jsi.DedupOn})
 	if err != nil {
 		t.Fatalf("reference run: %v", err)
 	}
@@ -187,7 +187,7 @@ func TestRetryByteIdenticalWithDedup(t *testing.T) {
 		plan := chaos.DefaultPlan(seed)
 		opts := jsi.Options{
 			Workers:       4,
-			Dedup:         true,
+			Dedup: jsi.DedupOn,
 			Retries:       plan.MaxTransient,
 			FaultInjector: publicInjector(plan),
 		}
@@ -284,7 +284,7 @@ func TestSkipDedupMatchesDefault(t *testing.T) {
 	const workers = 4
 	plan := pickPermanentPlan(t, workers*4)
 
-	run := func(dedup bool) (*jsi.Schema, jsi.Stats) {
+	run := func(dedup jsi.DedupMode) (*jsi.Schema, jsi.Stats) {
 		t.Helper()
 		s, st, err := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{
 			Workers:       workers,
@@ -297,8 +297,16 @@ func TestSkipDedupMatchesDefault(t *testing.T) {
 		}
 		return s, st
 	}
-	defSchema, defStats := run(false)
-	ddSchema, ddStats := run(true)
+	defSchema, defStats := run(jsi.DedupOff)
+	ddSchema, ddStats := run(jsi.DedupOn)
+	autoSchema, autoStats := run(jsi.DedupAuto)
+
+	if got, want := schemaJSON(t, autoSchema), schemaJSON(t, defSchema); !bytes.Equal(got, want) {
+		t.Errorf("auto skip schema diverged\n got: %s\nwant: %s", got, want)
+	}
+	if autoStats.Records != defStats.Records {
+		t.Errorf("auto skip Records = %d, want %d", autoStats.Records, defStats.Records)
+	}
 
 	if got, want := schemaJSON(t, ddSchema), schemaJSON(t, defSchema); !bytes.Equal(got, want) {
 		t.Errorf("dedup skip schema diverged\n got: %s\nwant: %s", got, want)

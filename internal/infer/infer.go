@@ -11,7 +11,6 @@
 package infer
 
 import (
-	"bytes"
 	"fmt"
 	"io"
 
@@ -105,7 +104,21 @@ type Decoder struct {
 // its lexer from a pool; call Release when done with the stream to
 // recycle it (failing to is safe, just slower).
 func NewDecoder(r io.Reader, opts jsontext.Options) *Decoder {
-	return &Decoder{lex: jsontext.AcquireLexer(r), opts: opts}
+	lex := jsontext.AcquireLexer(r)
+	lex.RawStrings(true)
+	return &Decoder{lex: lex, opts: opts}
+}
+
+// NewBytesDecoder returns a streaming type decoder reading directly
+// from data — the map-task entry point. It skips the bufio copy of
+// NewDecoder(bytes.NewReader(data)) and lexes strings zero-copy:
+// object keys are materialized through the lexer's intern cache (free
+// after first occurrence) and value strings are never materialized at
+// all unless an Observer is attached.
+func NewBytesDecoder(data []byte, opts jsontext.Options) *Decoder {
+	lex := jsontext.AcquireLexerBytes(data)
+	lex.RawStrings(true)
+	return &Decoder{lex: lex, opts: opts}
 }
 
 // Release returns the decoder's pooled resources. The decoder must not
@@ -178,7 +191,9 @@ func (d *Decoder) inferValue(tok jsontext.Token, depth int) (types.Type, error) 
 		return types.Num, nil
 	case jsontext.TokStr:
 		if d.obs != nil {
-			d.obs.Str(tok.Str)
+			// The lexer runs in raw-string mode, so a value string is
+			// only materialized when someone is watching.
+			d.obs.Str(d.lex.InternBytes(tok.Bytes))
 		}
 		return types.Str, nil
 	case jsontext.TokBeginObject:
@@ -247,7 +262,9 @@ func (d *Decoder) inferObject(depth int) (types.Type, error) {
 		if tok.Kind != jsontext.TokStr {
 			return nil, d.syntaxErr(tok.Offset, "expected object key string, got %s", tok.Kind)
 		}
-		key := tok.Str
+		// Keys go through the lexer's intern cache: after the first
+		// occurrence a repeated field name costs zero allocations.
+		key := d.lex.InternBytes(tok.Bytes)
 		// Objects have few keys in practice, so a linear scan of the
 		// accumulated fields beats allocating a per-object set.
 		for i := range fields {
@@ -356,7 +373,7 @@ func InferAll(data []byte) ([]types.Type, error) {
 // non-nil) — the enrichment-enabled map stage.
 func InferAllObserved(data []byte, obs Observer) ([]types.Type, error) {
 	var ts []types.Type
-	d := NewDecoder(bytes.NewReader(data), jsontext.Options{})
+	d := NewBytesDecoder(data, jsontext.Options{})
 	defer d.Release()
 	if obs != nil {
 		d.SetObserver(obs)
@@ -388,7 +405,7 @@ func DedupAll(data []byte, tab *intern.Table) (*intern.Multiset, error) {
 // types, not values, and enrichment wants every value.
 func DedupAllObserved(data []byte, tab *intern.Table, obs Observer) (*intern.Multiset, error) {
 	ms := intern.NewMultiset()
-	d := NewDecoder(bytes.NewReader(data), jsontext.Options{})
+	d := NewBytesDecoder(data, jsontext.Options{})
 	defer d.Release()
 	d.SetInterner(tab)
 	if obs != nil {

@@ -73,9 +73,17 @@ func (k TokenKind) String() string {
 // Token is a lexical token. Str carries the decoded string for TokStr and
 // Num the parsed value for TokNum. Offset is the byte offset of the
 // token's first byte in the input.
+//
+// In raw-string mode (see RawStrings) TokStr tokens carry the decoded
+// bytes in Bytes and leave Str empty: Bytes is a view into the lexer's
+// input or scratch buffer, valid only until the next string token is
+// scanned. Callers that need the string to outlive the token
+// materialize it with InternBytes; callers that only classify the token
+// (type inference over values) never pay for a string at all.
 type Token struct {
 	Kind   TokenKind
 	Str    string
+	Bytes  []byte
 	Num    float64
 	Offset int64
 }
@@ -91,13 +99,28 @@ func (e *SyntaxError) Error() string {
 	return fmt.Sprintf("jsontext: syntax error at offset %d: %s", e.Offset, e.Msg)
 }
 
-// Lexer reads JSON tokens from an io.Reader.
+// Lexer reads JSON tokens from an io.Reader, or — in direct mode (see
+// ResetBytes) — straight out of a byte slice with no intermediate
+// buffering or copying.
 type Lexer struct {
 	r      *bufio.Reader
 	offset int64
+	// data/pos implement direct mode: when direct is true the lexer
+	// reads data[pos:] instead of r, so chunk-shaped inputs skip the
+	// bufio copy entirely and escape-free strings are returned as views
+	// into data.
+	data   []byte
+	pos    int
+	direct bool
+	// raw enables raw-string mode: TokStr tokens carry Bytes instead of
+	// a materialized Str (see Token and RawStrings).
+	raw bool
 	// strBuf is reused across string tokens to avoid per-token
 	// allocations when strings contain escapes.
 	strBuf []byte
+	// numBuf is reused across number tokens for the ParseFloat slow
+	// path.
+	numBuf []byte
 	// strCache interns short string tokens: NDJSON repeats the same few
 	// record keys (and enum-like values) on every line, so after the
 	// first occurrence a repeated string costs zero allocations — the
@@ -136,11 +159,23 @@ func AcquireLexer(r io.Reader) *Lexer {
 	return l
 }
 
+// AcquireLexerBytes returns a pooled lexer in direct mode over data.
+// Release it when the input is fully consumed.
+func AcquireLexerBytes(data []byte) *Lexer {
+	l := lexerPool.Get().(*Lexer)
+	l.ResetBytes(data)
+	return l
+}
+
 // Release returns the lexer to the pool. The caller must not use the
 // lexer afterwards.
 func (l *Lexer) Release() {
-	// Drop the stream reference so the pool does not pin it.
+	// Drop the stream and input references so the pool does not pin
+	// them; raw mode is per-stream, not per-lexer.
 	l.r.Reset(nil)
+	l.data = nil
+	l.direct = false
+	l.raw = false
 	lexerPool.Put(l)
 }
 
@@ -148,8 +183,29 @@ func (l *Lexer) Release() {
 // scratch and the string cache.
 func (l *Lexer) Reset(r io.Reader) {
 	l.r.Reset(r)
+	l.data = nil
+	l.pos = 0
+	l.direct = false
 	l.offset = 0
 }
+
+// ResetBytes redirects the lexer to read directly from data, keeping
+// the scratch and the string cache. Direct mode produces exactly the
+// same tokens, errors and offsets as reading the equivalent stream, but
+// skips the per-byte bufio indirection and returns escape-free strings
+// as views into data.
+func (l *Lexer) ResetBytes(data []byte) {
+	l.r.Reset(nil)
+	l.data = data
+	l.pos = 0
+	l.direct = true
+	l.offset = 0
+}
+
+// RawStrings toggles raw-string mode for the current stream: when on,
+// TokStr tokens carry Bytes (a transient view, see Token) instead of a
+// materialized Str. The mode resets to off on Release.
+func (l *Lexer) RawStrings(on bool) { l.raw = on }
 
 // Offset returns the number of bytes consumed so far.
 func (l *Lexer) Offset() int64 { return l.offset }
@@ -159,6 +215,15 @@ func (l *Lexer) errorf(off int64, format string, args ...any) error {
 }
 
 func (l *Lexer) readByte() (byte, error) {
+	if l.direct {
+		if l.pos >= len(l.data) {
+			return 0, io.EOF
+		}
+		b := l.data[l.pos]
+		l.pos++
+		l.offset++
+		return b, nil
+	}
 	b, err := l.r.ReadByte()
 	if err == nil {
 		l.offset++
@@ -167,6 +232,11 @@ func (l *Lexer) readByte() (byte, error) {
 }
 
 func (l *Lexer) unreadByte() {
+	if l.direct {
+		l.pos--
+		l.offset--
+		return
+	}
 	// ReadByte was the last operation, so UnreadByte cannot fail.
 	_ = l.r.UnreadByte()
 	l.offset--
@@ -175,6 +245,18 @@ func (l *Lexer) unreadByte() {
 // skipSpace consumes insignificant whitespace and reports io.EOF at the
 // end of input.
 func (l *Lexer) skipSpace() error {
+	if l.direct {
+		i, data := l.pos, l.data
+		for i < len(data) && (data[i] == ' ' || data[i] == '\t' || data[i] == '\n' || data[i] == '\r') {
+			i++
+		}
+		l.offset += int64(i - l.pos)
+		l.pos = i
+		if i >= len(data) {
+			return io.EOF
+		}
+		return nil
+	}
 	for {
 		b, err := l.readByte()
 		if err != nil {
@@ -218,11 +300,14 @@ func (l *Lexer) Next() (Token, error) {
 	case ':':
 		return Token{Kind: TokColon, Offset: start}, nil
 	case '"':
-		s, err := l.scanString(start)
+		b, err := l.scanString(start)
 		if err != nil {
 			return Token{}, err
 		}
-		return Token{Kind: TokStr, Str: s, Offset: start}, nil
+		if l.raw {
+			return Token{Kind: TokStr, Bytes: b, Offset: start}, nil
+		}
+		return Token{Kind: TokStr, Str: l.internString(b), Offset: start}, nil
 	case 't':
 		if err := l.expectWord(start, "rue"); err != nil {
 			return Token{}, err
@@ -262,13 +347,38 @@ func (l *Lexer) expectWord(start int64, rest string) error {
 }
 
 // scanString reads the body of a string; the opening quote has been
-// consumed. It decodes escapes including \uXXXX surrogate pairs.
-func (l *Lexer) scanString(start int64) (string, error) {
+// consumed. It decodes escapes including \uXXXX surrogate pairs and
+// returns the decoded bytes, valid until the next string token: a view
+// into the input for escape-free direct-mode strings, into the lexer's
+// scratch otherwise.
+func (l *Lexer) scanString(start int64) ([]byte, error) {
 	buf := l.strBuf[:0]
+	if l.direct {
+		// Fast span: most strings contain no escapes, so the whole body
+		// is sitting contiguously in the input and needs no copy at
+		// all. Stop at the first byte the per-byte loop would treat
+		// specially and fall through with the clean prefix copied.
+		i, data := l.pos, l.data
+		for i < len(data) && data[i] != '"' && data[i] != '\\' && data[i] >= 0x20 {
+			i++
+		}
+		if i < len(data) && data[i] == '"' {
+			seg := data[l.pos:i]
+			l.offset += int64(i + 1 - l.pos)
+			l.pos = i + 1
+			if !utf8.Valid(seg) {
+				seg = sanitizeUTF8(seg)
+			}
+			return seg, nil
+		}
+		buf = append(buf, data[l.pos:i]...)
+		l.offset += int64(i - l.pos)
+		l.pos = i
+	}
 	for {
 		b, err := l.readByte()
 		if err != nil {
-			return "", l.errorf(start, "unterminated string")
+			return nil, l.errorf(start, "unterminated string")
 		}
 		switch {
 		case b == '"':
@@ -276,18 +386,14 @@ func (l *Lexer) scanString(start int64) (string, error) {
 				// RFC 8259 strings are UTF-8; like encoding/json we
 				// replace invalid sequences with U+FFFD instead of
 				// propagating raw bytes.
-				clean := make([]byte, 0, len(buf)+utf8.UTFMax)
-				for _, r := range string(buf) {
-					clean = utf8.AppendRune(clean, r)
-				}
-				buf = clean
+				buf = sanitizeUTF8(buf)
 			}
 			l.strBuf = buf
-			return l.internString(buf), nil
+			return buf, nil
 		case b == '\\':
 			esc, err := l.readByte()
 			if err != nil {
-				return "", l.errorf(start, "unterminated escape")
+				return nil, l.errorf(start, "unterminated escape")
 			}
 			switch esc {
 			case '"':
@@ -309,12 +415,12 @@ func (l *Lexer) scanString(start int64) (string, error) {
 			case 'u':
 				r, err := l.scanHex4(start)
 				if err != nil {
-					return "", err
+					return nil, err
 				}
 				if utf16.IsSurrogate(r) {
 					r2, ok, err := l.maybeLowSurrogate(start)
 					if err != nil {
-						return "", err
+						return nil, err
 					}
 					if ok {
 						r = utf16.DecodeRune(r, r2)
@@ -324,15 +430,35 @@ func (l *Lexer) scanString(start int64) (string, error) {
 				}
 				buf = utf8.AppendRune(buf, r)
 			default:
-				return "", l.errorf(l.offset-1, "invalid escape character %q", string(rune(esc)))
+				return nil, l.errorf(l.offset-1, "invalid escape character %q", string(rune(esc)))
 			}
 		case b < 0x20:
-			return "", l.errorf(l.offset-1, "control character %#x in string", b)
+			return nil, l.errorf(l.offset-1, "control character %#x in string", b)
 		default:
 			buf = append(buf, b)
 		}
 	}
 }
+
+// sanitizeUTF8 replaces invalid UTF-8 sequences in seg with U+FFFD,
+// decoding runes straight off the byte slice — no string conversion.
+// The result is freshly allocated (invalid input is the rare case) so
+// it never aliases the lexer's scratch or input.
+func sanitizeUTF8(seg []byte) []byte {
+	clean := make([]byte, 0, len(seg)+utf8.UTFMax)
+	for i := 0; i < len(seg); {
+		r, size := utf8.DecodeRune(seg[i:])
+		clean = utf8.AppendRune(clean, r)
+		i += size
+	}
+	return clean
+}
+
+// InternBytes materializes a raw-mode token's bytes as a string,
+// serving repeats of short strings (object keys, enum-like values) from
+// the lexer's cache so they cost zero allocations after the first
+// occurrence.
+func (l *Lexer) InternBytes(b []byte) string { return l.internString(b) }
 
 // internString materializes a string token, serving repeats of short
 // strings from the cache. The map lookup keyed by string(buf) compiles
@@ -407,23 +533,38 @@ func (l *Lexer) maybeLowSurrogate(start int64) (rune, bool, error) {
 }
 
 // scanNumber reads a JSON number whose first byte is first, validating
-// the RFC 8259 grammar.
+// the RFC 8259 grammar. Integers short enough to be exact in an int64
+// are converted directly; everything else goes through ParseFloat over
+// the reusable number scratch.
 func (l *Lexer) scanNumber(start int64, first byte) (float64, error) {
-	var raw []byte
+	raw := l.numBuf[:0]
+	defer func() { l.numBuf = raw[:0] }()
 	raw = append(raw, first)
+	isInt := true
 	readDigits := func(minOne bool) error {
 		n := 0
-		for {
-			b, err := l.readByte()
-			if err != nil {
-				break
+		if l.direct {
+			i, data := l.pos, l.data
+			for i < len(data) && data[i] >= '0' && data[i] <= '9' {
+				i++
 			}
-			if b < '0' || b > '9' {
-				l.unreadByte()
-				break
+			raw = append(raw, data[l.pos:i]...)
+			n = i - l.pos
+			l.offset += int64(n)
+			l.pos = i
+		} else {
+			for {
+				b, err := l.readByte()
+				if err != nil {
+					break
+				}
+				if b < '0' || b > '9' {
+					l.unreadByte()
+					break
+				}
+				raw = append(raw, b)
+				n++
 			}
-			raw = append(raw, b)
-			n++
 		}
 		if minOne && n == 0 {
 			return l.errorf(start, "malformed number")
@@ -456,6 +597,7 @@ func (l *Lexer) scanNumber(start int64, first byte) (float64, error) {
 	if nb, err := l.readByte(); err == nil {
 		if nb == '.' {
 			raw = append(raw, nb)
+			isInt = false
 			if err := readDigits(true); err != nil {
 				return 0, err
 			}
@@ -467,6 +609,7 @@ func (l *Lexer) scanNumber(start int64, first byte) (float64, error) {
 	if nb, err := l.readByte(); err == nil {
 		if nb == 'e' || nb == 'E' {
 			raw = append(raw, nb)
+			isInt = false
 			sb, err := l.readByte()
 			if err != nil {
 				return 0, l.errorf(start, "malformed exponent")
@@ -481,6 +624,24 @@ func (l *Lexer) scanNumber(start int64, first byte) (float64, error) {
 			}
 		} else {
 			l.unreadByte()
+		}
+	}
+	// Integer fast path: up to 18 digits fits int64 exactly, and
+	// float64(int64) rounds to nearest just like ParseFloat would on
+	// the same exact decimal value — identical results, no allocation.
+	if digits := raw; isInt {
+		if digits[0] == '-' {
+			digits = digits[1:]
+		}
+		if len(digits) <= 18 {
+			var n int64
+			for _, d := range digits {
+				n = n*10 + int64(d-'0')
+			}
+			if raw[0] == '-' {
+				n = -n
+			}
+			return float64(n), nil
 		}
 	}
 	f, err := strconv.ParseFloat(string(raw), 64)

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"io"
+	"sync"
 
 	"repro/internal/value"
 )
@@ -100,6 +101,40 @@ func SplitLines(data []byte, n int) [][]byte {
 	return chunks
 }
 
+// A ChunkPool recycles chunk buffers between a feed and the release
+// hook of the pipeline that consumed them, so a long streaming run
+// allocates a handful of chunk-sized buffers total instead of one per
+// chunk. The zero value is ready to use; a nil *ChunkPool degrades to
+// plain allocation (Get allocates fresh, Put drops), so pooled code
+// paths need no nil branches. Buffers must only be Put back once their
+// consumer is finished with them — with the map-reduce engine that is
+// its Release hook, which fires after a chunk's final retry attempt.
+type ChunkPool struct{ pool sync.Pool }
+
+// Get returns an empty buffer with at least capHint capacity.
+func (p *ChunkPool) Get(capHint int) []byte {
+	if p != nil {
+		if v := p.pool.Get(); v != nil {
+			if b := *(v.(*[]byte)); cap(b) >= capHint {
+				return b[:0]
+			}
+			// Undersized (the pool outlived a chunkBytes change): drop it
+			// and let the allocator supply the right size.
+		}
+	}
+	return make([]byte, 0, capHint)
+}
+
+// Put returns a buffer to the pool for a later Get. The caller must
+// not touch b afterwards.
+func (p *ChunkPool) Put(b []byte) {
+	if p == nil || cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	p.pool.Put(&b)
+}
+
 // ChunkLines reads NDJSON from r and calls emit with line-aligned chunks
 // of roughly chunkBytes bytes (the final chunk may be smaller, and a
 // single line longer than chunkBytes becomes its own chunk). Each chunk
@@ -107,18 +142,27 @@ func SplitLines(data []byte, n int) [][]byte {
 // partitioner for inputs too large to hold in memory: chunks flow to
 // parallel workers while the file is still being read.
 func ChunkLines(r io.Reader, chunkBytes int, emit func([]byte) error) error {
+	return ChunkLinesPooled(r, chunkBytes, nil, emit)
+}
+
+// ChunkLinesPooled is ChunkLines drawing chunk buffers from pool: each
+// emitted chunk is handed to emit without copying, and ownership
+// transfers with it — the consumer returns the buffer with pool.Put
+// when (and only when) it is done, typically through the pipeline's
+// release hook so retried map attempts never see a recycled buffer.
+// With a nil pool every chunk is simply a fresh allocation.
+func ChunkLinesPooled(r io.Reader, chunkBytes int, pool *ChunkPool, emit func([]byte) error) error {
 	if chunkBytes <= 0 {
 		chunkBytes = 4 << 20
 	}
 	br := bufio.NewReaderSize(r, 256<<10)
-	buf := make([]byte, 0, chunkBytes+4096)
+	buf := pool.Get(chunkBytes + 4096)
 	flush := func() error {
 		if len(buf) == 0 {
 			return nil
 		}
-		chunk := make([]byte, len(buf))
-		copy(chunk, buf)
-		buf = buf[:0]
+		chunk := buf
+		buf = pool.Get(chunkBytes + 4096)
 		return emit(chunk)
 	}
 	for {
@@ -130,7 +174,11 @@ func ChunkLines(r io.Reader, chunkBytes int, emit func([]byte) error) error {
 			}
 		}
 		if err == io.EOF {
-			return flush()
+			if ferr := flush(); ferr != nil {
+				return ferr
+			}
+			pool.Put(buf) // the spare buffer flush pre-fetched
+			return nil
 		}
 		if err != nil {
 			return err

@@ -97,6 +97,18 @@ type Stats struct {
 // meets the fold in a different order but yields the same reduction.
 // zero must be the identity of combine.
 func Run[I, M any](ctx context.Context, src <-chan I, mapFn func(context.Context, I) (M, error), combine func(M, M) M, zero M, cfg Config) (M, Stats, error) {
+	return RunReleased(ctx, src, mapFn, combine, zero, cfg, nil)
+}
+
+// RunReleased is Run with a per-item release hook: release (when
+// non-nil) is called exactly once per dequeued item after its final
+// map attempt completes — success, quarantine, or failure — so feeds
+// that recycle item buffers (pooled chunks) can reclaim them safely
+// even under Retry, which re-invokes mapFn with the same item. mapFn's
+// output must not alias the item once it returns. Items still queued
+// when a run aborts are never released: they fall to the garbage
+// collector, which can only under-recycle, never double-free.
+func RunReleased[I, M any](ctx context.Context, src <-chan I, mapFn func(context.Context, I) (M, error), combine func(M, M) M, zero M, cfg Config, release func(I)) (M, Stats, error) {
 	start := time.Now()
 	nw := cfg.workers()
 	rec := cfg.Recorder
@@ -183,6 +195,11 @@ func Run[I, M any](ctx context.Context, src <-chan I, mapFn func(context.Context
 					rec.Observe("mapreduce_queue_wait_ns", int64(time.Since(it.enq)))
 				}
 				out, res := runTaskAttempts(runCtx, mapFn, it.item, it.seq, cfg, rec)
+				if release != nil {
+					// All attempts for this item are over; nothing can touch
+					// it again.
+					release(it.item)
+				}
 				mu.Lock()
 				mapTime += res.dur
 				tasks++

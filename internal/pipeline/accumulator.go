@@ -88,6 +88,9 @@ func Fold(acc Accumulator) Result {
 // pipeline.
 func (e *Env) NewAcc() Accumulator {
 	if e.Dedup != nil {
+		if e.Dedup.Auto {
+			return newAutoAcc(e.Dedup, e.Fusion)
+		}
 		return &dedupAcc{dd: e.Dedup, ms: intern.NewMultiset(), fused: types.Empty}
 	}
 	return &plainAcc{fz: e.Fusion, sum: &stats.Summary{}, fused: types.Empty}
@@ -243,6 +246,180 @@ func (a *dedupAcc) Fold() Result {
 	return r
 }
 
+// autoAcc is the adaptive payload of DedupAuto runs: a hybrid of the
+// two fixed payloads. Records typed through the interner live in the
+// multiset (exact distinct counts, memoized fusion); records typed
+// after a chunk degraded live in a plain tally (structural-hash
+// distinct counting, exactly like the plain chunked payload). Any mix
+// of the two folds to the same bytes as either fixed payload: min, max
+// and the int64 size sum combine exactly, the average is one division,
+// and the distinct count is the union of the structural hashes of both
+// portions — the same hashes the plain payload counts with.
+type autoAcc struct {
+	dd *Dedup
+	fz fusion.Options
+	ms *intern.Multiset
+	// deg tallies the records of degraded (non-interned) portions.
+	deg   plainTally
+	fused types.Type
+	lat   *enrich.Lattice
+
+	// Streaming-driver state: degraded flips once the sampled window
+	// triggers the degrade predicate, tab0 anchors the node-growth
+	// measurement. Chunk map tasks manage sampling themselves and never
+	// touch these.
+	degraded bool
+	tab0     int
+}
+
+// newAutoAcc returns the empty adaptive accumulator of an auto run.
+func newAutoAcc(dd *Dedup, fz fusion.Options) *autoAcc {
+	return &autoAcc{dd: dd, fz: fz, ms: intern.NewMultiset(), fused: types.Empty, tab0: dd.Tab.Len()}
+}
+
+// plainTally is the degraded portion's bookkeeping: the inline tallies
+// of the plain payload plus structural-hash distinct counting.
+type plainTally struct {
+	distinct map[uint64]struct{}
+	records  int64
+	sumSize  int64
+	min, max int
+}
+
+func (p *plainTally) add(t types.Type) {
+	size := t.Size()
+	if p.records == 0 || size < p.min {
+		p.min = size
+	}
+	if size > p.max {
+		p.max = size
+	}
+	p.records++
+	p.sumSize += int64(size)
+	if p.distinct == nil {
+		p.distinct = make(map[uint64]struct{}, 64)
+	}
+	p.distinct[types.Hash(t)] = struct{}{}
+}
+
+func (p *plainTally) merge(q *plainTally) {
+	if q.records == 0 {
+		return
+	}
+	if p.records == 0 || q.min < p.min {
+		p.min = q.min
+	}
+	if q.max > p.max {
+		p.max = q.max
+	}
+	p.records += q.records
+	p.sumSize += q.sumSize
+	if p.distinct == nil {
+		p.distinct = make(map[uint64]struct{}, len(q.distinct))
+	}
+	for h := range q.distinct {
+		p.distinct[h] = struct{}{}
+	}
+}
+
+// Add types one record at streaming granularity: the dedup path with
+// absorption while sampling, the plain path after a degrade. The
+// streaming driver unsets the decoder's interner once degraded (see
+// RunStream), so t arrives in whichever representation the current
+// mode expects — both hash and fuse structurally.
+func (a *autoAcc) Add(t types.Type) {
+	if a.degraded {
+		a.deg.add(t)
+		a.fused = a.fz.Fuse(a.fused, a.fz.Simplify(t))
+		return
+	}
+	ref, ok := a.dd.Tab.Ref(t)
+	if !ok {
+		ref, _ = a.dd.Tab.Ref(a.dd.Tab.Canon(t))
+	}
+	if !a.ms.Contains(ref.ID) {
+		a.fused = a.dd.Memo.Fuse(a.fused, a.dd.Memo.Simplify(t))
+	}
+	a.ms.Add(ref, 1)
+	if n := a.ms.Total(); n == int64(a.dd.sampleSize()) {
+		a.dd.noteSample(n, int64(a.dd.Tab.Len()-a.tab0))
+		if a.dd.decide(int64(a.ms.Len()), n, a.dd.sampledGrowth()) {
+			a.degraded = true
+		}
+	}
+}
+
+func (a *autoAcc) Merge(other Accumulator) {
+	b := other.(*autoAcc)
+	a.ms.Merge(b.ms)
+	a.deg.merge(&b.deg)
+	a.fused = a.fz.Fuse(a.fused, b.fused)
+	a.lat = mergeLattices(a.lat, b.lat)
+	a.recheck()
+}
+
+// recheck is the combine-boundary half of the adaptive layer: once
+// enough records have merged, the multiset cardinality versus its
+// record total re-tests the degrade predicate (with the node-growth
+// evidence gathered while sampling), and a degraded run whose plain
+// portion turns repetitive is sent back to sampling. Purely a shared
+// cost hint — it never changes what this accumulator folds to.
+func (a *autoAcc) recheck() {
+	dd := a.dd
+	if n := a.ms.Total(); n >= int64(dd.sampleSize()) {
+		if float64(a.ms.Len()) >= dd.threshold()*float64(n) {
+			if dd.sampledGrowth() >= dd.nodeGrowth() {
+				dd.hint.Store(hintDegrade)
+			}
+		} else {
+			dd.hint.Store(hintDedup)
+		}
+	}
+	if a.deg.records >= int64(dd.sampleSize()) &&
+		float64(len(a.deg.distinct)) < dd.threshold()*float64(a.deg.records) {
+		dd.hint.Store(hintSample)
+	}
+}
+
+// Fold combines both portions into the same statistics either fixed
+// payload derives.
+func (a *autoAcc) Fold() Result {
+	r := Result{Fused: a.fused, Enrichment: a.lat}
+	var sumSize int64
+	seen := make(map[uint64]struct{}, a.ms.Len()+len(a.deg.distinct))
+	first := true
+	for _, el := range a.ms.Elems() {
+		if first || el.Size < r.MinTypeSize {
+			r.MinTypeSize = el.Size
+			first = false
+		}
+		if el.Size > r.MaxTypeSize {
+			r.MaxTypeSize = el.Size
+		}
+		sumSize += int64(el.Size) * el.Count
+		r.Records += el.Count
+		seen[types.Hash(el.Type)] = struct{}{}
+	}
+	if a.deg.records > 0 {
+		if first || a.deg.min < r.MinTypeSize {
+			r.MinTypeSize = a.deg.min
+		}
+		if a.deg.max > r.MaxTypeSize {
+			r.MaxTypeSize = a.deg.max
+		}
+		sumSize += a.deg.sumSize
+		r.Records += a.deg.records
+		for h := range a.deg.distinct {
+			seen[h] = struct{}{}
+		}
+	}
+	r.DistinctTypes = len(seen)
+	if r.Records > 0 {
+		r.AvgTypeSize = float64(sumSize) / float64(r.Records)
+	}
+	return r
+}
+
 // mergeLattices combines the enrichment lattices of two accumulators
 // in place on a, treating nil as the identity. Within one run either
 // both sides carry a lattice or neither does; the nil cases keep the
@@ -263,6 +440,8 @@ func attachLattice(acc Accumulator, lat *enrich.Lattice) {
 	case *plainAcc:
 		a.lat = lat
 	case *dedupAcc:
+		a.lat = lat
+	case *autoAcc:
 		a.lat = lat
 	}
 }

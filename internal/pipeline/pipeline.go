@@ -86,16 +86,138 @@ type Env struct {
 // hash-consing table the decoders intern into and the memoized fusion
 // policy keyed by that table's IDs. One value spans all chunks, workers
 // and files of a single run.
+//
+// With Auto set, the run is adaptive: each map task samples the
+// distinct-type ratio and the intern-table growth over the first
+// Sample records of its chunk and degrades the rest of the chunk to
+// the plain (non-interning) path when hash-consing cannot pay for
+// itself — an all-distinct stream past Threshold that also allocates
+// NodeGrowth or more new interned nodes per record. The decision is
+// re-checked at every combine boundary against the merged multiset
+// cardinality, and the outcome is shared across chunks through an
+// atomic hint so settled runs stop sampling. Only the cost model is
+// adaptive: schemas and statistics are byte-identical to both fixed
+// modes (pinned by the differential and chaos suites).
 type Dedup struct {
 	Tab  *intern.Table
 	Memo *fusion.Memo
+
+	// Auto enables the adaptive layer.
+	Auto bool
+	// Sample is the number of records each chunk types through the
+	// interner before deciding; zero means DefaultDedupSample.
+	Sample int
+	// Threshold is the sampled distinct-type ratio at or above which a
+	// chunk degrades (subject to the NodeGrowth guard); zero means
+	// DefaultDedupThreshold.
+	Threshold float64
+	// NodeGrowth is the minimum new interned nodes per sampled record
+	// for a degrade: high-ratio data whose subtrees still dedup (shared
+	// nested shapes) keeps paying for hash-consing. Zero means
+	// DefaultDedupNodeGrowth.
+	NodeGrowth float64
+
+	// hint is the shared adaptive decision: hintSample (zero) makes the
+	// next chunk sample, hintDedup keeps chunks on the interning path,
+	// hintDegrade sends whole chunks down the plain path. Cost-only:
+	// with several workers the hint a chunk observes depends on timing,
+	// but every mix of degraded and deduplicated chunks folds to the
+	// same bytes.
+	hint atomic.Int32
+	// sampRecs/sampNodes accumulate the sampled record count and the
+	// intern-table growth across chunks — the node-growth evidence the
+	// combine-boundary re-check reuses.
+	sampRecs  atomic.Int64
+	sampNodes atomic.Int64
 }
+
+// Adaptive-dedup defaults: sample size, degrade ratio, and the
+// node-growth guard. The guard separates data that is all-distinct at
+// the top level but shares subtrees (nytimes: ~0.7-1.4 new nodes per
+// record, dedup wins) from ids-as-keys data where nearly every node is
+// fresh (wikidata: 3-7 new nodes per record, interning is pure
+// overhead).
+const (
+	DefaultDedupSample     = 256
+	DefaultDedupThreshold  = 0.9
+	DefaultDedupNodeGrowth = 2.5
+)
+
+// Shared hint values.
+const (
+	hintSample  int32 = 0
+	hintDedup   int32 = 1
+	hintDegrade int32 = -1
+)
 
 // NewDedup builds the dedup machinery for one run under the given
 // fusion policy.
 func NewDedup(o fusion.Options) *Dedup {
 	tab := intern.NewTable()
 	return &Dedup{Tab: tab, Memo: fusion.NewMemo(o, tab)}
+}
+
+// NewAutoDedup builds adaptive dedup machinery with default knobs.
+func NewAutoDedup(o fusion.Options) *Dedup {
+	dd := NewDedup(o)
+	dd.Auto = true
+	return dd
+}
+
+func (dd *Dedup) sampleSize() int {
+	if dd.Sample > 0 {
+		return dd.Sample
+	}
+	return DefaultDedupSample
+}
+
+func (dd *Dedup) threshold() float64 {
+	if dd.Threshold > 0 {
+		return dd.Threshold
+	}
+	return DefaultDedupThreshold
+}
+
+func (dd *Dedup) nodeGrowth() float64 {
+	if dd.NodeGrowth > 0 {
+		return dd.NodeGrowth
+	}
+	return DefaultDedupNodeGrowth
+}
+
+// noteSample folds one chunk's sampling evidence (records typed through
+// the interner and the intern-table growth seen while doing so) into
+// the shared tallies.
+func (dd *Dedup) noteSample(records, nodes int64) {
+	if records <= 0 {
+		return
+	}
+	dd.sampRecs.Add(records)
+	if nodes > 0 {
+		dd.sampNodes.Add(nodes)
+	}
+}
+
+// sampledGrowth returns the observed new-interned-nodes-per-record rate
+// across all samples so far, or 0 before any sample completes.
+func (dd *Dedup) sampledGrowth() float64 {
+	recs := dd.sampRecs.Load()
+	if recs == 0 {
+		return 0
+	}
+	return float64(dd.sampNodes.Load()) / float64(recs)
+}
+
+// decide evaluates the degrade predicate over a sampled window and
+// publishes the outcome as the shared hint.
+func (dd *Dedup) decide(distinct, records int64, growth float64) bool {
+	degrade := float64(distinct) >= dd.threshold()*float64(records) && growth >= dd.nodeGrowth()
+	if degrade {
+		dd.hint.Store(hintDegrade)
+	} else {
+		dd.hint.Store(hintDedup)
+	}
+	return degrade
 }
 
 // Phases holds the per-phase busy-time tallies of a run, summed across
@@ -136,8 +258,27 @@ func (e *FeedError) Error() string { return e.Err.Error() }
 func (e *FeedError) Unwrap() error { return e.Err }
 
 // ProgressEveryRecords throttles Progress callbacks on the sequential
-// streaming path, where "per chunk" has no natural meaning.
+// streaming path, where "per chunk" has no natural meaning. It must be
+// a multiple of StreamBatchRecords: the streaming driver only looks up
+// from the decode loop at batch boundaries.
 const ProgressEveryRecords = 1024
+
+// StreamBatchRecords is the cancellation batch of the streaming
+// driver: RunStream checks the context once per batch instead of once
+// per record, which keeps the per-record loop to decode + accumulate
+// (metrics stay per-record — a lone atomic add, and live /debug/vars
+// readers must see an in-flight stream's records). Error positions are
+// exact regardless ("record %d" comes from the per-record counter);
+// only cancellation latency is quantized, to at most one batch.
+const StreamBatchRecords = 64
+
+// FeedBuffer is the capacity of the chunk channel between the feed and
+// the map workers: a small batch of in-flight chunks lets the input
+// reader run ahead of the workers (I/O overlapping compute) without
+// unbounding memory. Cancellation semantics are unchanged — a feed
+// blocked on a full buffer still unblocks through the emit error, and
+// chunks parked in the buffer at abort are simply dropped.
+const FeedBuffer = 4
 
 // Run distributes the feed's chunks over the map-reduce engine: each
 // chunk is typed and locally folded into an Accumulator (the
@@ -148,10 +289,23 @@ const ProgressEveryRecords = 1024
 // that span several inputs (multi-file dedup) Combine the returned
 // accumulators before folding.
 func Run(ctx context.Context, env *Env, feed Feed) (Accumulator, mapreduce.Stats, error) {
+	return RunPooled(ctx, env, feed, nil)
+}
+
+// RunPooled is Run with a buffer-recycling hook for pooled feeds:
+// release (when non-nil) is called exactly once per chunk after its
+// final map attempt completes — success, quarantine, or failure — so a
+// ChunkPool-backed feed can hand each buffer back for reuse. The hook
+// fires only after every retry of the chunk is over (retries re-decode
+// the same bytes), and chunks still queued when a run aborts are never
+// released; they fall to the garbage collector. The map stage never
+// retains chunk bytes past its return (decoded types copy every string
+// they keep), which is what makes recycling sound.
+func RunPooled(ctx context.Context, env *Env, feed Feed, release func([]byte)) (Accumulator, mapreduce.Stats, error) {
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	src := make(chan []byte)
+	src := make(chan []byte, FeedBuffer)
 	feedDone := make(chan struct{})
 	var feedErr error
 	go func() {
@@ -187,8 +341,8 @@ func Run(ctx context.Context, env *Env, feed Feed) (Accumulator, mapreduce.Stats
 		}
 	}
 
-	out, mrst, err := mapreduce.Run(runCtx, src, mapFn, combine, nil,
-		mapreduce.Config{Workers: env.Workers, Recorder: env.Rec, Failure: env.Failure, Injector: env.Injector})
+	out, mrst, err := mapreduce.RunReleased(runCtx, src, mapFn, combine, nil,
+		mapreduce.Config{Workers: env.Workers, Recorder: env.Rec, Failure: env.Failure, Injector: env.Injector}, release)
 	if err != nil {
 		// Unblock and join the feeder before returning so no goroutine
 		// outlives the call.
@@ -212,18 +366,28 @@ func (e *Env) mapChunk(chunk []byte) (Accumulator, error) {
 	// combine stays exactly-once for enrichment too (docs/ENRICHMENT.md).
 	lat := e.newLattice()
 	if dd := e.Dedup; dd != nil {
+		if dd.Auto {
+			return e.mapAutoChunk(chunk, lat)
+		}
 		// The dedup map task types a chunk into a multiset of distinct
-		// interned types and folds the DISTINCT types once each, in
-		// first-seen order. By commutativity, associativity and
-		// idempotency of fusion on simplified types, this equals folding
-		// all per-record types — the chunk metrics (record counts, fused
-		// size) are therefore identical to the plain payload's.
+		// interned types and folds the DISTINCT types once each. By
+		// commutativity, associativity and idempotency of fusion on
+		// simplified types, this equals folding all per-record types —
+		// the chunk metrics (record counts, fused size) are therefore
+		// identical to the plain payload's.
 		t0 := e.phaseStart()
 		ms, err := infer.DedupAllObserved(chunk, dd.Tab, observer(lat))
 		if err != nil {
 			return nil, err
 		}
 		t0 = e.lapInfer(t0)
+		// A memoized left fold beats a balanced tree here: chunks of
+		// similar data replay the same (accumulated, distinct) fuse
+		// pairs, so the memo cache absorbs most of the work, whereas
+		// tree-shaped intermediates vary per chunk and miss the cache.
+		// The all-distinct case where a left fold degenerates is
+		// exactly the case DedupAuto degrades to the plain payload,
+		// which reduces tree-shaped below.
 		fused := types.Type(types.Empty)
 		for _, el := range ms.Elems() {
 			fused = dd.Memo.Fuse(fused, dd.Memo.Simplify(el.Type))
@@ -241,11 +405,129 @@ func (e *Env) mapChunk(chunk []byte) (Accumulator, error) {
 	acc := e.NewAcc().(*plainAcc)
 	acc.lat = lat
 	for _, t := range ts {
-		acc.Add(t)
+		acc.sum.Add(t)
 	}
+	// Simplify in place, then reduce pairwise: ts is chunk-local scratch
+	// from here on.
+	for i, t := range ts {
+		ts[i] = acc.fz.Simplify(t)
+	}
+	acc.fused = treeFuse(ts, acc.fz.Fuse)
 	e.lapFuse(t0)
-	e.recordChunk(int64(len(ts)), int64(len(chunk)), acc.fused)
+	e.recordChunk(acc.sum.Count(), int64(len(chunk)), acc.fused)
 	return acc, nil
+}
+
+// mapAutoChunk is the adaptive map stage: it types the first
+// sampleSize records of the chunk through the interner (unless the
+// shared hint already settled on degrading), then decides — sampled
+// distinct ratio at or above the threshold with enough intern-table
+// growth per record means hash-consing is pure overhead here — and
+// types the rest of the chunk down whichever path won. The interned
+// portion fuses through the memo, the degraded portion as a balanced
+// tree; the resulting autoAcc folds to the same bytes either fixed
+// payload would.
+func (e *Env) mapAutoChunk(chunk []byte, lat *enrich.Lattice) (Accumulator, error) {
+	dd := e.Dedup
+	acc := newAutoAcc(dd, e.Fusion)
+	acc.lat = lat
+	t0 := e.phaseStart()
+	dec := infer.NewBytesDecoder(chunk, jsontext.Options{})
+	defer dec.Release()
+	if o := observer(lat); o != nil {
+		dec.SetObserver(o)
+	}
+	interned := dd.hint.Load() != hintDegrade
+	if interned {
+		dec.SetInterner(dd.Tab)
+	}
+	var (
+		sampled int64
+		tab0    = dd.Tab.Len()
+		limit   = int64(dd.sampleSize())
+		plain   []types.Type
+		records int64
+	)
+	for {
+		t, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		records++
+		if interned {
+			ref, ok := dd.Tab.Ref(t)
+			if !ok {
+				ref, _ = dd.Tab.Ref(dd.Tab.Canon(t))
+			}
+			acc.ms.Add(ref, 1)
+			sampled++
+			if sampled == limit {
+				dd.noteSample(sampled, int64(dd.Tab.Len()-tab0))
+				if dd.decide(int64(acc.ms.Len()), sampled, dd.sampledGrowth()) {
+					interned = false
+					dec.SetInterner(nil)
+				}
+			}
+		} else {
+			plain = append(plain, t)
+		}
+	}
+	t0 = e.lapInfer(t0)
+	// Interned portion: memoized left fold over the distinct types, as
+	// in the fixed dedup payload. Degraded portion: balanced tree over
+	// the per-record types, as in the plain payload.
+	fused := types.Type(types.Empty)
+	for _, el := range acc.ms.Elems() {
+		fused = dd.Memo.Fuse(fused, dd.Memo.Simplify(el.Type))
+	}
+	if len(plain) > 0 {
+		for _, t := range plain {
+			acc.deg.add(t)
+		}
+		for i, t := range plain {
+			plain[i] = e.Fusion.Simplify(t)
+		}
+		fused = e.Fusion.Fuse(fused, treeFuse(plain, e.Fusion.Fuse))
+	}
+	acc.fused = fused
+	e.lapFuse(t0)
+	e.recordChunk(records, int64(len(chunk)), acc.fused)
+	return acc, nil
+}
+
+// treeFuse reduces the (already simplified) types pairwise, level by
+// level, instead of left-folding one giant accumulated type. On
+// repetitive data the two shapes cost the same, but on high-entropy
+// data (Wikidata's ids-as-keys records, where no two records share a
+// shape and the accumulated type keeps growing) the left fold rebuilds
+// an ever-larger record per input type — O(records x fused size) — while
+// the balanced tree keeps operand sizes matched and the total merge work
+// near O(total size x log records). Fusion is associative and
+// commutative (Theorems 5.4 and 5.5, property-tested), so the fold
+// shape is invisible in the result: schemas stay byte-identical, which
+// the differential suite pins against the sequential left fold of
+// RunStream. ts is scratch owned by the caller and is overwritten.
+func treeFuse(ts []types.Type, fuse func(a, b types.Type) types.Type) types.Type {
+	if len(ts) == 0 {
+		return types.Empty
+	}
+	n := len(ts)
+	for n > 1 {
+		k := 0
+		for i := 0; i+1 < n; i += 2 {
+			ts[k] = fuse(ts[i], ts[i+1])
+			k++
+		}
+		if n%2 == 1 {
+			ts[k] = ts[n-1]
+			k++
+		}
+		n = k
+	}
+	return ts[0]
 }
 
 // newLattice returns a fresh enrichment lattice, or nil with
@@ -326,12 +608,25 @@ func RunStream(ctx context.Context, env *Env, r io.Reader) (Accumulator, int64, 
 		dec.SetObserver(lat)
 		attachLattice(acc, lat)
 	}
+	auto, _ := acc.(*autoAcc)
 	var records int64
 	for {
-		select {
-		case <-ctx.Done():
-			return nil, 0, fmt.Errorf("record %d: %w", records+1, ctx.Err())
-		default:
+		// Batched cancellation: the ctx check runs once per
+		// StreamBatchRecords (including before the first record, so a
+		// pre-cancelled context never starts work); the steady-state
+		// loop is decode + accumulate only. Metrics stay per-record —
+		// they are a single atomic add, free when no Recorder is
+		// installed, and a live /debug/vars must see an in-flight
+		// stream's records before the first batch boundary.
+		if records%StreamBatchRecords == 0 {
+			select {
+			case <-ctx.Done():
+				return nil, 0, fmt.Errorf("record %d: %w", records+1, ctx.Err())
+			default:
+			}
+			if env.Progress != nil && records > 0 && records%ProgressEveryRecords == 0 {
+				env.Progress()
+			}
 		}
 		t, err := dec.Next()
 		if err == io.EOF {
@@ -341,12 +636,14 @@ func RunStream(ctx context.Context, env *Env, r io.Reader) (Accumulator, int64, 
 			return nil, 0, fmt.Errorf("record %d: %w", records+1, err)
 		}
 		acc.Add(t)
+		if auto != nil && auto.degraded {
+			// The adaptive stream accumulator degraded: stop interning
+			// decoded types (SetInterner is an idempotent field store).
+			dec.SetInterner(nil)
+		}
 		records++
 		if env.Rec != nil {
 			env.Rec.Add("infer_records", 1)
-		}
-		if env.Progress != nil && records%ProgressEveryRecords == 0 {
-			env.Progress()
 		}
 	}
 	n := dec.Offset()

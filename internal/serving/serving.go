@@ -67,9 +67,9 @@ type Config struct {
 	// on_error query parameter.
 	OnErrorSkip bool
 
-	// Dedup enables the hash-consed distinct-type fast path on ingest
-	// pipelines.
-	Dedup bool
+	// Dedup selects the deduplication mode of ingest pipelines:
+	// jsi.DedupOff (the zero value), jsi.DedupOn, or jsi.DedupAuto.
+	Dedup jsi.DedupMode
 
 	// Enrich names the enrichment monoids (docs/ENRICHMENT.md) computed
 	// on every ingest: "ranges", "hll", ..., or "all". Empty disables

@@ -159,9 +159,14 @@ type chunkedSource struct{ r io.Reader }
 
 func (s chunkedSource) run(ctx context.Context, env *pipeline.Env) (*Schema, Stats, error) {
 	cr := &countingReader{r: s.r}
-	out, mrst, err := pipeline.Run(ctx, env, func(emit func([]byte) error) error {
-		return jsontext.ChunkLines(cr, env.ChunkBytes, emit)
-	})
+	// Chunk buffers cycle through a pool: the feed fills one, the map
+	// stage decodes it, and the engine's release hook (which fires only
+	// after the chunk's final retry attempt) returns it for the next
+	// fill. A long stream allocates a handful of buffers total.
+	pool := &jsontext.ChunkPool{}
+	out, mrst, err := pipeline.RunPooled(ctx, env, func(emit func([]byte) error) error {
+		return jsontext.ChunkLinesPooled(cr, env.ChunkBytes, pool, emit)
+	}, pool.Put)
 	if err != nil {
 		var fe *pipeline.FeedError
 		if errors.As(err, &fe) {
@@ -303,9 +308,13 @@ func runFilePipeline(ctx context.Context, env *pipeline.Env, path string) (pipel
 	//lint:ignore droppederr the file is only read; a close error cannot lose data
 	defer f.Close()
 
-	out, mrst, err := pipeline.Run(ctx, env, func(emit func([]byte) error) error {
-		return jsontext.ChunkLines(f, env.ChunkBytes, emit)
-	})
+	// Same pooled chunk lifecycle as the chunked-reader source: buffers
+	// are recycled through the pipeline's release hook, so reading a
+	// large file allocates a handful of chunk buffers, not one per chunk.
+	pool := &jsontext.ChunkPool{}
+	out, mrst, err := pipeline.RunPooled(ctx, env, func(emit func([]byte) error) error {
+		return jsontext.ChunkLinesPooled(f, env.ChunkBytes, pool, emit)
+	}, pool.Put)
 	if err != nil {
 		var fe *pipeline.FeedError
 		if errors.As(err, &fe) {
