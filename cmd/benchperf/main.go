@@ -2,13 +2,13 @@
 // writes the result as JSON (the BENCH_perf.json artifact CI uploads).
 //
 // For each paper dataset it benchmarks the public InferNDJSON pipeline
-// four times over the same synthetic data — Options zero value,
-// Options.Dedup on, Dedup auto (the adaptive mode), and Options.Enrich
-// "all" — recording ns/op, B/op, allocs/op, the exact distinct-type
-// count the dedup run reports, the enrichment lattice's overhead over
-// the default run, and worst_case_regression_pct: the worst gap
-// between the adaptive mode and the better fixed mode across the
-// grid. The headline comparison is
+// five times over the same synthetic data — Options zero value,
+// Options.Dedup on, Dedup auto (the adaptive mode), Options.Enrich
+// "all", and Options.TaggedUnions — recording ns/op, B/op, allocs/op,
+// the exact distinct-type count the dedup run reports, the enrichment
+// lattice's and tagged-union policy's overheads over the default run,
+// and worst_case_regression_pct: the worst gap between the adaptive
+// mode and the better fixed mode across the grid. The headline comparison is
 // InferNDJSON/twitter dedup-on against the committed observability
 // baseline (-baseline BENCH_obs.json, whose nil_recorder_ns_per_op was
 // measured on the same workload); docs/PERFORMANCE.md explains how to
@@ -70,6 +70,14 @@ type DatasetResult struct {
 	// Default measurement and the 5% pipeline_overhead_pct budget.
 	Enriched          Measurement `json:"enriched"`
 	EnrichOverheadPct float64     `json:"enrich_overhead_pct"`
+	// Tagged measures the same workload with the tagged-union policy on
+	// (Options.TaggedUnions); TaggedOverheadPct is its ns/op above
+	// Default — the paid-only-when-asked-for cost of discriminator
+	// promotion and the Variants merge (docs/UNIONS.md). The default
+	// policy stays covered by the Default measurement and the 5%
+	// pipeline_overhead_pct budget.
+	Tagged            Measurement `json:"tagged"`
+	TaggedOverheadPct float64     `json:"tagged_overhead_pct"`
 	// Auto measures the adaptive mode (Options.Dedup DedupAuto), which
 	// samples each chunk and degrades to the plain path when
 	// hash-consing cannot pay for itself. AutoVsBestPct is its ns/op
@@ -108,6 +116,11 @@ type Report struct {
 	// Both are omitted when no previous report is available.
 	PrevDedupNsPerOp    int64    `json:"prev_dedup_ns_per_op,omitempty"`
 	PipelineOverheadPct *float64 `json:"pipeline_overhead_pct,omitempty"`
+	// HeadlineTaggedOverheadPct is the flagship workload's
+	// tagged_overhead_pct (twitter): what switching the headline
+	// InferNDJSON run to the tagged-union policy costs over the default
+	// strategy (docs/UNIONS.md).
+	HeadlineTaggedOverheadPct float64 `json:"headline_tagged_overhead_pct"`
 	// WorstCaseRegressionPct is the maximum AutoVsBestPct over the
 	// dataset grid: how far the adaptive mode sits above the better
 	// fixed mode on its least favorable distribution (positive =
@@ -169,8 +182,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 			Dedup:         measure(data, jsi.Options{Dedup: jsi.DedupOn}),
 			Auto:          measure(data, jsi.Options{Dedup: jsi.DedupAuto}),
 			Enriched:      measure(data, jsi.Options{Enrich: []string{"all"}}),
+			Tagged:        measure(data, jsi.Options{TaggedUnions: true}),
 		}
 		res.EnrichOverheadPct = -pctBelow(res.Enriched.NsPerOp, res.Default.NsPerOp)
+		res.TaggedOverheadPct = -pctBelow(res.Tagged.NsPerOp, res.Default.NsPerOp)
 		best := res.Default.NsPerOp
 		if res.Dedup.NsPerOp < best {
 			best = res.Dedup.NsPerOp
@@ -185,6 +200,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 		if name == "twitter" {
 			rep.HeadlineAllocsReductionPct = res.AllocsReductionPct
+			rep.HeadlineTaggedOverheadPct = res.TaggedOverheadPct
 			if rep.BaselineNsPerOp > 0 {
 				p := pctBelow(res.Dedup.NsPerOp, rep.BaselineNsPerOp)
 				rep.HeadlineNsImprovementPct = &p

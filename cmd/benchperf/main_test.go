@@ -32,7 +32,7 @@ func TestReportShape(t *testing.T) {
 		t.Fatalf("expected 4 datasets, got %d", len(rep.Datasets))
 	}
 	for _, d := range rep.Datasets {
-		if d.Default.NsPerOp <= 0 || d.Dedup.NsPerOp <= 0 || d.Auto.NsPerOp <= 0 {
+		if d.Default.NsPerOp <= 0 || d.Dedup.NsPerOp <= 0 || d.Auto.NsPerOp <= 0 || d.Tagged.NsPerOp <= 0 {
 			t.Errorf("%s: ns/op not measured: %+v", d.Dataset, d)
 		}
 		if d.Default.AllocsPerOp <= 0 || d.Dedup.AllocsPerOp <= 0 {
@@ -53,6 +53,9 @@ func TestReportShape(t *testing.T) {
 	}
 	if rep.HeadlineAllocsReductionPct == 0 {
 		t.Error("headline_allocs_reduction_pct missing")
+	}
+	if rep.HeadlineTaggedOverheadPct == 0 {
+		t.Error("headline_tagged_overhead_pct missing")
 	}
 	if rep.PrevDedupNsPerOp != 1000000 {
 		t.Errorf("prev_dedup_ns_per_op = %d, want 1000000", rep.PrevDedupNsPerOp)

@@ -24,7 +24,7 @@ func TestList(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"github", "twitter", "wikidata", "nytimes", "mixed"} {
+	for _, name := range []string{"github", "twitter", "wikidata", "nytimes", "mixed", "eventlog", "webhook"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("list output missing %q:\n%s", name, out)
 		}

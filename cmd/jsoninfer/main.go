@@ -28,6 +28,17 @@
 //	             retries; skip quarantines it and completes without its
 //	             records (reported on stderr)
 //	-stats       print dataset statistics to stderr
+//	-tagged      infer tagged unions: records discriminated by a string
+//	             field ("type", "event", "kind") or by a single
+//	             variant-named wrapper field fuse into one record type
+//	             per observed tag (docs/UNIONS.md) instead of one record
+//	             with every field optional
+//	-union-keys  comma-separated discriminator field names probed by
+//	             -tagged, in priority order (default type,event,kind)
+//	-max-variants  tag cap before a tagged-union hypothesis collapses to
+//	             plain record fusion (default 16)
+//	-max-tag-len longest string value considered a discriminator tag
+//	             (default 40)
 //	-enrich      enrichment monoids computed alongside inference in the
 //	             same pass (comma list or "all"; docs/ENRICHMENT.md).
 //	             jsonschema output gains annotations; the structural
@@ -51,6 +62,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 
 	jsi "repro"
@@ -106,6 +118,18 @@ func (f *dedupFlag) Set(s string) error {
 }
 func (f *dedupFlag) IsBoolFlag() bool { return true }
 
+// splitKeys parses the -union-keys comma list, trimming blanks so
+// "type, event" works.
+func splitKeys(s string) []string {
+	var keys []string
+	for _, k := range strings.Split(s, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
 func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("jsoninfer", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -121,6 +145,10 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	sample := fs.Int64("sample", -1, "emit an example value conforming to the schema, generated with this seed")
 	abstract := fs.Int("abstract", 0, "abstract dictionary-like records with at least this many keys into {*: T} (0 = off)")
 	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060) during the run")
+	tagged := fs.Bool("tagged", false, "infer tagged unions from discriminator fields and single-field wrappers (docs/UNIONS.md)")
+	unionKeys := fs.String("union-keys", "", "comma-separated discriminator field names for -tagged, in priority order (default type,event,kind)")
+	maxVariants := fs.Int("max-variants", 0, "tag cap before a tagged union collapses to plain record fusion (0 = default 16)")
+	maxTagLen := fs.Int("max-tag-len", 0, "longest string value considered a discriminator tag (0 = default 40)")
 	retries := fs.Int("retries", 0, "per-chunk retry budget for transient failures (0 = no retry)")
 	onError := fs.String("on-error", "fail", "chunk failure policy once retries are exhausted: fail or skip")
 	enrichNames := fs.String("enrich", "", "enrichment monoids computed alongside inference (comma list: ranges,hll,bloom,formats,lengths,numprec; or \"all\")")
@@ -137,7 +165,22 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	default:
 		return fmt.Errorf("unknown -on-error %q (want fail or skip)", *onError)
 	}
-	opts := jsi.Options{Workers: *workers, PreserveTupleArrays: *positional, Retries: *retries, OnError: errPolicy, Dedup: dedup.mode}
+	opts := jsi.Options{
+		Workers:             *workers,
+		PreserveTupleArrays: *positional,
+		Retries:             *retries,
+		OnError:             errPolicy,
+		Dedup:               dedup.mode,
+		TaggedUnions:        *tagged,
+		MaxVariants:         *maxVariants,
+		MaxTagLen:           *maxTagLen,
+	}
+	if *unionKeys != "" {
+		if !*tagged {
+			return fmt.Errorf("-union-keys requires -tagged")
+		}
+		opts.UnionKeys = splitKeys(*unionKeys)
+	}
 	if *enrichNames != "" {
 		opts.Enrich = []string{*enrichNames}
 	}

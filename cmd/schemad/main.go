@@ -58,6 +58,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -103,6 +104,8 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	var dedup dedupFlag
 	fs.Var(&dedup, "dedup", "deduplication mode for ingest pipelines: false, true or auto (bare -dedup means true)")
 	enrichNames := fs.String("enrich", "", "enrichment monoids for every ingest (comma list or \"all\"; empty disables)")
+	tagged := fs.Bool("tagged", false, "infer tagged unions on every ingest (requests can override with ?tagged=)")
+	unionKeys := fs.String("union-keys", "", "comma-separated discriminator field names for -tagged (default type,event,kind)")
 	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this address")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 15*time.Second, "grace period for draining in-flight requests")
 	if err := fs.Parse(args); err != nil {
@@ -120,6 +123,13 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	var enrich []string
 	if *enrichNames != "" {
 		enrich = []string{*enrichNames}
+	}
+	var keys []string
+	if *unionKeys != "" {
+		if !*tagged {
+			return fmt.Errorf("-union-keys requires -tagged")
+		}
+		keys = strings.Split(*unionKeys, ",")
 	}
 	if *dataDir == "" {
 		dir, err := os.MkdirTemp("", "schemad-*")
@@ -139,6 +149,8 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		OnErrorSkip:        skip,
 		Dedup:              dedup.mode,
 		Enrich:             enrich,
+		TaggedUnions:       *tagged,
+		UnionKeys:          keys,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stderr, "schemad: "+format+"\n", args...)
 		},

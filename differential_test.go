@@ -86,6 +86,94 @@ func TestDifferentialParallelVsSequential(t *testing.T) {
 	}
 }
 
+// TestDifferentialTaggedUnions re-runs the parallel-vs-sequential
+// oracle with the tagged-union policy on. The Variants merge is part of
+// the fusion monoid, so the same guarantee must hold: worker count,
+// dedup mode and source (in-memory, streaming, file pipeline) are
+// invisible in the canonical schema bytes. The test also requires that
+// at least one dataset actually infers a variants node, so it cannot
+// pass vacuously with the policy silently disabled.
+func TestDifferentialTaggedUnions(t *testing.T) {
+	dir := t.TempDir()
+	sawVariants := false
+	for _, name := range dataset.Names() {
+		g, err := dataset.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := dataset.NDJSON(g, 300, 59)
+
+		opts := func(extra jsi.Options) jsi.Options {
+			extra.TaggedUnions = true
+			return extra
+		}
+		refSchema, refStats, err := jsi.Infer(context.Background(), jsi.FromBytes(data), opts(jsi.Options{Workers: 1}))
+		if err != nil {
+			t.Fatalf("%s: tagged sequential reference: %v", name, err)
+		}
+		ref := canonical(t, refSchema)
+		if bytes.Contains(ref, []byte(`"variants"`)) {
+			sawVariants = true
+		}
+
+		check := func(label string, s *jsi.Schema, st jsi.Stats, err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatalf("%s: tagged %s: %v", name, label, err)
+			}
+			if got := canonical(t, s); !bytes.Equal(got, ref) {
+				t.Errorf("%s: tagged %s schema diverged\n got: %s\nwant: %s", name, label, got, ref)
+			}
+			if st.Records != refStats.Records {
+				t.Errorf("%s: tagged %s Records = %d, want %d", name, label, st.Records, refStats.Records)
+			}
+		}
+
+		for _, workers := range []int{2, 8} {
+			for _, dedup := range []jsi.DedupMode{jsi.DedupOff, jsi.DedupOn, jsi.DedupAuto} {
+				label := fmt.Sprintf("parallel %d dedup=%s", workers, dedup)
+				s, st, err := jsi.Infer(context.Background(), jsi.FromBytes(data), opts(jsi.Options{Workers: workers, Dedup: dedup}))
+				check(label, s, st, err)
+			}
+		}
+
+		for _, dedup := range []jsi.DedupMode{jsi.DedupOff, jsi.DedupOn, jsi.DedupAuto} {
+			s, st, err := jsi.Infer(context.Background(), jsi.FromReader(bytes.NewReader(data)), opts(jsi.Options{Dedup: dedup}))
+			check("streaming dedup="+dedup.String(), s, st, err)
+		}
+
+		path := filepath.Join(dir, name+".ndjson")
+		if err := os.WriteFile(path, data, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		for _, dedup := range []jsi.DedupMode{jsi.DedupOff, jsi.DedupOn, jsi.DedupAuto} {
+			s, st, err := jsi.Infer(context.Background(), jsi.FromFile(path), opts(jsi.Options{Workers: 8, ChunkBytes: 1 << 10, Dedup: dedup}))
+			check("file pipeline dedup="+dedup.String(), s, st, err)
+		}
+
+		// The JSON Schema export of a tagged run must also be stable
+		// across execution strategies (oneOf branch order is canonical).
+		refJS, err := refSchema.JSONSchema()
+		if err != nil {
+			t.Fatalf("%s: JSONSchema: %v", name, err)
+		}
+		parSchema, _, err := jsi.Infer(context.Background(), jsi.FromBytes(data), opts(jsi.Options{Workers: 8, Dedup: jsi.DedupOn}))
+		if err != nil {
+			t.Fatalf("%s: tagged parallel for JSONSchema: %v", name, err)
+		}
+		parJS, err := parSchema.JSONSchema()
+		if err != nil {
+			t.Fatalf("%s: JSONSchema parallel: %v", name, err)
+		}
+		if !bytes.Equal(parJS, refJS) {
+			t.Errorf("%s: tagged JSON Schema export diverged\n got: %s\nwant: %s", name, parJS, refJS)
+		}
+	}
+	if !sawVariants {
+		t.Error("no dataset inferred a variants node: the tagged policy never fired")
+	}
+}
+
 // TestDifferentialEnrichmentTransparent pins the two enrichment
 // contracts on every dataset generator. First, enrichment is purely
 // additive: with Options.Enrich on, the structural schema bytes and

@@ -36,6 +36,20 @@ func FuzzInferEndToEnd(f *testing.F) {
 	f.Add([]byte(`{"s":"\u0041\u00e9\u4e2d\ufeff"}` + "\n" + `{"s":"\ud83d\ude00 pair"}`))
 	f.Add([]byte(`{"\ud834\udd1e":"\\\\\\"\\n\\t"}` + "\n" + `{"q":"a\u0020b\ud800c"}` + "\n" + `{"q":"\udc00 lone low"}`))
 	f.Add([]byte(`{"e":"\\\\\\\\\\"\\/\\b\\f\\n\\r\\t\u2028\u2029"}` + "\n" + `{"e":"plain then \ud83d\ude00\uD83D"}`))
+	// Tagged-union shapes: discriminator flips (same key, different tag
+	// values, divergent payloads), records missing the discriminator that
+	// must fall through to the catch-all, high-cardinality tag near-misses
+	// that trip the variant cap mid-stream, wrapper-style single-field
+	// envelopes, and non-string discriminators that must block promotion.
+	f.Add([]byte(`{"type":"a","x":1}` + "\n" + `{"type":"b","y":"s"}` + "\n" + `{"type":"a","x":2,"z":true}`))
+	f.Add([]byte(`{"type":"push","n":1}` + "\n" + `{"n":2}` + "\n" + `{"type":"fork","n":3}` + "\n" + `{"other":null}`))
+	f.Add([]byte(`{"event":"t01"}` + "\n" + `{"event":"t02"}` + "\n" + `{"event":"t03"}` + "\n" + `{"event":"t04"}` + "\n" +
+		`{"event":"t05"}` + "\n" + `{"event":"t06"}` + "\n" + `{"event":"t07"}` + "\n" + `{"event":"t08"}` + "\n" +
+		`{"event":"t09"}` + "\n" + `{"event":"t10"}` + "\n" + `{"event":"t11"}` + "\n" + `{"event":"t12"}` + "\n" +
+		`{"event":"t13"}` + "\n" + `{"event":"t14"}` + "\n" + `{"event":"t15"}` + "\n" + `{"event":"t16"}` + "\n" +
+		`{"event":"t17"}` + "\n" + `{"event":"t18"}`))
+	f.Add([]byte(`{"delete":{"id":1}}` + "\n" + `{"scrub_geo":{"id":2}}` + "\n" + `{"text":"tweet","id":3}`))
+	f.Add([]byte(`{"kind":42,"v":1}` + "\n" + `{"kind":"ok","v":2}` + "\n" + `{"kind":null,"v":3}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		seqSchema, seqStats, seqErr := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: 1})
 		parSchema, parStats, parErr := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: 8})
@@ -145,6 +159,47 @@ func FuzzInferEndToEnd(f *testing.F) {
 		}
 		if saStats.Records != seqStats.Records || saStats.DistinctTypes != seqStats.DistinctTypes {
 			t.Fatalf("streaming auto stats diverged: %+v vs %+v", saStats, seqStats)
+		}
+
+		// Tagged-union variants: the Variants merge must keep the policy
+		// inside the fusion monoid, so sequential, parallel chunked,
+		// parallel dedup and streaming tagged runs agree byte for byte on
+		// arbitrary accepted inputs — including discriminator flips,
+		// missing discriminators and cap-tripping tag cardinalities.
+		tgSchema, tgStats, tgErr := jsi.Infer(context.Background(), jsi.FromBytes(data), jsi.Options{Workers: 1, TaggedUnions: true})
+		if tgErr != nil {
+			t.Fatalf("tagged run rejected input the plain pipeline accepted: %v", tgErr)
+		}
+		tgJSON, err := tgSchema.MarshalJSON()
+		if err != nil {
+			t.Fatalf("marshal tagged: %v", err)
+		}
+		if tgStats.Records != seqStats.Records {
+			t.Fatalf("tagged Records = %d, want %d", tgStats.Records, seqStats.Records)
+		}
+		for _, variant := range []struct {
+			label string
+			src   jsi.Source
+			opts  jsi.Options
+		}{
+			{"parallel", jsi.FromBytes(data), jsi.Options{Workers: 8, TaggedUnions: true}},
+			{"parallel dedup", jsi.FromBytes(data), jsi.Options{Workers: 8, Dedup: jsi.DedupOn, TaggedUnions: true}},
+			{"streaming", jsi.FromReader(bytes.NewReader(data)), jsi.Options{TaggedUnions: true}},
+		} {
+			vs, vst, verr := jsi.Infer(context.Background(), variant.src, variant.opts)
+			if verr != nil {
+				t.Fatalf("tagged %s rejected accepted input: %v", variant.label, verr)
+			}
+			vJSON, err := vs.MarshalJSON()
+			if err != nil {
+				t.Fatalf("marshal tagged %s: %v", variant.label, err)
+			}
+			if !bytes.Equal(vJSON, tgJSON) {
+				t.Fatalf("tagged %s schema diverged\n got: %s\nwant: %s", variant.label, vJSON, tgJSON)
+			}
+			if vst.Records != tgStats.Records {
+				t.Fatalf("tagged %s Records = %d, want %d", variant.label, vst.Records, tgStats.Records)
+			}
 		}
 
 		// Enrichment-on variants: the lattice must be additive (identical

@@ -35,6 +35,33 @@ type Options struct {
 	// MaxTupleLen bounds the preserved tuple length (default 4); only
 	// meaningful with PreserveTupleArrays.
 	MaxTupleLen int
+	// TaggedUnions enables tagged-union (discriminated record) inference
+	// — the record-fusion strategy described in docs/UNIONS.md. Records
+	// that carry a discriminator field ("type", "event", "kind" by
+	// default; see UnionKeys) or that wrap their payload in a single
+	// variant-named field (Twitter's {"delete": {...}}) are fused into a
+	// variants type: one record type per observed tag plus an optional
+	// catch-all, instead of one blurred record with every field optional.
+	// The fused schema renders the union as variants(key){tag: {...}} and
+	// exports to JSON Schema as a oneOf with const discriminators. The
+	// merge stays commutative and associative (hypotheses that fail —
+	// mixed discriminators, too many tags — collapse to exactly the
+	// record the default strategy infers), so worker count, chunking,
+	// dedup mode and fault schedules remain invisible in the result.
+	TaggedUnions bool
+	// UnionKeys overrides the discriminator field names probed by
+	// TaggedUnions, in priority order (earlier wins when a record carries
+	// several). Empty means the default ["type", "event", "kind"]. Only
+	// meaningful with TaggedUnions.
+	UnionKeys []string
+	// MaxVariants bounds the number of distinct tags a tagged union may
+	// accumulate before the hypothesis collapses to plain record fusion
+	// (default 16). Only meaningful with TaggedUnions.
+	MaxVariants int
+	// MaxTagLen bounds the string length of a discriminator value
+	// (default 40); longer strings are treated as data, not tags. Only
+	// meaningful with TaggedUnions.
+	MaxTagLen int
 	// ChunkBytes is the chunk size of the bounded-memory file
 	// partitioner used by FromFile and FromFiles; zero means 4 MiB.
 	ChunkBytes int
@@ -248,7 +275,16 @@ func PermanentFault(err error) error { return mapreduce.Permanent(err) }
 
 // fusionOptions translates the Options into a fusion policy.
 func (o Options) fusionOptions() fusion.Options {
-	return fusion.Options{PreserveTuples: o.PreserveTupleArrays, MaxTupleLen: o.MaxTupleLen}
+	fz := fusion.Options{PreserveTuples: o.PreserveTupleArrays, MaxTupleLen: o.MaxTupleLen}
+	if o.TaggedUnions {
+		fz.Strategy = fusion.Tagged{
+			Inner:       fz.ResolvedStrategy(),
+			Keys:        o.UnionKeys,
+			MaxVariants: o.MaxVariants,
+			MaxTagLen:   o.MaxTagLen,
+		}
+	}
+	return fz
 }
 
 // failureConfig translates the Options into the engine's failure
@@ -304,6 +340,15 @@ func (o Options) validate() error {
 		return fmt.Errorf("%w: OnError = %d, must be OnErrorFail or OnErrorSkip", ErrInvalidOptions, int(o.OnError))
 	case o.Dedup > DedupAuto:
 		return fmt.Errorf("%w: Dedup = %d, must be DedupOff, DedupOn or DedupAuto", ErrInvalidOptions, int(o.Dedup))
+	case o.MaxVariants < 0:
+		return fmt.Errorf("%w: MaxVariants = %d, must be >= 0 (0 means the default of %d)", ErrInvalidOptions, o.MaxVariants, fusion.DefaultMaxVariants)
+	case o.MaxTagLen < 0:
+		return fmt.Errorf("%w: MaxTagLen = %d, must be >= 0 (0 means the default of %d)", ErrInvalidOptions, o.MaxTagLen, fusion.DefaultMaxTagLen)
+	}
+	for _, k := range o.UnionKeys {
+		if k == "" {
+			return fmt.Errorf("%w: UnionKeys contains an empty key", ErrInvalidOptions)
+		}
 	}
 	if len(o.Enrich) > 0 {
 		if _, err := enrich.ParseSet(o.Enrich); err != nil {

@@ -8,6 +8,7 @@ import (
 
 	jsi "repro"
 	"repro/internal/dataset"
+	"repro/internal/types"
 )
 
 func TestInferValue(t *testing.T) {
@@ -70,6 +71,137 @@ func TestInferNDJSON(t *testing.T) {
 	if stats.Bytes != int64(len(data)) {
 		t.Errorf("Bytes = %d, want %d", stats.Bytes, len(data))
 	}
+}
+
+// TestTaggedUnionsTwitterAcceptance is the PR's acceptance criterion
+// for tagged-union inference: on a Twitter-style mix of tweets and
+// control records, the default paper policy collapses everything into
+// one record where every shape's fields go optional, while
+// Options.TaggedUnions separates the shapes into a wrapper-discriminated
+// union with NO spurious optional fields in any branch.
+func TestTaggedUnionsTwitterAcceptance(t *testing.T) {
+	data := []byte(strings.Join([]string{
+		`{"created_at":"2017-03-21T10:00:00Z","id":1,"text":"hello","user":{"id":7,"name":"ann"}}`,
+		`{"delete":{"status":{"id":5,"user_id":7}}}`,
+		`{"created_at":"2017-03-21T10:00:01Z","id":2,"text":"world","user":{"id":8,"name":"bob"}}`,
+		`{"scrub_geo":{"user_id":7,"up_to_status_id":9}}`,
+		`{"created_at":"2017-03-21T10:00:02Z","id":3,"text":"again","user":{"id":7,"name":"ann"}}`,
+		`{"delete":{"status":{"id":6,"user_id":8}}}`,
+	}, "\n"))
+
+	// Paper policy: one fused record, every top-level field optional —
+	// tweet fields leak into deletes and vice versa.
+	paper, _, err := jsi.InferNDJSON(data, jsi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paperType, err := types.UnmarshalJSON([]byte(mustMarshal(t, paper)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paperRec, ok := paperType.(*types.Record)
+	if !ok {
+		t.Fatalf("paper schema is %T, want record: %s", paperType, paper)
+	}
+	for _, key := range []string{"delete", "text"} {
+		f, ok := paperRec.Get(key)
+		if !ok || !f.Optional {
+			t.Errorf("paper policy: field %q optional = %v, want a spurious optional (got %s)", key, f.Optional, paper)
+		}
+	}
+
+	// Tagged policy: a wrapper union with clean branches.
+	tagged, _, err := jsi.InferNDJSON(data, jsi.Options{TaggedUnions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	taggedType, err := types.UnmarshalJSON([]byte(mustMarshal(t, tagged)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := taggedType.(*types.Variants)
+	if !ok {
+		t.Fatalf("tagged schema is %T, want variants: %s", taggedType, tagged)
+	}
+	if !v.Wrapper() || v.Collapsed() {
+		t.Fatalf("tagged schema is not a wrapper union: %s", tagged)
+	}
+	if v.Len() != 2 {
+		t.Fatalf("tagged union has %d cases, want 2 (delete, scrub_geo): %s", v.Len(), tagged)
+	}
+	for _, tag := range []string{"delete", "scrub_geo"} {
+		c, ok := v.Get(tag)
+		if !ok {
+			t.Fatalf("tagged union missing %q case: %s", tag, tagged)
+		}
+		if c.Type.Len() != 1 {
+			t.Errorf("%q case has %d fields, want 1: %s", tag, c.Type.Len(), tagged)
+		}
+		if _, leak := c.Type.Get("text"); leak {
+			t.Errorf("tweet field leaked into the %q branch: %s", tag, tagged)
+		}
+		for _, f := range c.Type.Fields() {
+			if f.Optional {
+				t.Errorf("spurious optional %q in the %q branch: %s", f.Key, tag, tagged)
+			}
+		}
+	}
+	other := v.Other()
+	if other == nil {
+		t.Fatalf("tagged union has no catch-all tweet branch: %s", tagged)
+	}
+	if _, leak := other.Get("delete"); leak {
+		t.Errorf("delete field leaked into the tweet branch: %s", tagged)
+	}
+	for _, f := range other.Fields() {
+		if f.Optional {
+			t.Errorf("spurious optional %q in the tweet branch: %s", f.Key, tagged)
+		}
+	}
+
+	// The union still accepts both record shapes.
+	for _, rec := range []string{
+		`{"created_at":"2017-03-21T11:00:00Z","id":4,"text":"new","user":{"id":9,"name":"eve"}}`,
+		`{"delete":{"status":{"id":7,"user_id":9}}}`,
+	} {
+		ok, err := tagged.Contains([]byte(rec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("tagged schema rejects %s\nschema: %s", rec, tagged)
+		}
+	}
+	// And the tagged schema refines the paper's: every instance it
+	// accepts, the paper schema accepts too.
+	if !tagged.SubschemaOf(paper) {
+		t.Errorf("tagged schema is not a subschema of the paper schema\ntagged: %s\n paper: %s", tagged, paper)
+	}
+
+	// The full synthetic Twitter generator (≈3% deletes and scrub_geos
+	// mixed into tweets) must produce the same shape of union.
+	g, err := dataset.New("twitter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := jsi.InferNDJSON(dataset.NDJSON(g, 2000, 1), jsi.Options{TaggedUnions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := full.String()
+	if !strings.HasPrefix(s, "wrapper{") || !strings.Contains(s, "delete:") {
+		t.Errorf("twitter generator did not infer a wrapper union: %s", s)
+	}
+}
+
+// mustMarshal renders a schema's canonical codec bytes.
+func mustMarshal(t *testing.T, s *jsi.Schema) string {
+	t.Helper()
+	b, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
 }
 
 func TestInferNDJSONEmptyInput(t *testing.T) {

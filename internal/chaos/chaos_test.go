@@ -211,6 +211,59 @@ func TestRetryByteIdenticalWithDedup(t *testing.T) {
 	}
 }
 
+// TestRetryTaggedUnionsByteIdentical re-runs the retry acceptance
+// criterion with the tagged-union policy on, over the two
+// discriminator-bearing generators. The Variants merge participates in
+// the fusion monoid, so retried chunk outputs meeting the fold in a
+// different order — possibly crossing the variant cap in a different
+// sequence — must still produce byte-identical schemas across 60
+// randomized transient-fault schedules and all dedup modes.
+func TestRetryTaggedUnionsByteIdentical(t *testing.T) {
+	for _, name := range []string{"eventlog", "webhook"} {
+		data := testInput(t, name, 400)
+		refSchema, refStats, err := jsi.Infer(context.Background(), jsi.FromBytes(data),
+			jsi.Options{Workers: 4, TaggedUnions: true})
+		if err != nil {
+			t.Fatalf("%s: reference run: %v", name, err)
+		}
+		refJSON := schemaJSON(t, refSchema)
+		if !bytes.Contains(refJSON, []byte(`"variants"`)) {
+			t.Fatalf("%s: tagged reference inferred no variants node:\n%s", name, refJSON)
+		}
+
+		const schedules = 60
+		totalRetries := 0
+		for seed := int64(1); seed <= schedules; seed++ {
+			plan := chaos.DefaultPlan(seed)
+			for _, dedup := range []jsi.DedupMode{jsi.DedupOff, jsi.DedupOn, jsi.DedupAuto} {
+				opts := jsi.Options{
+					Workers:       4,
+					Dedup:         dedup,
+					TaggedUnions:  true,
+					Retries:       plan.MaxTransient,
+					FaultInjector: publicInjector(plan),
+				}
+				schema, st, err := jsi.Infer(context.Background(), jsi.FromBytes(data), opts)
+				if err != nil {
+					t.Fatalf("%s seed %d (dedup=%v): %v", name, seed, dedup, err)
+				}
+				if got := schemaJSON(t, schema); !bytes.Equal(got, refJSON) {
+					t.Fatalf("%s seed %d (dedup=%v): tagged schema diverged under faults\n got: %s\nwant: %s",
+						name, seed, dedup, got, refJSON)
+				}
+				if st.Records != refStats.Records {
+					t.Fatalf("%s seed %d (dedup=%v): Records = %d, want %d", name, seed, dedup, st.Records, refStats.Records)
+				}
+				totalRetries += st.Retries
+			}
+		}
+		if totalRetries == 0 {
+			t.Fatalf("%s: no retries across %d schedules: the plans injected nothing", name, schedules)
+		}
+		t.Logf("%s: %d schedules x3 dedup modes, %d retried attempts, tagged schema byte-identical", name, schedules, totalRetries)
+	}
+}
+
 // pickPermanentPlan finds a deterministic plan that fails some but not
 // all of the first n tasks permanently, so a Skip run both quarantines
 // and completes with records.

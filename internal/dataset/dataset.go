@@ -48,6 +48,8 @@ var builders = map[string]func() Generator{
 	"wikidata": func() Generator { return newWikidata() },
 	"nytimes":  func() Generator { return newNYTimes() },
 	"mixed":    func() Generator { return newMixed() },
+	"eventlog": func() Generator { return newEventLog() },
+	"webhook":  func() Generator { return newWebhookFeed() },
 }
 
 // paperOrder lists the four paper datasets in evaluation order; "mixed"

@@ -31,7 +31,7 @@ func TestNewKnownAndUnknown(t *testing.T) {
 
 func TestNamesOrder(t *testing.T) {
 	names := Names()
-	want := []string{"github", "twitter", "wikidata", "nytimes", "mixed"}
+	want := []string{"github", "twitter", "wikidata", "nytimes", "eventlog", "mixed", "webhook"}
 	if len(names) != len(want) {
 		t.Fatalf("Names = %v", names)
 	}

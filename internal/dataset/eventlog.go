@@ -1,0 +1,155 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/value"
+)
+
+// eventLog is a discriminator-heavy generator that is not in the paper:
+// an application event stream in the style GitHub's event timeline or a
+// product analytics feed produce, where every record carries a "type"
+// field whose string value selects the payload shape. Five event kinds
+// share an envelope (id, type, actor, created_at) and differ in their
+// payload fields; a small fraction of records are undiscriminated
+// heartbeats (no "type" at all), which exercises the catch-all branch
+// of tagged-union inference. Under the default strategy the stream
+// fuses into one record with most payload fields optional; under the
+// tagged strategy it fuses into variants(type){...} with one exact
+// record per event kind (docs/UNIONS.md).
+type eventLog struct{}
+
+func newEventLog() Generator { return eventLog{} }
+
+// Name returns "eventlog".
+func (eventLog) Name() string { return "eventlog" }
+
+// eventKinds are the observed discriminator values, comfortably below
+// the default variant cap of 16.
+var eventKinds = []string{"push", "fork", "watch", "issue", "deploy"}
+
+// Generate produces one event record, or a rare heartbeat.
+func (eventLog) Generate(r *rand.Rand) value.Value {
+	if pick(r, 0.02) {
+		// Undiscriminated heartbeat: routed to the catch-all branch.
+		return obj(
+			f("id", value.Str(hexID(r, 12))),
+			f("uptime_s", value.Num(float64(r.Intn(1000000)))),
+			f("healthy", value.Bool(pick(r, 0.99))),
+		)
+	}
+	kind := oneOf(r, eventKinds)
+	fields := []value.Field{
+		f("id", value.Str(hexID(r, 12))),
+		f("type", value.Str(kind)),
+		f("actor", obj(
+			f("login", value.Str(words(r, 1)+hexID(r, 4))),
+			f("id", value.Num(float64(1000+r.Intn(4000000)))),
+		)),
+		f("created_at", value.Str(dateStr(r))),
+	}
+	switch kind {
+	case "push":
+		fields = append(fields,
+			f("ref", value.Str("refs/heads/"+words(r, 1))),
+			f("head", value.Str(hexID(r, 40))),
+			f("commits", value.Num(float64(1+r.Intn(20)))),
+			f("forced", value.Bool(pick(r, 0.05))),
+		)
+	case "fork":
+		fields = append(fields,
+			f("forkee", obj(
+				f("full_name", value.Str(words(r, 1)+"/"+words(r, 1))),
+				f("private", value.Bool(pick(r, 0.1))),
+			)),
+		)
+	case "watch":
+		fields = append(fields,
+			f("action", value.Str("started")),
+		)
+	case "issue":
+		fields = append(fields,
+			f("action", value.Str(oneOf(r, []string{"opened", "closed", "reopened"}))),
+			f("number", value.Num(float64(1+r.Intn(5000)))),
+			f("title", value.Str(words(r, 3+r.Intn(6)))),
+			f("labels", value.Num(float64(r.Intn(6)))),
+		)
+	case "deploy":
+		fields = append(fields,
+			f("environment", value.Str(oneOf(r, []string{"staging", "production"}))),
+			f("sha", value.Str(hexID(r, 40))),
+			f("status", value.Str(oneOf(r, []string{"pending", "success", "failure"}))),
+			f("duration_ms", value.Num(float64(r.Intn(600000)))),
+		)
+	}
+	return obj(fields...)
+}
+
+// webhookFeed is the second discriminator-heavy generator: a webhook
+// delivery feed keyed by "event", with the per-event payload nested one
+// level down in a shared envelope (delivery id, event, signature,
+// payload). The discriminator sits next to a payload object rather
+// than next to the varying fields themselves, so tagged-union inference
+// must split the union at the top level to keep the nested payload
+// records from blurring into each other.
+type webhookFeed struct{}
+
+func newWebhookFeed() Generator { return webhookFeed{} }
+
+// Name returns "webhook".
+func (webhookFeed) Name() string { return "webhook" }
+
+// webhookEvents are the observed "event" values.
+var webhookEvents = []string{"order.created", "order.paid", "order.cancelled", "user.signup", "invoice.sent", "refund.issued"}
+
+// Generate produces one webhook delivery record.
+func (webhookFeed) Generate(r *rand.Rand) value.Value {
+	ev := oneOf(r, webhookEvents)
+	var payload value.Value
+	switch ev {
+	case "order.created":
+		payload = obj(
+			f("order_id", value.Str(hexID(r, 10))),
+			f("items", value.Num(float64(1+r.Intn(12)))),
+			f("total_cents", value.Num(float64(100+r.Intn(500000)))),
+			f("currency", value.Str(oneOf(r, []string{"USD", "EUR", "JPY"}))),
+		)
+	case "order.paid":
+		payload = obj(
+			f("order_id", value.Str(hexID(r, 10))),
+			f("method", value.Str(oneOf(r, []string{"card", "transfer", "wallet"}))),
+			f("paid_at", value.Str(dateStr(r))),
+		)
+	case "order.cancelled":
+		payload = obj(
+			f("order_id", value.Str(hexID(r, 10))),
+			f("reason", nullOr(r, 0.3, value.Str(words(r, 4)))),
+		)
+	case "user.signup":
+		payload = obj(
+			f("user_id", value.Num(float64(1+r.Intn(9000000)))),
+			f("email", value.Str(words(r, 1)+"@"+words(r, 1)+".example")),
+			f("referrer", nullOr(r, 0.6, value.Str(words(r, 1)))),
+		)
+	case "invoice.sent":
+		payload = obj(
+			f("invoice_id", value.Str(fmt.Sprintf("INV-%06d", r.Intn(1000000)))),
+			f("due", value.Str(dateStr(r))),
+			f("amount_cents", value.Num(float64(100+r.Intn(900000)))),
+		)
+	default: // refund.issued
+		payload = obj(
+			f("order_id", value.Str(hexID(r, 10))),
+			f("amount_cents", value.Num(float64(100+r.Intn(500000)))),
+			f("partial", value.Bool(pick(r, 0.4))),
+		)
+	}
+	return obj(
+		f("delivery", value.Str(hexID(r, 16))),
+		f("event", value.Str(ev)),
+		f("signature", value.Str("sha256="+hexID(r, 64))),
+		f("attempt", value.Num(float64(1+r.Intn(3)))),
+		f("payload", payload),
+	)
+}

@@ -288,6 +288,78 @@ func AblationAbstraction(cfg Config) (Table, error) {
 	return t, nil
 }
 
+// AblationTaggedUnions compares the paper's record fusion with the
+// tagged-union strategy (docs/UNIONS.md) on the four paper datasets
+// plus the two discriminator-heavy generators: the precision the
+// discriminated variants buy (optional-field markers that disappear
+// because fields no longer blur across variants) and what it costs in
+// schema size. "Still subschema" checks that the tagged schema admits
+// only values the paper schema admits — tagged inference refines, never
+// widens.
+func AblationTaggedUnions(cfg Config) (Table, error) {
+	t := Table{
+		Number:  109,
+		Caption: "Ablation: paper record fusion vs tagged-union strategy",
+		Headers: []string{"Dataset", "Paper size", "Tagged size", "Unions", "Cases", "Optional fields (paper)", "Optional fields (tagged)", "Still subschema"},
+	}
+	scales := cfg.scales()
+	n := scales[len(scales)-1].N
+	if n > 20_000 {
+		n = 20_000
+	}
+	names := append(dataset.PaperNames(), "eventlog", "webhook")
+	for _, name := range names {
+		paperCfg := cfg
+		paperCfg.Fusion = fusion.Options{}
+		taggedCfg := cfg
+		taggedCfg.Fusion = fusion.Options{Strategy: fusion.Tagged{}}
+		paper, err := RunPipeline(context.Background(), name, n, paperCfg)
+		if err != nil {
+			return Table{}, err
+		}
+		tagged, err := RunPipeline(context.Background(), name, n, taggedCfg)
+		if err != nil {
+			return Table{}, err
+		}
+		unions, cases := 0, 0
+		types.Walk(tagged.Fused, func(tt types.Type) bool {
+			if v, ok := tt.(*types.Variants); ok {
+				unions++
+				cases += v.Len()
+			}
+			return true
+		})
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%d", paper.Fused.Size()),
+			fmt.Sprintf("%d", tagged.Fused.Size()),
+			fmt.Sprintf("%d", unions),
+			fmt.Sprintf("%d", cases),
+			fmt.Sprintf("%d", countOptional(paper.Fused)),
+			fmt.Sprintf("%d", countOptional(tagged.Fused)),
+			fmt.Sprintf("%v", types.Subtype(tagged.Fused, paper.Fused)),
+		})
+	}
+	return t, nil
+}
+
+// countOptional counts the optional-field markers of a schema — the
+// per-field imprecision tagged unions exist to remove.
+func countOptional(t types.Type) int {
+	n := 0
+	types.Walk(t, func(tt types.Type) bool {
+		if r, ok := tt.(*types.Record); ok {
+			for _, f := range r.Fields() {
+				if f.Optional {
+					n++
+				}
+			}
+		}
+		return true
+	})
+	return n
+}
+
 // AblationReplication sweeps the HDFS replication factor on the skewed
 // placement of Table 7: the pathology the paper hit presumes the
 // effective replication was 1 (a manually copied dataset); with HDFS's
@@ -331,6 +403,7 @@ func Ablations(cfg Config) ([]Table, error) {
 		AblationPositional,
 		AblationAbstraction,
 		AblationReplication,
+		AblationTaggedUnions,
 	}
 	out := make([]Table, 0, len(fns))
 	for _, fn := range fns {

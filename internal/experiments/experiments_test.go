@@ -274,7 +274,7 @@ func TestAblations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tabs) != 8 {
+	if len(tabs) != 9 {
 		t.Fatalf("ablations = %d", len(tabs))
 	}
 	// Succinctness: compression factor > 1 for every dataset.
@@ -285,6 +285,34 @@ func TestAblations(t *testing.T) {
 		v, err := strconv.ParseFloat(strings.TrimSuffix(row[4], "x"), 64)
 		if err != nil || v <= 1 {
 			t.Errorf("%s compression = %q, want > 1x", row[0], row[4])
+		}
+	}
+	// Tagged-union ablation: all six generators report, the tagged
+	// schema refines the paper's everywhere, and the discriminated
+	// generators lose every spurious optional field.
+	var taggedTab *Table
+	for i := range tabs {
+		if tabs[i].Number == 109 {
+			taggedTab = &tabs[i]
+		}
+	}
+	if taggedTab == nil {
+		t.Fatal("no tagged-union ablation (Table 109)")
+	}
+	if len(taggedTab.Rows) != 6 {
+		t.Fatalf("tagged ablation rows = %d, want 6", len(taggedTab.Rows))
+	}
+	for _, row := range taggedTab.Rows {
+		if row[7] != "true" {
+			t.Errorf("%s: tagged schema is not a subschema of the paper's", row[0])
+		}
+		if row[0] == "eventlog" || row[0] == "webhook" {
+			if row[6] != "0" {
+				t.Errorf("%s: tagged optional fields = %s, want 0", row[0], row[6])
+			}
+			if row[5] == "0" {
+				t.Errorf("%s: paper optional fields = 0, the generator lost its shape mix", row[0])
+			}
 		}
 	}
 	// Combiner ablation: both disciplines agree on the schema.

@@ -154,25 +154,51 @@ func (p policy) lfuse(t1, t2 types.Type) types.Type {
 // fuseRecordKind dispatches the record kind: two plain records use the
 // paper's field-wise rule; once either side is an abstracted map type
 // {*: T} (the key-abstraction extension), the result stays a map, with
-// the record side's field contents folded into the element type.
+// every other shape's field contents folded into the element type (key
+// abstraction wins over tagging); variants types merge tag-wise with
+// each other and absorb plain records into Other (see tagged.go).
 func (p policy) fuseRecordKind(t1, t2 types.Type) types.Type {
 	r1, ok1 := t1.(*types.Record)
 	r2, ok2 := t2.(*types.Record)
 	if ok1 && ok2 {
 		return p.fuseRecords(r1, r2)
 	}
-	elem := types.Type(types.Empty)
-	for _, t := range []types.Type{t1, t2} {
-		switch tt := t.(type) {
-		case *types.Map:
-			elem = p.fuse(elem, tt.Elem())
-		case *types.Record:
-			for _, f := range tt.Fields() {
-				elem = p.fuse(elem, f.Type)
-			}
-		}
+	_, m1 := t1.(*types.Map)
+	_, m2 := t2.(*types.Map)
+	if !m1 && !m2 {
+		return p.fuseVariantsKind(t1, t2)
 	}
+	elem := types.Type(types.Empty)
+	elem = p.absorbIntoMapElem(elem, t1)
+	elem = p.absorbIntoMapElem(elem, t2)
 	return types.MustMap(elem)
+}
+
+// absorbIntoMapElem folds a record-kind type's content into a map
+// element type: map elements directly, record field types one by one,
+// and variants component-wise (which makes the result a function of the
+// underlying field-type multiset, independent of how the variants were
+// merged beforehand).
+func (p policy) absorbIntoMapElem(elem types.Type, t types.Type) types.Type {
+	switch tt := t.(type) {
+	case *types.Map:
+		return p.fuse(elem, tt.Elem())
+	case *types.Record:
+		for _, f := range tt.Fields() {
+			elem = p.fuse(elem, f.Type)
+		}
+		return elem
+	case *types.Variants:
+		for _, c := range tt.Cases() {
+			elem = p.absorbIntoMapElem(elem, c.Type)
+		}
+		if tt.Other() != nil {
+			elem = p.absorbIntoMapElem(elem, tt.Other())
+		}
+		return elem
+	default:
+		panic(fmt.Sprintf("fusion: map absorption of %T", t))
+	}
 }
 
 // fuseRecords implements line 3 of Figure 6: FMatch fields fuse
@@ -285,6 +311,19 @@ func (p policy) simplifyDirect(t types.Type) types.Type {
 		return types.MustRepeated(p.collapse(types.MustTuple(simplified...)))
 	case *types.Map:
 		return types.MustMap(p.simplify(tt.Elem()))
+	case *types.Variants:
+		if tt.Collapsed() {
+			return types.MustCollapsedVariants(p.simplify(tt.Other()).(*types.Record))
+		}
+		cs := make([]types.Variant, tt.Len())
+		for i, c := range tt.Cases() {
+			cs[i] = types.Variant{Tag: c.Tag, Type: p.simplify(c.Type).(*types.Record)}
+		}
+		var other *types.Record
+		if tt.Other() != nil {
+			other = p.simplify(tt.Other()).(*types.Record)
+		}
+		return types.MustVariants(tt.Key(), tt.Wrapper(), cs, other)
 	case *types.Repeated:
 		return types.MustRepeated(p.simplify(tt.Elem()))
 	case *types.Union:

@@ -56,7 +56,7 @@ func NewMemo(o Options, tab *intern.Table) *Memo {
 		fuseCache: make(map[fuseKey]types.Type, 256),
 		simpCache: make(map[intern.ID]types.Type, 256),
 	}
-	m.pol = policy{maxTuple: o.maxTupleLen(), memo: m}
+	m.pol = policy{par: o.params(), memo: m}
 	return m
 }
 
@@ -72,6 +72,17 @@ func (m *Memo) Fuse(t1, t2 types.Type) types.Type { return m.pol.fuse(t1, t2) }
 // Simplify rewrites array types into the policy's canonical form, with
 // per-distinct-type caching.
 func (m *Memo) Simplify(t types.Type) types.Type { return m.pol.simplify(t) }
+
+// Finalize lowers intermediate tagged-union states (see
+// Options.Finalize). It runs un-memoized — the pipeline calls it once
+// per fold, on the final accumulated type, and its inputs need not be
+// canonical.
+func (m *Memo) Finalize(t types.Type) types.Type {
+	if !hasVariants(t) {
+		return t
+	}
+	return policy{par: m.pol.par}.finalize(t)
+}
 
 // CacheStats reports the memo's cache counters. Deterministic on a
 // single-worker fault-free run; under concurrency two workers may race

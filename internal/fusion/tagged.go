@@ -1,0 +1,250 @@
+package fusion
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// This file holds the record-kind half of the Tagged strategy: the
+// variants merge rules, the collapse-to-paper flattening, the
+// finalization pass that lowers intermediate states, and the Promoter
+// that phase one uses to wrap discriminated records. The algebra is
+// documented in docs/UNIONS.md; the short version is that every rule
+// computes a function of the multiset of fused constituents, which is
+// what makes the operator commutative and associative regardless of
+// the reduce tree's shape.
+
+// variantsCap returns the effective tag cap: the policy's knob, or the
+// default when a variants type is fused under a policy that never
+// produces one (parsed or persisted types fed back through Fuse).
+func (p policy) variantsCap() int {
+	if p.par.maxVariants > 0 {
+		return p.par.maxVariants
+	}
+	return DefaultMaxVariants
+}
+
+// fuseRecordsR is fuseRecords with the result typed as the record it
+// always is.
+func (p policy) fuseRecordsR(r1, r2 *types.Record) *types.Record {
+	return p.fuseRecords(r1, r2).(*types.Record)
+}
+
+// fuseVariantsKind fuses two record-kind types of which at least one is
+// a variants type and neither is a map (maps absorb the whole kind in
+// fuseRecordKind).
+func (p policy) fuseVariantsKind(t1, t2 types.Type) types.Type {
+	v1, ok1 := t1.(*types.Variants)
+	v2, ok2 := t2.(*types.Variants)
+	switch {
+	case ok1 && ok2:
+		return p.fuseVariants(v1, v2)
+	case ok1:
+		return p.fuseVariantsRecord(v1, t2.(*types.Record))
+	case ok2:
+		return p.fuseVariantsRecord(v2, t1.(*types.Record))
+	default:
+		panic(fmt.Sprintf("fusion: fuseVariantsKind on %T and %T", t1, t2))
+	}
+}
+
+// fuseVariantsRecord absorbs a plain record into the union's Other
+// branch. Other's catch-all membership semantics makes this sound
+// unconditionally, which keeps the rule order-independent: Other is
+// always the plain record fusion of every undiscriminated constituent.
+func (p policy) fuseVariantsRecord(v *types.Variants, r *types.Record) types.Type {
+	other := r
+	if v.Other() != nil {
+		other = p.fuseRecordsR(v.Other(), r)
+	}
+	if v.Collapsed() {
+		return types.MustCollapsedVariants(other)
+	}
+	return types.MustVariants(v.Key(), v.Wrapper(), v.Cases(), other)
+}
+
+// fuseVariants merges two tagged unions. Matching modes and keys merge
+// case-wise by tag; a failed hypothesis — mismatched modes, more tags
+// than the cap, or either side already collapsed — yields the absorbing
+// collapsed state around the plain record fusion of everything, which
+// is exactly what the Paper strategy would have produced for the same
+// multiset of records.
+func (p policy) fuseVariants(a, b *types.Variants) types.Type {
+	collapse := func() types.Type {
+		return types.MustCollapsedVariants(p.fuseRecordsR(p.flattenVariants(a), p.flattenVariants(b)))
+	}
+	if a.Collapsed() || b.Collapsed() {
+		return collapse()
+	}
+	if a.Wrapper() != b.Wrapper() || a.Key() != b.Key() {
+		return collapse()
+	}
+	ca, cb := a.Cases(), b.Cases()
+	out := make([]types.Variant, 0, len(ca)+len(cb))
+	i, j := 0, 0
+	for i < len(ca) && j < len(cb) {
+		switch {
+		case ca[i].Tag == cb[j].Tag:
+			out = append(out, types.Variant{Tag: ca[i].Tag, Type: p.fuseRecordsR(ca[i].Type, cb[j].Type)})
+			i++
+			j++
+		case ca[i].Tag < cb[j].Tag:
+			out = append(out, ca[i])
+			i++
+		default:
+			out = append(out, cb[j])
+			j++
+		}
+	}
+	out = append(out, ca[i:]...)
+	out = append(out, cb[j:]...)
+	if len(out) > p.variantsCap() {
+		return collapse()
+	}
+	other := a.Other()
+	switch {
+	case other == nil:
+		other = b.Other()
+	case b.Other() != nil:
+		other = p.fuseRecordsR(other, b.Other())
+	}
+	return types.MustVariants(a.Key(), a.Wrapper(), out, other)
+}
+
+// flattenVariants computes the plain record the Paper strategy would
+// have inferred for the union's constituents: the record fusion of
+// every case type and Other. fuseRecords is commutative and
+// associative, so the result is a function of the constituent multiset
+// and collapsing at different points of a reduce tree converges.
+func (p policy) flattenVariants(v *types.Variants) *types.Record {
+	var acc *types.Record
+	add := func(r *types.Record) {
+		if acc == nil {
+			acc = r
+		} else {
+			acc = p.fuseRecordsR(acc, r)
+		}
+	}
+	for _, c := range v.Cases() {
+		add(c.Type)
+	}
+	if v.Other() != nil {
+		add(v.Other())
+	}
+	return acc
+}
+
+// hasVariants reports whether any node of t is a variants type — the
+// Finalize fast path: types never touched by tagged inference are
+// returned as-is, node identity included, so the default strategies'
+// folds stay byte- and pointer-identical to their pre-variants output.
+func hasVariants(t types.Type) bool {
+	found := false
+	types.Walk(t, func(n types.Type) bool {
+		if _, ok := n.(*types.Variants); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// finalize lowers the intermediate variants states after the final
+// reduce: collapsed unions become their plain record, wrapper unions
+// with fewer than two observed tags fold back into the record fusion
+// of their components (a single one-field record is overwhelmingly a
+// nested object, not a discriminated stream — Twitter-style wrappers
+// prove themselves by exhibiting several tags), and keyed unions keep
+// even a single case (the constant discriminator is informative). The
+// pass recurses structurally, so nested unions lower too.
+func (p policy) finalize(t types.Type) types.Type {
+	switch tt := t.(type) {
+	case types.Basic, types.EmptyType:
+		return t
+	case *types.Record:
+		fs := tt.Fields()
+		out := make([]types.Field, len(fs))
+		for i, f := range fs {
+			out[i] = types.Field{Key: f.Key, Type: p.finalize(f.Type), Optional: f.Optional}
+		}
+		return types.MustRecord(out...)
+	case *types.Variants:
+		if tt.Collapsed() {
+			return p.finalize(tt.Other())
+		}
+		if tt.Wrapper() && tt.Len() < 2 {
+			return p.finalize(p.flattenVariants(tt))
+		}
+		cs := make([]types.Variant, tt.Len())
+		for i, c := range tt.Cases() {
+			cs[i] = types.Variant{Tag: c.Tag, Type: p.finalize(c.Type).(*types.Record)}
+		}
+		var other *types.Record
+		if tt.Other() != nil {
+			other = p.finalize(tt.Other()).(*types.Record)
+		}
+		return types.MustVariants(tt.Key(), tt.Wrapper(), cs, other)
+	case *types.Map:
+		return types.MustMap(p.finalize(tt.Elem()))
+	case *types.Tuple:
+		elems := make([]types.Type, tt.Len())
+		for i, e := range tt.Elems() {
+			elems[i] = p.finalize(e)
+		}
+		return types.MustTuple(elems...)
+	case *types.Repeated:
+		return types.MustRepeated(p.finalize(tt.Elem()))
+	case *types.Union:
+		alts := tt.Alts()
+		out := make([]types.Type, len(alts))
+		for i, a := range alts {
+			out[i] = p.finalize(a)
+		}
+		// Lowering keeps every alternative in its kind (variants lower
+		// to records, both record-kind), so normality is preserved.
+		return types.MustUnion(out...)
+	default:
+		panic(fmt.Sprintf("fusion: unknown type %T", t))
+	}
+}
+
+// A Promoter is the phase-one half of the Tagged strategy: the decoder
+// consults it while inferring each JSON object and wraps records that
+// carry a discriminator into single-case variants types, which the
+// fusion rules above then merge tag-wise. Options.Promoter returns nil
+// for strategies without tagged-union inference, so the decoder's fast
+// path is untouched by default.
+type Promoter struct {
+	keys      []string
+	maxTagLen int
+}
+
+// Promoter returns the phase-one promoter for the options' strategy,
+// or nil when the strategy does not infer tagged unions.
+func (o Options) Promoter() *Promoter {
+	par := o.params()
+	if !par.tagged {
+		return nil
+	}
+	return &Promoter{keys: par.tagKeys, maxTagLen: par.maxTagLen}
+}
+
+// CandidateKeys lists the discriminator field names in priority order.
+func (pr *Promoter) CandidateKeys() []string { return pr.keys }
+
+// MaxTagLen is the longest string value considered a tag.
+func (pr *Promoter) MaxTagLen() int { return pr.maxTagLen }
+
+// Promote wraps a record whose field key carried the string value tag
+// into a single-case keyed variants type.
+func (pr *Promoter) Promote(r *types.Record, key, tag string) types.Type {
+	return types.MustVariants(key, false, []types.Variant{{Tag: tag, Type: r}}, nil)
+}
+
+// PromoteWrapper wraps a single-field record whose field value is an
+// object into a single-case wrapper variants type; tag is that field's
+// key.
+func (pr *Promoter) PromoteWrapper(r *types.Record, tag string) types.Type {
+	return types.MustVariants("", true, []types.Variant{{Tag: tag, Type: r}}, nil)
+}

@@ -79,6 +79,26 @@ type Observer interface {
 	EndArray(count int)
 }
 
+// A Promoter is the phase-one hook of a tagged-union fusion strategy
+// (fusion.Promoter implements it): the decoder consults it per object
+// and wraps records carrying a discriminator into single-case variants
+// types. The decoder detects two discriminator shapes:
+//
+//   - keyed: a candidate field (CandidateKeys, priority ordered) whose
+//     value is a string no longer than MaxTagLen — Promote wraps the
+//     record with that key/tag pair;
+//   - wrapper: an object with exactly one field whose value is an
+//     object — PromoteWrapper wraps it with the field key as tag.
+//
+// A nil promoter (the default) leaves inference exactly as the paper
+// specifies.
+type Promoter interface {
+	CandidateKeys() []string
+	MaxTagLen() int
+	Promote(r *types.Record, key, tag string) types.Type
+	PromoteWrapper(r *types.Record, tag string) types.Type
+}
+
 // Decoder infers one type per top-level JSON value read from an input
 // stream, without building intermediate value trees.
 type Decoder struct {
@@ -91,6 +111,12 @@ type Decoder struct {
 
 	// obs, when set, receives value events alongside inference.
 	obs Observer
+
+	// pr, when set, promotes discriminated records to variants types;
+	// prKeys and prMaxTag cache its parameters for the per-field check.
+	pr       Promoter
+	prKeys   []string
+	prMaxTag int
 
 	// fieldScratch and elemScratch hold one reusable accumulator per
 	// nesting depth, so a record or array at depth d appends into the
@@ -141,6 +167,18 @@ func (d *Decoder) SetInterner(tab *intern.Table) { d.tab = tab }
 // inferring; nil (the default) reports nothing and costs one branch
 // per token.
 func (d *Decoder) SetObserver(obs Observer) { d.obs = obs }
+
+// SetPromoter installs a tagged-union promoter; nil (the default)
+// infers plain record types exactly as the paper specifies.
+func (d *Decoder) SetPromoter(pr Promoter) {
+	d.pr = pr
+	d.prKeys = nil
+	d.prMaxTag = 0
+	if pr != nil {
+		d.prKeys = pr.CandidateKeys()
+		d.prMaxTag = pr.MaxTagLen()
+	}
+}
 
 // Next infers the type of the next top-level value in the stream. It
 // returns io.EOF at the end of the input.
@@ -227,6 +265,12 @@ func (d *Decoder) inferObject(depth int) (types.Type, error) {
 	}
 	fields := d.fieldsAt(depth)
 	first := true
+	// Discriminator capture for the tagged strategy: the best (lowest
+	// priority index) candidate key seen with a short string value, and
+	// whether the first field's value was an object (the wrapper shape).
+	tagPrio := -1
+	var tagKey, tagVal string
+	wrapperCand := false
 	for {
 		tok, err := d.lex.Next()
 		if err != nil {
@@ -248,7 +292,11 @@ func (d *Decoder) inferObject(depth int) (types.Type, error) {
 					d.obs.EndObject()
 				}
 				d.fieldScratch[depth] = fields
-				return d.buildRecord(fields)
+				rt, err := d.buildRecord(fields)
+				if err != nil || d.pr == nil {
+					return rt, err
+				}
+				return d.promote(rt.(*types.Record), tagPrio >= 0, tagKey, tagVal, wrapperCand && len(fields) == 1), nil
 			case jsontext.TokComma:
 				tok, err = d.lex.Next()
 				if err != nil {
@@ -286,6 +334,26 @@ func (d *Decoder) inferObject(depth int) (types.Type, error) {
 		if err != nil {
 			return nil, err
 		}
+		if d.pr != nil {
+			if len(fields) == 0 && vt.Kind == jsontext.TokBeginObject {
+				wrapperCand = true
+			}
+			if vt.Kind == jsontext.TokStr {
+				for prio, cand := range d.prKeys {
+					if cand != key || (tagPrio >= 0 && prio >= tagPrio) {
+						continue
+					}
+					// Materialize the tag now — the token's bytes are only
+					// valid until the next lexer call. Tags are low
+					// cardinality, so the intern cache makes this free
+					// after the first occurrence of each.
+					if tag := d.lex.InternBytes(vt.Bytes); len(tag) <= d.prMaxTag {
+						tagPrio, tagKey, tagVal = prio, key, tag
+					}
+					break
+				}
+			}
+		}
 		ft, err := d.inferValue(vt, depth+1)
 		if err != nil {
 			return nil, err
@@ -314,6 +382,27 @@ func (d *Decoder) buildRecord(fields []types.Field) (types.Type, error) {
 		fields[j+1] = f
 	}
 	return d.tab.InternRecord(fields), nil
+}
+
+// promote wraps a freshly inferred record into a single-case variants
+// type when a discriminator was captured: a keyed candidate wins over
+// the wrapper shape. The canonical representative is returned when an
+// interner is installed (children are already canonical, so this is a
+// shallow probe).
+func (d *Decoder) promote(r *types.Record, keyed bool, tagKey, tagVal string, wrapper bool) types.Type {
+	var t types.Type
+	switch {
+	case keyed:
+		t = d.pr.Promote(r, tagKey, tagVal)
+	case wrapper:
+		t = d.pr.PromoteWrapper(r, r.Fields()[0].Key)
+	default:
+		return r
+	}
+	if d.tab != nil {
+		return d.tab.Canon(t)
+	}
+	return t
 }
 
 func (d *Decoder) inferArray(depth int) (types.Type, error) {
@@ -372,11 +461,20 @@ func InferAll(data []byte) ([]types.Type, error) {
 // InferAllObserved is InferAll with value events reported to obs (when
 // non-nil) — the enrichment-enabled map stage.
 func InferAllObserved(data []byte, obs Observer) ([]types.Type, error) {
+	return InferAllWith(data, obs, nil)
+}
+
+// InferAllWith is InferAllObserved with a tagged-union promoter (both
+// may be nil) — the fully optioned map stage.
+func InferAllWith(data []byte, obs Observer, pr Promoter) ([]types.Type, error) {
 	var ts []types.Type
 	d := NewBytesDecoder(data, jsontext.Options{})
 	defer d.Release()
 	if obs != nil {
 		d.SetObserver(obs)
+	}
+	if pr != nil {
+		d.SetPromoter(pr)
 	}
 	for {
 		t, err := d.Next()
@@ -404,12 +502,21 @@ func DedupAll(data []byte, tab *intern.Table) (*intern.Multiset, error) {
 // non-nil). Observation stays per record — the multiset deduplicates
 // types, not values, and enrichment wants every value.
 func DedupAllObserved(data []byte, tab *intern.Table, obs Observer) (*intern.Multiset, error) {
+	return DedupAllWith(data, tab, obs, nil)
+}
+
+// DedupAllWith is DedupAllObserved with a tagged-union promoter (both
+// obs and pr may be nil) — the fully optioned deduplicating map stage.
+func DedupAllWith(data []byte, tab *intern.Table, obs Observer, pr Promoter) (*intern.Multiset, error) {
 	ms := intern.NewMultiset()
 	d := NewBytesDecoder(data, jsontext.Options{})
 	defer d.Release()
 	d.SetInterner(tab)
 	if obs != nil {
 		d.SetObserver(obs)
+	}
+	if pr != nil {
+		d.SetPromoter(pr)
 	}
 	for {
 		t, err := d.Next()

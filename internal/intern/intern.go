@@ -164,6 +164,35 @@ func (tb *Table) Canon(t types.Type) types.Type {
 			return tb.internShallow(t)
 		}
 		return tb.InternTuple(out)
+	case *types.Variants:
+		if tt.Collapsed() {
+			co := tb.Canon(tt.Other()).(*types.Record)
+			if co == tt.Other() {
+				return tb.internShallow(t)
+			}
+			return tb.internShallow(types.MustCollapsedVariants(co))
+		}
+		cs := tt.Cases()
+		out := make([]types.Variant, len(cs))
+		changed := false
+		for i, c := range cs {
+			ct := tb.Canon(c.Type).(*types.Record)
+			out[i] = types.Variant{Tag: c.Tag, Type: ct}
+			if ct != c.Type {
+				changed = true
+			}
+		}
+		var other *types.Record
+		if tt.Other() != nil {
+			other = tb.Canon(tt.Other()).(*types.Record)
+			if other != tt.Other() {
+				changed = true
+			}
+		}
+		if !changed {
+			return tb.internShallow(t)
+		}
+		return tb.internShallow(types.MustVariants(tt.Key(), tt.Wrapper(), out, other))
 	case *types.Repeated:
 		ce := tb.Canon(tt.Elem())
 		if ce == tt.Elem() {
@@ -297,6 +326,7 @@ const (
 	tagTuple
 	tagRepeated
 	tagUnion
+	tagVariants
 )
 
 func mixByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
@@ -336,6 +366,35 @@ func (tb *Table) shallowMetaLocked(t types.Type) (h uint64, size int, ok bool) {
 		return mixWord(mixByte(fnvOffset, tagMap), e.hash), 2 + e.size, true
 	case *types.Tuple:
 		return tb.tupleMetaLocked(tt.Elems())
+	case *types.Variants:
+		h = mixByte(fnvOffset, tagVariants)
+		size = 1
+		switch {
+		case tt.Collapsed():
+			h = mixByte(h, 1)
+		case tt.Wrapper():
+			h = mixByte(h, 2)
+		default:
+			h = mixString(mixByte(h, 3), tt.Key())
+		}
+		for _, c := range tt.Cases() {
+			e, ok := tb.childLocked(c.Type)
+			if !ok {
+				return 0, 0, false
+			}
+			h = mixString(h, c.Tag)
+			h = mixWord(h, e.hash)
+			size += 1 + e.size
+		}
+		if tt.Other() != nil {
+			e, ok := tb.childLocked(tt.Other())
+			if !ok {
+				return 0, 0, false
+			}
+			h = mixWord(mixByte(h, 4), e.hash)
+			size += 1 + e.size
+		}
+		return h, size, true
 	case *types.Repeated:
 		e, ok := tb.childLocked(tt.Elem())
 		if !ok {
@@ -417,6 +476,19 @@ func shallowEqual(a, b types.Type) bool {
 	case *types.Tuple:
 		bt, ok := b.(*types.Tuple)
 		return ok && tupleEqualElems(at, bt.Elems())
+	case *types.Variants:
+		bt, ok := b.(*types.Variants)
+		if !ok || at.Collapsed() != bt.Collapsed() || at.Wrapper() != bt.Wrapper() ||
+			at.Key() != bt.Key() || at.Len() != bt.Len() || at.Other() != bt.Other() {
+			return false
+		}
+		bc := bt.Cases()
+		for i, c := range at.Cases() {
+			if c.Tag != bc[i].Tag || c.Type != bc[i].Type {
+				return false
+			}
+		}
+		return true
 	case *types.Repeated:
 		bt, ok := b.(*types.Repeated)
 		return ok && at.Elem() == bt.Elem()

@@ -15,6 +15,15 @@
 //	[ε*]                       {"type": "array", "maxItems": 0}
 //	{*: T}                     {"type": "object", "additionalProperties": S}
 //	T1 + ... + Tn              {"anyOf": [S1, ..., Sn]}
+//	variants(k){t: R, ...}     {"oneOf": [R1', ..., Rn', O]} with each Ri'
+//	                           pinning the discriminator: properties[k]
+//	                           gains {"const": ti} (const is a draft-06
+//	                           keyword adopted here because it is the
+//	                           idiomatic discriminator encoding; tools
+//	                           bound to strict draft-04 read it as an
+//	                           unknown — ignored — keyword)
+//	wrapper{t: R, ...}         {"oneOf": [R1, ..., Rn, O]} — the single
+//	                           required property name is the discriminator
 //	ε                          {"not": {}}
 //
 // additionalProperties is false because inferred record types are
@@ -183,6 +192,31 @@ func exportAnn(t types.Type, c enrich.Cursor, includeValue bool) (map[string]any
 			alts[i] = s
 		}
 		doc = map[string]any{"anyOf": alts}
+	case *types.Variants:
+		if tt.Collapsed() {
+			return exportAnn(tt.Other(), c, includeValue)
+		}
+		// Every branch sits at the same path, so each descends with the
+		// same cursor (record fields pick up their per-path annotations
+		// through c.Field inside the record case) and whole-value
+		// annotations attach once, on the oneOf node.
+		branches := make([]any, 0, tt.Len()+1)
+		for _, vc := range tt.Cases() {
+			s, err := exportAnn(vc.Type, c, false)
+			if err != nil {
+				return nil, fmt.Errorf("variant %q: %w", vc.Tag, err)
+			}
+			pinDiscriminator(s, tt.Key(), vc.Tag)
+			branches = append(branches, s)
+		}
+		if tt.Other() != nil {
+			s, err := exportAnn(tt.Other(), c, false)
+			if err != nil {
+				return nil, fmt.Errorf("variants catch-all: %w", err)
+			}
+			branches = append(branches, s)
+		}
+		doc = map[string]any{"oneOf": branches}
 	default:
 		return export(t)
 	}
@@ -275,7 +309,47 @@ func export(t types.Type) (map[string]any, error) {
 			alts[i] = s
 		}
 		return map[string]any{"anyOf": alts}, nil
+	case *types.Variants:
+		if tt.Collapsed() {
+			return export(tt.Other())
+		}
+		branches := make([]any, 0, tt.Len()+1)
+		for _, c := range tt.Cases() {
+			s, err := export(c.Type)
+			if err != nil {
+				return nil, fmt.Errorf("variant %q: %w", c.Tag, err)
+			}
+			pinDiscriminator(s, tt.Key(), c.Tag)
+			branches = append(branches, s)
+		}
+		if tt.Other() != nil {
+			s, err := export(tt.Other())
+			if err != nil {
+				return nil, fmt.Errorf("variants catch-all: %w", err)
+			}
+			branches = append(branches, s)
+		}
+		return map[string]any{"oneOf": branches}, nil
 	default:
 		return nil, fmt.Errorf("jsonschema: unknown type %T", t)
+	}
+}
+
+// pinDiscriminator narrows the discriminator property of a keyed
+// variant's branch schema to its tag. Wrapper variants pass key == ""
+// and are left alone — their required single property name already
+// discriminates.
+func pinDiscriminator(branch map[string]any, key, tag string) {
+	if key == "" {
+		return
+	}
+	props, ok := branch["properties"].(map[string]any)
+	if !ok {
+		return
+	}
+	if ps, ok := props[key].(map[string]any); ok {
+		ps["const"] = tag
+	} else {
+		props[key] = map[string]any{"type": "string", "const": tag}
 	}
 }

@@ -165,7 +165,7 @@ func (a *plainAcc) Merge(other Accumulator) {
 func (a *plainAcc) Fold() Result {
 	if a.sum != nil {
 		return Result{
-			Fused:         a.fused,
+			Fused:         a.fz.Finalize(a.fused),
 			Records:       a.sum.Count(),
 			DistinctTypes: a.sum.Distinct(),
 			MinTypeSize:   a.sum.MinSize(),
@@ -175,7 +175,7 @@ func (a *plainAcc) Fold() Result {
 			Enrichment:    a.lat,
 		}
 	}
-	r := Result{Fused: a.fused, Records: a.count, MinTypeSize: a.minSize(), MaxTypeSize: a.max, Enrichment: a.lat}
+	r := Result{Fused: a.fz.Finalize(a.fused), Records: a.count, MinTypeSize: a.minSize(), MaxTypeSize: a.max, Enrichment: a.lat}
 	if a.count > 0 {
 		r.AvgTypeSize = float64(a.sumSize) / float64(a.count)
 	}
@@ -227,7 +227,7 @@ func (a *dedupAcc) Merge(other Accumulator) {
 // AvgTypeSize is bit-identical to the per-record accumulation of the
 // plain payload.
 func (a *dedupAcc) Fold() Result {
-	r := Result{Fused: a.fused, Enrichment: a.lat}
+	r := Result{Fused: a.dd.Memo.Finalize(a.fused), Enrichment: a.lat}
 	var sumSize int64
 	for i, e := range a.ms.Elems() {
 		if i == 0 || e.Size < r.MinTypeSize {
@@ -384,7 +384,7 @@ func (a *autoAcc) recheck() {
 // Fold combines both portions into the same statistics either fixed
 // payload derives.
 func (a *autoAcc) Fold() Result {
-	r := Result{Fused: a.fused, Enrichment: a.lat}
+	r := Result{Fused: a.fz.Finalize(a.fused), Enrichment: a.lat}
 	var sumSize int64
 	seen := make(map[uint64]struct{}, a.ms.Len()+len(a.deg.distinct))
 	first := true

@@ -376,7 +376,7 @@ func (e *Env) mapChunk(chunk []byte) (Accumulator, error) {
 		// the chunk metrics (record counts, fused size) are therefore
 		// identical to the plain payload's.
 		t0 := e.phaseStart()
-		ms, err := infer.DedupAllObserved(chunk, dd.Tab, observer(lat))
+		ms, err := infer.DedupAllWith(chunk, dd.Tab, observer(lat), e.promoter())
 		if err != nil {
 			return nil, err
 		}
@@ -397,7 +397,7 @@ func (e *Env) mapChunk(chunk []byte) (Accumulator, error) {
 		return &dedupAcc{dd: dd, ms: ms, fused: fused, lat: lat}, nil
 	}
 	t0 := e.phaseStart()
-	ts, err := infer.InferAllObserved(chunk, observer(lat))
+	ts, err := infer.InferAllWith(chunk, observer(lat), e.promoter())
 	if err != nil {
 		return nil, err
 	}
@@ -436,6 +436,9 @@ func (e *Env) mapAutoChunk(chunk []byte, lat *enrich.Lattice) (Accumulator, erro
 	defer dec.Release()
 	if o := observer(lat); o != nil {
 		dec.SetObserver(o)
+	}
+	if pr := e.promoter(); pr != nil {
+		dec.SetPromoter(pr)
 	}
 	interned := dd.hint.Load() != hintDegrade
 	if interned {
@@ -530,6 +533,16 @@ func treeFuse(ts []types.Type, fuse func(a, b types.Type) types.Type) types.Type
 	return ts[0]
 }
 
+// promoter returns the Env's phase-one tagged-union promoter as the
+// decoder's interface, without smuggling a typed-nil interface through
+// when the fusion strategy has none.
+func (e *Env) promoter() infer.Promoter {
+	if pr := e.Fusion.Promoter(); pr != nil {
+		return pr
+	}
+	return nil
+}
+
 // newLattice returns a fresh enrichment lattice, or nil with
 // enrichment off.
 func (e *Env) newLattice() *enrich.Lattice {
@@ -602,6 +615,9 @@ func RunStream(ctx context.Context, env *Env, r io.Reader) (Accumulator, int64, 
 	defer dec.Release()
 	if env.Dedup != nil {
 		dec.SetInterner(env.Dedup.Tab)
+	}
+	if pr := env.promoter(); pr != nil {
+		dec.SetPromoter(pr)
 	}
 	acc := env.NewStreamAcc()
 	if lat := env.newLattice(); lat != nil {

@@ -26,6 +26,8 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 
 	jsi "repro"
 	"repro/internal/enrich"
@@ -76,6 +78,18 @@ type Config struct {
 	// enrichment. Requests can override it per call with the enrich
 	// query parameter (a comma list, "all", or "off").
 	Enrich []string
+
+	// TaggedUnions enables tagged-union inference (docs/UNIONS.md) on
+	// every ingest: discriminated records fuse into one variant per
+	// observed tag instead of one blurred record. Requests can override
+	// it per call with the tagged query parameter ("true" or "false").
+	TaggedUnions bool
+
+	// UnionKeys overrides the discriminator field names probed by
+	// tagged-union inference, in priority order; empty means the library
+	// default ("type", "event", "kind"). Requests can override it per
+	// call with the union_keys query parameter (a comma list).
+	UnionKeys []string
 
 	// Logf receives operational messages (eviction failures, snapshot
 	// errors). Nil discards them.
@@ -224,6 +238,21 @@ func (s *Server) ingestOptions(r *http.Request) (jsi.Options, error) {
 		default:
 			opts.Enrich = []string{v}
 		}
+	}
+	opts.TaggedUnions = s.cfg.TaggedUnions
+	opts.UnionKeys = s.cfg.UnionKeys
+	if r.URL.Query().Has("tagged") {
+		on, err := strconv.ParseBool(r.URL.Query().Get("tagged"))
+		if err != nil {
+			return opts, fmt.Errorf("invalid tagged %q (want true or false)", r.URL.Query().Get("tagged"))
+		}
+		opts.TaggedUnions = on
+	}
+	if v := r.URL.Query().Get("union_keys"); v != "" {
+		if !opts.TaggedUnions {
+			return opts, errors.New("union_keys requires tagged union inference (tagged=true or Config.TaggedUnions)")
+		}
+		opts.UnionKeys = strings.Split(v, ",")
 	}
 	return opts, nil
 }

@@ -18,12 +18,24 @@ type wireType struct {
 	Elems  []*wireType `json:"elems,omitempty"`
 	Elem   *wireType   `json:"elem,omitempty"`
 	Alts   []*wireType `json:"alts,omitempty"`
+	// Tagged-union fields (K == "variants"): the discriminator key (keyed
+	// mode), the wrapper/collapsed mode markers, the cases, and the Other
+	// record reusing Elem.
+	Key       string     `json:"key,omitempty"`
+	Wrapper   bool       `json:"wrapper,omitempty"`
+	Collapsed bool       `json:"collapsed,omitempty"`
+	Cases     []wireCase `json:"cases,omitempty"`
 }
 
 type wireField struct {
 	Key  string    `json:"key"`
 	Type *wireType `json:"type"`
 	Opt  bool      `json:"opt,omitempty"`
+}
+
+type wireCase struct {
+	Tag  string    `json:"tag"`
+	Type *wireType `json:"type"`
 }
 
 func toWire(t Type) *wireType {
@@ -60,6 +72,15 @@ func toWire(t Type) *wireType {
 		return &wireType{K: "tuple", Elems: es}
 	case *Map:
 		return &wireType{K: "map", Elem: toWire(tt.elem)}
+	case *Variants:
+		w := &wireType{K: "variants", Key: tt.key, Wrapper: tt.wrapper, Collapsed: tt.collapsed}
+		for _, c := range tt.cases {
+			w.Cases = append(w.Cases, wireCase{Tag: c.Tag, Type: toWire(c.Type)})
+		}
+		if tt.other != nil {
+			w.Elem = toWire(tt.other)
+		}
+		return w
 	case *Repeated:
 		return &wireType{K: "rep", Elem: toWire(tt.elem)}
 	case *Union:
@@ -120,6 +141,35 @@ func fromWire(w *wireType) (Type, error) {
 			return nil, fmt.Errorf("map element: %w", err)
 		}
 		return NewMap(e)
+	case "variants":
+		var other *Record
+		if w.Elem != nil {
+			o, err := fromWire(w.Elem)
+			if err != nil {
+				return nil, fmt.Errorf("variants other: %w", err)
+			}
+			r, ok := o.(*Record)
+			if !ok {
+				return nil, fmt.Errorf("types: variants other is %T, want record", o)
+			}
+			other = r
+		}
+		if w.Collapsed {
+			return NewCollapsedVariants(other)
+		}
+		cs := make([]Variant, len(w.Cases))
+		for i, wc := range w.Cases {
+			ct, err := fromWire(wc.Type)
+			if err != nil {
+				return nil, fmt.Errorf("variant %q: %w", wc.Tag, err)
+			}
+			r, ok := ct.(*Record)
+			if !ok {
+				return nil, fmt.Errorf("types: variant %q is %T, want record", wc.Tag, ct)
+			}
+			cs[i] = Variant{Tag: wc.Tag, Type: r}
+		}
+		return NewVariants(w.Key, w.Wrapper, cs, other)
 	case "union":
 		as := make([]Type, len(w.Alts))
 		for i, wa := range w.Alts {

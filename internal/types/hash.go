@@ -48,6 +48,24 @@ func hashType(h uint64, t Type) uint64 {
 		return hashByte(h, 0x04)
 	case *Map:
 		return hashType(hashByte(h, 0x05), tt.elem)
+	case *Variants:
+		h = hashByte(h, 0x0b)
+		switch {
+		case tt.collapsed:
+			h = hashByte(h, 0x12)
+		case tt.wrapper:
+			h = hashByte(h, 0x13)
+		default:
+			h = hashString(hashByte(h, 0x14), tt.key)
+		}
+		for _, c := range tt.cases {
+			h = hashString(h, c.Tag)
+			h = hashType(h, c.Type)
+		}
+		if tt.other != nil {
+			h = hashType(hashByte(h, 0x15), tt.other)
+		}
+		return hashByte(h, 0x0c)
 	case *Tuple:
 		h = hashByte(h, 0x06)
 		for _, e := range tt.elems {

@@ -74,6 +74,36 @@ func Member(v value.Value, t Type) bool {
 			}
 		}
 		return true
+	case *Variants:
+		rv, ok := v.(*value.Record)
+		if !ok {
+			return false
+		}
+		if tt.collapsed {
+			return Member(v, tt.other)
+		}
+		// Route the record by its discriminator: a matching tag admits
+		// through that case. Other is a catch-all — values the routing
+		// misses (or whose routed case rejects them) still belong when
+		// Other admits them. The catch-all semantics is what lets fusion
+		// absorb arbitrary plain records into Other soundly, keeping the
+		// merge algebra order-independent (docs/UNIONS.md).
+		if tt.wrapper {
+			if fs := rv.Fields(); len(fs) == 1 {
+				if _, isRec := fs[0].Value.(*value.Record); isRec {
+					if c, ok := tt.Get(fs[0].Key); ok && Member(v, c.Type) {
+						return true
+					}
+				}
+			}
+		} else if fv := rv.Get(tt.key); fv != nil {
+			if s, isStr := fv.(value.Str); isStr {
+				if c, ok := tt.Get(string(s)); ok && Member(v, c.Type) {
+					return true
+				}
+			}
+		}
+		return tt.other != nil && Member(v, tt.other)
 	case *Tuple:
 		av, ok := v.(value.Array)
 		if !ok || len(av) != len(tt.elems) {

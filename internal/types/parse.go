@@ -147,11 +147,120 @@ func (p *typeParser) parseName() (Type, error) {
 		return Str, nil
 	case "ε", "Empty":
 		return Empty, nil
+	case "variants":
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		key, err := p.parseKey()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return p.parseVariantsBody(key, false)
+	case "wrapper":
+		return p.parseVariantsBody("", true)
+	case "collapsed":
+		if err := p.expect('{'); err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if err := p.expect('*'); err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if err := p.expect(':'); err != nil {
+			return nil, err
+		}
+		other, err := p.parseCaseRecord()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if err := p.expect('}'); err != nil {
+			return nil, err
+		}
+		return NewCollapsedVariants(other)
 	case "":
 		return nil, p.errorf("expected a type")
 	default:
 		return nil, p.errorf("unknown type name %q", name)
 	}
+}
+
+// parseVariantsBody parses the `{tag: {...}, ..., *: {...}}` body shared
+// by the keyed and wrapper forms; the `*: R` entry, when present, must
+// be last.
+func (p *typeParser) parseVariantsBody(key string, wrapper bool) (Type, error) {
+	p.skipSpace()
+	if err := p.expect('{'); err != nil {
+		return nil, err
+	}
+	var cases []Variant
+	var other *Record
+	for {
+		p.skipSpace()
+		if p.peek() == '*' {
+			p.pos++
+			p.skipSpace()
+			if err := p.expect(':'); err != nil {
+				return nil, err
+			}
+			o, err := p.parseCaseRecord()
+			if err != nil {
+				return nil, err
+			}
+			other = o
+			p.skipSpace()
+			if err := p.expect('}'); err != nil {
+				return nil, err
+			}
+			break
+		}
+		tag, err := p.parseKey()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if err := p.expect(':'); err != nil {
+			return nil, err
+		}
+		ct, err := p.parseCaseRecord()
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, Variant{Tag: tag, Type: ct})
+		p.skipSpace()
+		switch p.peek() {
+		case ',':
+			p.pos++
+			continue
+		case '}':
+			p.pos++
+		default:
+			return nil, p.errorf("expected ',' or '}' in variants")
+		}
+		break
+	}
+	return NewVariants(key, wrapper, cases, other)
+}
+
+// parseCaseRecord parses a record type in a position where the variants
+// syntax requires one (case bodies and the Other entry).
+func (p *typeParser) parseCaseRecord() (*Record, error) {
+	p.skipSpace()
+	t, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	r, ok := t.(*Record)
+	if !ok {
+		return nil, p.errorf("variant case must be a record type, got %s", t)
+	}
+	return r, nil
 }
 
 func (p *typeParser) parseRecord() (Type, error) {

@@ -72,6 +72,44 @@ func (m *Map) appendTo(sb *strings.Builder) {
 	sb.WriteByte('}')
 }
 
+// appendTo renders a tagged union:
+//
+//	variants(k){tag1: {...}, tag2: {...}, *: {...}}   keyed on field k
+//	wrapper{tag1: {...}, *: {...}}                    single-field wrappers
+//	collapsed{*: {...}}                               failed hypothesis
+//
+// The trailing `*: R` entry is the Other record and is omitted when
+// nil. Tags and the key follow the record-key quoting rules.
+func (v *Variants) appendTo(sb *strings.Builder) {
+	switch {
+	case v.collapsed:
+		sb.WriteString("collapsed")
+	case v.wrapper:
+		sb.WriteString("wrapper")
+	default:
+		sb.WriteString("variants(")
+		appendKey(sb, v.key)
+		sb.WriteByte(')')
+	}
+	sb.WriteByte('{')
+	for i, c := range v.cases {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		appendKey(sb, c.Tag)
+		sb.WriteString(": ")
+		c.Type.appendTo(sb)
+	}
+	if v.other != nil {
+		if len(v.cases) > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("*: ")
+		v.other.appendTo(sb)
+	}
+	sb.WriteByte('}')
+}
+
 func (r *Record) appendTo(sb *strings.Builder) {
 	sb.WriteByte('{')
 	for i, f := range r.fields {
@@ -224,6 +262,40 @@ func indentTo(sb *strings.Builder, t Type, level int, inUnion bool) {
 	case *Map:
 		sb.WriteString("{*: ")
 		indentTo(sb, tt.elem, level, false)
+		sb.WriteByte('}')
+	case *Variants:
+		switch {
+		case tt.collapsed:
+			sb.WriteString("collapsed")
+		case tt.wrapper:
+			sb.WriteString("wrapper")
+		default:
+			sb.WriteString("variants(")
+			appendKey(sb, tt.key)
+			sb.WriteByte(')')
+		}
+		sb.WriteString("{\n")
+		n := len(tt.cases)
+		if tt.other != nil {
+			n++
+		}
+		for i, c := range tt.cases {
+			pad(level + 1)
+			appendKey(sb, c.Tag)
+			sb.WriteString(": ")
+			indentTo(sb, c.Type, level+1, false)
+			if i < n-1 {
+				sb.WriteByte(',')
+			}
+			sb.WriteByte('\n')
+		}
+		if tt.other != nil {
+			pad(level + 1)
+			sb.WriteString("*: ")
+			indentTo(sb, tt.other, level+1, false)
+			sb.WriteByte('\n')
+		}
+		pad(level)
 		sb.WriteByte('}')
 	case *Repeated:
 		sb.WriteByte('[')

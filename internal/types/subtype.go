@@ -39,14 +39,35 @@ func Subtype(t, u Type) bool {
 		}
 		return true
 	}
-	// A union on the right succeeds if any alternative covers t.
+	// A union on the right succeeds if any alternative covers t. A
+	// tagged union on the left gets a second chance: its components may
+	// be covered by different alternatives.
 	if uu, ok := u.(*Union); ok {
 		for _, a := range uu.alts {
 			if Subtype(t, a) {
 				return true
 			}
 		}
+		if vt, ok := t.(*Variants); ok {
+			return variantsComponentsSubtype(vt, u)
+		}
 		return false
+	}
+	// A tagged union on the left is covered when every component is:
+	// ⟦V⟧ is contained in the union of its case types and Other, so
+	// component-wise coverage is sound for any right side (the
+	// right-side Variants rule refines the same-discriminator case).
+	if vt, ok := t.(*Variants); ok {
+		if vu, ok := u.(*Variants); ok {
+			return variantsSubtype(vt, vu)
+		}
+		return variantsComponentsSubtype(vt, u)
+	}
+	// A tagged union on the right admits any value its catch-all Other
+	// branch admits (Member falls back to Other when routing misses or
+	// the routed case rejects), so covering t with Other is sound.
+	if vu, ok := u.(*Variants); ok {
+		return vu.Other() != nil && Subtype(t, vu.Other())
 	}
 	switch tt := t.(type) {
 	case Basic:
@@ -125,6 +146,62 @@ func Subtype(t, u Type) bool {
 // and like Subtype it can answer false for exotic semantically-equal
 // pairs, never true for unequal ones.
 func Equivalent(t, u Type) bool { return Subtype(t, u) && Subtype(u, t) }
+
+// variantsComponentsSubtype checks component-wise coverage: ⟦V⟧ is
+// contained in the union of its case types and Other, so V <: u holds
+// whenever every component does. Sound for any right side.
+func variantsComponentsSubtype(t *Variants, u Type) bool {
+	for _, c := range t.Cases() {
+		if !Subtype(c.Type, u) {
+			return false
+		}
+	}
+	return t.Other() == nil || Subtype(t.Other(), u)
+}
+
+// variantsSubtype covers one tagged union with another. With matching
+// modes and keys, every left case needs a same-tag right case covering
+// it (or must fit the right catch-all), and the Other branches must
+// nest. Mismatched modes fall back to component-wise coverage, and
+// collapsed states compare by their records.
+func variantsSubtype(t, u *Variants) bool {
+	if t.Collapsed() {
+		return Subtype(t.Other(), Type(u))
+	}
+	if u.Collapsed() {
+		return Subtype(flattenLeft(t), u.Other())
+	}
+	if t.Wrapper() != u.Wrapper() || t.Key() != u.Key() {
+		return variantsComponentsSubtype(t, u)
+	}
+	for _, c := range t.Cases() {
+		if uc, ok := u.Get(c.Tag); ok && Subtype(c.Type, uc.Type) {
+			continue
+		}
+		if u.Other() == nil || !Subtype(c.Type, u.Other()) {
+			return false
+		}
+	}
+	if t.Other() != nil {
+		return u.Other() != nil && Subtype(t.Other(), u.Other())
+	}
+	return true
+}
+
+// flattenLeft over-approximates a tagged union's value set for the
+// left-of-collapsed comparison: since every component must fit the one
+// record on the right, checking each individually is equivalent; return
+// a union of the components so the standard left-union rule does it.
+func flattenLeft(t *Variants) Type {
+	parts := make([]Type, 0, t.Len()+1)
+	for _, c := range t.Cases() {
+		parts = append(parts, c.Type)
+	}
+	if t.Other() != nil {
+		parts = append(parts, t.Other())
+	}
+	return MustUnion(parts...)
+}
 
 // recordSubtype implements the record rule documented on Subtype. Both
 // field slices are sorted by key; merge them.

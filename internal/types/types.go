@@ -127,9 +127,9 @@ type Union struct {
 func (Basic) ordinal() int     { return 1 }
 func (EmptyType) ordinal() int { return 0 }
 func (*Record) ordinal() int   { return 2 }
-func (*Tuple) ordinal() int    { return 4 }
-func (*Repeated) ordinal() int { return 5 }
-func (*Union) ordinal() int    { return 6 }
+func (*Tuple) ordinal() int    { return 5 }
+func (*Repeated) ordinal() int { return 6 }
+func (*Union) ordinal() int    { return 7 }
 
 // KindOf returns the paper's kind of a non-union, non-empty type and
 // true; for Union and Empty it returns false, since the paper's kind()
@@ -138,7 +138,7 @@ func KindOf(t Type) (Kind, bool) {
 	switch t.(type) {
 	case Basic:
 		return Kind(t.(Basic)), true
-	case *Record, *Map:
+	case *Record, *Map, *Variants:
 		return KindRecord, true
 	case *Tuple, *Repeated:
 		return KindArray, true
@@ -365,7 +365,8 @@ func (u *Union) Size() int {
 func Equal(a, b Type) bool { return Compare(a, b) == 0 }
 
 // Compare defines a total order over canonical types: first by ordinal
-// (ε < basic < record < tuple < repeated < union), basics by kind,
+// (ε < basic < record < map < variants < tuple < repeated < union),
+// basics by kind,
 // records lexicographically by (key, optionality, type), tuples and
 // unions lexicographically by components.
 func Compare(a, b Type) int {
@@ -397,6 +398,8 @@ func Compare(a, b Type) int {
 		return len(at.fields) - len(bt.fields)
 	case *Map:
 		return Compare(at.elem, b.(*Map).elem)
+	case *Variants:
+		return compareVariants(at, b.(*Variants))
 	case *Tuple:
 		bt := b.(*Tuple)
 		for i := 0; i < len(at.elems) && i < len(bt.elems); i++ {
@@ -458,6 +461,16 @@ func IsNormal(t Type) bool {
 		return true
 	case *Map:
 		return IsNormal(tt.elem)
+	case *Variants:
+		for _, c := range tt.cases {
+			if !IsNormal(c.Type) {
+				return false
+			}
+		}
+		if tt.other != nil {
+			return IsNormal(tt.other)
+		}
+		return true
 	case *Repeated:
 		return IsNormal(tt.elem)
 	case *Union:
@@ -506,6 +519,19 @@ func Depth(t Type) int {
 		return 1 + max
 	case *Map:
 		return 1 + Depth(tt.elem)
+	case *Variants:
+		max := 0
+		for _, c := range tt.cases {
+			if d := Depth(c.Type); d > max {
+				max = d
+			}
+		}
+		if tt.other != nil {
+			if d := Depth(tt.other); d > max {
+				max = d
+			}
+		}
+		return 1 + max
 	case *Repeated:
 		return 1 + Depth(tt.elem)
 	case *Union:
@@ -539,6 +565,13 @@ func Walk(t Type, fn func(Type) bool) {
 		}
 	case *Map:
 		Walk(tt.elem, fn)
+	case *Variants:
+		for _, c := range tt.cases {
+			Walk(c.Type, fn)
+		}
+		if tt.other != nil {
+			Walk(tt.other, fn)
+		}
 	case *Repeated:
 		Walk(tt.elem, fn)
 	case *Union:

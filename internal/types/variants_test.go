@@ -1,0 +1,200 @@
+package types
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func mustRec(t *testing.T, src string) *Record {
+	t.Helper()
+	r, ok := MustParse(src).(*Record)
+	if !ok {
+		t.Fatalf("not a record: %s", src)
+	}
+	return r
+}
+
+func sampleVariants(t *testing.T) *Variants {
+	t.Helper()
+	return MustVariants("type", false, []Variant{
+		{Tag: "push", Type: mustRec(t, `{type: Str, sha: Str}`)},
+		{Tag: "fork", Type: mustRec(t, `{type: Str, repo: Str, stars: Num?}`)},
+	}, mustRec(t, `{id: Num}`))
+}
+
+func sampleWrapper(t *testing.T) *Variants {
+	t.Helper()
+	return MustVariants("", true, []Variant{
+		{Tag: "delete", Type: mustRec(t, `{delete: {id: Num}}`)},
+		{Tag: "scrub_geo", Type: mustRec(t, `{scrub_geo: {up_to: Num}}`)},
+	}, mustRec(t, `{id: Num, text: Str}`))
+}
+
+func TestVariantsStringParseRoundTrip(t *testing.T) {
+	cases := []Type{
+		sampleVariants(t),
+		sampleWrapper(t),
+		MustCollapsedVariants(mustRec(t, `{a: Num, b: Str?}`)),
+		MustVariants("k", false, []Variant{{Tag: "only", Type: mustRec(t, `{k: Str}`)}}, nil),
+	}
+	for _, tt := range cases {
+		s := tt.String()
+		back, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if !Equal(tt, back) {
+			t.Errorf("round trip changed %q into %q", s, back)
+		}
+	}
+}
+
+func TestVariantsCodecRoundTrip(t *testing.T) {
+	for _, tt := range []Type{sampleVariants(t), sampleWrapper(t), MustCollapsedVariants(mustRec(t, `{a: Num}`))} {
+		data, err := MarshalJSON(tt)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		back, err := UnmarshalJSON(data)
+		if err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if !Equal(tt, back) {
+			t.Errorf("codec round trip changed %s into %s", tt, back)
+		}
+	}
+}
+
+func TestVariantsConstructorValidation(t *testing.T) {
+	r := mustRec(t, `{a: Num}`)
+	if _, err := NewVariants("", false, []Variant{{Tag: "a", Type: r}}, nil); err == nil {
+		t.Error("want error for neither key nor wrapper")
+	}
+	if _, err := NewVariants("k", true, []Variant{{Tag: "a", Type: r}}, nil); err == nil {
+		t.Error("want error for both key and wrapper")
+	}
+	if _, err := NewVariants("k", false, nil, r); err == nil {
+		t.Error("want error for zero cases")
+	}
+	if _, err := NewVariants("k", false, []Variant{{Tag: "a", Type: r}, {Tag: "a", Type: r}}, nil); err == nil {
+		t.Error("want error for duplicate tags")
+	}
+	if _, err := NewCollapsedVariants(nil); err == nil {
+		t.Error("want error for collapsed without a record")
+	}
+}
+
+func TestVariantsMemberRouting(t *testing.T) {
+	v := sampleVariants(t)
+	push := value.MustRecord(
+		value.Field{Key: "type", Value: value.Str("push")},
+		value.Field{Key: "sha", Value: value.Str("abc")},
+	)
+	if !Member(push, v) {
+		t.Error("push record should be a member via the push case")
+	}
+	// A push-tagged record with fork fields must NOT be admitted: the
+	// discriminator routes it to the push case only.
+	bad := value.MustRecord(
+		value.Field{Key: "type", Value: value.Str("push")},
+		value.Field{Key: "repo", Value: value.Str("x")},
+	)
+	if Member(bad, v) {
+		t.Error("push-tagged record with fork fields must not be a member")
+	}
+	// No discriminator: falls to Other.
+	plain := value.MustRecord(value.Field{Key: "id", Value: value.Num(1)})
+	if !Member(plain, v) {
+		t.Error("undiscriminated record should fall through to Other")
+	}
+
+	w := sampleWrapper(t)
+	del := value.MustRecord(value.Field{Key: "delete", Value: value.MustRecord(
+		value.Field{Key: "id", Value: value.Num(7)},
+	)})
+	if !Member(del, w) {
+		t.Error("wrapper delete should be a member")
+	}
+	tweet := value.MustRecord(
+		value.Field{Key: "id", Value: value.Num(7)},
+		value.Field{Key: "text", Value: value.Str("hi")},
+	)
+	if !Member(tweet, w) {
+		t.Error("tweet should fall through to wrapper Other")
+	}
+}
+
+func TestVariantsSubtype(t *testing.T) {
+	v := sampleVariants(t)
+	if !Subtype(v, v) {
+		t.Error("variants should be a subtype of themselves")
+	}
+	// The flattened union of components covers the tagged union.
+	flat := MustUnion(
+		MustParse(`{type: Str, sha: Str}`),
+		MustParse(`{type: Str, repo: Str, stars: Num?}`),
+		MustParse(`{id: Num}`),
+	)
+	if !Subtype(v, flat) {
+		t.Error("variants should fit the union of their components")
+	}
+	// A record that cannot carry the discriminator passes through Other.
+	if !Subtype(MustParse(`{id: Num}`), Type(v)) {
+		t.Error("undiscriminated record should fit via Other")
+	}
+	// A record that could carry the discriminator must not sneak in via
+	// Other.
+	if Subtype(MustParse(`{id: Num, type: Str}`), Type(v)) {
+		t.Error("record admitting the discriminator key must not fit via Other")
+	}
+	// Collapsed compares by its record.
+	c := MustCollapsedVariants(mustRec(t, `{a: Num, b: Str?}`))
+	if !Subtype(MustParse(`{a: Num}`), Type(c)) {
+		t.Error("record should fit a collapsed union via its record")
+	}
+	if !Subtype(Type(c), MustParse(`{a: Num, b: Str?}`)) {
+		t.Error("collapsed union should fit its record")
+	}
+}
+
+func TestVariantsCompareAndHash(t *testing.T) {
+	a := sampleVariants(t)
+	b := sampleVariants(t)
+	if Compare(a, b) != 0 || Hash(a) != Hash(b) {
+		t.Error("structurally equal variants must compare equal and hash equal")
+	}
+	w := sampleWrapper(t)
+	if Compare(a, w) == 0 {
+		t.Error("keyed and wrapper unions must differ")
+	}
+	if Compare(a, w) != -Compare(w, a) {
+		t.Error("compare must be antisymmetric")
+	}
+	// Distinct kinds stay ordered around the new ordinal.
+	if Compare(MustParse(`{*: Num}`), a) >= 0 {
+		t.Error("maps sort before variants")
+	}
+	if Compare(a, MustParse(`[Num*]`)) >= 0 {
+		t.Error("variants sort before arrays")
+	}
+	if k, ok := KindOf(a); !ok || k != KindRecord {
+		t.Error("variants must share the record kind")
+	}
+}
+
+func TestVariantsWitness(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, tt := range []Type{sampleVariants(t), sampleWrapper(t), MustCollapsedVariants(mustRec(t, `{a: Num}`))} {
+		for i := 0; i < 50; i++ {
+			v, ok := Witness(tt, r)
+			if !ok {
+				t.Fatalf("witness failed for %s", tt)
+			}
+			if !Member(v, tt) {
+				t.Fatalf("witness %v is not a member of %s", v, tt)
+			}
+		}
+	}
+}

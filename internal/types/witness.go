@@ -69,6 +69,36 @@ func Witness(t Type, r *rand.Rand) (value.Value, bool) {
 			fields = append(fields, value.Field{Key: fmt.Sprintf("key%d", i), Value: v})
 		}
 		return value.MustRecord(fields...), true
+	case *Variants:
+		if tt.collapsed {
+			return Witness(tt.other, r)
+		}
+		// Try components in a random rotation, forcing the discriminator
+		// field to the case's tag for keyed unions, and keep the first
+		// candidate the routing of Member actually admits.
+		total := len(tt.cases)
+		if tt.other != nil {
+			total++
+		}
+		start := r.Intn(total)
+		for i := 0; i < total; i++ {
+			idx := (start + i) % total
+			var cand value.Value
+			var ok bool
+			if idx == len(tt.cases) {
+				cand, ok = Witness(tt.other, r)
+			} else {
+				c := tt.cases[idx]
+				cand, ok = Witness(c.Type, r)
+				if ok && !tt.wrapper {
+					cand = withStrField(cand, tt.key, c.Tag)
+				}
+			}
+			if ok && Member(cand, tt) {
+				return cand, true
+			}
+		}
+		return nil, false
 	case *Repeated:
 		n := r.Intn(3)
 		elems := make(value.Array, 0, n)
@@ -96,3 +126,26 @@ func Witness(t Type, r *rand.Rand) (value.Value, bool) {
 }
 
 var sampleStrings = []string{"alpha", "beta", "example", "venice", "2016-03-15", ""}
+
+// withStrField returns v with the field key set to the string s, adding
+// the field if absent; non-record values pass through unchanged.
+func withStrField(v value.Value, key, s string) value.Value {
+	rv, ok := v.(*value.Record)
+	if !ok {
+		return v
+	}
+	var fields []value.Field
+	replaced := false
+	for _, f := range rv.Fields() {
+		if f.Key == key {
+			fields = append(fields, value.Field{Key: key, Value: value.Str(s)})
+			replaced = true
+			continue
+		}
+		fields = append(fields, f)
+	}
+	if !replaced {
+		fields = append(fields, value.Field{Key: key, Value: value.Str(s)})
+	}
+	return value.MustRecord(fields...)
+}
